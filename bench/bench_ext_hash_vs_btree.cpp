@@ -1,0 +1,138 @@
+// Extension: the paper's footnote 3, measured.
+//
+// "In-memory databases usually implement hash indexes, as this structure
+// presents even better performance when it is stored in memory. Thus, by
+// using b-trees in this study, we relinquish the advantage over remote
+// swap provided by hash indexes when used in remote memory."
+//
+// This bench quantifies that: point lookups on the same key set through a
+// b-tree and a hash index, on remote memory and on remote swap. Expected:
+// the hash index is the fastest structure on remote memory (~1 line per
+// lookup) but single-probe-random access is exactly what page-granular
+// swapping cannot serve, so on swap the hash loses its edge — the paper's
+// b-tree choice really was the swap-friendly one.
+#include "bench_util.hpp"
+#include "core/remote_allocator.hpp"
+#include "sim/random.hpp"
+#include "workloads/btree.hpp"
+#include "workloads/hash_index.hpp"
+
+using namespace ms;
+
+namespace {
+
+struct Point {
+  double us_per_lookup;
+  double faults_per_lookup;
+};
+
+template <typename BuildAndLookup>
+Point measure(const bench::Env& env, core::MemorySpace::Mode mode,
+              std::uint64_t resident, BuildAndLookup&& body) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, env.cluster_config());
+  core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
+  return body(engine, space);
+}
+
+Point run_btree(const bench::Env& env, core::MemorySpace::Mode mode,
+                std::uint64_t keys, std::uint64_t lookups,
+                std::uint64_t resident) {
+  return measure(env, mode, resident, [&](sim::Engine& engine,
+                                          core::MemorySpace& space) {
+    core::RemoteAllocator alloc(space);
+    workloads::BTree tree(space, alloc, 192);
+    core::Runner setup(engine);
+    setup.spawn(tree.bulk_build(keys, [](std::uint64_t i) { return i * 2 + 1; }));
+    setup.run_all();
+
+    auto query_pass = [&](std::uint64_t seed) {
+      core::Runner run(engine);
+      run.spawn([](workloads::BTree& t, std::uint64_t n, std::uint64_t ks,
+                   std::uint64_t s) -> sim::Task<void> {
+        core::ThreadCtx ctx;
+        sim::Rng rng(s);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          co_await t.search(ctx, rng.below(ks * 2));
+        }
+      }(tree, lookups, keys, seed));
+      return run.run_all();
+    };
+    query_pass(1);  // warm-up
+    const std::uint64_t faults_before =
+        space.swapper() ? space.swapper()->major_faults() : 0;
+    const sim::Time elapsed = query_pass(2);
+    const std::uint64_t faults =
+        (space.swapper() ? space.swapper()->major_faults() : 0) - faults_before;
+    return Point{sim::to_us(elapsed) / static_cast<double>(lookups),
+                 static_cast<double>(faults) / static_cast<double>(lookups)};
+  });
+}
+
+Point run_hash(const bench::Env& env, core::MemorySpace::Mode mode,
+               std::uint64_t keys, std::uint64_t lookups,
+               std::uint64_t resident) {
+  return measure(env, mode, resident, [&](sim::Engine& engine,
+                                          core::MemorySpace& space) {
+    const std::uint64_t capacity = std::bit_ceil(keys * 2);
+    workloads::HashIndex index(space, capacity);
+    core::Runner setup(engine);
+    setup.spawn(index.build(keys, [](std::uint64_t i) { return i * 2 + 1; }));
+    setup.run_all();
+
+    auto query_pass = [&](std::uint64_t seed) {
+      core::Runner run(engine);
+      run.spawn([](workloads::HashIndex& h, std::uint64_t n, std::uint64_t ks,
+                   std::uint64_t s) -> sim::Task<void> {
+        core::ThreadCtx ctx;
+        sim::Rng rng(s);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          co_await h.contains(ctx, rng.below(ks * 2) + 1);
+        }
+      }(index, lookups, keys, seed));
+      return run.run_all();
+    };
+    query_pass(1);  // warm-up
+    const std::uint64_t faults_before =
+        space.swapper() ? space.swapper()->major_faults() : 0;
+    const sim::Time elapsed = query_pass(2);
+    const std::uint64_t faults =
+        (space.swapper() ? space.swapper()->major_faults() : 0) - faults_before;
+    return Point{sim::to_us(elapsed) / static_cast<double>(lookups),
+                 static_cast<double>(faults) / static_cast<double>(lookups)};
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env(argc, argv);
+  auto cfg = env.cluster_config();
+  bench::print_header("Extension: hash index vs. b-tree (footnote 3)",
+                      "point lookups on remote memory vs. remote swap", cfg,
+                      env);
+
+  const auto keys = env.raw.get_u64("keys", 1'000'000);
+  const auto lookups = env.raw.get_u64("lookups", 2'000);
+  const auto resident = env.raw.get_u64("resident", std::uint64_t{8} << 20);
+
+  sim::Table table({"index", "backend", "us_per_lookup", "major_faults_per_lookup"});
+  for (auto mode : {core::MemorySpace::Mode::kRemoteRegion,
+                    core::MemorySpace::Mode::kRemoteSwap}) {
+    const char* backend =
+        mode == core::MemorySpace::Mode::kRemoteRegion ? "remote memory"
+                                                       : "remote swap";
+    auto bt = run_btree(env, mode, keys, lookups, resident);
+    auto hs = run_hash(env, mode, keys, lookups, resident);
+    table.row().cell("b-tree (fanout 192)").cell(backend)
+        .cell(bt.us_per_lookup, 2).cell(bt.faults_per_lookup, 2);
+    table.row().cell("hash (open addressing)").cell(backend)
+        .cell(hs.us_per_lookup, 2).cell(hs.faults_per_lookup, 2);
+  }
+  bench::print_table(table, env);
+  std::printf("shape check: on remote memory the hash index beats the "
+              "b-tree (fewest lines touched); on remote swap its random "
+              "single probes stay page-fault-bound, so the b-tree's "
+              "page-dense nodes close the gap — footnote 3's trade-off.\n");
+  return 0;
+}

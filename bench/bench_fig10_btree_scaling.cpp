@@ -1,0 +1,109 @@
+// Figure 10: b-tree search time vs. number of keys at the (near-)optimal
+// fanout, remote memory vs. remote swap.
+//
+// Expected shape: the remote-memory series grows gently (with the tree
+// height — a visible step at each new level); the remote-swap series is
+// fast while the tree fits the resident set, crosses over, and then blows
+// up super-linearly from page thrashing ("worsens exponentially").
+#include "bench_util.hpp"
+#include "core/remote_allocator.hpp"
+#include "sim/random.hpp"
+#include "workloads/btree.hpp"
+
+using namespace ms;
+
+namespace {
+
+struct Point {
+  double us_per_search;
+  double faults_per_search;
+  std::uint64_t tree_mb;
+  int height;
+};
+
+Point run_point(const bench::Env& env, core::MemorySpace::Mode mode,
+                int fanout, std::uint64_t keys, std::uint64_t searches,
+                std::uint64_t resident) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, env.cluster_config());
+  core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
+  core::RemoteAllocator alloc(space);
+  workloads::BTree tree(space, alloc, fanout);
+
+  core::Runner setup(engine);
+  setup.spawn(tree.bulk_build(keys, [](std::uint64_t i) { return i * 2 + 1; }));
+  setup.run_all();
+
+  // Warm-up: untimed searches so cold first-touch faults do not pollute
+  // the steady-state measurement (the paper averages over 500k searches).
+  core::Runner warm(engine);
+  warm.spawn([](workloads::BTree& t, std::uint64_t n,
+                std::uint64_t key_count) -> sim::Task<void> {
+    core::ThreadCtx ctx;
+    sim::Rng rng(1);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co_await t.search(ctx, rng.below(key_count * 2));
+    }
+  }(tree, searches, keys));
+  warm.run_all();
+
+  core::Runner run(engine);
+  run.spawn([](workloads::BTree& t, std::uint64_t n,
+               std::uint64_t key_count) -> sim::Task<void> {
+    core::ThreadCtx ctx;
+    sim::Rng rng(777);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co_await t.search(ctx, rng.below(key_count * 2));
+    }
+  }(tree, searches, keys));
+  const sim::Time elapsed = run.run_all();
+
+  Point p;
+  p.us_per_search = sim::to_us(elapsed) / static_cast<double>(searches);
+  p.faults_per_search =
+      space.swapper() ? static_cast<double>(space.swapper()->faults()) /
+                            static_cast<double>(searches)
+                      : 0.0;
+  p.tree_mb = tree.node_count() * tree.node_bytes() >> 20;
+  p.height = tree.height();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env(argc, argv);
+  auto cfg = env.cluster_config();
+  bench::print_header("Figure 10",
+                      "b-tree search time vs. tree size (fixed fanout)",
+                      cfg, env);
+
+  const int fanout = static_cast<int>(env.raw.get_int("fanout", 192));
+  const auto searches = env.raw.get_u64("searches", 2'000);
+  const auto resident = env.raw.get_u64("resident", std::uint64_t{24} << 20);
+
+  const std::uint64_t key_counts[] = {125'000,   250'000,   500'000,
+                                      1'000'000, 2'000'000, 4'000'000};
+
+  sim::Table table({"keys", "tree_MiB", "height", "remote_us_per_search",
+                    "swap_us_per_search", "swap_faults_per_search"});
+  for (std::uint64_t keys : key_counts) {
+    auto remote = run_point(env, core::MemorySpace::Mode::kRemoteRegion,
+                            fanout, keys, searches, resident);
+    auto swap = run_point(env, core::MemorySpace::Mode::kRemoteSwap, fanout,
+                          keys, searches, resident);
+    table.row()
+        .cell(keys)
+        .cell(swap.tree_mb)
+        .cell(swap.height)
+        .cell(remote.us_per_search, 2)
+        .cell(swap.us_per_search, 2)
+        .cell(swap.faults_per_search, 2);
+  }
+  bench::print_table(table, env);
+  std::printf("shape check: remote memory grows with tree height only; swap "
+              "is faster while the tree fits the %llu MiB resident set, then "
+              "thrashes super-linearly.\n",
+              static_cast<unsigned long long>(resident >> 20));
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 8: server-side congestion.
+//
+// One memory server (node 6). A control thread on node 2 reaches it over a
+// dedicated link (XY routing sends no stressor traffic over 2->6) and
+// performs a fixed number of reads; stressor nodes hammer the same server
+// with a growing number of threads until the control thread finishes.
+//
+// Expected shape: the control time stays flat while the server RMC has
+// headroom (up to roughly 3 nodes x 4 threads) and then climbs as the
+// server RMC queue grows.
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/random_access.hpp"
+
+using namespace ms;
+
+namespace {
+
+constexpr ht::NodeId kServer = 6;
+constexpr ht::NodeId kControl = 2;
+// Stressor nodes whose XY routes to node 6 avoid the control link 2->6.
+constexpr ht::NodeId kStressors[] = {5, 7, 10, 14, 9, 11};
+
+sim::Task<void> stress_thread(core::MemorySpace& space, int core,
+                              core::VAddr base, std::uint64_t words,
+                              std::uint64_t seed, const bool* stop) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(seed);
+  while (!*stop) {
+    co_await space.read_u64(t, base + rng.below(words) * 8);
+  }
+  co_await space.sync(t);
+}
+
+struct Point {
+  double control_ms;
+  double server_req_rate;  // requests/us arriving at the server RMC
+};
+
+Point run_point(const bench::Env& env, int stress_nodes, int threads_per_node,
+                std::uint64_t control_accesses, std::uint64_t buffer_bytes) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, env.cluster_config());
+
+  // Control process on node 2.
+  core::MemorySpace control_space(
+      cluster, kControl,
+      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = buffer_bytes;
+  rp.accesses_per_thread = control_accesses;
+  workloads::RandomAccess control(control_space, rp);
+
+  // Stressor processes, one space per node, all served by node 6.
+  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+  std::vector<core::VAddr> bases;
+  core::Runner setup(engine);
+  setup.spawn(control.setup({kServer}));
+  for (int n = 0; n < stress_nodes; ++n) {
+    spaces.push_back(std::make_unique<core::MemorySpace>(
+        cluster, kStressors[n],
+        bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0)));
+  }
+  setup.run_all();
+
+  bases.resize(spaces.size());
+  core::Runner map_setup(engine);
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    map_setup.spawn([](core::MemorySpace& s, core::VAddr* out,
+                       std::uint64_t bytes) -> sim::Task<void> {
+      *out = co_await s.map_range_on(bytes, kServer);
+    }(*spaces[n], &bases[n], buffer_bytes));
+  }
+  map_setup.run_all();
+
+  bool stop = false;
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    for (int t = 0; t < threads_per_node; ++t) {
+      engine.spawn(stress_thread(*spaces[n], t, bases[n], buffer_bytes / 8,
+                                 1000 + n * 31 + static_cast<unsigned>(t),
+                                 &stop));
+    }
+  }
+
+  core::Runner run(engine);
+  const sim::Time start_served = engine.now();
+  const std::uint64_t served_before = cluster.rmc(kServer).served_requests();
+  run.spawn(control.thread_fn(0, 0));
+  // Separate watcher (not part of the runner, or join() would wait on
+  // itself): when the control thread finishes, stop the stressors.
+  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
+    co_await r->join();
+    *flag = true;
+  }(&stop, &run));
+  engine.run();
+
+  const sim::Time control_done = run.last_completion();
+  const double elapsed_us = sim::to_us(control_done - start_served);
+  const double rate =
+      elapsed_us > 0
+          ? static_cast<double>(cluster.rmc(kServer).served_requests() -
+                                served_before) /
+                elapsed_us
+          : 0.0;
+  return Point{sim::to_ms(control_done - start_served), rate};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env(argc, argv);
+  auto cfg = env.cluster_config();
+  bench::print_header("Figure 8",
+                      "server congestion: control-thread time vs. stressors",
+                      cfg, env);
+
+  const auto control_accesses = env.raw.get_u64("accesses", 4000);
+  const auto buffer = env.raw.get_u64("buffer", std::uint64_t{64} << 20);
+
+  struct Load {
+    int nodes;
+    int threads;
+  };
+  const Load loads[] = {{0, 0}, {1, 4}, {2, 4}, {3, 4},
+                        {4, 4}, {5, 4}, {6, 4}};
+
+  sim::Table table({"stress_nodes", "threads_per_node", "total_stress_threads",
+                    "control_ms", "server_Mreq_per_s"});
+  for (const auto& load : loads) {
+    auto p = run_point(env, load.nodes, load.threads, control_accesses,
+                       buffer);
+    table.row()
+        .cell(load.nodes)
+        .cell(load.threads)
+        .cell(load.nodes * load.threads)
+        .cell(p.control_ms, 3)
+        .cell(p.server_req_rate, 3);
+  }
+  bench::print_table(table, env);
+  std::printf("shape check: control time flat up to ~3 nodes x 4 threads, "
+              "then rising (server RMC congestion, not the network).\n");
+  return 0;
+}

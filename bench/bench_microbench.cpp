@@ -1,0 +1,107 @@
+// Host-performance microbenchmarks of the simulator itself (google-
+// benchmark). These do not reproduce paper figures — they guard the
+// simulator's own speed, which bounds how large the figure sweeps can be.
+#include <benchmark/benchmark.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/cache.hpp"
+#include "noc/routing.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace ms;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule(sim::ns(static_cast<std::uint64_t>(i)), [] {});
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+sim::Task<void> ping(sim::Engine& e, int hops) {
+  for (int i = 0; i < hops; ++i) co_await e.delay(sim::ns(1));
+}
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn(ping(e, 1000));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+sim::Task<void> sem_cycle(sim::Engine& e, sim::Semaphore& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await s.acquire();
+    co_await e.delay(sim::ns(1));
+    s.release();
+  }
+}
+
+void BM_SemaphoreContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Semaphore s(e, 1);
+    for (int w = 0; w < 4; ++w) e.spawn(sem_cycle(e, s, 250));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SemaphoreContention);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(
+      mem::Cache::Params{.size_bytes = 512 << 10, .ways = 8});
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 24), false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BackingStoreReadWrite(benchmark::State& state) {
+  mem::BackingStore store;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    store.write_u64(1, addr, addr);
+    benchmark::DoNotOptimize(store.read_u64(1, addr));
+    addr = (addr + 4096) & ((1 << 28) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackingStoreReadWrite);
+
+void BM_RouteLookup(benchmark::State& state) {
+  auto topo = noc::Topology::make("mesh2d", 16);
+  noc::RouteTable table(*topo);
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    auto s = static_cast<noc::NodeId>(rng.below(16) + 1);
+    auto d = static_cast<noc::NodeId>(rng.below(16) + 1);
+    benchmark::DoNotOptimize(table.hops(s, d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteLookup);
+
+void BM_Rng(benchmark::State& state) {
+  sim::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(1000003));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

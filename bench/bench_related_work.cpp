@@ -1,0 +1,94 @@
+// Related-work comparison (Sec. II): the same pointer-heavy search
+// workload over every memory-extension approach the paper discusses.
+//
+//   local          all memory in one box (what the money buys)
+//   remote-region  the paper's architecture (hardware loads/stores)
+//   violin-style   software memory appliance: OS involved in EVERY remote
+//                  access (~3 us each, Sec. II's Violin discussion)
+//   remote-swap    page-fault-driven swapping to cluster memory
+//   disk-swap      classic swapping
+#include "bench_util.hpp"
+#include "core/remote_allocator.hpp"
+#include "sim/random.hpp"
+#include "workloads/btree.hpp"
+
+using namespace ms;
+
+namespace {
+
+double run_mode(const bench::Env& env, core::MemorySpace::Mode mode,
+                sim::Time sw_overhead, std::uint64_t keys,
+                std::uint64_t searches, std::uint64_t resident) {
+  sim::Engine engine;
+  auto cfg = env.cluster_config();
+  cfg.node.remote_sw_overhead = sw_overhead;
+  core::Cluster cluster(engine, cfg);
+  core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
+  core::RemoteAllocator alloc(space);
+  workloads::BTree tree(space, alloc, 192);
+
+  core::Runner setup(engine);
+  setup.spawn(tree.bulk_build(keys, [](std::uint64_t i) { return i * 2 + 1; }));
+  setup.run_all();
+
+  core::Runner run(engine);
+  run.spawn([](workloads::BTree& t, std::uint64_t n,
+               std::uint64_t key_count) -> sim::Task<void> {
+    core::ThreadCtx ctx;
+    sim::Rng rng(31337);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co_await t.search(ctx, rng.below(key_count * 2));
+    }
+  }(tree, searches, keys));
+  const sim::Time elapsed = run.run_all();
+  return sim::to_us(elapsed) / static_cast<double>(searches);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Env env(argc, argv);
+  auto cfg = env.cluster_config();
+  bench::print_header("Related work",
+                      "b-tree search under every memory-extension approach",
+                      cfg, env);
+
+  const auto keys = env.raw.get_u64("keys", 1'000'000);
+  const auto searches = env.raw.get_u64("searches", 800);
+  const auto resident = env.raw.get_u64("resident", std::uint64_t{8} << 20);
+
+  sim::Table table({"approach", "us_per_search", "slowdown_vs_local"});
+  struct Row {
+    const char* name;
+    core::MemorySpace::Mode mode;
+    sim::Time sw;
+  };
+  const Row rows[] = {
+      {"local memory", core::MemorySpace::Mode::kLocal, 0},
+      {"remote region (this paper)", core::MemorySpace::Mode::kRemoteRegion,
+       0},
+      {"violin-style sw server", core::MemorySpace::Mode::kRemoteRegion,
+       sim::us(3)},
+      {"compressed memory (zram)", core::MemorySpace::Mode::kCompressedSwap,
+       0},
+      {"remote swap", core::MemorySpace::Mode::kRemoteSwap, 0},
+      {"disk swap", core::MemorySpace::Mode::kDiskSwap, 0},
+  };
+  double local_us = 0;
+  for (const auto& row : rows) {
+    const double us =
+        run_mode(env, row.mode, row.sw, keys,
+                 row.mode == core::MemorySpace::Mode::kDiskSwap
+                     ? searches / 8 + 1  // disk is brutally slow; fewer reps
+                     : searches,
+                 resident);
+    if (row.mode == core::MemorySpace::Mode::kLocal) local_us = us;
+    table.row().cell(row.name).cell(us, 2).cell(us / local_us, 1);
+  }
+  bench::print_table(table, env);
+  std::printf("shape check: local < remote region < violin ~ compressed < "
+              "remote swap << disk swap — the ordering Sec. II argues. "
+              "(Compression trades CPU for capacity but caps at ~2x local "
+              "memory; borrowed regions scale to the whole cluster.)\n");
+  return 0;
+}

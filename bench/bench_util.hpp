@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// regenerates one figure of the paper's evaluation: it builds a fresh
+// cluster per data point, runs the workload in simulated time, and prints
+// one aligned table (plus CSV with csv=1) whose rows correspond to the
+// figure's series. Command-line overrides use key=value tokens and are
+// echoed so every run is reproducible.
+
+#include <cstdio>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "core/runner.hpp"
+#include "sim/config.hpp"
+#include "sim/table.hpp"
+
+namespace ms::bench {
+
+struct Env {
+  sim::Config raw;
+  bool csv = false;
+
+  Env(int argc, char** argv) : raw(sim::Config::from_args(argc, argv)) {
+    csv = raw.get_bool("csv", false);
+  }
+
+  core::ClusterConfig cluster_config() const {
+    return core::ClusterConfig::from(raw);
+  }
+};
+
+inline void print_header(const std::string& figure, const std::string& what,
+                         const core::ClusterConfig& cfg, const Env& env) {
+  std::printf("== %s: %s\n", figure.c_str(), what.c_str());
+  std::printf("machine: %s\n", cfg.summary().c_str());
+  const std::string overrides = env.raw.dump();
+  if (!overrides.empty()) std::printf("overrides: %s\n", overrides.c_str());
+  std::printf("\n");
+}
+
+inline void print_table(const sim::Table& table, const Env& env) {
+  std::fputs(table.render().c_str(), stdout);
+  if (env.csv) {
+    std::printf("\n-- csv --\n%s", table.csv().c_str());
+  }
+  std::printf("\n");
+}
+
+/// The paper's prototype default for MemorySpace in each comparison mode.
+inline core::MemorySpace::Params mode_params(core::MemorySpace::Mode mode,
+                                             std::uint64_t resident_bytes) {
+  core::MemorySpace::Params p;
+  p.mode = mode;
+  if (mode == core::MemorySpace::Mode::kRemoteRegion) {
+    p.placement = os::RegionManager::Placement::kRemoteOnly;
+  }
+  p.swap.resident_limit_bytes = resident_bytes;
+  return p;
+}
+
+}  // namespace ms::bench

@@ -1,0 +1,90 @@
+// Quickstart: borrow memory from other nodes and use it with plain
+// loads/stores.
+//
+// Builds the paper's 16-node machine, starts a process on node 1, and
+// allocates a buffer through the interposed allocator (the paper's special
+// malloc). The allocation lands in memory donated by another node; the
+// writes and reads below travel through node 1's RMC and the 4x4 mesh —
+// no software on the access path, no inter-node coherence anywhere.
+//
+// Run:   ./quickstart [key=value ...]     e.g. nodes=4 topology=ring
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "core/remote_allocator.hpp"
+#include "core/runner.hpp"
+#include "sim/config.hpp"
+
+using namespace ms;
+
+namespace {
+
+sim::Task<void> demo(core::Cluster& cluster, core::MemorySpace& space,
+                     core::RemoteAllocator& alloc) {
+  core::ThreadCtx thread;  // one app thread pinned to core 0 of node 1
+
+  // "malloc" 32 MiB — transparently placed in borrowed memory.
+  const std::uint64_t kBytes = 32 << 20;
+  core::VAddr buf = co_await alloc.gmalloc(kBytes);
+  ht::PAddr backing = co_await space.backing_of(buf);
+  std::printf("gmalloc(32 MiB) -> VA 0x%llx, physically on node %u "
+              "(prefixed PA 0x%llx)\n",
+              static_cast<unsigned long long>(buf), node::node_of(backing),
+              static_cast<unsigned long long>(backing));
+
+  // Ordinary stores...
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    co_await space.write_u64(thread, buf + i * 8, i * i);
+  }
+  // ... and ordinary loads.
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    sum += co_await space.read_u64(thread, buf + i * 8);
+  }
+  co_await space.sync(thread);
+  std::printf("sum of 1000 squares read back over the fabric: %llu (%s)\n",
+              static_cast<unsigned long long>(sum),
+              sum == 332833500u ? "correct" : "WRONG");
+
+  // Proof that the bytes really live on the donor: read the donor's DRAM
+  // image directly from the backing store.
+  const ht::NodeId donor = node::node_of(backing);
+  std::printf("donor node %u DRAM at +8: %llu (expect 1)\n", donor,
+              static_cast<unsigned long long>(cluster.store().read_u64(
+                  donor, node::local_part(backing) + 8)));
+
+  alloc.gfree(buf);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::Engine engine;
+  auto cfg = core::ClusterConfig::from(sim::Config::from_args(argc, argv));
+  core::Cluster cluster(engine, cfg);
+  std::printf("machine: %s\n\n", cfg.summary().c_str());
+
+  core::MemorySpace::Params mp;
+  mp.mode = core::MemorySpace::Mode::kRemoteRegion;
+  mp.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, /*home=*/1, mp);
+  core::RemoteAllocator alloc(space);
+
+  core::Runner runner(engine);
+  runner.spawn(demo(cluster, space, alloc));
+  const sim::Time elapsed = runner.run_all();
+
+  std::printf("\nsimulated time: %s\n", sim::format_time(elapsed).c_str());
+  std::printf("node 1 RMC round trips: %llu (mean %s)\n",
+              static_cast<unsigned long long>(
+                  cluster.rmc(1).client_requests()),
+              sim::format_time(static_cast<sim::Time>(
+                                   cluster.rmc(1).round_trip().mean()))
+                  .c_str());
+  std::printf("inter-node coherence probes anywhere: 0 by construction; "
+              "intra-node probes: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.total_intra_node_probes()));
+  return 0;
+}

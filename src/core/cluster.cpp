@@ -1,0 +1,149 @@
+#include "core/cluster.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ms::core {
+
+ClusterConfig ClusterConfig::from(const sim::Config& cfg) {
+  ClusterConfig c;
+  c.nodes = static_cast<int>(cfg.get_int("nodes", c.nodes));
+  c.topology = cfg.get_str("topology", c.topology);
+  c.os_reserved_bytes = cfg.get_u64("os_reserved", c.os_reserved_bytes);
+
+  c.node.sockets = static_cast<int>(cfg.get_int("node.sockets", c.node.sockets));
+  c.node.cores_per_socket =
+      static_cast<int>(cfg.get_int("node.cores_per_socket", c.node.cores_per_socket));
+  c.node.local_bytes = cfg.get_u64("node.local_bytes", c.node.local_bytes);
+  c.node.cache.size_bytes = cfg.get_u64("node.cache_bytes", c.node.cache.size_bytes);
+  c.node.cache_remote = cfg.get_bool("node.cache_remote", c.node.cache_remote);
+  c.node.core_remote_outstanding = static_cast<int>(
+      cfg.get_int("rmc.outstanding", c.node.core_remote_outstanding));
+  c.node.prefetch.degree =
+      static_cast<int>(cfg.get_int("rmc.prefetch_degree", c.node.prefetch.degree));
+
+  c.rmc.process_latency = sim::ns(
+      cfg.get_u64("rmc.process_ns", c.rmc.process_latency / 1000));
+  c.rmc.per_waiter_turnaround = sim::ns(
+      cfg.get_u64("rmc.turnaround_ns", c.rmc.per_waiter_turnaround / 1000));
+
+  c.fabric.link.bytes_per_ns =
+      cfg.get_double("link.bytes_per_ns", c.fabric.link.bytes_per_ns);
+  c.fabric.link.propagation = sim::ns(
+      cfg.get_u64("link.propagation_ns", c.fabric.link.propagation / 1000));
+  c.fabric.router_delay = sim::ns(
+      cfg.get_u64("link.router_ns", c.fabric.router_delay / 1000));
+
+  c.region.segment_bytes = cfg.get_u64("region.segment", c.region.segment_bytes);
+  c.region.policy =
+      os::ClusterDirectory::parse_policy(cfg.get_str("region.policy", "nearest"));
+  return c;
+}
+
+std::string ClusterConfig::summary() const {
+  std::ostringstream out;
+  out << nodes << " nodes (" << topology << "), " << node.sockets << "x"
+      << node.cores_per_socket << " cores, "
+      << (node.local_bytes >> 30) << " GiB/node ("
+      << (os_reserved_bytes >> 30) << " GiB OS-reserved), cache "
+      << (node.cache.size_bytes >> 10) << " KiB/core, RMC "
+      << sim::to_ns(rmc.process_latency) << " ns/msg, outstanding="
+      << node.core_remote_outstanding << ", prefetch="
+      << node.prefetch.degree;
+  return out.str();
+}
+
+Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
+    : engine_(engine), cfg_(cfg) {
+  if (cfg.nodes < 1 || cfg.nodes > node::kMaxNodeId) {
+    throw std::invalid_argument("Cluster: node count out of range");
+  }
+
+  fabric_ = std::make_unique<noc::Fabric>(
+      engine, noc::Topology::make(cfg.topology, cfg.nodes), cfg.fabric);
+  reservation_ = std::make_unique<os::ReservationService>(engine, *fabric_,
+                                                          cfg.reservation);
+  disk_ = std::make_unique<swap::DiskModel>(engine, cfg.disk);
+
+  for (int i = 0; i < cfg.nodes; ++i) {
+    const auto id = static_cast<ht::NodeId>(i + 1);
+    nodes_.push_back(std::make_unique<node::Node>(engine, id, cfg.node));
+    rmcs_.push_back(std::make_unique<rmc::Rmc>(engine, id, *fabric_, cfg.rmc));
+    nodes_.back()->attach_rmc(rmcs_.back().get());
+    allocators_.push_back(std::make_unique<os::FrameAllocator>(
+        ht::PAddr{0}, cfg.node.local_bytes));
+    // The OS boots with a private share that is never donated (the
+    // prototype boots each OS with 8 of its 16 GiB).
+    if (cfg.os_reserved_bytes > 0) {
+      auto boot = allocators_.back()->allocate(cfg.os_reserved_bytes,
+                                               /*pinned=*/true);
+      if (!boot) throw std::logic_error("Cluster: OS reservation failed");
+    }
+    reservation_->register_node(id, allocators_.back().get());
+    directory_.register_node(id, allocators_.back().get());
+  }
+
+  // Peer lookup for RMC-to-RMC forwarding.
+  for (auto& r : rmcs_) {
+    r->set_peer_lookup([this](ht::NodeId id) -> rmc::Rmc* {
+      if (id < 1 || id > rmcs_.size()) return nullptr;
+      return rmcs_[id - 1].get();
+    });
+  }
+}
+
+os::ClusterDirectory::HopsFn Cluster::hops_fn() {
+  return [this](ht::NodeId a, ht::NodeId b) { return fabric_->hops(a, b); };
+}
+
+std::unique_ptr<os::RegionManager> Cluster::make_region(ht::NodeId home) {
+  return std::make_unique<os::RegionManager>(
+      engine_, home, allocator(home), *reservation_, directory_, hops_fn(),
+      cfg_.region);
+}
+
+std::string Cluster::report() const {
+  std::ostringstream out;
+  out << "cluster: " << cfg_.summary() << "\n";
+  out << "fabric: " << fabric_->packets_delivered() << " packets delivered";
+  if (fabric_->traversal_latency().count() > 0) {
+    out << ", mean traversal "
+        << sim::format_time(static_cast<sim::Time>(
+               fabric_->traversal_latency().mean()));
+  }
+  out << "\n";
+  out << "reservations: " << reservation_->grants() << " grants, "
+      << reservation_->denials() << " denials\n";
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const auto& n = *nodes_[i];
+    const auto& r = *rmcs_[i];
+    std::uint64_t mc_reads = 0, mc_writes = 0;
+    for (int s = 0; s < cfg_.node.sockets; ++s) {
+      mc_reads += nodes_[i]->mc(s).reads();
+      mc_writes += nodes_[i]->mc(s).writes();
+    }
+    std::uint64_t hits = 0, misses = 0;
+    for (int c = 0; c < n.num_cores(); ++c) {
+      hits += nodes_[i]->core(c).cache().hits();
+      misses += nodes_[i]->core(c).cache().misses();
+    }
+    if (mc_reads + mc_writes + r.client_requests() + r.served_requests() +
+            hits + misses ==
+        0) {
+      continue;  // idle node
+    }
+    out << "node " << (i + 1) << ": mc r/w " << mc_reads << "/" << mc_writes
+        << ", cache h/m " << hits << "/" << misses << ", rmc out/served/loop "
+        << r.client_requests() << "/" << r.served_requests() << "/"
+        << r.loopbacks() << ", probes " << n.directory().probes() << "\n";
+  }
+  return out.str();
+}
+
+std::uint64_t Cluster::total_intra_node_probes() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->directory().probes();
+  return sum;
+}
+
+}  // namespace ms::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "noc/fabric.hpp"
+#include "node/node.hpp"
+#include "os/cluster_directory.hpp"
+#include "os/frame_allocator.hpp"
+#include "os/region_manager.hpp"
+#include "os/reservation.hpp"
+#include "rmc/rmc.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "swap/disk_model.hpp"
+
+namespace ms::core {
+
+/// Every tunable of the simulated machine, defaulting to the paper's
+/// prototype: 16 nodes of 4 quad-core 2.1 GHz Opterons with 16 GiB DDR2
+/// each (8 GiB booted for the OS, 8 GiB donated to the 128 GiB pool), HTX
+/// FPGA RMCs, a 4x4 2D mesh.
+struct ClusterConfig {
+  int nodes = 16;
+  std::string topology = "mesh2d";
+  ht::PAddr os_reserved_bytes = ht::PAddr{8} << 30;
+  node::Node::Params node;
+  rmc::Rmc::Params rmc;
+  noc::Fabric::Params fabric;
+  os::ReservationService::Params reservation;
+  os::RegionManager::Params region;
+  swap::DiskModel::Params disk;
+
+  /// Applies "key=value" overrides (nodes=4, topology=ring,
+  /// rmc.outstanding=8, node.cache_kb=512, ...); see the implementation
+  /// for the full key list.
+  static ClusterConfig from(const sim::Config& cfg);
+
+  std::string summary() const;
+};
+
+/// The assembled machine: nodes, RMCs, fabric, backing store and the
+/// cluster-wide OS services. This is the root object benches and examples
+/// construct; processes then get a MemorySpace on one of the nodes.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, const ClusterConfig& cfg);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return cfg_; }
+  int num_nodes() const { return cfg_.nodes; }
+
+  node::Node& node(ht::NodeId id) { return *nodes_[id - 1]; }
+  rmc::Rmc& rmc(ht::NodeId id) { return *rmcs_[id - 1]; }
+  os::FrameAllocator& allocator(ht::NodeId id) { return *allocators_[id - 1]; }
+  noc::Fabric& fabric() { return *fabric_; }
+  mem::BackingStore& store() { return store_; }
+  os::ReservationService& reservation() { return *reservation_; }
+  os::ClusterDirectory& directory() { return directory_; }
+  swap::DiskModel& disk() { return *disk_; }
+
+  /// Hop distance function, suitable for donor policies.
+  os::ClusterDirectory::HopsFn hops_fn();
+
+  /// Builds a region manager for a process homed on `home`.
+  std::unique_ptr<os::RegionManager> make_region(ht::NodeId home);
+
+  /// Sum of coherence probes across all node-internal directories (the
+  /// paper's headline metric: this must not grow with borrowed memory).
+  std::uint64_t total_intra_node_probes() const;
+
+  /// Human-readable machine-wide statistics dump (per-node RMC, memory
+  /// controller and cache counters, fabric and OS-service totals). Nodes
+  /// that saw no traffic are skipped.
+  std::string report() const;
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig cfg_;
+  mem::BackingStore store_;
+  std::unique_ptr<noc::Fabric> fabric_;
+  std::vector<std::unique_ptr<node::Node>> nodes_;
+  std::vector<std::unique_ptr<rmc::Rmc>> rmcs_;
+  std::vector<std::unique_ptr<os::FrameAllocator>> allocators_;
+  std::unique_ptr<os::ReservationService> reservation_;
+  os::ClusterDirectory directory_;
+  std::unique_ptr<swap::DiskModel> disk_;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,249 @@
+#include "core/memory_space.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace ms::core {
+
+namespace {
+// Pseudo BackingStore keys for swap-mode functional data: swap slots are
+// timing entities, so the real bytes are filed under a per-space key that
+// no fabric node uses. Distinct per space to keep processes separate.
+ht::NodeId next_pseudo_node() {
+  static std::uint16_t counter = 0;
+  ++counter;
+  return static_cast<ht::NodeId>(node::kMaxNodeId - counter);
+}
+}  // namespace
+
+MemorySpace::MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p)
+    : cluster_(cluster),
+      home_(home),
+      params_(p),
+      table_(4096),
+      tlb_(p.tlb),
+      next_va_(p.va_base) {
+  const bool is_swap = p.mode == Mode::kRemoteSwap ||
+                       p.mode == Mode::kDiskSwap ||
+                       p.mode == Mode::kCompressedSwap;
+
+  if (p.mode == Mode::kLocal || p.mode == Mode::kRemoteRegion ||
+      p.mode == Mode::kRemoteSwap) {
+    region_ = cluster.make_region(home);
+  }
+  if (is_swap) {
+    auto sp = p.swap;
+    switch (p.mode) {
+      case Mode::kDiskSwap:
+        sp.backend = swap::SwapManager::Backend::kDisk;
+        break;
+      case Mode::kCompressedSwap:
+        sp.backend = swap::SwapManager::Backend::kCompressed;
+        break;
+      default:
+        sp.backend = swap::SwapManager::Backend::kRemote;
+        break;
+    }
+    sp.page_bytes = table_.page_bytes();
+    swap_ = std::make_unique<swap::SwapManager>(
+        cluster.engine(), cluster.node(home), cluster.fabric(), region_.get(),
+        &cluster.disk(), sp);
+    swap_->set_donor_service(
+        [this](ht::NodeId donor, ht::PAddr local, std::uint32_t bytes,
+               bool is_write) {
+          return cluster_.node(donor).serve_remote(local, bytes, is_write);
+        });
+    pseudo_node_ = next_pseudo_node();
+  }
+}
+
+sim::Task<VAddr> MemorySpace::map_impl(std::uint64_t bytes, bool pin_donor,
+                                       ht::NodeId donor) {
+  const std::uint64_t page = table_.page_bytes();
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  const VAddr base = next_va_;
+  next_va_ += pages * page + page;  // guard page between ranges
+
+  if (params_.mode == Mode::kLocal || params_.mode == Mode::kRemoteRegion) {
+    auto placement = params_.mode == Mode::kLocal
+                         ? os::RegionManager::Placement::kLocalOnly
+                         : params_.placement;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      std::optional<ht::PAddr> frame;
+      if (pin_donor) {
+        frame = co_await region_->alloc_page_on(donor);
+      } else {
+        frame = co_await region_->alloc_page(placement);
+      }
+      if (!frame) throw std::bad_alloc();
+      table_.map(base + i * page, *frame);
+    }
+    co_await cluster_.engine().delay(params_.map_page_cost * pages);
+  } else {
+    // Swap modes: virtual reservation only; slots materialize on fault.
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      // Mark the page as belonging to this space (present=false until the
+      // swap manager faults it in; translate() ignores such entries).
+      table_.ensure(base + i * page).present = false;
+    }
+  }
+  co_return base;
+}
+
+sim::Task<VAddr> MemorySpace::map_range(std::uint64_t bytes) {
+  co_return co_await map_impl(bytes, false, ht::kNoNode);
+}
+
+sim::Task<VAddr> MemorySpace::map_range_on(std::uint64_t bytes,
+                                           ht::NodeId donor) {
+  if (params_.mode != Mode::kRemoteRegion && params_.mode != Mode::kLocal) {
+    throw std::logic_error("map_range_on: placement control requires the "
+                           "region-backed modes");
+  }
+  co_return co_await map_impl(bytes, true, donor);
+}
+
+ht::PAddr MemorySpace::functional_backing(VAddr page_va) const {
+  if (swap_) {
+    // Functional bytes for swap modes live under the pseudo-node key,
+    // indexed by the virtual page (stable across migrations).
+    return node::make_remote(pseudo_node_,
+                             page_va & (node::kLocalSpaceBytes - 1));
+  }
+  auto pa = table_.translate(page_va);
+  if (!pa) throw std::out_of_range("MemorySpace: access to unmapped page");
+  return *pa;
+}
+
+void MemorySpace::functional_rw(VAddr va, void* data, std::uint32_t bytes,
+                                bool is_write) {
+  auto& store = cluster_.store();
+  std::uint32_t done = 0;
+  while (done < bytes) {
+    const VAddr cur = va + done;
+    const VAddr page_va = table_.page_base(cur);
+    const std::uint64_t in_page = cur - page_va;
+    const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        bytes - done, table_.page_bytes() - in_page));
+    ht::PAddr backing = functional_backing(page_va) + in_page;
+    const ht::NodeId owner =
+        node::has_prefix(backing) ? node::node_of(backing) : home_;
+    const ht::PAddr local = node::local_part(backing);
+    auto* bytes_ptr = static_cast<std::byte*>(data) + done;
+    if (is_write) {
+      store.write(owner, local, std::span<const std::byte>(bytes_ptr, chunk));
+    } else {
+      store.read(owner, local, std::span<std::byte>(bytes_ptr, chunk));
+    }
+    done += chunk;
+  }
+}
+
+sim::Task<sim::Time> MemorySpace::timed_chunk(ThreadCtx& t, VAddr va,
+                                              std::uint32_t bytes,
+                                              bool is_write,
+                                              sim::Time carried) {
+  if (swap_) {
+    co_return co_await swap_->access(va, bytes, is_write, t.core, carried);
+  }
+  // TLB, then the hardware path.
+  const VAddr page_va = table_.page_base(va);
+  std::optional<ht::PAddr> frame = tlb_.lookup(page_va);
+  if (!frame) {
+    carried += tlb_.params().walk_latency;
+    auto pa = table_.translate(page_va);
+    if (!pa) throw std::out_of_range("MemorySpace: access to unmapped page");
+    tlb_.insert(page_va, *pa);
+    frame = *pa;
+  }
+  const ht::PAddr pa = *frame + (va - page_va);
+  co_return co_await home_node().access(t.core, pa, bytes, is_write, carried);
+}
+
+sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
+                                    std::uint32_t bytes, bool is_write) {
+  (is_write ? writes_ : reads_).inc();
+  if (trace_ != nullptr) {
+    trace_->record(cluster_.engine().now(), t.core, va, bytes, is_write);
+  }
+  // Functional transfer first (order is unobservable within one thread).
+  if (data != nullptr) functional_rw(va, data, bytes, is_write);
+
+  constexpr std::uint64_t kLine = 64;
+  std::uint32_t done = 0;
+  while (done < bytes) {
+    const VAddr cur = va + done;
+    const std::uint64_t to_line = kLine - (cur & (kLine - 1));
+    const std::uint64_t to_page =
+        table_.page_bytes() - (cur & (table_.page_bytes() - 1));
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>({bytes - done, to_line, to_page}));
+    ++t.accesses;
+    t.pending = co_await timed_chunk(t, cur, chunk, is_write, t.pending);
+    done += chunk;
+  }
+  if (t.pending >= t.quantum) {
+    const sim::Time d = t.pending;
+    t.pending = 0;
+    co_await cluster_.engine().delay(d);
+  }
+}
+
+sim::Task<void> MemorySpace::read(ThreadCtx& t, VAddr va,
+                                  std::span<std::byte> out) {
+  co_await access(t, va, out.data(), static_cast<std::uint32_t>(out.size()),
+                  false);
+}
+
+sim::Task<void> MemorySpace::write(ThreadCtx& t, VAddr va,
+                                   std::span<const std::byte> in) {
+  co_await access(t, va, const_cast<std::byte*>(in.data()),
+                  static_cast<std::uint32_t>(in.size()), true);
+}
+
+sim::Task<std::uint64_t> MemorySpace::read_u64(ThreadCtx& t, VAddr va) {
+  co_return co_await read_pod<std::uint64_t>(t, va);
+}
+
+sim::Task<void> MemorySpace::write_u64(ThreadCtx& t, VAddr va,
+                                       std::uint64_t v) {
+  co_await write_pod(t, va, v);
+}
+
+void MemorySpace::poke(VAddr va, std::span<const std::byte> in) {
+  functional_rw(va, const_cast<std::byte*>(in.data()),
+                static_cast<std::uint32_t>(in.size()), true);
+  if (swap_) {
+    // Setup data participates in swap state: it is backed, and the most
+    // recently written pages are the ones a real build leaves resident.
+    const std::uint64_t page = table_.page_bytes();
+    for (VAddr p = table_.page_base(va); p < va + in.size(); p += page) {
+      swap_->note_poke(p);
+    }
+  }
+}
+
+void MemorySpace::peek(VAddr va, std::span<std::byte> out) {
+  functional_rw(va, out.data(), static_cast<std::uint32_t>(out.size()), false);
+}
+
+sim::Task<void> MemorySpace::sync(ThreadCtx& t) {
+  if (t.pending > 0) {
+    const sim::Time d = t.pending;
+    t.pending = 0;
+    co_await cluster_.engine().delay(d);
+  }
+}
+
+sim::Task<void> MemorySpace::flush_cache(int core) {
+  co_await home_node().flush_core_cache(core);
+}
+
+sim::Task<ht::PAddr> MemorySpace::backing_of(VAddr va) {
+  if (swap_) co_return co_await swap_->slot_of(table_.page_base(va));
+  auto pa = table_.translate(va);
+  if (!pa) throw std::out_of_range("MemorySpace: unmapped address");
+  co_return *pa;
+}
+
+}  // namespace ms::core

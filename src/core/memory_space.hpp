@@ -1,0 +1,169 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/cluster.hpp"
+#include "os/page_table.hpp"
+#include "os/tlb.hpp"
+#include "sim/trace.hpp"
+#include "swap/swap_manager.hpp"
+
+namespace ms::core {
+
+using os::VAddr;
+
+/// Execution context of one simulated application thread.
+///
+/// `pending` accumulates compute time and cache-hit latencies so the hot
+/// path stays off the event queue; it is realized as simulated delay
+/// whenever the thread blocks (miss, fault) or crosses `quantum`. Workloads
+/// charge their arithmetic through compute().
+struct ThreadCtx {
+  int core = 0;
+  sim::Time pending = 0;
+  sim::Time quantum = sim::us(1);
+  std::uint64_t accesses = 0;
+
+  void compute(sim::Time t) { pending += t; }
+};
+
+/// A process's view of memory — the library's central abstraction.
+///
+/// One MemorySpace is one process confined to one node's cores (the
+/// paper's model: threads never span nodes). The mode selects how the
+/// space is backed:
+///   kLocal        only node-local frames (the "128 GiB in one box" ideal);
+///   kRemoteRegion the paper's architecture: the region grows over donated
+///                 segments, loads/stores reach them through the RMC;
+///   kRemoteSwap   page-fault-driven remote swapping (the comparator);
+///   kDiskSwap     classic disk swapping;
+///   kCompressedSwap  zram-style compressed local pool (related work
+///                 [12][13]: trade CPU cycles for capacity).
+///
+/// Accesses are split on cache-line and page boundaries, each chunk paying
+/// its timing path while the real bytes are kept in the cluster's backing
+/// store at the *physical* home of the data — the address-prefix
+/// arithmetic is exercised end to end, and tests verify a value written on
+/// the compute node is sitting in the donor's frames.
+class MemorySpace {
+ public:
+  enum class Mode { kLocal, kRemoteRegion, kRemoteSwap, kDiskSwap, kCompressedSwap };
+
+  struct Params {
+    Mode mode = Mode::kRemoteRegion;
+    os::RegionManager::Placement placement =
+        os::RegionManager::Placement::kAuto;
+    os::Tlb::Params tlb;
+    swap::SwapManager::Params swap;  ///< used by the swap modes
+    VAddr va_base = VAddr{1} << 20;
+    sim::Time map_page_cost = sim::ns(250);  ///< OS work per eagerly mapped page
+  };
+
+  MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p);
+  MemorySpace(const MemorySpace&) = delete;
+  MemorySpace& operator=(const MemorySpace&) = delete;
+
+  /// Reserves `bytes` of virtual space and (for kLocal/kRemoteRegion)
+  /// eagerly backs every page per the placement policy — the paper's
+  /// reservation-at-malloc model. Throws std::bad_alloc on exhaustion.
+  sim::Task<VAddr> map_range(std::uint64_t bytes);
+
+  /// Same, but pins the physical placement to one donor node (benches use
+  /// this to control server distance). kRemoteRegion mode only.
+  sim::Task<VAddr> map_range_on(std::uint64_t bytes, ht::NodeId donor);
+
+  /// Timed accesses (function + timing).
+  sim::Task<void> read(ThreadCtx& t, VAddr va, std::span<std::byte> out);
+  sim::Task<void> write(ThreadCtx& t, VAddr va,
+                        std::span<const std::byte> in);
+
+  sim::Task<std::uint64_t> read_u64(ThreadCtx& t, VAddr va);
+  sim::Task<void> write_u64(ThreadCtx& t, VAddr va, std::uint64_t v);
+
+  template <typename T>
+  sim::Task<T> read_pod(ThreadCtx& t, VAddr va) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    co_await read(t, va, std::as_writable_bytes(std::span(&value, 1)));
+    co_return value;
+  }
+
+  template <typename T>
+  sim::Task<void> write_pod(ThreadCtx& t, VAddr va, const T& value) {
+    co_await write(t, va, std::as_bytes(std::span(&value, 1)));
+  }
+
+  /// Untimed functional access for workload setup (poke) and verification
+  /// (peek); does not advance simulated time or touch caches.
+  void poke(VAddr va, std::span<const std::byte> in);
+  void peek(VAddr va, std::span<std::byte> out);
+  template <typename T>
+  void poke_pod(VAddr va, const T& v) {
+    poke(va, std::as_bytes(std::span(&v, 1)));
+  }
+  template <typename T>
+  T peek_pod(VAddr va) {
+    T v{};
+    peek(va, std::as_writable_bytes(std::span(&v, 1)));
+    return v;
+  }
+
+  /// Realizes the thread's accumulated compute time as simulated delay.
+  sim::Task<void> sync(ThreadCtx& t);
+
+  /// Write-back + invalidate of one core's cache (the prototype's explicit
+  /// flush between a write phase and a parallel read-only phase).
+  sim::Task<void> flush_cache(int core);
+
+  Mode mode() const { return params_.mode; }
+  ht::NodeId home() const { return home_; }
+  node::Node& home_node() { return cluster_.node(home_); }
+  os::RegionManager* region() { return region_.get(); }
+  swap::SwapManager* swapper() { return swap_.get(); }
+  os::Tlb& tlb() { return tlb_; }
+  const os::PageTable& page_table() const { return table_; }
+  std::uint64_t timed_reads() const { return reads_.value(); }
+  std::uint64_t timed_writes() const { return writes_.value(); }
+
+  /// Physical location currently backing `va` (for tests/inspection).
+  /// For swap modes this is the backend slot.
+  sim::Task<ht::PAddr> backing_of(VAddr va);
+
+  /// Attaches an access trace; every timed access is recorded until the
+  /// trace is detached (nullptr). Not owned.
+  void set_trace(sim::AccessTrace* trace) { trace_ = trace; }
+
+ private:
+  /// Timing for one chunk that stays within a line and a page.
+  sim::Task<sim::Time> timed_chunk(ThreadCtx& t, VAddr va, std::uint32_t bytes,
+                                   bool is_write, sim::Time carried);
+
+  /// Full access: functional bytes + timing, chunked.
+  sim::Task<void> access(ThreadCtx& t, VAddr va, void* data,
+                         std::uint32_t bytes, bool is_write);
+
+  /// Functional location of one byte range (must not cross pages).
+  std::pair<ht::NodeId, ht::PAddr> functional_home(VAddr page_va,
+                                                   ht::PAddr backing) const;
+  void functional_rw(VAddr va, void* data, std::uint32_t bytes, bool is_write);
+  ht::PAddr functional_backing(VAddr page_va) const;
+
+  sim::Task<VAddr> map_impl(std::uint64_t bytes, bool pin_donor,
+                            ht::NodeId donor);
+
+  Cluster& cluster_;
+  ht::NodeId home_;
+  Params params_;
+  os::PageTable table_;
+  os::Tlb tlb_;
+  std::unique_ptr<os::RegionManager> region_;
+  std::unique_ptr<swap::SwapManager> swap_;
+  VAddr next_va_;
+  ht::NodeId pseudo_node_ = ht::kNoNode;  ///< functional key for swap modes
+  sim::AccessTrace* trace_ = nullptr;
+  sim::Counter reads_;
+  sim::Counter writes_;
+};
+
+}  // namespace ms::core

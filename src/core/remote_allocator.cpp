@@ -1,0 +1,80 @@
+#include "core/remote_allocator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::core {
+
+RemoteAllocator::RemoteAllocator(MemorySpace& space)
+    : RemoteAllocator(space, Params{}) {}
+
+RemoteAllocator::RemoteAllocator(MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {
+  if (!std::has_single_bit(p.min_class)) {
+    throw std::invalid_argument("RemoteAllocator: min_class must be 2^k");
+  }
+}
+
+std::uint64_t RemoteAllocator::class_of(std::uint64_t bytes,
+                                        std::uint64_t min_class) {
+  return std::bit_ceil(std::max(bytes, min_class));
+}
+
+sim::Task<VAddr> RemoteAllocator::take_from_arena(Arena& arena,
+                                                  std::uint64_t bytes,
+                                                  ht::NodeId donor) {
+  if (arena.next + bytes > arena.end) {
+    const std::uint64_t chunk = std::max(params_.arena_bytes, bytes);
+    VAddr base = donor == ht::kNoNode
+                     ? co_await space_.map_range(chunk)
+                     : co_await space_.map_range_on(chunk, donor);
+    arena.next = base;
+    arena.end = base + chunk;
+  }
+  VAddr ptr = arena.next;
+  arena.next += bytes;
+  co_return ptr;
+}
+
+sim::Task<VAddr> RemoteAllocator::gmalloc(std::uint64_t bytes) {
+  if (bytes == 0) co_return kNull;
+  const std::uint64_t cls = class_of(bytes, params_.min_class);
+
+  auto fl = free_lists_.find(cls);
+  VAddr ptr;
+  if (fl != free_lists_.end() && !fl->second.empty()) {
+    ptr = fl->second.back();
+    fl->second.pop_back();
+  } else {
+    ptr = co_await take_from_arena(shared_arena_, cls, ht::kNoNode);
+  }
+  allocations_[ptr] = cls;
+  ++live_;
+  allocated_bytes_ += cls;
+  co_return ptr;
+}
+
+sim::Task<VAddr> RemoteAllocator::gmalloc_on(std::uint64_t bytes,
+                                             ht::NodeId donor) {
+  if (bytes == 0) co_return kNull;
+  const std::uint64_t cls = class_of(bytes, params_.min_class);
+  VAddr ptr = co_await take_from_arena(pinned_arenas_[donor], cls, donor);
+  allocations_[ptr] = cls;
+  ++live_;
+  allocated_bytes_ += cls;
+  co_return ptr;
+}
+
+void RemoteAllocator::gfree(VAddr ptr) {
+  if (ptr == kNull) return;
+  auto it = allocations_.find(ptr);
+  if (it == allocations_.end()) {
+    throw std::logic_error("RemoteAllocator::gfree: unknown pointer");
+  }
+  free_lists_[it->second].push_back(ptr);
+  allocated_bytes_ -= it->second;
+  allocations_.erase(it);
+  --live_;
+}
+
+}  // namespace ms::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/memory_space.hpp"
+
+namespace ms::core {
+
+/// The interposed allocator (paper Sec. IV-B): applications call malloc and
+/// free as usual; the library places the allocation in the process's memory
+/// region — which may be borrowed memory several nodes away — and hands
+/// back an ordinary pointer. Loads and stores on it are plain memory
+/// instructions; no software runs on the access path.
+///
+/// Segregated size-class free lists over bump-allocated arenas mapped from
+/// the MemorySpace. Metadata lives host-side, exactly like an interposing
+/// library keeping its own allocation table.
+class RemoteAllocator {
+ public:
+  struct Params {
+    std::uint64_t arena_bytes = std::uint64_t{64} << 20;
+    std::uint64_t min_class = 32;  ///< smallest size class, power of two
+  };
+
+  explicit RemoteAllocator(MemorySpace& space);
+  RemoteAllocator(MemorySpace& space, const Params& p);
+  RemoteAllocator(const RemoteAllocator&) = delete;
+  RemoteAllocator& operator=(const RemoteAllocator&) = delete;
+
+  /// malloc replacement. Throws std::bad_alloc when the cluster is out of
+  /// memory under the space's placement policy.
+  sim::Task<VAddr> gmalloc(std::uint64_t bytes);
+
+  /// malloc pinned to a specific donor node (benches controlling distance).
+  sim::Task<VAddr> gmalloc_on(std::uint64_t bytes, ht::NodeId donor);
+
+  /// free replacement; tolerant of kNull, strict about unknown pointers.
+  void gfree(VAddr ptr);
+
+  static constexpr VAddr kNull = 0;
+
+  std::uint64_t live_allocations() const {
+    return static_cast<std::uint64_t>(live_);
+  }
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+  MemorySpace& space() { return space_; }
+
+ private:
+  struct Arena {
+    VAddr next = 0;
+    VAddr end = 0;
+  };
+
+  static std::uint64_t class_of(std::uint64_t bytes, std::uint64_t min_class);
+  sim::Task<VAddr> take_from_arena(Arena& arena, std::uint64_t bytes,
+                                   ht::NodeId donor);
+
+  MemorySpace& space_;
+  Params params_;
+  Arena shared_arena_;
+  std::map<ht::NodeId, Arena> pinned_arenas_;
+  std::map<std::uint64_t, std::vector<VAddr>> free_lists_;  // class -> ptrs
+  std::map<VAddr, std::uint64_t> allocations_;              // ptr -> class
+  std::int64_t live_ = 0;
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,4 @@
+#include "core/runner.hpp"
+
+// Header-only; anchors the module in the library.
+namespace ms::core {}

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace ms::core {
+
+/// Spawns simulated application threads and measures the wall-clock (in
+/// simulated time) of the batch — the "execution time" every figure plots.
+class Runner {
+ public:
+  explicit Runner(sim::Engine& engine) : engine_(engine), wg_(engine) {}
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Registers one thread; it starts when the engine runs.
+  void spawn(sim::Task<void> thread) {
+    wg_.add(1);
+    engine_.spawn(wrap(std::move(thread)));
+  }
+
+  /// Awaitable join for use inside another simulated process.
+  sim::Task<void> join() { co_await wg_.wait(); }
+
+  /// Drives the engine until every spawned thread has finished (background
+  /// activity such as write-backs may continue after that) and returns the
+  /// simulated duration start -> last thread completion.
+  sim::Time run_all() {
+    const sim::Time start = engine_.now();
+    last_done_ = start;
+    engine_.run();
+    if (wg_.count() != 0) {
+      throw std::logic_error("Runner: threads deadlocked (event queue drained "
+                             "with workers still blocked)");
+    }
+    return last_done_ - start;
+  }
+
+  sim::Time last_completion() const { return last_done_; }
+
+ private:
+  sim::Task<void> wrap(sim::Task<void> thread) {
+    co_await std::move(thread);
+    last_done_ = engine_.now();
+    wg_.done();
+  }
+
+  sim::Engine& engine_;
+  sim::WaitGroup wg_;
+  sim::Time last_done_ = 0;
+};
+
+}  // namespace ms::core

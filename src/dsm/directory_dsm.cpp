@@ -1,0 +1,110 @@
+#include "dsm/directory_dsm.hpp"
+
+#include <bit>
+
+#include "node/address_map.hpp"
+
+namespace ms::dsm {
+
+DirectoryDsm::DirectoryDsm(sim::Engine& engine, noc::Fabric& fabric,
+                           MemService mem, const Params& p)
+    : engine_(engine), fabric_(fabric), mem_(std::move(mem)), params_(p) {}
+
+ht::NodeId DirectoryDsm::home_of(ht::PAddr addr) const {
+  if (node::has_prefix(addr)) return node::node_of(addr);
+  const std::uint64_t line = addr / params_.line_bytes;
+  return static_cast<ht::NodeId>(
+      line % static_cast<std::uint64_t>(params_.num_nodes) + 1);
+}
+
+bool DirectoryDsm::is_hit(const Entry& e, ht::NodeId node,
+                          bool is_write) const {
+  const std::uint64_t bit = 1ULL << (node - 1);
+  if (is_write) return e.owner == node;
+  return (e.sharers & bit) != 0;
+}
+
+sim::Task<void> DirectoryDsm::message(ht::NodeId from, ht::NodeId to,
+                                      ht::PacketType type, ht::PAddr addr,
+                                      std::uint32_t size) {
+  messages_.inc();
+  if (params_.software_overhead != 0) {
+    co_await engine_.delay(params_.software_overhead);
+  }
+  if (from == to) co_return;  // intra-node
+  ht::Packet pkt{.type = type, .src = from, .dst = to, .addr = addr,
+                 .size = size};
+  co_await fabric_.traverse(pkt);
+}
+
+sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
+                                     std::uint32_t bytes, bool is_write) {
+  const ht::PAddr line = addr & ~static_cast<ht::PAddr>(params_.line_bytes - 1);
+  // Copy the directory state: references into lines_ must not be held
+  // across co_await (concurrent accesses insert and rehash the map).
+  Entry e = lines_[line];
+
+  if (is_hit(e, requester, is_write)) {
+    hits_.inc();
+    co_return;  // node-local; the caller charges its intra-node time
+  }
+  misses_.inc();
+
+  const ht::NodeId home = home_of(line);
+  const std::uint64_t self_bit = 1ULL << (requester - 1);
+
+  // Request travels to the home directory.
+  co_await message(requester, home,
+                   is_write ? ht::PacketType::kWriteReq
+                            : ht::PacketType::kReadReq,
+                   line, 0);
+  co_await engine_.delay(params_.directory_latency);
+
+  if (is_write) {
+    // Invalidate every other sharer and collect acknowledgements.
+    std::uint64_t others = e.sharers & ~self_bit;
+    while (others) {
+      const int peer = std::countr_zero(others) + 1;
+      others &= others - 1;
+      probes_.inc();
+      invalidations_.inc();
+      co_await message(home, static_cast<ht::NodeId>(peer),
+                       ht::PacketType::kCohProbe, line, 0);
+      co_await message(static_cast<ht::NodeId>(peer), home,
+                       ht::PacketType::kCohAck, line, 0);
+    }
+    if (e.owner != 0 && e.owner != requester) {
+      // Modified elsewhere: the owner's data is written back at home.
+      co_await mem_(home, node::local_part(line), params_.line_bytes, true);
+    }
+    e.sharers = self_bit;
+    e.owner = requester;
+  } else {
+    if (e.owner != 0 && e.owner != requester) {
+      // Forward to the modified owner; it supplies data and demotes.
+      probes_.inc();
+      co_await message(home, static_cast<ht::NodeId>(e.owner),
+                       ht::PacketType::kCohProbe, line, 0);
+      co_await message(static_cast<ht::NodeId>(e.owner), home,
+                       ht::PacketType::kReadResp, line, params_.line_bytes);
+      e.owner = 0;
+    } else {
+      // Clean at home: read memory there.
+      co_await mem_(home, node::local_part(line), params_.line_bytes, false);
+    }
+    e.sharers |= self_bit;
+  }
+
+  // Publish the new directory state (last concurrent updater wins — the
+  // model serializes semantics at the home in reality; the timing already
+  // reflects the message exchanges above).
+  lines_[line] = e;
+
+  // Data/completion back to the requester.
+  co_await message(home, requester,
+                   is_write ? ht::PacketType::kWriteAck
+                            : ht::PacketType::kReadResp,
+                   line, is_write ? 0 : bytes);
+}
+
+}  // namespace ms::dsm

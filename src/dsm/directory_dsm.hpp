@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "ht/packet.hpp"
+#include "noc/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ms::dsm {
+
+/// Inter-node directory-coherent DSM baseline — the 3Leaf/ScaleMP-style
+/// aggregation the paper argues against (Sec. I/II).
+///
+/// Every cache line of the shared space has a home node; the home's
+/// directory tracks which *nodes* cache the line and in what state. A read
+/// miss with a remote modified owner triggers a forward/writeback pair; a
+/// write invalidates every sharer and collects acks. All of that traffic
+/// crosses the cluster fabric — this is precisely the "inter-node coherency
+/// protocol running on top of the intra-node protocol" whose overhead the
+/// non-coherent architecture avoids, and bench_ablation_coherency measures
+/// the two against each other.
+///
+/// `software_overhead` models a ScaleMP-like software DSM layer (per
+/// coherence action); zero gives the 3Leaf-like hardware variant.
+class DirectoryDsm {
+ public:
+  struct Params {
+    std::uint32_t line_bytes = 64;
+    sim::Time directory_latency = sim::ns(50);   ///< home lookup/update
+    sim::Time software_overhead = 0;             ///< per action, if software
+    int num_nodes = 16;
+  };
+
+  /// Timing of a memory access executed at `home`'s local controllers.
+  using MemService = std::function<sim::Task<void>(
+      ht::NodeId home, ht::PAddr addr, std::uint32_t bytes, bool is_write)>;
+
+  DirectoryDsm(sim::Engine& engine, noc::Fabric& fabric, MemService mem,
+               const Params& p);
+  DirectoryDsm(const DirectoryDsm&) = delete;
+  DirectoryDsm& operator=(const DirectoryDsm&) = delete;
+
+  /// One coherent access (line-granular miss handling) by `requester`.
+  /// `cached` tells whether the requester already holds the line in the
+  /// state needed (hit — no global action).
+  sim::Task<void> access(ht::NodeId requester, ht::PAddr addr,
+                         std::uint32_t bytes, bool is_write);
+
+  /// Home node of a line: the address prefix when present, otherwise
+  /// round-robin interleave over the nodes.
+  ht::NodeId home_of(ht::PAddr addr) const;
+
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t probes_sent() const { return probes_.value(); }
+  std::uint64_t invalidations() const { return invalidations_.value(); }
+  std::uint64_t coherence_messages() const { return messages_.value(); }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;  ///< bitmask over node ids (bit = id-1)
+    int owner = 0;              ///< node id holding modified copy, 0 = none
+  };
+
+  /// True when `node` may satisfy the access locally without any
+  /// inter-node message (line cached in sufficient state).
+  bool is_hit(const Entry& e, ht::NodeId node, bool is_write) const;
+
+  sim::Task<void> message(ht::NodeId from, ht::NodeId to,
+                          ht::PacketType type, ht::PAddr addr,
+                          std::uint32_t size);
+
+  sim::Engine& engine_;
+  noc::Fabric& fabric_;
+  MemService mem_;
+  Params params_;
+  std::unordered_map<ht::PAddr, Entry> lines_;
+
+  sim::Counter hits_;
+  sim::Counter misses_;
+  sim::Counter probes_;
+  sim::Counter invalidations_;
+  sim::Counter messages_;
+};
+
+}  // namespace ms::dsm

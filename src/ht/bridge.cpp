@@ -1,0 +1,5 @@
+#include "ht/bridge.hpp"
+
+// HncBridge is header-only today; this translation unit pins the module into
+// the library so future out-of-line additions don't touch the build.
+namespace ms::ht {}

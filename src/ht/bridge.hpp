@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ht/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ms::ht {
+
+/// HT <-> High Node Count HT protocol bridge.
+///
+/// The RMC bridges the node-internal HyperTransport domain (<= 32 devices,
+/// no node addressing) to the HNC-HT cluster fabric (Sec. 7.2 of the HNC
+/// spec, as used in the paper Sec. IV-A). The bridge's job in the timing
+/// model is the per-packet translation latency and the extra encapsulation
+/// header; the address arithmetic itself lives in node::AddressMap.
+class HncBridge {
+ public:
+  struct Params {
+    sim::Time encapsulate_latency = sim::ns(32);   ///< FPGA pipeline, HT->HNC
+    sim::Time decapsulate_latency = sim::ns(32);   ///< HNC->HT
+  };
+
+  explicit HncBridge(const Params& p) : params_(p) {}
+
+  /// Latency to wrap a local HT transaction into an HNC packet.
+  sim::Time encapsulate(const Packet& p) {
+    packets_out_.inc();
+    bytes_out_.inc(wire_size(p));
+    return params_.encapsulate_latency;
+  }
+
+  /// Latency to unwrap an HNC packet back into a local HT transaction.
+  sim::Time decapsulate(const Packet& p) {
+    packets_in_.inc();
+    bytes_in_.inc(wire_size(p));
+    return params_.decapsulate_latency;
+  }
+
+  std::uint64_t packets_out() const { return packets_out_.value(); }
+  std::uint64_t packets_in() const { return packets_in_.value(); }
+
+ private:
+  Params params_;
+  sim::Counter packets_out_;
+  sim::Counter packets_in_;
+  sim::Counter bytes_out_;
+  sim::Counter bytes_in_;
+};
+
+}  // namespace ms::ht

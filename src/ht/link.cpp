@@ -1,0 +1,41 @@
+#include "ht/link.hpp"
+
+namespace ms::ht {
+
+Link::Link(sim::Engine& engine, std::string name, const Params& p)
+    : engine_(engine),
+      name_(std::move(name)),
+      params_(p),
+      credits_(engine, p.credits),
+      transmitter_(engine, 1),
+      error_rng_(p.error_seed) {}
+
+sim::Time Link::serialization_time(std::uint32_t bytes) const {
+  return sim::ns_d(static_cast<double>(bytes) / params_.bytes_per_ns);
+}
+
+sim::Task<void> Link::transmit(std::uint32_t bytes) {
+  const sim::Time arrived = engine_.now();
+  co_await credits_.acquire();
+  sim::SemToken credit(credits_);
+  co_await transmitter_.acquire();
+  queue_wait_.add_time(engine_.now() - arrived);
+  const sim::Time ser = serialization_time(bytes);
+  // Link-layer CRC retry: a corrupted packet is detected at the far end,
+  // NAKed, and retransmitted while still holding the transmitter.
+  while (params_.error_rate > 0.0 && error_rng_.chance(params_.error_rate)) {
+    retries_.inc();
+    busy_ += ser;
+    co_await engine_.delay(ser + params_.retry_penalty);
+  }
+  busy_ += ser;
+  co_await engine_.delay(ser);
+  transmitter_.release();
+  // Propagation does not hold the transmitter; the credit is returned when
+  // the tail reaches the receiver (SemToken destructor at coroutine end).
+  co_await engine_.delay(params_.propagation);
+  packets_.inc();
+  bytes_.inc(bytes);
+}
+
+}  // namespace ms::ht

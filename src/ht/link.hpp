@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace ms::ht {
+
+/// One unidirectional point-to-point link.
+///
+/// Timing model: a message first competes for the transmitter (one message
+/// serializes at a time, FIFO), holds it for size/bandwidth, then propagates
+/// for a fixed wire delay without occupying the transmitter. Credit-based
+/// flow control bounds the number of messages in flight (serializing or
+/// propagating) exactly like HT's buffer credits: when the receiver's
+/// buffers are exhausted, the sender stalls before serialization.
+class Link {
+ public:
+  struct Params {
+    double bytes_per_ns = 4.0;        ///< ~4 GB/s: 16-bit HT link @ 2 GT/s
+    sim::Time propagation = sim::ns(20);
+    int credits = 8;                  ///< receiver buffer slots
+    /// Per-packet probability of a CRC error forcing a retransmission
+    /// (HT links retry corrupted packets at the link layer). Zero for the
+    /// clean-fabric default; failure-injection tests and reliability
+    /// studies raise it.
+    double error_rate = 0.0;
+    sim::Time retry_penalty = sim::ns(100);  ///< error detect + NAK turnaround
+    std::uint64_t error_seed = 0x5eed;       ///< deterministic error stream
+  };
+
+  Link(sim::Engine& engine, std::string name, const Params& p);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Moves `bytes` across the link; resumes when the tail arrives.
+  sim::Task<void> transmit(std::uint32_t bytes);
+
+  sim::Time serialization_time(std::uint32_t bytes) const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t packets() const { return packets_.value(); }
+  std::uint64_t bytes() const { return bytes_.value(); }
+  std::uint64_t retries() const { return retries_.value(); }
+  sim::Time busy_time() const { return busy_; }
+  const sim::Sampler& queue_wait() const { return queue_wait_; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  Params params_;
+  sim::Semaphore credits_;
+  sim::Semaphore transmitter_;
+  sim::Counter packets_;
+  sim::Counter bytes_;
+  sim::Counter retries_;
+  sim::Time busy_ = 0;
+  sim::Sampler queue_wait_;
+  sim::Rng error_rng_;
+};
+
+}  // namespace ms::ht

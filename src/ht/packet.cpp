@@ -1,0 +1,46 @@
+#include "ht/packet.hpp"
+
+#include <sstream>
+
+namespace ms::ht {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kReadReq: return "ReadReq";
+    case PacketType::kWriteReq: return "WriteReq";
+    case PacketType::kReadResp: return "ReadResp";
+    case PacketType::kWriteAck: return "WriteAck";
+    case PacketType::kCtrlReq: return "CtrlReq";
+    case PacketType::kCtrlResp: return "CtrlResp";
+    case PacketType::kCohProbe: return "CohProbe";
+    case PacketType::kCohAck: return "CohAck";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  std::ostringstream out;
+  out << to_string(type) << " " << src << "->" << dst << " addr=0x" << std::hex
+      << addr << std::dec << " size=" << size << " tag=" << tag;
+  return out.str();
+}
+
+std::uint32_t wire_size(const Packet& p) {
+  std::uint32_t header = kHtHeaderBytes + kHncHeaderBytes;
+  switch (p.type) {
+    case PacketType::kWriteReq:
+    case PacketType::kReadResp:
+      return header + p.size;
+    case PacketType::kCtrlReq:
+    case PacketType::kCtrlResp:
+      return header + 16;  // small control payload (two 8-byte words)
+    case PacketType::kReadReq:
+    case PacketType::kWriteAck:
+    case PacketType::kCohProbe:
+    case PacketType::kCohAck:
+      return header;
+  }
+  return header;
+}
+
+}  // namespace ms::ht

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ms::ht {
+
+/// Cluster node identifier carried in the 14 most significant address bits.
+/// Node ids are 1-based — the paper deliberately has *no node 0* so that a
+/// zero prefix always means "local memory" and the RMC needs no translation
+/// table (Sec. III-B).
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kNoNode = 0;
+
+/// 48-bit physical address; the top 14 bits are the node prefix.
+using PAddr = std::uint64_t;
+
+/// HyperTransport-like transaction types.
+///
+/// kReadReq/kWriteReq/kReadResp/kWriteAck mirror HT sized read/write
+/// semantics; kCtrl* carry the OS reservation protocol (Sec. III-B, Fig. 4)
+/// over the same fabric; kCohProbe/kCohAck exist only for the coherent-DSM
+/// baseline, where inter-node coherence traffic is the measured overhead.
+enum class PacketType : std::uint8_t {
+  kReadReq,
+  kWriteReq,
+  kReadResp,
+  kWriteAck,
+  kCtrlReq,
+  kCtrlResp,
+  kCohProbe,
+  kCohAck,
+};
+
+const char* to_string(PacketType t);
+
+/// One fabric message. Data payloads are not carried here — real bytes live
+/// in mem::BackingStore and are read/written at the endpoints; the packet
+/// carries only the metadata the timing model needs.
+struct Packet {
+  PacketType type = PacketType::kReadReq;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  PAddr addr = 0;            ///< target physical address (with node prefix)
+  std::uint32_t size = 0;    ///< payload bytes (reads: requested, writes: carried)
+  std::uint64_t tag = 0;     ///< transaction tag for response matching
+  std::uint32_t ctrl_op = 0; ///< opcode for kCtrl* packets
+  std::uint64_t payload0 = 0;
+  std::uint64_t payload1 = 0;
+
+  std::string describe() const;
+};
+
+/// Bytes this packet occupies on an HNC-HT wire: an 8-byte HT command/addr
+/// header plus the 8-byte High Node Count encapsulation header, plus payload
+/// for data-carrying packets. (HT 3.x uses 4- and 8-byte control packets;
+/// we always charge the 8-byte form with address extension.)
+std::uint32_t wire_size(const Packet& p);
+
+inline constexpr std::uint32_t kHtHeaderBytes = 8;
+inline constexpr std::uint32_t kHncHeaderBytes = 8;
+
+}  // namespace ms::ht

@@ -1,0 +1,79 @@
+#include "mem/backing_store.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::mem {
+
+BackingStore::BackingStore(std::size_t page_size) : page_size_(page_size) {
+  if (!std::has_single_bit(page_size)) {
+    throw std::invalid_argument("BackingStore: page size must be a power of two");
+  }
+  page_shift_ = static_cast<std::size_t>(std::countr_zero(page_size));
+}
+
+std::byte* BackingStore::page_for(ht::NodeId node, ht::PAddr addr) {
+  auto& slot = pages_[key_of(node, addr >> page_shift_)];
+  if (!slot) {
+    slot = std::make_unique<std::byte[]>(page_size_);
+    std::memset(slot.get(), 0, page_size_);
+  }
+  return slot.get();
+}
+
+const std::byte* BackingStore::page_if_present(ht::NodeId node,
+                                               ht::PAddr addr) const {
+  auto it = pages_.find(key_of(node, addr >> page_shift_));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void BackingStore::read(ht::NodeId node, ht::PAddr addr,
+                        std::span<std::byte> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ht::PAddr cur = addr + done;
+    std::size_t offset = cur & (page_size_ - 1);
+    std::size_t chunk = std::min(out.size() - done, page_size_ - offset);
+    if (const std::byte* page = page_if_present(node, cur)) {
+      std::memcpy(out.data() + done, page + offset, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void BackingStore::write(ht::NodeId node, ht::PAddr addr,
+                         std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    ht::PAddr cur = addr + done;
+    std::size_t offset = cur & (page_size_ - 1);
+    std::size_t chunk = std::min(in.size() - done, page_size_ - offset);
+    std::memcpy(page_for(node, cur) + offset, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+std::uint64_t BackingStore::read_u64(ht::NodeId node, ht::PAddr addr) const {
+  return read_pod<std::uint64_t>(node, addr);
+}
+
+void BackingStore::write_u64(ht::NodeId node, ht::PAddr addr,
+                             std::uint64_t value) {
+  write_pod(node, addr, value);
+}
+
+void BackingStore::copy(ht::NodeId src_node, ht::PAddr src, ht::NodeId dst_node,
+                        ht::PAddr dst, std::size_t bytes) {
+  std::byte buf[512];
+  std::size_t done = 0;
+  while (done < bytes) {
+    std::size_t chunk = std::min(bytes - done, sizeof buf);
+    read(src_node, src + done, std::span(buf, chunk));
+    write(dst_node, dst + done, std::span<const std::byte>(buf, chunk));
+    done += chunk;
+  }
+}
+
+}  // namespace ms::mem

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "ht/packet.hpp"
+
+namespace ms::mem {
+
+/// Functional storage for the whole cluster's physical memory.
+///
+/// The simulator separates *function* from *timing*: workloads read and
+/// write real bytes here (so a b-tree search returns the actual key and
+/// tests can check data integrity end-to-end), while the timing of the same
+/// access is modelled by caches, controllers, the RMC and the fabric.
+/// Storage is sparse — pages materialize zero-filled on first touch — so a
+/// simulated 128 GB pool costs only as much host memory as is touched.
+///
+/// Keys are (owning node, node-local physical address): each node's local
+/// address space starts at zero, exactly like the paper's per-node memory
+/// map (Fig. 3), and the node prefix has been stripped by the time an
+/// access reaches its home memory controller.
+class BackingStore {
+ public:
+  explicit BackingStore(std::size_t page_size = 4096);
+
+  void read(ht::NodeId node, ht::PAddr addr, std::span<std::byte> out) const;
+  void write(ht::NodeId node, ht::PAddr addr, std::span<const std::byte> in);
+
+  std::uint64_t read_u64(ht::NodeId node, ht::PAddr addr) const;
+  void write_u64(ht::NodeId node, ht::PAddr addr, std::uint64_t value);
+
+  template <typename T>
+  T read_pod(ht::NodeId node, ht::PAddr addr) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    read(node, addr, std::as_writable_bytes(std::span(&value, 1)));
+    return value;
+  }
+
+  template <typename T>
+  void write_pod(ht::NodeId node, ht::PAddr addr, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(node, addr, std::as_bytes(std::span(&value, 1)));
+  }
+
+  /// Copies `bytes` from one physical location to another (page migration,
+  /// swap-in/swap-out). Works across nodes.
+  void copy(ht::NodeId src_node, ht::PAddr src, ht::NodeId dst_node,
+            ht::PAddr dst, std::size_t bytes);
+
+  std::size_t pages_touched() const { return pages_.size(); }
+  std::size_t page_size() const { return page_size_; }
+
+ private:
+  using Key = std::uint64_t;
+  Key key_of(ht::NodeId node, std::uint64_t page_index) const {
+    return (static_cast<Key>(node) << 44) | page_index;
+  }
+  std::byte* page_for(ht::NodeId node, ht::PAddr addr);
+  const std::byte* page_if_present(ht::NodeId node, ht::PAddr addr) const;
+
+  std::size_t page_size_;
+  std::size_t page_shift_;
+  // mutable-free: read() const-casts nothing; absent pages read as zeroes.
+  std::unordered_map<Key, std::unique_ptr<std::byte[]>> pages_;
+};
+
+}  // namespace ms::mem

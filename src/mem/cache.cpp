@@ -1,0 +1,125 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::mem {
+
+Cache::Cache(const Params& p) : params_(p) {
+  if (!std::has_single_bit(p.line_bytes)) {
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  }
+  if (p.ways < 1 || p.size_bytes % (static_cast<std::uint64_t>(p.ways) * p.line_bytes) != 0) {
+    throw std::invalid_argument("Cache: size must divide into ways*lines");
+  }
+  line_mask_ = p.line_bytes - 1;
+  num_sets_ = p.size_bytes / (static_cast<std::uint64_t>(p.ways) * p.line_bytes);
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  ways_.resize(num_sets_ * static_cast<std::size_t>(p.ways));
+}
+
+std::size_t Cache::set_of(ht::PAddr addr) const {
+  return static_cast<std::size_t>((addr / params_.line_bytes) & (num_sets_ - 1));
+}
+
+Cache::Way* Cache::find(ht::PAddr addr) {
+  const ht::PAddr line = line_of(addr);
+  Way* base = &ways_[set_of(addr) * static_cast<std::size_t>(params_.ways)];
+  for (int w = 0; w < params_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(ht::PAddr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+Cache::AccessResult Cache::access(ht::PAddr addr, bool is_write) {
+  ++tick_;
+  if (Way* way = find(addr)) {
+    hits_.inc();
+    way->lru = tick_;
+    if (is_write) way->dirty = true;
+    return {.hit = true};
+  }
+  misses_.inc();
+  AccessResult r = install(addr);
+  r.hit = false;
+  if (is_write) find(addr)->dirty = true;
+  return r;
+}
+
+Cache::AccessResult Cache::install(ht::PAddr addr) {
+  ++tick_;
+  if (Way* way = find(addr)) {
+    way->lru = tick_;
+    return {.hit = true};
+  }
+  Way* base = &ways_[set_of(addr) * static_cast<std::size_t>(params_.ways)];
+  Way* victim = &base[0];
+  for (int w = 0; w < params_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  AccessResult r;
+  if (victim->valid) {
+    r.evicted = true;
+    r.victim_line = victim->tag;
+    if (victim->dirty) {
+      r.writeback = true;
+      writebacks_.inc();
+    }
+  }
+  victim->valid = true;
+  victim->dirty = false;
+  victim->tag = line_of(addr);
+  victim->lru = tick_;
+  return r;
+}
+
+bool Cache::contains(ht::PAddr addr) const { return find(addr) != nullptr; }
+
+bool Cache::dirty(ht::PAddr addr) const {
+  const Way* w = find(addr);
+  return w && w->dirty;
+}
+
+Cache::InvalidateResult Cache::invalidate(ht::PAddr addr) {
+  if (Way* way = find(addr)) {
+    InvalidateResult r{.was_present = true, .was_dirty = way->dirty};
+    way->valid = false;
+    way->dirty = false;
+    return r;
+  }
+  return {};
+}
+
+bool Cache::clean(ht::PAddr addr) {
+  if (Way* way = find(addr)) {
+    bool was_dirty = way->dirty;
+    way->dirty = false;
+    return was_dirty;
+  }
+  return false;
+}
+
+void Cache::flush_all(const std::function<void(ht::PAddr)>& writeback) {
+  for (auto& way : ways_) {
+    if (way.valid && way.dirty && writeback) writeback(way.tag);
+    way.valid = false;
+    way.dirty = false;
+  }
+}
+
+double Cache::hit_rate() const {
+  const double total = static_cast<double>(hits_.value() + misses_.value());
+  return total == 0 ? 0.0 : static_cast<double>(hits_.value()) / total;
+}
+
+}  // namespace ms::mem

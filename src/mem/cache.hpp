@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ht/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ms::mem {
+
+/// Set-associative write-back cache (tags only).
+///
+/// Each simulated core owns one of these as its private cache hierarchy
+/// (L1+L2 collapsed — the evaluation is sensitive to hit-vs-miss, not to
+/// the level split). Data is functional in BackingStore; the cache tracks
+/// presence, dirtiness and LRU order and tells the access path what traffic
+/// a reference generates (fill, writeback). Remote lines are cacheable
+/// exactly as in the prototype ("we have configured the remote memory
+/// ranges as write-back", Sec. IV-B) — evicting a dirty remote line is what
+/// sends writebacks across the fabric.
+class Cache {
+ public:
+  struct Params {
+    std::uint64_t size_bytes = 512 * 1024;  ///< per-core private capacity
+    int ways = 8;
+    std::uint32_t line_bytes = 64;
+    sim::Time hit_latency = sim::ns(3);
+  };
+
+  explicit Cache(const Params& p);
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;        ///< a valid victim was displaced
+    bool writeback = false;      ///< ... and it was dirty (write back needed)
+    ht::PAddr victim_line = 0;   ///< line address of the victim (if evicted)
+  };
+
+  /// Looks up `addr`, allocating on miss (write-allocate policy) and
+  /// returning the victim writeback, if any.
+  AccessResult access(ht::PAddr addr, bool is_write);
+
+  /// Tag probe without state change.
+  bool contains(ht::PAddr addr) const;
+
+  /// Whether the line holding `addr` is present and dirty.
+  bool dirty(ht::PAddr addr) const;
+
+  /// Invalidate one line; returns true (and reports dirtiness) if present.
+  struct InvalidateResult {
+    bool was_present = false;
+    bool was_dirty = false;
+  };
+  InvalidateResult invalidate(ht::PAddr addr);
+
+  /// Drops write permission but keeps the line (coherence downgrade).
+  /// Returns true if the line was dirty (data must be provided/cleaned).
+  bool clean(ht::PAddr addr);
+
+  /// Insert a line (e.g. prefetch fill) without an access; may evict.
+  AccessResult install(ht::PAddr addr);
+
+  /// Flushes every dirty line, invoking `writeback(line_addr)` for each,
+  /// then invalidates the whole cache. This is the paper's explicit flush
+  /// between a write phase and a parallel read-only phase (Sec. IV-B).
+  void flush_all(const std::function<void(ht::PAddr)>& writeback);
+
+  ht::PAddr line_of(ht::PAddr addr) const { return addr & ~line_mask_; }
+
+  const Params& params() const { return params_; }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t writebacks() const { return writebacks_.value(); }
+  double hit_rate() const;
+
+ private:
+  struct Way {
+    ht::PAddr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  ///< last-touch stamp; smallest is victim
+  };
+
+  std::size_t set_of(ht::PAddr addr) const;
+  Way* find(ht::PAddr addr);
+  const Way* find(ht::PAddr addr) const;
+
+  Params params_;
+  ht::PAddr line_mask_;
+  std::size_t num_sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  // num_sets * ways, row-major by set
+  sim::Counter hits_;
+  sim::Counter misses_;
+  sim::Counter writebacks_;
+};
+
+}  // namespace ms::mem

@@ -1,0 +1,102 @@
+#include "mem/coherence.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::mem {
+
+CoherenceDirectory::CoherenceDirectory(const Params& p,
+                                       std::vector<Cache*> caches)
+    : params_(p), caches_(std::move(caches)) {
+  if (caches_.size() > 64) {
+    throw std::invalid_argument("CoherenceDirectory: at most 64 cores/node");
+  }
+}
+
+int CoherenceDirectory::sharer_count(ht::PAddr line) const {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? 0 : std::popcount(it->second.sharers);
+}
+
+CoherenceDirectory::Outcome CoherenceDirectory::on_miss(int core,
+                                                        ht::PAddr line,
+                                                        bool is_write) {
+  Outcome out;
+  Entry& e = lines_[line];
+  const std::uint64_t self = 1ULL << core;
+
+  if (is_write) {
+    // Invalidate every other sharer; a modified owner supplies the data.
+    std::uint64_t others = e.sharers & ~self;
+    while (others) {
+      int peer = std::countr_zero(others);
+      others &= others - 1;
+      ++out.probes;
+      auto inv = caches_[static_cast<std::size_t>(peer)]->invalidate(line);
+      if (inv.was_dirty) out.dirty_transfer = true;
+      ++out.invalidations;
+    }
+    e.sharers = self;
+    e.owner = core;
+  } else {
+    // A modified owner must supply and clean the line.
+    if (e.owner >= 0 && e.owner != core) {
+      ++out.probes;
+      if (caches_[static_cast<std::size_t>(e.owner)]->clean(line)) {
+        out.dirty_transfer = true;
+      }
+      e.owner = -1;
+    }
+    e.sharers |= self;
+  }
+
+  probes_.inc(static_cast<std::uint64_t>(out.probes));
+  invalidations_.inc(static_cast<std::uint64_t>(out.invalidations));
+  if (out.dirty_transfer) dirty_transfers_.inc();
+  if (out.probes > 0) out.latency += params_.probe_latency;  // probed in parallel
+  if (out.dirty_transfer) out.latency += params_.dirty_transfer_latency;
+  return out;
+}
+
+CoherenceDirectory::Outcome CoherenceDirectory::on_write_hit(int core,
+                                                             ht::PAddr line) {
+  Outcome out;
+  Entry& e = lines_[line];
+  const std::uint64_t self = 1ULL << core;
+  e.sharers |= self;  // defensive: a hit implies the core is a sharer
+  std::uint64_t others = e.sharers & ~self;
+  while (others) {
+    int peer = std::countr_zero(others);
+    others &= others - 1;
+    ++out.probes;
+    ++out.invalidations;
+    caches_[static_cast<std::size_t>(peer)]->invalidate(line);
+  }
+  e.sharers = self;
+  e.owner = core;
+
+  probes_.inc(static_cast<std::uint64_t>(out.probes));
+  invalidations_.inc(static_cast<std::uint64_t>(out.invalidations));
+  if (out.probes > 0) out.latency += params_.probe_latency;
+  return out;
+}
+
+void CoherenceDirectory::drop_core(int core) {
+  const std::uint64_t self = 1ULL << core;
+  for (auto it = lines_.begin(); it != lines_.end();) {
+    it->second.sharers &= ~self;
+    if (it->second.owner == core) it->second.owner = -1;
+    it = it->second.sharers == 0 ? lines_.erase(it) : std::next(it);
+  }
+}
+
+void CoherenceDirectory::on_evict(int core, ht::PAddr line) {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return;
+  Entry& e = it->second;
+  e.sharers &= ~(1ULL << core);
+  if (e.owner == core) e.owner = -1;
+  if (e.sharers == 0) lines_.erase(it);
+}
+
+}  // namespace ms::mem

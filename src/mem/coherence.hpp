@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ht/packet.hpp"
+#include "mem/cache.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ms::mem {
+
+/// Node-internal coherence directory (MSI over the cores' private caches).
+///
+/// This is the coherency domain of the paper: it spans exactly the caches
+/// of one motherboard, no matter how much memory the node's region borrows
+/// from other nodes. The directory's probe counters are the quantity the
+/// paper argues about — growing a memory region never increases them,
+/// whereas the dsm baseline (inter-node coherence) probes across the fabric.
+///
+/// The directory holds a sharer bitmask per line *currently cached by at
+/// least one core*; the node access path reports evictions, so the map is
+/// bounded by aggregate cache capacity, not by footprint.
+class CoherenceDirectory {
+ public:
+  struct Params {
+    sim::Time probe_latency = sim::ns(40);       ///< one on-die probe round
+    sim::Time dirty_transfer_latency = sim::ns(25);  ///< cache-to-cache data
+  };
+
+  CoherenceDirectory(const Params& p, std::vector<Cache*> caches);
+
+  /// Extra latency the access must pay for coherence actions, if any.
+  struct Outcome {
+    int probes = 0;
+    int invalidations = 0;
+    bool dirty_transfer = false;
+    sim::Time latency = 0;
+  };
+
+  /// Core `core` missed on `line` (read or write). Probes/invalidates peers
+  /// as required and registers the new sharer/owner.
+  Outcome on_miss(int core, ht::PAddr line, bool is_write);
+
+  /// Core `core` wrote a line it already holds. Cheap when the line is
+  /// exclusive; otherwise invalidates the other sharers (upgrade).
+  Outcome on_write_hit(int core, ht::PAddr line);
+
+  /// Core `core` evicted `line` (clean or dirty).
+  void on_evict(int core, ht::PAddr line);
+
+  /// Core `core` invalidated its entire cache (explicit flush): drop its
+  /// sharer bit from every tracked line.
+  void drop_core(int core);
+
+  /// Whether any sharers are registered for the line (test hook).
+  bool tracked(ht::PAddr line) const { return lines_.count(line) != 0; }
+  int sharer_count(ht::PAddr line) const;
+
+  std::uint64_t probes() const { return probes_.value(); }
+  std::uint64_t invalidations() const { return invalidations_.value(); }
+  std::uint64_t dirty_transfers() const { return dirty_transfers_.value(); }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;  ///< bitmask over cores
+    int owner = -1;             ///< core holding it modified, or -1
+  };
+
+  Params params_;
+  std::vector<Cache*> caches_;
+  std::unordered_map<ht::PAddr, Entry> lines_;
+  sim::Counter probes_;
+  sim::Counter invalidations_;
+  sim::Counter dirty_transfers_;
+};
+
+}  // namespace ms::mem

@@ -1,0 +1,30 @@
+#include "mem/dram.hpp"
+
+namespace ms::mem {
+
+DramModel::DramModel(const Params& p)
+    : params_(p), open_row_(static_cast<std::size_t>(p.banks), -1) {}
+
+int DramModel::bank_of(ht::PAddr addr) const {
+  // Interleave banks on row-sized chunks so sequential streams hit all banks.
+  return static_cast<int>((addr / params_.row_bytes) %
+                          static_cast<std::uint64_t>(params_.banks));
+}
+
+sim::Time DramModel::access_latency(ht::PAddr addr, std::uint32_t bytes) {
+  const int bank = bank_of(addr);
+  const auto row = static_cast<std::int64_t>(addr / params_.row_bytes);
+  sim::Time lat;
+  if (open_row_[static_cast<std::size_t>(bank)] == row) {
+    row_hits_.inc();
+    lat = params_.t_cas;
+  } else {
+    row_conflicts_.inc();
+    open_row_[static_cast<std::size_t>(bank)] = row;
+    lat = params_.t_rp + params_.t_rcd + params_.t_cas;
+  }
+  lat += sim::ns_d(static_cast<double>(bytes) / params_.bytes_per_ns);
+  return lat;
+}
+
+}  // namespace ms::mem

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ht/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ms::mem {
+
+/// Open-page DRAM timing for one channel (the paper's nodes use 800 MHz
+/// DDR2, one channel per Opteron socket).
+///
+/// The model keeps the open row per bank: an access to the open row costs
+/// CAS only; a conflict costs precharge + activate + CAS. Data transfer is
+/// charged at the channel's burst bandwidth. This is deliberately simpler
+/// than a full DDR state machine — the evaluation needs realistic *average*
+/// local-memory latency (~60-70 ns loaded) and bank-level parallelism, not
+/// per-command fidelity.
+class DramModel {
+ public:
+  struct Params {
+    int banks = 8;
+    std::uint64_t row_bytes = 8 * 1024;
+    sim::Time t_cas = sim::ns(15);       ///< CL ~ 5 cycles @ 400 MHz clock
+    sim::Time t_rcd = sim::ns(15);       ///< activate to column
+    sim::Time t_rp = sim::ns(15);        ///< precharge
+    double bytes_per_ns = 6.4;           ///< DDR2-800 x 64-bit channel
+  };
+
+  explicit DramModel(const Params& p);
+
+  int bank_of(ht::PAddr addr) const;
+
+  /// Timing for one access; updates the open-row bookkeeping.
+  /// `bank_ready` handling (tRC occupancy) is done by the controller; this
+  /// returns pure access latency.
+  sim::Time access_latency(ht::PAddr addr, std::uint32_t bytes);
+
+  std::uint64_t row_hits() const { return row_hits_.value(); }
+  std::uint64_t row_conflicts() const { return row_conflicts_.value(); }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::vector<std::int64_t> open_row_;  // -1 = closed
+  sim::Counter row_hits_;
+  sim::Counter row_conflicts_;
+};
+
+}  // namespace ms::mem

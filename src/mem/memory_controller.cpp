@@ -1,0 +1,35 @@
+#include "mem/memory_controller.hpp"
+
+namespace ms::mem {
+
+MemoryController::MemoryController(sim::Engine& engine, std::string name,
+                                   const Params& p)
+    : engine_(engine),
+      name_(std::move(name)),
+      params_(p),
+      dram_(p.dram),
+      ports_(engine, p.ports) {
+  banks_.reserve(static_cast<std::size_t>(p.dram.banks));
+  for (int b = 0; b < p.dram.banks; ++b) {
+    banks_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
+  }
+}
+
+sim::Task<void> MemoryController::access(ht::PAddr local_addr,
+                                         std::uint32_t bytes, bool is_write) {
+  const sim::Time start = engine_.now();
+  co_await ports_.acquire();
+  sim::SemToken port(ports_);
+  co_await engine_.delay(params_.controller_latency);
+
+  auto& bank = *banks_[static_cast<std::size_t>(dram_.bank_of(local_addr))];
+  co_await bank.acquire();
+  const sim::Time lat = dram_.access_latency(local_addr, bytes);
+  co_await engine_.delay(lat);
+  bank.release();
+
+  (is_write ? writes_ : reads_).inc();
+  latency_.add_time(engine_.now() - start);
+}
+
+}  // namespace ms::mem

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace ms::mem {
+
+/// One socket's integrated memory controller.
+///
+/// Requests contend for a limited number of controller ports (command queue
+/// slots) and then for the addressed bank; the DRAM model supplies the
+/// access latency. Bank semaphores give the model bank-level parallelism:
+/// independent streams to different banks overlap, a single hot bank
+/// serializes — both effects show up in the congestion figures.
+class MemoryController {
+ public:
+  struct Params {
+    DramModel::Params dram;
+    int ports = 8;                        ///< in-flight requests accepted
+    sim::Time controller_latency = sim::ns(10);  ///< decode/schedule overhead
+  };
+
+  MemoryController(sim::Engine& engine, std::string name, const Params& p);
+  MemoryController(const MemoryController&) = delete;
+  MemoryController& operator=(const MemoryController&) = delete;
+
+  /// Performs one access (timing only); resumes when data would be returned
+  /// (reads) or accepted for write (writes are posted at full latency —
+  /// HT sized writes carry data and get an ack at completion).
+  sim::Task<void> access(ht::PAddr local_addr, std::uint32_t bytes, bool is_write);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t reads() const { return reads_.value(); }
+  std::uint64_t writes() const { return writes_.value(); }
+  const sim::Sampler& latency() const { return latency_; }
+  const DramModel& dram() const { return dram_; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  Params params_;
+  DramModel dram_;
+  sim::Semaphore ports_;
+  std::vector<std::unique_ptr<sim::Semaphore>> banks_;
+  sim::Counter reads_;
+  sim::Counter writes_;
+  sim::Sampler latency_;
+};
+
+}  // namespace ms::mem

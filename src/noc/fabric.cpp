@@ -1,0 +1,90 @@
+#include "noc/fabric.hpp"
+
+#include <stdexcept>
+
+namespace ms::noc {
+
+Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topo,
+               const Params& p)
+    : engine_(engine), topo_(std::move(topo)), routes_(*topo_), params_(p) {
+  if (p.virtual_channels < 1) {
+    throw std::invalid_argument("Fabric: need at least one virtual channel");
+  }
+  for (auto [from, to] : topo_->edges()) {
+    std::vector<std::unique_ptr<ht::Link>> vcs;
+    for (int vc = 0; vc < p.virtual_channels; ++vc) {
+      auto name = "link." + std::to_string(from) + "-" + std::to_string(to) +
+                  ".vc" + std::to_string(vc);
+      auto link_params = p.link;
+      link_params.error_seed = p.link.error_seed + from * 131 + to * 7 + vc;
+      vcs.push_back(std::make_unique<ht::Link>(engine_, name, link_params));
+    }
+    links_.emplace(std::make_pair(from, to), std::move(vcs));
+  }
+}
+
+int Fabric::vc_of(ht::PacketType type) const {
+  if (params_.virtual_channels < 2) return 0;
+  switch (type) {
+    case ht::PacketType::kReadResp:
+    case ht::PacketType::kWriteAck:
+    case ht::PacketType::kCtrlResp:
+    case ht::PacketType::kCohAck:
+      return params_.virtual_channels - 1;
+    default:
+      return 0;
+  }
+}
+
+sim::Task<void> Fabric::traverse(ht::Packet packet) {
+  if (packet.src == packet.dst) {
+    throw std::logic_error("Fabric::traverse: src == dst (loopback packets "
+                           "must be handled by the RMC, not the fabric)");
+  }
+  const sim::Time start = engine_.now();
+  const std::uint32_t bytes = ht::wire_size(packet);
+  const int vc = vc_of(packet.type);
+  const auto& path = routes_.route(packet.src, packet.dst);
+  NodeId prev = packet.src;
+  for (NodeId hop : path) {
+    auto key = std::make_pair(prev, hop);
+    auto dit = down_.find(key);
+    if (dit != down_.end() && dit->second) {
+      throw std::logic_error("Fabric: link " + std::to_string(prev) + "->" +
+                             std::to_string(hop) + " is down");
+    }
+    co_await engine_.delay(params_.router_delay);
+    co_await links_.at(key)[static_cast<std::size_t>(vc)]->transmit(bytes);
+    prev = hop;
+  }
+  delivered_.inc();
+  traversal_latency_.add_time(engine_.now() - start);
+}
+
+sim::Time Fabric::zero_load_latency(int hops, std::uint32_t bytes) const {
+  if (hops <= 0) return 0;
+  // Store-and-forward at message granularity: every hop pays router delay,
+  // serialization and wire propagation.
+  const sim::Time per_hop = params_.router_delay + params_.link.propagation;
+  const sim::Time serialization =
+      sim::ns_d(static_cast<double>(bytes) / params_.link.bytes_per_ns);
+  return static_cast<sim::Time>(hops) * (per_hop + serialization);
+}
+
+void Fabric::set_link_down(NodeId from, NodeId to, bool down) {
+  if (!links_.count({from, to})) {
+    throw std::invalid_argument("Fabric: no such link");
+  }
+  down_[{from, to}] = down;
+}
+
+bool Fabric::link_is_down(NodeId from, NodeId to) const {
+  auto it = down_.find({from, to});
+  return it != down_.end() && it->second;
+}
+
+const ht::Link& Fabric::link(NodeId from, NodeId to, int vc) const {
+  return *links_.at({from, to}).at(static_cast<std::size_t>(vc));
+}
+
+}  // namespace ms::noc

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ht/link.hpp"
+#include "ht/packet.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ms::noc {
+
+/// The cluster fabric: a topology instantiated with one ht::Link per
+/// directed edge plus a per-hop router (switch) delay.
+///
+/// Traversal follows the "process walks the packet" model: the coroutine
+/// performing a remote transaction co_awaits traverse(), which serializes
+/// on every link along the precomputed route in turn. Contention between
+/// concurrent transactions therefore appears naturally on shared links,
+/// which is what Fig. 8 (server congestion) measures.
+class Fabric {
+ public:
+  struct Params {
+    ht::Link::Params link;
+    sim::Time router_delay = sim::ns(60);  ///< FPGA switch per-hop latency
+    /// Virtual channels per physical link. With 2, requests and responses
+    /// ride separate buffer classes (the classic protocol-deadlock
+    /// avoidance in request/response fabrics) and never queue behind each
+    /// other. 1 reproduces the prototype's single-buffer behaviour.
+    int virtual_channels = 1;
+  };
+
+  Fabric(sim::Engine& engine, std::unique_ptr<Topology> topo, const Params& p);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Moves `packet` from its src to its dst; resumes when it has fully
+  /// arrived. Throws std::logic_error if a link on the path is down.
+  sim::Task<void> traverse(ht::Packet packet);
+
+  int hops(NodeId src, NodeId dst) const { return routes_.hops(src, dst); }
+  int diameter() const { return routes_.diameter(); }
+  const Topology& topology() const { return *topo_; }
+
+  /// Zero-load one-way latency for a packet of `bytes` over `hops` hops
+  /// (used by tests to check the timing model against first principles).
+  sim::Time zero_load_latency(int hops, std::uint32_t bytes) const;
+
+  /// Failure injection: mark the directed link from->to as down/up.
+  void set_link_down(NodeId from, NodeId to, bool down);
+  bool link_is_down(NodeId from, NodeId to) const;
+
+  /// Per-link accounting (for congestion analysis / tests).
+  const ht::Link& link(NodeId from, NodeId to, int vc = 0) const;
+
+  /// Virtual channel a packet class rides on (0 = requests, last =
+  /// responses when more than one channel is configured).
+  int vc_of(ht::PacketType type) const;
+
+  std::uint64_t packets_delivered() const { return delivered_.value(); }
+  const sim::Sampler& traversal_latency() const { return traversal_latency_; }
+
+ private:
+  sim::Engine& engine_;
+  std::unique_ptr<Topology> topo_;
+  RouteTable routes_;
+  Params params_;
+  // One Link object per (edge, virtual channel).
+  std::map<std::pair<NodeId, NodeId>, std::vector<std::unique_ptr<ht::Link>>>
+      links_;
+  std::map<std::pair<NodeId, NodeId>, bool> down_;
+  sim::Counter delivered_;
+  sim::Sampler traversal_latency_;
+};
+
+}  // namespace ms::noc

@@ -1,0 +1,54 @@
+#include "noc/routing.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace ms::noc {
+
+void validate_topology(const Topology& topo) {
+  const int n = topo.num_nodes();
+  std::set<std::pair<NodeId, NodeId>> edge_set;
+  for (auto [a, b] : topo.edges()) {
+    if (a == b) throw std::logic_error(topo.name() + ": self-loop edge");
+    if (!edge_set.insert({a, b}).second) {
+      throw std::logic_error(topo.name() + ": duplicate edge");
+    }
+  }
+  for (NodeId s = 1; s <= n; ++s) {
+    for (NodeId d = 1; d <= n; ++d) {
+      auto path = topo.route(s, d);
+      if (s == d) {
+        if (!path.empty()) {
+          throw std::logic_error(topo.name() + ": non-empty self route");
+        }
+        continue;
+      }
+      if (path.empty() || path.back() != d) {
+        throw std::logic_error(topo.name() + ": route does not reach dst");
+      }
+      NodeId prev = s;
+      for (NodeId hop : path) {
+        if (!edge_set.count({prev, hop})) {
+          throw std::logic_error(topo.name() + ": route uses missing edge " +
+                                 std::to_string(prev) + "->" +
+                                 std::to_string(hop));
+        }
+        prev = hop;
+      }
+    }
+  }
+}
+
+RouteTable::RouteTable(const Topology& topo) : n_(topo.num_nodes()) {
+  validate_topology(topo);
+  routes_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  for (NodeId s = 1; s <= n_; ++s) {
+    for (NodeId d = 1; d <= n_; ++d) {
+      auto r = topo.route(s, d);
+      diameter_ = std::max(diameter_, static_cast<int>(r.size()));
+      routes_[index(s, d)] = std::move(r);
+    }
+  }
+}
+
+}  // namespace ms::noc

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace ms::noc {
+
+/// Precomputed routes for every (src, dst) pair.
+///
+/// Route computation is pure but called on every remote memory access, so
+/// the fabric looks routes up here instead of recomputing. The table also
+/// validates the topology at construction: every route must walk existing
+/// edges and terminate at the destination.
+class RouteTable {
+ public:
+  explicit RouteTable(const Topology& topo);
+
+  const std::vector<NodeId>& route(NodeId src, NodeId dst) const {
+    return routes_[index(src, dst)];
+  }
+  int hops(NodeId src, NodeId dst) const {
+    return static_cast<int>(route(src, dst).size());
+  }
+  int num_nodes() const { return n_; }
+
+  /// Longest route in the table (network diameter in hops).
+  int diameter() const { return diameter_; }
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src - 1) * static_cast<std::size_t>(n_) +
+           (dst - 1);
+  }
+  int n_;
+  int diameter_ = 0;
+  std::vector<std::vector<NodeId>> routes_;
+};
+
+/// Checks structural sanity of a topology; throws std::logic_error with a
+/// description on the first violation. Used by tests and by RouteTable.
+void validate_topology(const Topology& topo);
+
+}  // namespace ms::noc

@@ -1,0 +1,153 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ms::noc {
+
+namespace {
+// Near-square factorization w*h == n with w >= h, preferring squares.
+std::pair<int, int> factorize(int n) {
+  for (int h = static_cast<int>(std::sqrt(static_cast<double>(n))); h >= 1; --h) {
+    if (n % h == 0) return {n / h, h};
+  }
+  return {n, 1};
+}
+}  // namespace
+
+std::unique_ptr<Topology> Topology::make(const std::string& kind, int n) {
+  if (n < 1) throw std::invalid_argument("topology needs at least one node");
+  if (kind == "mesh2d") {
+    auto [w, h] = factorize(n);
+    return std::make_unique<Mesh2D>(w, h, /*wrap=*/false);
+  }
+  if (kind == "torus2d") {
+    auto [w, h] = factorize(n);
+    return std::make_unique<Mesh2D>(w, h, /*wrap=*/true);
+  }
+  if (kind == "ring") return std::make_unique<Ring>(n);
+  if (kind == "star") return std::make_unique<Star>(n);
+  if (kind == "full") return std::make_unique<FullyConnected>(n);
+  throw std::invalid_argument("unknown topology kind: " + kind);
+}
+
+Mesh2D::Mesh2D(int width, int height, bool wrap)
+    : width_(width), height_(height), wrap_(wrap) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("mesh dimensions must be positive");
+  }
+}
+
+std::string Mesh2D::name() const {
+  return (wrap_ ? "torus2d-" : "mesh2d-") + std::to_string(width_) + "x" +
+         std::to_string(height_);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Mesh2D::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  auto add_both = [&](NodeId a, NodeId b) {
+    e.emplace_back(a, b);
+    e.emplace_back(b, a);
+  };
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (x + 1 < width_) add_both(at(x, y), at(x + 1, y));
+      if (y + 1 < height_) add_both(at(x, y), at(x, y + 1));
+    }
+  }
+  if (wrap_) {
+    if (width_ > 2) {
+      for (int y = 0; y < height_; ++y) add_both(at(width_ - 1, y), at(0, y));
+    }
+    if (height_ > 2) {
+      for (int x = 0; x < width_; ++x) add_both(at(x, height_ - 1), at(x, 0));
+    }
+  }
+  return e;
+}
+
+std::vector<NodeId> Mesh2D::route(NodeId src, NodeId dst) const {
+  std::vector<NodeId> path;
+  if (src == dst) return path;
+  auto [x, y] = coords(src);
+  auto [dx, dy] = coords(dst);
+
+  // One step along a dimension, taking the shorter way around on a torus.
+  auto step = [&](int cur, int target, int extent) {
+    int forward = (target - cur + extent) % extent;
+    int backward = (cur - target + extent) % extent;
+    if (!wrap_ || extent <= 2) return cur < target ? cur + 1 : cur - 1;
+    return forward <= backward ? (cur + 1) % extent
+                               : (cur - 1 + extent) % extent;
+  };
+
+  // Dimension-order: fully resolve X, then Y (deadlock-free on the mesh).
+  while (x != dx) {
+    x = step(x, dx, width_);
+    path.push_back(at(x, y));
+  }
+  while (y != dy) {
+    y = step(y, dy, height_);
+    path.push_back(at(x, y));
+  }
+  return path;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Ring::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 0; i < n_; ++i) {
+    NodeId a = static_cast<NodeId>(i + 1);
+    NodeId b = static_cast<NodeId>((i + 1) % n_ + 1);
+    if (a == b) continue;              // n == 1: no links
+    if (n_ == 2 && i == 1) continue;   // n == 2: one pair, not a double link
+    e.emplace_back(a, b);
+    e.emplace_back(b, a);
+  }
+  return e;
+}
+
+std::vector<NodeId> Ring::route(NodeId src, NodeId dst) const {
+  std::vector<NodeId> path;
+  if (src == dst) return path;
+  int cur = src - 1;
+  int target = dst - 1;
+  int forward = (target - cur + n_) % n_;
+  int backward = (cur - target + n_) % n_;
+  int dir = forward <= backward ? 1 : -1;
+  while (cur != target) {
+    cur = (cur + dir + n_) % n_;
+    path.push_back(static_cast<NodeId>(cur + 1));
+  }
+  return path;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Star::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 1; i <= n_; ++i) {
+    e.emplace_back(static_cast<NodeId>(i), hub());
+    e.emplace_back(hub(), static_cast<NodeId>(i));
+  }
+  return e;
+}
+
+std::vector<NodeId> Star::route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  return {hub(), dst};
+}
+
+std::vector<std::pair<NodeId, NodeId>> FullyConnected::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int a = 1; a <= n_; ++a) {
+    for (int b = 1; b <= n_; ++b) {
+      if (a != b) e.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(b));
+    }
+  }
+  return e;
+}
+
+std::vector<NodeId> FullyConnected::route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  return {dst};
+}
+
+}  // namespace ms::noc

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ht/packet.hpp"
+
+namespace ms::noc {
+
+using ht::NodeId;
+
+/// Cluster interconnect topology and its routing function.
+///
+/// Node ids are 1-based (no node 0, matching the paper's address scheme).
+/// A topology may introduce internal switch vertices (e.g. the hub of a
+/// star); those get ids above num_nodes() and never source or sink traffic.
+///
+/// route(src, dst) returns the sequence of vertices a packet visits after
+/// leaving src, ending with dst. Every consecutive pair must be an edge.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual int num_nodes() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Directed edges (from, to) over which links are instantiated.
+  virtual std::vector<std::pair<NodeId, NodeId>> edges() const = 0;
+
+  /// Deterministic route; empty when src == dst.
+  virtual std::vector<NodeId> route(NodeId src, NodeId dst) const = 0;
+
+  int hops(NodeId src, NodeId dst) const {
+    return static_cast<int>(route(src, dst).size());
+  }
+
+  /// Factory: kind in {"mesh2d", "torus2d", "ring", "star", "full"}.
+  /// mesh2d/torus2d require n to have a near-square factorization; the
+  /// canonical paper configuration is mesh2d with n=16 (a 4x4 mesh).
+  static std::unique_ptr<Topology> make(const std::string& kind, int n);
+};
+
+/// w x h 2D mesh with XY dimension-order routing (deadlock-free on meshes).
+class Mesh2D : public Topology {
+ public:
+  Mesh2D(int width, int height, bool wrap);
+
+  int num_nodes() const override { return width_ * height_; }
+  std::string name() const override;
+  std::vector<std::pair<NodeId, NodeId>> edges() const override;
+  std::vector<NodeId> route(NodeId src, NodeId dst) const override;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Node id at mesh coordinate (x, y); 1-based.
+  NodeId at(int x, int y) const {
+    return static_cast<NodeId>(y * width_ + x + 1);
+  }
+  std::pair<int, int> coords(NodeId n) const {
+    int idx = n - 1;
+    return {idx % width_, idx / width_};
+  }
+
+ private:
+  int width_;
+  int height_;
+  bool wrap_;  // true => torus (wraparound links, shortest-direction XY)
+};
+
+/// Bidirectional ring, shortest-direction routing.
+class Ring : public Topology {
+ public:
+  explicit Ring(int n) : n_(n) {}
+  int num_nodes() const override { return n_; }
+  std::string name() const override { return "ring" + std::to_string(n_); }
+  std::vector<std::pair<NodeId, NodeId>> edges() const override;
+  std::vector<NodeId> route(NodeId src, NodeId dst) const override;
+
+ private:
+  int n_;
+};
+
+/// All nodes hang off one central switch (models a switched fabric such as
+/// the HT-over-Ethernet/InfiniBand options mentioned in Sec. IV-B).
+class Star : public Topology {
+ public:
+  explicit Star(int n) : n_(n) {}
+  int num_nodes() const override { return n_; }
+  std::string name() const override { return "star" + std::to_string(n_); }
+  std::vector<std::pair<NodeId, NodeId>> edges() const override;
+  std::vector<NodeId> route(NodeId src, NodeId dst) const override;
+  NodeId hub() const { return static_cast<NodeId>(n_ + 1); }
+
+ private:
+  int n_;
+};
+
+/// Dedicated link between every node pair (upper bound on fabric quality).
+class FullyConnected : public Topology {
+ public:
+  explicit FullyConnected(int n) : n_(n) {}
+  int num_nodes() const override { return n_; }
+  std::string name() const override { return "full" + std::to_string(n_); }
+  std::vector<std::pair<NodeId, NodeId>> edges() const override;
+  std::vector<NodeId> route(NodeId src, NodeId dst) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace ms::noc

@@ -1,0 +1,17 @@
+#include "node/address_map.hpp"
+
+namespace ms::node {
+
+AddressMap::AddressMap(int sockets, ht::PAddr local_bytes)
+    : sockets_(sockets), local_bytes_(local_bytes) {
+  if (sockets < 1) throw std::invalid_argument("AddressMap: sockets < 1");
+  if (local_bytes == 0 || local_bytes > kLocalSpaceBytes) {
+    throw std::invalid_argument("AddressMap: local size must fit 34 bits");
+  }
+  if (local_bytes % static_cast<ht::PAddr>(sockets) != 0) {
+    throw std::invalid_argument("AddressMap: local size must split evenly");
+  }
+  per_socket_ = local_bytes / static_cast<ht::PAddr>(sockets);
+}
+
+}  // namespace ms::node

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "ht/packet.hpp"
+
+namespace ms::node {
+
+/// The paper's cluster-wide physical address scheme (Sec. III-B, Fig. 3).
+///
+/// Physical addresses are 48 bits. The 14 most significant bits carry the
+/// node identifier; the low 34 bits address memory inside one node (16 GiB,
+/// which is exactly the prototype's per-node capacity). Because node ids
+/// start at 1, a zero prefix always means "a local memory controller owns
+/// this address", and any nonzero prefix routes the access to the RMC —
+/// with no translation table anywhere.
+///
+/// The overlap quirk is preserved: node N addressing prefix N refers to its
+/// own memory ("loopback mode"); the OS reservation protocol never creates
+/// such mappings, but the hardware path supports them (and tests poke it).
+inline constexpr int kAddrBits = 48;
+inline constexpr int kNodeBits = 14;
+inline constexpr int kLocalBits = kAddrBits - kNodeBits;  // 34 -> 16 GiB
+
+inline constexpr ht::PAddr kLocalSpaceBytes = ht::PAddr{1} << kLocalBits;
+inline constexpr ht::NodeId kMaxNodeId = (1 << kNodeBits) - 1;
+
+/// Extracts the node prefix (0 = local).
+constexpr ht::NodeId node_of(ht::PAddr addr) {
+  return static_cast<ht::NodeId>(addr >> kLocalBits);
+}
+
+/// Strips the prefix, yielding the address inside the owning node.
+constexpr ht::PAddr local_part(ht::PAddr addr) {
+  return addr & (kLocalSpaceBytes - 1);
+}
+
+constexpr bool has_prefix(ht::PAddr addr) { return node_of(addr) != 0; }
+
+/// Applies a node prefix to a node-local address.
+inline ht::PAddr make_remote(ht::NodeId node, ht::PAddr local) {
+  if (node == 0 || node > kMaxNodeId) {
+    throw std::invalid_argument("make_remote: node id out of range");
+  }
+  if (local >= kLocalSpaceBytes) {
+    throw std::invalid_argument("make_remote: local address exceeds 34 bits");
+  }
+  return (static_cast<ht::PAddr>(node) << kLocalBits) | local;
+}
+
+/// Per-node BAR set: which local memory controller owns an unprefixed
+/// address. Mirrors the Opteron base/limit registers (Fig. 2): local memory
+/// is split into one contiguous range per socket.
+class AddressMap {
+ public:
+  /// Target index kRmc means "not local — forward to the RMC".
+  static constexpr int kRmc = -1;
+
+  AddressMap(int sockets, ht::PAddr local_bytes);
+
+  /// BAR lookup for an access issued inside this node.
+  int target_of(ht::PAddr addr) const {
+    if (has_prefix(addr)) return kRmc;
+    if (addr >= local_bytes_) {
+      throw std::out_of_range("AddressMap: unbacked local address");
+    }
+    return static_cast<int>(addr / per_socket_);
+  }
+
+  /// The socket MC owning a (already prefix-stripped) local address.
+  int socket_of_local(ht::PAddr local_addr) const {
+    return static_cast<int>(local_addr / per_socket_);
+  }
+
+  int sockets() const { return sockets_; }
+  ht::PAddr local_bytes() const { return local_bytes_; }
+  ht::PAddr socket_base(int socket) const {
+    return static_cast<ht::PAddr>(socket) * per_socket_;
+  }
+
+ private:
+  int sockets_;
+  ht::PAddr local_bytes_;
+  ht::PAddr per_socket_;
+};
+
+}  // namespace ms::node

@@ -1,0 +1,4 @@
+#include "node/core.hpp"
+
+// Core is header-only; this translation unit anchors the module.
+namespace ms::node {}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "mem/cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+namespace ms::node {
+
+/// One CPU core: a private cache plus the two outstanding-request limits
+/// that shape the prototype's behaviour.
+///
+/// An Opteron core can keep eight ordinary memory requests in flight, but
+/// only ONE request targeted at the RMC-mapped region, because the RMC is
+/// presented as a memory-mapped I/O unit (paper Sec. IV-B). That single
+/// remote slot is the reason a thread cannot pipeline remote misses and is
+/// ablated by bench_ablation_outstanding.
+class Core {
+ public:
+  Core(sim::Engine& engine, int index, const mem::Cache::Params& cache,
+       int local_outstanding, int remote_outstanding)
+      : index_(index),
+        cache_(cache),
+        local_slots_(engine, local_outstanding),
+        remote_slots_(engine, remote_outstanding) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  int index() const { return index_; }
+  mem::Cache& cache() { return cache_; }
+  const mem::Cache& cache() const { return cache_; }
+  sim::Semaphore& local_slots() { return local_slots_; }
+  sim::Semaphore& remote_slots() { return remote_slots_; }
+
+ private:
+  int index_;
+  mem::Cache cache_;
+  sim::Semaphore local_slots_;
+  sim::Semaphore remote_slots_;
+};
+
+}  // namespace ms::node

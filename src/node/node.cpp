@@ -1,0 +1,213 @@
+#include "node/node.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::node {
+
+Node::Node(sim::Engine& engine, ht::NodeId id, const Params& p)
+    : engine_(engine),
+      id_(id),
+      params_(p),
+      addr_map_(p.sockets, p.local_bytes),
+      prefetcher_(p.prefetch, p.sockets * p.cores_per_socket) {
+  const int n_cores = p.sockets * p.cores_per_socket;
+  cores_.reserve(static_cast<std::size_t>(n_cores));
+  std::vector<mem::Cache*> caches;
+  for (int c = 0; c < n_cores; ++c) {
+    cores_.push_back(std::make_unique<Core>(engine, c, p.cache,
+                                            p.core_local_outstanding,
+                                            p.core_remote_outstanding));
+    caches.push_back(&cores_.back()->cache());
+  }
+  directory_ = std::make_unique<mem::CoherenceDirectory>(p.coherence, caches);
+  mcs_.reserve(static_cast<std::size_t>(p.sockets));
+  for (int s = 0; s < p.sockets; ++s) {
+    mcs_.push_back(std::make_unique<mem::MemoryController>(
+        engine, "node" + std::to_string(id) + ".mc" + std::to_string(s),
+        p.mc));
+  }
+}
+
+void Node::attach_rmc(rmc::Rmc* rmc) {
+  rmc_ = rmc;
+  rmc_->set_local_service(
+      [this](ht::PAddr local, std::uint32_t bytes, bool is_write) {
+        return serve_remote(local, bytes, is_write);
+      });
+}
+
+int Node::socket_hops(int a, int b) const {
+  return std::popcount(static_cast<unsigned>(a) ^ static_cast<unsigned>(b));
+}
+
+sim::Task<void> Node::serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
+                                   bool is_write) {
+  co_await engine_.delay(params_.crossbar_latency);
+  // The RMC sits in the HTX slot attached to socket 0; reaching another
+  // socket's controller crosses cHT links.
+  const int target = addr_map_.socket_of_local(local_addr);
+  const int hops = socket_hops(0, target);
+  if (hops > 0) {
+    co_await engine_.delay(params_.socket_hop_latency *
+                           static_cast<sim::Time>(hops));
+  }
+  co_await mc(target).access(local_addr, bytes, is_write);
+}
+
+sim::Task<void> Node::fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
+                            bool is_write) {
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  co_await engine_.delay(params_.crossbar_latency);
+  if (has_prefix(paddr)) {
+    remote_accesses_.inc();
+    if (params_.remote_sw_overhead != 0) {
+      co_await engine_.delay(params_.remote_sw_overhead);
+    }
+    co_await c.remote_slots().acquire();
+    sim::SemToken slot(c.remote_slots());
+    co_await rmc_->client_access(paddr, bytes, is_write);
+  } else {
+    local_accesses_.inc();
+    co_await c.local_slots().acquire();
+    sim::SemToken slot(c.local_slots());
+    const int target = addr_map_.socket_of_local(paddr);
+    const int hops = socket_hops(socket_of_core(core), target);
+    if (hops > 0) {
+      // NUMA: the request and its response each cross `hops` cHT links.
+      co_await engine_.delay(2 * params_.socket_hop_latency *
+                             static_cast<sim::Time>(hops));
+    }
+    co_await mc(target).access(paddr, bytes, is_write);
+  }
+}
+
+sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
+                                  std::uint32_t bytes, bool is_write,
+                                  sim::Time carried) {
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  const bool via_rmc = has_prefix(paddr);
+  const bool cacheable = !via_rmc || params_.cache_remote;
+
+  if (!cacheable) {
+    // Uncached I/O-style access: the full reference goes to the RMC.
+    co_await engine_.delay(carried);
+    co_await fetch(core, paddr, bytes, is_write);
+    co_return 0;
+  }
+
+  auto& cache = c.cache();
+  const ht::PAddr line = cache.line_of(paddr);
+  auto res = cache.access(paddr, is_write);
+  if (res.evicted) {
+    directory_->on_evict(core, res.victim_line);
+    if (res.writeback) {
+      engine_.spawn(writeback_line(res.victim_line));
+    }
+  }
+
+  if (res.hit) {
+    // A tag hit on a line whose fill is still in flight (MSHR) must wait
+    // for the data, like a second miss merged into the first.
+    auto pending = fills_.find(mshr_key(core, line));
+    if (pending != fills_.end()) {
+      mshr_merges_.inc();
+      co_await engine_.delay(carried + cache.params().hit_latency);
+      co_await pending->second->wait();
+      if (is_write) {
+        auto coh = directory_->on_write_hit(core, line);
+        if (coh.latency != 0) co_await engine_.delay(coh.latency);
+      }
+      co_return 0;
+    }
+    sim::Time charge = carried + cache.params().hit_latency;
+    if (is_write) {
+      charge += directory_->on_write_hit(core, line).latency;
+    }
+    co_return charge;  // fast path: no event-queue traffic
+  }
+
+  // Miss. Register the outstanding fill *before* the first suspension so a
+  // concurrent access to the just-allocated tag merges instead of racing
+  // past (cache.access above already installed the line's tag).
+  const std::uint64_t key = mshr_key(core, line);
+  auto existing = fills_.find(key);
+  if (existing != fills_.end()) {
+    // An earlier prefetch or miss is already filling this line: merge.
+    mshr_merges_.inc();
+    co_await engine_.delay(carried + cache.params().hit_latency);
+    co_await existing->second->wait();
+    co_return 0;
+  }
+  auto trigger = std::make_unique<sim::Trigger>(engine_);
+  sim::Trigger* raw = trigger.get();
+  fills_.emplace(key, std::move(trigger));
+
+  // Realize the accumulated compute time, then walk the miss path.
+  co_await engine_.delay(carried + cache.params().hit_latency);
+  auto coh = directory_->on_miss(core, line, is_write);
+  if (coh.latency != 0) co_await engine_.delay(coh.latency);
+
+  if (!coh.dirty_transfer) {
+    if (via_rmc && prefetcher_.enabled()) {
+      for (ht::PAddr pf : prefetcher_.observe(core, line)) {
+        if (!cache.contains(pf)) engine_.spawn(prefetch_line(core, pf));
+      }
+    }
+    // Fetch the whole line (write-allocate: writes fetch too; the data
+    // goes out later as a write-back).
+    co_await fetch(core, line, cache.params().line_bytes, false);
+  }
+  raw->fire();
+  fills_.erase(key);
+  co_return 0;
+}
+
+sim::Task<void> Node::writeback_line(ht::PAddr line) {
+  const std::uint32_t bytes = params_.cache.line_bytes;
+  co_await engine_.delay(params_.crossbar_latency);
+  if (has_prefix(line)) {
+    remote_accesses_.inc();
+    // Write-backs are issued by the cache controller, not a core, so they
+    // do not consume the core's single remote slot — but they do contend
+    // for the RMC port like any other message.
+    co_await rmc_->client_access(line, bytes, true);
+  } else {
+    local_accesses_.inc();
+    auto& controller = mc(addr_map_.socket_of_local(line));
+    co_await controller.access(line, bytes, true);
+  }
+}
+
+sim::Task<void> Node::prefetch_line(int core, ht::PAddr line) {
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  const std::uint64_t key = mshr_key(core, line);
+  if (fills_.count(key) != 0) co_return;  // a fill is already in flight
+  auto trigger = std::make_unique<sim::Trigger>(engine_);
+  sim::Trigger* raw = trigger.get();
+  fills_.emplace(key, std::move(trigger));
+  co_await rmc_->client_access(line, params_.cache.line_bytes, false);
+  auto res = c.cache().install(line);
+  if (res.evicted) {
+    directory_->on_evict(core, res.victim_line);
+    if (res.writeback) engine_.spawn(writeback_line(res.victim_line));
+  }
+  directory_->on_miss(core, line, false);  // register as a sharer
+  prefetch_fills_.inc();
+  raw->fire();
+  fills_.erase(key);
+}
+
+sim::Task<void> Node::flush_core_cache(int core) {
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  std::vector<ht::PAddr> dirty;
+  c.cache().flush_all([&dirty](ht::PAddr line) { dirty.push_back(line); });
+  directory_->drop_core(core);
+  for (ht::PAddr line : dirty) {
+    engine_.spawn(writeback_line(line));
+  }
+  // The flush instruction stream itself: one cache sweep's worth of time.
+  co_await engine_.delay(sim::ns(10) * (dirty.size() + 1));
+}
+
+}  // namespace ms::node

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sync.hpp"
+
+#include "mem/coherence.hpp"
+#include "mem/memory_controller.hpp"
+#include "node/address_map.hpp"
+#include "node/core.hpp"
+#include "rmc/prefetcher.hpp"
+#include "rmc/rmc.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ms::node {
+
+/// One cluster node: sockets x cores, per-socket memory controllers, the
+/// node-internal coherence directory and the attached RMC.
+///
+/// Node is purely a *timing* component — data lives in mem::BackingStore
+/// and is read/written by core::MemorySpace. The access path implements the
+/// paper's hardware flow: BAR lookup decides between a local memory
+/// controller and the RMC; remote ranges are write-back cacheable; evicted
+/// dirty remote lines are written back across the fabric in the background.
+class Node {
+ public:
+  struct Params {
+    int sockets = 4;
+    int cores_per_socket = 4;
+    ht::PAddr local_bytes = ht::PAddr{16} << 30;  ///< 16 GiB as in the prototype
+    mem::Cache::Params cache;
+    mem::CoherenceDirectory::Params coherence;
+    mem::MemoryController::Params mc;
+    rmc::StreamPrefetcher::Params prefetch;
+    int core_local_outstanding = 8;  ///< Opteron: eight outstanding requests
+    int core_remote_outstanding = 1; ///< one to the I/O-mapped RMC region
+    bool cache_remote = true;        ///< remote ranges configured write-back
+    sim::Time crossbar_latency = sim::ns(8);  ///< request injection cost
+    /// Intra-node NUMA: Opteron sockets form a square of cHT links; an
+    /// access to another socket's memory controller pays one hop per link
+    /// crossed (adjacent 1, diagonal 2 — modelled as popcount of the
+    /// socket-id XOR, exact for the 4-socket square).
+    sim::Time socket_hop_latency = sim::ns(40);
+    /// Software cost charged on every remote access — zero for the paper's
+    /// hardware path; ~3 us models a Violin-style software memory server
+    /// where "the OS is involved in every memory access" (Sec. II).
+    sim::Time remote_sw_overhead = 0;
+  };
+
+  Node(sim::Engine& engine, ht::NodeId id, const Params& p);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Wires the RMC built by the cluster; also binds its local service to
+  /// this node's memory controllers.
+  void attach_rmc(rmc::Rmc* rmc);
+
+  /// Timing for one memory reference by `core` (line-split already done by
+  /// the caller). `carried` is compute/hit time the calling thread has
+  /// accumulated since it last blocked; on the fast path (cache hit) the
+  /// updated accumulator is returned without touching the event queue, on
+  /// slow paths it is turned into real simulated delay first.
+  /// Returns the new accumulator value.
+  sim::Task<sim::Time> access(int core, ht::PAddr paddr, std::uint32_t bytes,
+                              bool is_write, sim::Time carried);
+
+  /// Donor-side service: an access arriving from a peer RMC for this node's
+  /// local memory. Bypasses every local cache (the borrowed range is pinned
+  /// and never cached here — the paper's no-inter-node-coherence argument).
+  sim::Task<void> serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
+                               bool is_write);
+
+  /// Writes back and invalidates one core's cache (the explicit flush the
+  /// prototype needs between a write phase and a parallel read-only phase).
+  sim::Task<void> flush_core_cache(int core);
+
+  ht::NodeId id() const { return id_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  const Params& params() const { return params_; }
+  Core& core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+  mem::MemoryController& mc(int socket) {
+    return *mcs_[static_cast<std::size_t>(socket)];
+  }
+  mem::CoherenceDirectory& directory() { return *directory_; }
+  const mem::CoherenceDirectory& directory() const { return *directory_; }
+  const AddressMap& address_map() const { return addr_map_; }
+  rmc::Rmc* rmc() { return rmc_; }
+  rmc::StreamPrefetcher& prefetcher() { return prefetcher_; }
+
+  std::uint64_t local_accesses() const { return local_accesses_.value(); }
+  std::uint64_t remote_accesses() const { return remote_accesses_.value(); }
+  std::uint64_t prefetch_fills() const { return prefetch_fills_.value(); }
+  std::uint64_t mshr_merges() const { return mshr_merges_.value(); }
+
+  /// cHT hops between two sockets (square topology: popcount of the XOR).
+  int socket_hops(int a, int b) const;
+  int socket_of_core(int core) const { return core / params_.cores_per_socket; }
+
+ private:
+  /// Background write-back of an evicted dirty line (posted, no one waits).
+  sim::Task<void> writeback_line(ht::PAddr line);
+
+  /// Background prefetch fill into `core`'s cache.
+  sim::Task<void> prefetch_line(int core, ht::PAddr line);
+
+  /// Fetch one line (or uncached chunk) from its home, local or remote.
+  sim::Task<void> fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
+                        bool is_write);
+
+  sim::Engine& engine_;
+  ht::NodeId id_;
+  Params params_;
+  AddressMap addr_map_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<mem::MemoryController>> mcs_;
+  std::unique_ptr<mem::CoherenceDirectory> directory_;
+  rmc::StreamPrefetcher prefetcher_;
+  rmc::Rmc* rmc_ = nullptr;
+
+  // MSHR-style fill merging: a line being filled into a core's cache is
+  // registered here; a second access (demand or prefetch) to the same line
+  // waits for the outstanding fill instead of fetching again. Keyed by
+  // core and line address.
+  std::uint64_t mshr_key(int core, ht::PAddr line) const {
+    return (static_cast<std::uint64_t>(core) << 48) | line;
+  }
+  std::unordered_map<std::uint64_t, std::unique_ptr<sim::Trigger>> fills_;
+
+  sim::Counter local_accesses_;
+  sim::Counter remote_accesses_;
+  sim::Counter prefetch_fills_;
+  sim::Counter mshr_merges_;
+};
+
+}  // namespace ms::node

@@ -1,0 +1,56 @@
+#include "os/cluster_directory.hpp"
+
+#include <stdexcept>
+
+namespace ms::os {
+
+std::optional<ht::NodeId> ClusterDirectory::pick_donor(
+    ht::NodeId requester, ht::PAddr bytes, Policy policy,
+    const HopsFn& hops) const {
+  std::optional<ht::NodeId> best;
+  ht::PAddr best_free = 0;
+  int best_hops = 1 << 30;
+  for (const auto& [node, alloc] : nodes_) {
+    if (node == requester) continue;
+    if (alloc->largest_free_range() < bytes) continue;
+    switch (policy) {
+      case Policy::kMostFree:
+        if (!best || alloc->free_bytes() > best_free) {
+          best = node;
+          best_free = alloc->free_bytes();
+        }
+        break;
+      case Policy::kNearest: {
+        int h = hops ? hops(requester, node) : 0;
+        if (!best || h < best_hops ||
+            (h == best_hops && alloc->free_bytes() > best_free)) {
+          best = node;
+          best_hops = h;
+          best_free = alloc->free_bytes();
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+ht::PAddr ClusterDirectory::total_free() const {
+  ht::PAddr sum = 0;
+  for (const auto& [_, alloc] : nodes_) sum += alloc->free_bytes();
+  return sum;
+}
+
+ht::PAddr ClusterDirectory::free_at(ht::NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second->free_bytes();
+}
+
+ClusterDirectory::Policy ClusterDirectory::parse_policy(
+    const std::string& name) {
+  if (name == "most_free") return Policy::kMostFree;
+  if (name == "nearest") return Policy::kNearest;
+  throw std::invalid_argument("unknown donor policy: " + name);
+}
+
+}  // namespace ms::os

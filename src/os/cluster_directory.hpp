@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ht/packet.hpp"
+#include "os/frame_allocator.hpp"
+
+namespace ms::os {
+
+/// Cluster-wide knowledge of free memory ("augmenting the OS services so
+/// that knowledge of the location of free memory across the cluster is
+/// achieved", Sec. III).
+///
+/// Modelled as an eventually-updated table the reservation service consults
+/// to pick a donor. Two policies:
+///  * kMostFree — balance the pool by draining the emptiest node first;
+///  * kNearest  — minimize access latency by preferring close donors with
+///    enough free memory (needs a hop function from the fabric).
+class ClusterDirectory {
+ public:
+  enum class Policy { kMostFree, kNearest };
+
+  using HopsFn = std::function<int(ht::NodeId, ht::NodeId)>;
+
+  void register_node(ht::NodeId node, const FrameAllocator* alloc) {
+    nodes_[node] = alloc;
+  }
+
+  /// Picks a donor able to satisfy a contiguous reservation of `bytes`.
+  /// Never returns the requester itself (that would be loopback mode).
+  std::optional<ht::NodeId> pick_donor(ht::NodeId requester, ht::PAddr bytes,
+                                       Policy policy,
+                                       const HopsFn& hops) const;
+
+  ht::PAddr total_free() const;
+  ht::PAddr free_at(ht::NodeId node) const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  static Policy parse_policy(const std::string& name);
+
+ private:
+  std::map<ht::NodeId, const FrameAllocator*> nodes_;
+};
+
+}  // namespace ms::os

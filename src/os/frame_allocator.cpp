@@ -1,0 +1,118 @@
+#include "os/frame_allocator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::os {
+
+FrameAllocator::FrameAllocator(ht::PAddr base, ht::PAddr bytes,
+                               std::uint64_t frame_bytes)
+    : frame_bytes_(frame_bytes) {
+  if (!std::has_single_bit(frame_bytes)) {
+    throw std::invalid_argument("FrameAllocator: frame size must be 2^k");
+  }
+  if (bytes == 0 || base % frame_bytes != 0 || bytes % frame_bytes != 0) {
+    throw std::invalid_argument("FrameAllocator: unaligned pool");
+  }
+  free_ranges_[base] = bytes;
+  total_ = bytes;
+  free_ = bytes;
+}
+
+std::optional<ht::PAddr> FrameAllocator::allocate(ht::PAddr bytes,
+                                                  bool pinned) {
+  if (bytes == 0) return std::nullopt;
+  bytes = round_up(bytes);
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second < bytes) continue;
+    ht::PAddr base = it->first;
+    ht::PAddr remaining = it->second - bytes;
+    free_ranges_.erase(it);
+    if (remaining > 0) free_ranges_[base + bytes] = remaining;
+    allocations_[base] = {bytes, pinned};
+    free_ -= bytes;
+    if (pinned) pinned_ += bytes;
+    return base;
+  }
+  return std::nullopt;
+}
+
+void FrameAllocator::free(ht::PAddr base) {
+  auto it = allocations_.find(base);
+  if (it == allocations_.end()) {
+    throw std::logic_error("FrameAllocator::free: not an allocation base");
+  }
+  ht::PAddr bytes = it->second.bytes;
+  if (it->second.pinned) pinned_ -= bytes;
+  allocations_.erase(it);
+  free_ += bytes;
+
+  // Insert and coalesce with neighbours.
+  auto [pos, inserted] = free_ranges_.emplace(base, bytes);
+  if (!inserted) throw std::logic_error("FrameAllocator: corrupt free list");
+  if (pos != free_ranges_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_ranges_.erase(pos);
+      pos = prev;
+    }
+  }
+  auto next = std::next(pos);
+  if (next != free_ranges_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_ranges_.erase(next);
+  }
+}
+
+bool FrameAllocator::hot_remove(ht::PAddr base, ht::PAddr bytes) {
+  // The range must be covered by exactly one free span.
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->first <= base && base + bytes <= it->first + it->second) {
+      ht::PAddr span_base = it->first;
+      ht::PAddr span_bytes = it->second;
+      free_ranges_.erase(it);
+      if (base > span_base) free_ranges_[span_base] = base - span_base;
+      if (base + bytes < span_base + span_bytes) {
+        free_ranges_[base + bytes] = span_base + span_bytes - (base + bytes);
+      }
+      free_ -= bytes;
+      total_ -= bytes;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FrameAllocator::hot_add(ht::PAddr base, ht::PAddr bytes) {
+  if (base % frame_bytes_ != 0 || bytes % frame_bytes_ != 0) {
+    throw std::invalid_argument("FrameAllocator::hot_add: unaligned range");
+  }
+  total_ += bytes;
+  // Reuse free()'s coalescing by staging a fake allocation.
+  allocations_[base] = {bytes, false};
+  free_ += 0;  // free() adds the bytes
+  free(base);
+}
+
+bool FrameAllocator::is_allocated(ht::PAddr addr) const {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return false;
+  --it;
+  return addr < it->first + it->second.bytes;
+}
+
+bool FrameAllocator::is_pinned(ht::PAddr addr) const {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return false;
+  --it;
+  return addr < it->first + it->second.bytes && it->second.pinned;
+}
+
+ht::PAddr FrameAllocator::largest_free_range() const {
+  ht::PAddr best = 0;
+  for (const auto& [_, bytes] : free_ranges_) best = std::max(best, bytes);
+  return best;
+}
+
+}  // namespace ms::os

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ht/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace ms::os {
+
+/// Physical-frame allocator for one node's local memory.
+///
+/// Supports the three behaviours the paper's OS extensions need:
+///  * contiguous allocation — the reservation protocol grants donors'
+///    memory as one contiguous physical range ("the reservation is done
+///    over a contiguous physical memory area", Sec. III-B), so remote
+///    segments need no per-page bookkeeping at the requester;
+///  * pinning — donated ranges are marked non-swappable and are never
+///    handed to local processes while reserved;
+///  * hot-plug — whole ranges can be removed from / returned to the pool,
+///    modelling the kernel hot-remove the paper lists as a prerequisite.
+///
+/// First-fit over an ordered free list with coalescing; allocations are
+/// tracked so double-free and partial-free are hard errors.
+class FrameAllocator {
+ public:
+  FrameAllocator(ht::PAddr base, ht::PAddr bytes,
+                 std::uint64_t frame_bytes = 4096);
+
+  /// Allocates a contiguous range (rounded up to whole frames).
+  std::optional<ht::PAddr> allocate(ht::PAddr bytes, bool pinned = false);
+
+  /// Frees a range previously returned by allocate (exact base required).
+  void free(ht::PAddr base);
+
+  /// Single-frame helpers for page-granular users (swap resident set).
+  std::optional<ht::PAddr> allocate_frame() { return allocate(frame_bytes_); }
+
+  /// Removes a fully-free range from the pool (memory hot-remove).
+  /// Returns false if any frame in the range is allocated.
+  bool hot_remove(ht::PAddr base, ht::PAddr bytes);
+
+  /// Returns a previously hot-removed range to the pool.
+  void hot_add(ht::PAddr base, ht::PAddr bytes);
+
+  bool is_allocated(ht::PAddr addr) const;
+  bool is_pinned(ht::PAddr addr) const;
+
+  ht::PAddr total_bytes() const { return total_; }
+  ht::PAddr free_bytes() const { return free_; }
+  ht::PAddr pinned_bytes() const { return pinned_; }
+  ht::PAddr largest_free_range() const;
+  std::uint64_t frame_bytes() const { return frame_bytes_; }
+
+ private:
+  ht::PAddr round_up(ht::PAddr bytes) const {
+    return (bytes + frame_bytes_ - 1) & ~(frame_bytes_ - 1);
+  }
+
+  struct Allocation {
+    ht::PAddr bytes;
+    bool pinned;
+  };
+
+  std::uint64_t frame_bytes_;
+  ht::PAddr total_ = 0;
+  ht::PAddr free_ = 0;
+  ht::PAddr pinned_ = 0;
+  std::map<ht::PAddr, ht::PAddr> free_ranges_;       // base -> bytes
+  std::map<ht::PAddr, Allocation> allocations_;      // base -> info
+};
+
+}  // namespace ms::os

@@ -1,0 +1,42 @@
+#include "os/page_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::os {
+
+PageTable::PageTable(std::uint64_t page_bytes) : page_bytes_(page_bytes) {
+  if (!std::has_single_bit(page_bytes)) {
+    throw std::invalid_argument("PageTable: page size must be a power of two");
+  }
+}
+
+void PageTable::map(VAddr vaddr, ht::PAddr frame_base) {
+  Entry& e = entries_[page_base(vaddr)];
+  e.frame = frame_base;
+  e.present = true;
+}
+
+void PageTable::unmap(VAddr vaddr) { entries_.erase(page_base(vaddr)); }
+
+std::optional<ht::PAddr> PageTable::translate(VAddr vaddr) const {
+  auto it = entries_.find(page_base(vaddr));
+  if (it == entries_.end() || !it->second.present) return std::nullopt;
+  return it->second.frame + (vaddr & (page_bytes_ - 1));
+}
+
+PageTable::Entry* PageTable::find(VAddr vaddr) {
+  auto it = entries_.find(page_base(vaddr));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const PageTable::Entry* PageTable::find(VAddr vaddr) const {
+  auto it = entries_.find(page_base(vaddr));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+PageTable::Entry& PageTable::ensure(VAddr vaddr) {
+  return entries_[page_base(vaddr)];
+}
+
+}  // namespace ms::os

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "ht/packet.hpp"
+
+namespace ms::os {
+
+/// Process virtual address.
+using VAddr = std::uint64_t;
+
+/// Per-process page table: virtual page -> physical frame.
+///
+/// The frame address may carry a node prefix — that is the paper's entire
+/// trick (Fig. 4): the donor returns its physical base with "the 14 most
+/// significant bits changed to reflect the identifier of node 3", the
+/// requesting OS writes that prefixed address straight into the page table,
+/// and every later load/store is routed by hardware with no software on the
+/// access path.
+class PageTable {
+ public:
+  explicit PageTable(std::uint64_t page_bytes = 4096);
+
+  struct Entry {
+    ht::PAddr frame = 0;   ///< physical frame base (possibly prefixed)
+    bool present = false;  ///< false: not resident (swap backends)
+    bool dirty = false;
+    std::uint64_t aux = 0; ///< backend cookie (e.g. swap slot)
+  };
+
+  void map(VAddr vaddr, ht::PAddr frame_base);
+  void unmap(VAddr vaddr);
+
+  /// Full translation; nullopt when unmapped or not present.
+  std::optional<ht::PAddr> translate(VAddr vaddr) const;
+
+  /// Raw entry access for the OS (fault handlers, swap).
+  Entry* find(VAddr vaddr);
+  const Entry* find(VAddr vaddr) const;
+  Entry& ensure(VAddr vaddr);
+
+  VAddr page_base(VAddr vaddr) const { return vaddr & ~(page_bytes_ - 1); }
+  std::uint64_t page_bytes() const { return page_bytes_; }
+  std::size_t mapped_pages() const { return entries_.size(); }
+
+ private:
+  std::uint64_t page_bytes_;
+  std::unordered_map<VAddr, Entry> entries_;  // keyed by page base
+};
+
+}  // namespace ms::os

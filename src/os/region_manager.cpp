@@ -1,0 +1,143 @@
+#include "os/region_manager.hpp"
+
+namespace ms::os {
+
+RegionManager::RegionManager(sim::Engine& engine, ht::NodeId self,
+                             FrameAllocator& local,
+                             ReservationService& reservation,
+                             ClusterDirectory& directory,
+                             ClusterDirectory::HopsFn hops, const Params& p)
+    : engine_(engine),
+      self_(self),
+      local_(local),
+      reservation_(reservation),
+      directory_(directory),
+      hops_(std::move(hops)),
+      params_(p),
+      grow_mutex_(engine, 1) {}
+
+std::optional<ht::PAddr> RegionManager::take_from_segments(
+    ht::NodeId donor_filter) {
+  for (auto& seg : segments_) {
+    if (donor_filter != ht::kNoNode && seg.grant.donor != donor_filter) {
+      continue;
+    }
+    if (seg.next_offset + params_.page_bytes <= seg.grant.bytes) {
+      ht::PAddr page = seg.grant.prefixed_base + seg.next_offset;
+      seg.next_offset += params_.page_bytes;
+      return page;
+    }
+  }
+  return std::nullopt;
+}
+
+sim::Task<std::optional<std::size_t>> RegionManager::grow(ht::NodeId donor) {
+  if (donor == ht::kNoNode) {
+    auto pick = directory_.pick_donor(self_, params_.segment_bytes,
+                                      params_.policy, hops_);
+    if (!pick) co_return std::nullopt;
+    donor = *pick;
+  }
+  auto grant =
+      co_await reservation_.reserve(self_, donor, params_.segment_bytes);
+  if (!grant) co_return std::nullopt;
+  segments_.push_back(Segment{*grant, 0});
+  co_return segments_.size() - 1;
+}
+
+sim::Task<std::optional<ht::PAddr>> RegionManager::alloc_page(
+    Placement placement) {
+  if (placement != Placement::kRemoteOnly) {
+    if (!free_local_.empty()) {
+      ht::PAddr page = free_local_.front();
+      free_local_.pop_front();
+      local_pages_.inc();
+      co_return page;
+    }
+    if (auto frame = take_local_page()) {
+      local_pages_.inc();
+      co_return *frame;
+    }
+    if (placement == Placement::kLocalOnly) co_return std::nullopt;
+  }
+
+  if (!free_remote_.empty()) {
+    ht::PAddr page = free_remote_.front();
+    free_remote_.pop_front();
+    remote_pages_.inc();
+    co_return page;
+  }
+
+  // Borrow: serialize growth so concurrent faults reserve one segment.
+  co_await grow_mutex_.acquire();
+  sim::SemToken lock(grow_mutex_);
+  if (auto page = take_from_segments(ht::kNoNode)) {
+    remote_pages_.inc();
+    co_return page;
+  }
+  if (!co_await grow(ht::kNoNode)) co_return std::nullopt;
+  auto page = take_from_segments(ht::kNoNode);
+  if (page) remote_pages_.inc();
+  co_return page;
+}
+
+sim::Task<std::optional<ht::PAddr>> RegionManager::alloc_page_on(
+    ht::NodeId donor) {
+  if (donor == self_) {
+    if (auto frame = take_local_page()) {
+      local_pages_.inc();
+      co_return *frame;
+    }
+    co_return std::nullopt;
+  }
+  co_await grow_mutex_.acquire();
+  sim::SemToken lock(grow_mutex_);
+  if (auto page = take_from_segments(donor)) {
+    remote_pages_.inc();
+    co_return page;
+  }
+  if (!co_await grow(donor)) co_return std::nullopt;
+  auto page = take_from_segments(donor);
+  if (page) remote_pages_.inc();
+  co_return page;
+}
+
+std::optional<ht::PAddr> RegionManager::take_local_page() {
+  if (local_chunk_next_ >= local_chunk_end_) {
+    // Grab the next chunk; shrink towards a single page if fragmented.
+    ht::PAddr chunk = std::min<ht::PAddr>(ht::PAddr{64} << 20,
+                                          local_.largest_free_range());
+    chunk = std::max<ht::PAddr>(chunk, params_.page_bytes);
+    auto base = local_.allocate(chunk);
+    if (!base) return std::nullopt;
+    local_chunk_next_ = *base;
+    local_chunk_end_ = *base + chunk;
+  }
+  ht::PAddr page = local_chunk_next_;
+  local_chunk_next_ += params_.page_bytes;
+  return page;
+}
+
+void RegionManager::free_page(ht::PAddr page_base) {
+  if (node::has_prefix(page_base)) {
+    free_remote_.push_back(page_base);
+  } else {
+    free_local_.push_back(page_base);
+  }
+}
+
+sim::Task<void> RegionManager::release_all() {
+  for (auto& seg : segments_) {
+    co_await reservation_.release(self_, seg.grant);
+  }
+  segments_.clear();
+  free_remote_.clear();
+}
+
+ht::PAddr RegionManager::borrowed_bytes() const {
+  ht::PAddr sum = 0;
+  for (const auto& seg : segments_) sum += seg.grant.bytes;
+  return sum;
+}
+
+}  // namespace ms::os

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "os/cluster_directory.hpp"
+#include "os/reservation.hpp"
+#include "sim/sync.hpp"
+
+namespace ms::os {
+
+/// One node's *memory region* (Sec. III-A): the single coherency domain its
+/// processes live in, composed of local memory plus any number of segments
+/// borrowed from other nodes. Growing the region never adds caches to the
+/// domain — that is the paper's thesis; this class only manages placement.
+///
+/// Remote memory arrives in large pinned contiguous segments (one
+/// reservation each) and is parcelled out page by page with a bump pointer;
+/// freed pages go to per-class free lists for reuse.
+class RegionManager {
+ public:
+  enum class Placement {
+    kAuto,        ///< local while it lasts, then remote
+    kLocalOnly,   ///< fail instead of borrowing
+    kRemoteOnly,  ///< always borrowed memory (benches use this)
+  };
+
+  struct Params {
+    ht::PAddr segment_bytes = ht::PAddr{256} << 20;  ///< donor granule
+    std::uint64_t page_bytes = 4096;
+    ClusterDirectory::Policy policy = ClusterDirectory::Policy::kNearest;
+  };
+
+  RegionManager(sim::Engine& engine, ht::NodeId self, FrameAllocator& local,
+                ReservationService& reservation, ClusterDirectory& directory,
+                ClusterDirectory::HopsFn hops, const Params& p);
+
+  /// Returns the physical base (prefixed if remote) of one fresh page, or
+  /// nullopt when the placement cannot be satisfied cluster-wide.
+  sim::Task<std::optional<ht::PAddr>> alloc_page(Placement placement);
+
+  /// Page explicitly placed on a given donor (used by benches that control
+  /// server distance). The donor may be this node (=> local memory).
+  sim::Task<std::optional<ht::PAddr>> alloc_page_on(ht::NodeId donor);
+
+  /// Returns a page for reuse.
+  void free_page(ht::PAddr page_base);
+
+  /// Releases every remote segment (process teardown). Pages handed out
+  /// from those segments must no longer be used.
+  sim::Task<void> release_all();
+
+  ht::NodeId self() const { return self_; }
+  std::uint64_t local_pages() const { return local_pages_.value(); }
+  std::uint64_t remote_pages() const { return remote_pages_.value(); }
+  std::size_t segment_count() const { return segments_.size(); }
+  ht::PAddr borrowed_bytes() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  struct Segment {
+    ReservationService::Grant grant;
+    ht::PAddr next_offset = 0;  ///< bump pointer within the segment
+  };
+
+  /// Grows the region with one more segment from `donor` (or directory
+  /// choice when donor == kNoNode). Returns the new segment index.
+  sim::Task<std::optional<std::size_t>> grow(ht::NodeId donor);
+
+  std::optional<ht::PAddr> take_from_segments(ht::NodeId donor_filter);
+
+  sim::Engine& engine_;
+  ht::NodeId self_;
+  FrameAllocator& local_;
+  ReservationService& reservation_;
+  ClusterDirectory& directory_;
+  ClusterDirectory::HopsFn hops_;
+  Params params_;
+  sim::Semaphore grow_mutex_;
+
+  // Local pages are carved from larger chunks so the frame allocator sees
+  // thousands of allocations, not millions, for GB-scale footprints.
+  ht::PAddr local_chunk_next_ = 0;
+  ht::PAddr local_chunk_end_ = 0;
+  std::optional<ht::PAddr> take_local_page();
+
+  std::vector<Segment> segments_;
+  std::deque<ht::PAddr> free_local_;
+  std::deque<ht::PAddr> free_remote_;
+  sim::Counter local_pages_;
+  sim::Counter remote_pages_;
+};
+
+}  // namespace ms::os

@@ -1,0 +1,84 @@
+#include "os/reservation.hpp"
+
+#include <stdexcept>
+
+namespace ms::os {
+
+ReservationService::ReservationService(sim::Engine& engine,
+                                       noc::Fabric& fabric, const Params& p)
+    : engine_(engine), fabric_(fabric), params_(p) {}
+
+sim::Task<void> ReservationService::send_ctrl(ht::NodeId from, ht::NodeId to,
+                                              std::uint32_t op,
+                                              std::uint64_t p0,
+                                              std::uint64_t p1) {
+  if (from == to) co_return;  // node-local OS call, no fabric traffic
+  ht::Packet pkt{
+      .type = op == kReserve || op == kRelease ? ht::PacketType::kCtrlReq
+                                               : ht::PacketType::kCtrlResp,
+      .src = from,
+      .dst = to,
+      .ctrl_op = op,
+      .payload0 = p0,
+      .payload1 = p1,
+  };
+  co_await fabric_.traverse(pkt);
+}
+
+sim::Task<std::optional<ReservationService::Grant>> ReservationService::reserve(
+    ht::NodeId requester, ht::NodeId donor, ht::PAddr bytes) {
+  requests_.inc();
+  auto it = allocators_.find(donor);
+  if (it == allocators_.end()) {
+    throw std::invalid_argument("ReservationService: unknown donor node");
+  }
+
+  // Requester-side OS work, then the request message travels to the donor.
+  co_await engine_.delay(params_.os_handling);
+  co_await send_ctrl(requester, donor, kReserve, bytes, 0);
+
+  // Donor-side OS: pin a contiguous range.
+  co_await engine_.delay(params_.os_handling);
+  std::optional<ht::PAddr> base = it->second->allocate(bytes, /*pinned=*/true);
+
+  if (!base) {
+    denials_.inc();
+    co_await send_ctrl(donor, requester, kReserveAck, /*ok=*/0, 0);
+    co_return std::nullopt;
+  }
+
+  grants_.inc();
+  // "One modification is done to that physical address before sending it
+  // back: the 14 most significant bits are changed to reflect the
+  // identifier of node 3."
+  ht::PAddr prefixed = node::make_remote(donor, *base);
+  co_await send_ctrl(donor, requester, kReserveAck, /*ok=*/1, prefixed);
+  co_return Grant{donor, prefixed, bytes};
+}
+
+sim::Task<void> ReservationService::release(ht::NodeId requester,
+                                            const Grant& grant) {
+  auto it = allocators_.find(grant.donor);
+  if (it == allocators_.end()) {
+    throw std::invalid_argument("ReservationService: unknown donor node");
+  }
+  co_await send_ctrl(requester, grant.donor, kRelease,
+                     node::local_part(grant.prefixed_base), grant.bytes);
+  co_await engine_.delay(params_.os_handling);
+  it->second->free(node::local_part(grant.prefixed_base));
+  co_await send_ctrl(grant.donor, requester, kReleaseAck, 0, 0);
+}
+
+bool ReservationService::removable(ht::NodeId donor, ht::PAddr base,
+                                   ht::PAddr bytes) const {
+  auto it = allocators_.find(donor);
+  if (it == allocators_.end()) return false;
+  // Any allocated (hence possibly reserved) frame in the range blocks
+  // hot-removal; pinned donations especially so.
+  for (ht::PAddr a = base; a < base + bytes; a += it->second->frame_bytes()) {
+    if (it->second->is_allocated(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace ms::os

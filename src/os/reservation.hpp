@@ -1,0 +1,78 @@
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "ht/packet.hpp"
+#include "noc/fabric.hpp"
+#include "node/address_map.hpp"
+#include "os/frame_allocator.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ms::os {
+
+/// The remote memory reservation protocol (Sec. III-B, Fig. 4).
+///
+/// Requester OS -> CtrlReq(kReserve, bytes) -> donor OS, which pins a
+/// contiguous physical range and answers with the base address — after
+/// applying its own node prefix to the 14 most significant bits. The
+/// requester writes prefixed translations into its page table; the RMC
+/// never participates ("carried out by the OSes without any interaction
+/// with the RMC").
+///
+/// Control messages ride the same fabric as data. The donor-side handler
+/// runs inline in the requester's coroutine (the process walks its own
+/// message), charging the donor's OS handling latency.
+class ReservationService {
+ public:
+  struct Params {
+    sim::Time os_handling = sim::us(3);  ///< syscall+allocator work per side
+  };
+
+  ReservationService(sim::Engine& engine, noc::Fabric& fabric,
+                     const Params& p);
+
+  void register_node(ht::NodeId node, FrameAllocator* alloc) {
+    allocators_[node] = alloc;
+  }
+
+  struct Grant {
+    ht::NodeId donor = ht::kNoNode;
+    ht::PAddr prefixed_base = 0;  ///< donor-local base with donor prefix
+    ht::PAddr bytes = 0;
+  };
+
+  /// Reserves `bytes` of pinned contiguous memory on `donor` on behalf of
+  /// `requester`. Returns nullopt when the donor cannot satisfy it.
+  sim::Task<std::optional<Grant>> reserve(ht::NodeId requester,
+                                          ht::NodeId donor, ht::PAddr bytes);
+
+  /// Returns a previous grant to the donor's pool.
+  sim::Task<void> release(ht::NodeId requester, const Grant& grant);
+
+  /// Donor-side hot-remove guard: true if the range may be hot-removed,
+  /// i.e. it is not currently reserved by anyone.
+  bool removable(ht::NodeId donor, ht::PAddr base, ht::PAddr bytes) const;
+
+  std::uint64_t requests() const { return requests_.value(); }
+  std::uint64_t grants() const { return grants_.value(); }
+  std::uint64_t denials() const { return denials_.value(); }
+
+ private:
+  enum CtrlOp : std::uint32_t { kReserve = 1, kReserveAck, kRelease, kReleaseAck };
+
+  sim::Task<void> send_ctrl(ht::NodeId from, ht::NodeId to, std::uint32_t op,
+                            std::uint64_t p0, std::uint64_t p1);
+
+  sim::Engine& engine_;
+  noc::Fabric& fabric_;
+  Params params_;
+  std::map<ht::NodeId, FrameAllocator*> allocators_;
+  sim::Counter requests_;
+  sim::Counter grants_;
+  sim::Counter denials_;
+};
+
+}  // namespace ms::os

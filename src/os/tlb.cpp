@@ -1,0 +1,34 @@
+#include "os/tlb.hpp"
+
+namespace ms::os {
+
+std::optional<ht::PAddr> Tlb::lookup(VAddr page_base) {
+  ++tick_;
+  auto it = slots_.find(page_base);
+  if (it == slots_.end()) {
+    misses_.inc();
+    return std::nullopt;
+  }
+  hits_.inc();
+  it->second.lru = tick_;
+  return it->second.frame;
+}
+
+void Tlb::insert(VAddr page_base, ht::PAddr frame) {
+  ++tick_;
+  if (slots_.count(page_base) == 0 &&
+      slots_.size() >= static_cast<std::size_t>(params_.entries)) {
+    auto victim = slots_.begin();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.lru < victim->second.lru) victim = it;
+    }
+    slots_.erase(victim);
+  }
+  slots_[page_base] = {frame, tick_};
+}
+
+void Tlb::invalidate(VAddr page_base) { slots_.erase(page_base); }
+
+void Tlb::flush() { slots_.clear(); }
+
+}  // namespace ms::os

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ht/packet.hpp"
+#include "os/page_table.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace ms::os {
+
+/// Translation lookaside buffer, fully associative with LRU replacement.
+///
+/// A TLB hit is free in the timing model (it overlaps the L1 access); a
+/// miss charges the page-walk latency. The walk reads the page table from
+/// *local* memory even when the translated frame is remote — the page
+/// tables themselves always live on the node running the process.
+class Tlb {
+ public:
+  struct Params {
+    int entries = 64;
+    sim::Time walk_latency = sim::ns(80);  ///< ~two dependent DRAM reads
+  };
+
+  explicit Tlb(const Params& p) : params_(p) {}
+
+  /// Looks up a translation; counts a hit or a miss.
+  std::optional<ht::PAddr> lookup(VAddr page_base);
+
+  /// Installs a translation after a walk/fault, evicting LRU if full.
+  void insert(VAddr page_base, ht::PAddr frame);
+
+  void invalidate(VAddr page_base);
+  void flush();
+
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  const Params& params() const { return params_; }
+
+ private:
+  struct Slot {
+    ht::PAddr frame;
+    std::uint64_t lru;
+  };
+  Params params_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<VAddr, Slot> slots_;
+  sim::Counter hits_;
+  sim::Counter misses_;
+};
+
+}  // namespace ms::os

@@ -1,0 +1,44 @@
+#include "rmc/prefetcher.hpp"
+
+namespace ms::rmc {
+
+StreamPrefetcher::StreamPrefetcher(const Params& p, int cores) : params_(p) {
+  streams_.resize(static_cast<std::size_t>(cores));
+  for (auto& per_core : streams_) {
+    per_core.resize(static_cast<std::size_t>(p.streams_per_core));
+  }
+}
+
+std::vector<ht::PAddr> StreamPrefetcher::observe(int core, ht::PAddr line) {
+  std::vector<ht::PAddr> out;
+  if (!enabled()) return out;
+  ++tick_;
+  auto& per_core = streams_[static_cast<std::size_t>(core)];
+
+  // Does this miss continue a tracked stream?
+  for (auto& s : per_core) {
+    if (s.last != 0 && line == s.last + params_.line_bytes) {
+      s.last = line;
+      s.lru = tick_;
+      s.confirmed = true;
+      out.reserve(static_cast<std::size_t>(params_.degree));
+      for (int i = 1; i <= params_.degree; ++i) {
+        out.push_back(line + static_cast<ht::PAddr>(i) * params_.line_bytes);
+      }
+      issued_.inc(out.size());
+      return out;
+    }
+  }
+
+  // New stream: replace the least recently used slot.
+  Stream* victim = &per_core[0];
+  for (auto& s : per_core) {
+    if (s.lru < victim->lru) victim = &s;
+  }
+  victim->last = line;
+  victim->confirmed = false;
+  victim->lru = tick_;
+  return out;
+}
+
+}  // namespace ms::rmc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ht/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace ms::rmc {
+
+/// Sequential stream prefetcher for remote memory (the paper's stated
+/// future-work optimization, Sec. VI: "the use of prefetching techniques
+/// will bring the performance closer to local memory").
+///
+/// Pure detector: the node access path reports every remote demand-miss
+/// line per core; when two consecutive misses are one line apart, the
+/// stream is confirmed and the detector returns the next `degree` line
+/// addresses. The node then issues background RMC reads and installs the
+/// lines into the requesting core's cache. Disabled by degree == 0.
+class StreamPrefetcher {
+ public:
+  struct Params {
+    int degree = 0;          ///< lines fetched ahead per confirmed stream
+    int streams_per_core = 4;
+    std::uint32_t line_bytes = 64;
+  };
+
+  explicit StreamPrefetcher(const Params& p, int cores);
+
+  /// Observes a demand miss; returns prefetch candidates (may be empty).
+  std::vector<ht::PAddr> observe(int core, ht::PAddr line_addr);
+
+  std::uint64_t issued() const { return issued_.value(); }
+  bool enabled() const { return params_.degree > 0; }
+  const Params& params() const { return params_; }
+
+ private:
+  struct Stream {
+    ht::PAddr last = 0;
+    bool confirmed = false;
+    std::uint64_t lru = 0;
+  };
+
+  Params params_;
+  std::vector<std::vector<Stream>> streams_;  // [core][slot]
+  std::uint64_t tick_ = 0;
+  sim::Counter issued_;
+};
+
+}  // namespace ms::rmc

@@ -1,0 +1,119 @@
+#include "rmc/rmc.hpp"
+
+#include <stdexcept>
+
+namespace ms::rmc {
+
+Rmc::Rmc(sim::Engine& engine, ht::NodeId self, noc::Fabric& fabric,
+         const Params& p)
+    : engine_(engine),
+      self_(self),
+      fabric_(fabric),
+      params_(p),
+      bridge_(p.bridge),
+      port_(engine, p.local_port_slots) {}
+
+sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg) {
+  const bool contended = port_.available() == 0;
+  const int queued = static_cast<int>(port_.waiters());
+  const sim::Time asked = engine_.now();
+  co_await port_.acquire();
+  port_wait_.add_time(engine_.now() - asked);
+
+  if (client_leg && contended && last_dir_ != Dir::kNone && last_dir_ != d) {
+    const int w = std::min(queued + 1, params_.max_turnaround_waiters);
+    occupancy += params_.per_waiter_turnaround * static_cast<sim::Time>(w);
+    turnarounds_.inc();
+  }
+  last_dir_ = d;
+  co_await engine_.delay(occupancy);
+  port_.release();
+}
+
+sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
+                                   bool is_write) {
+  if (!node::has_prefix(addr)) {
+    throw std::logic_error("Rmc::client_access: address has no node prefix");
+  }
+  const sim::Time start = engine_.now();
+  client_requests_.inc();
+
+  ht::Packet req{
+      .type = is_write ? ht::PacketType::kWriteReq : ht::PacketType::kReadReq,
+      .src = self_,
+      .dst = node::node_of(addr),
+      .addr = addr,
+      .size = bytes,
+      .tag = next_tag_++,
+  };
+
+  // Request enters the RMC from the local HT domain.
+  co_await use_port(Dir::kToFabric, params_.process_latency, /*client_leg=*/true);
+  co_await engine_.delay(bridge_.encapsulate(req));
+
+  if (req.dst == self_) {
+    // Loopback mode (Sec. III-B): the prefix names this very node. The RMC
+    // strips it and replays the access locally without touching the fabric.
+    loopbacks_.inc();
+    co_await engine_.delay(bridge_.decapsulate(req));
+    co_await use_port(Dir::kToLocal, params_.serve_occupancy, false);
+    co_await local_service_(node::local_part(addr), bytes, is_write);
+    co_await use_port(Dir::kToFabric, params_.serve_occupancy, false);
+    // Response delivery to the core is a client leg again.
+    co_await use_port(Dir::kToLocal, params_.process_latency, true);
+    round_trip_.add_time(engine_.now() - start);
+    co_return;
+  }
+
+  co_await fabric_.traverse(req);
+
+  Rmc* peer = peer_lookup_ ? peer_lookup_(req.dst) : nullptr;
+  if (peer == nullptr) {
+    throw std::logic_error("Rmc: no peer RMC registered for destination node");
+  }
+  co_await peer->serve(req);
+
+  ht::Packet resp{
+      .type = is_write ? ht::PacketType::kWriteAck : ht::PacketType::kReadResp,
+      .src = req.dst,
+      .dst = self_,
+      .addr = req.addr,
+      .size = is_write ? 0 : bytes,
+      .tag = req.tag,
+  };
+  co_await fabric_.traverse(resp);
+
+  // Response is decapsulated and delivered back into the local HT domain.
+  co_await engine_.delay(bridge_.decapsulate(resp));
+  co_await use_port(Dir::kToLocal, params_.process_latency, /*client_leg=*/true);
+  round_trip_.add_time(engine_.now() - start);
+}
+
+sim::Task<void> Rmc::serve(ht::Packet req) {
+  served_requests_.inc();
+  const bool is_write = req.type == ht::PacketType::kWriteReq;
+  co_await engine_.delay(bridge_.decapsulate(req));
+  // Forward into the donor's HT domain; its memory controllers answer. The
+  // serve path pipelines: the port is held for the issue interval only and
+  // the residual pipeline latency runs unblocked.
+  co_await use_port(Dir::kToLocal, params_.serve_occupancy, false);
+  co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  if (!local_service_) {
+    throw std::logic_error("Rmc::serve: no local service bound");
+  }
+  co_await local_service_(node::local_part(req.addr), req.size, is_write);
+  // Response crosses back into the RMC and is encapsulated for the fabric.
+  co_await use_port(Dir::kToFabric, params_.serve_occupancy, false);
+  co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  ht::Packet resp{
+      .type = is_write ? ht::PacketType::kWriteAck : ht::PacketType::kReadResp,
+      .src = self_,
+      .dst = req.src,
+      .addr = req.addr,
+      .size = is_write ? 0 : req.size,
+      .tag = req.tag,
+  };
+  co_await engine_.delay(bridge_.encapsulate(resp));
+}
+
+}  // namespace ms::rmc

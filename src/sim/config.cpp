@@ -1,0 +1,78 @@
+#include "sim/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ms::sim {
+
+Config Config::from_args(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got: " + tok);
+    }
+    cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+std::string Config::get_str(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+std::uint64_t Config::get_u64(const std::string& key, std::uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_size(it->second);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("not a boolean: " + key + "=" + v);
+}
+
+std::string Config::dump() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << k << "=" << v << " ";
+  return out.str();
+}
+
+std::uint64_t parse_size(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("empty size");
+  std::size_t pos = 0;
+  std::uint64_t base = std::stoull(text, &pos);
+  std::uint64_t mult = 1;
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'k': case 'K': mult = 1ULL << 10; break;
+      case 'm': case 'M': mult = 1ULL << 20; break;
+      case 'g': case 'G': mult = 1ULL << 30; break;
+      case 't': case 'T': mult = 1ULL << 40; break;
+      default:
+        throw std::invalid_argument("bad size suffix in: " + text);
+    }
+  }
+  return base * mult;
+}
+
+}  // namespace ms::sim

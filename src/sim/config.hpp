@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ms::sim {
+
+/// Flat key=value configuration store with typed getters.
+///
+/// Benches and examples accept overrides on the command line
+/// ("bench_fig7 nodes=16 threads=4"); modules read their constants through
+/// this object so every run can print exactly the configuration it used.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; unrecognized tokens throw.
+  static Config from_args(int argc, char** argv);
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_str(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Parses human-friendly sizes: "4096", "64K", "8M", "2G" (binary multiples).
+std::uint64_t parse_size(const std::string& text);
+
+}  // namespace ms::sim

@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ms::sim {
+
+void Engine::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Engine::schedule_at: scheduling into the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+namespace {
+// Awaitable that yields the current coroutine's handle without suspending.
+struct SelfHandle {
+  std::coroutine_handle<> h;
+  bool await_ready() noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> current) noexcept {
+    h = current;
+    return false;  // resume immediately
+  }
+  std::coroutine_handle<> await_resume() noexcept { return h; }
+};
+}  // namespace
+
+Engine::Detached Engine::drive(Task<void> task) {
+  auto self = co_await SelfHandle{};
+  ++live_;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  --live_;
+  std::erase(drivers_, self);
+}
+
+void Engine::spawn(Task<void> task) {
+  auto driver = drive(std::move(task));
+  auto h = driver.handle;
+  drivers_.push_back(h);
+  schedule(0, [h] { h.resume(); });
+}
+
+Engine::~Engine() {
+  // Destroy any process still suspended. Child task frames are owned by
+  // their parents' locals, so destroying the driver frame unwinds the whole
+  // chain. Handles left in component wait-lists are never resumed after
+  // this point, so they cannot dangle into freed frames at runtime.
+  for (auto h : drivers_) {
+    if (h && !h.done()) h.destroy();
+  }
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is moved out via const_cast,
+  // which is safe because pop() immediately removes the moved-from element.
+  auto& top = const_cast<Event&>(queue_.top());
+  Time when = top.when;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  now_ = when;
+  ++events_processed_;
+  fn();
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Discrete-event simulation engine.
+///
+/// The engine owns a time-ordered event queue. Events are plain callbacks;
+/// simulated processes are Task<void> coroutines spawned onto the engine,
+/// whose suspension points (Delay, Semaphore, Mailbox, ...) schedule their
+/// own resumption as events. Ties in timestamp are broken FIFO by a sequence
+/// number, so runs are fully deterministic.
+///
+/// Single-threaded by design: a simulation at this granularity is dominated
+/// by pointer-chasing through component state, and determinism is worth more
+/// than parallel speedup (cf. the reproducibility requirements of the
+/// benchmarks — every figure must be replayable bit-for-bit).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  void schedule_at(Time when, std::function<void()> fn);
+
+  /// Starts a simulated process. The engine takes ownership of the coroutine
+  /// frame; the first resumption happens through the event queue at the
+  /// current time, so spawning mid-run is deterministic.
+  void spawn(Task<void> task);
+
+  /// Runs until the event queue is empty. Throws the first exception that
+  /// escaped any process.
+  void run();
+
+  /// Runs until the queue is empty or simulated time would exceed `deadline`.
+  /// Returns the time at which the run stopped.
+  Time run_until(Time deadline);
+
+  /// Number of spawned processes that have not yet finished. After run()
+  /// returns this should normally be zero; a nonzero value means processes
+  /// are blocked forever (deadlock) — tests assert on it.
+  int live_processes() const { return live_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Awaitable: suspends the current process for `d` simulated time.
+  struct DelayAwaiter {
+    Engine* engine;
+    Time delay;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      engine->schedule(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Time d) { return DelayAwaiter{this, d}; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Detached driver coroutine: runs `task` to completion and self-destroys.
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() {
+        return {std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { std::terminate(); }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+  Detached drive(Task<void> task);
+
+  bool step();  // pops and runs one event; returns false when queue empty
+
+  Time now_ = 0;
+  // Driver frames still suspended; destroyed (recursively, through their
+  // owned child tasks) if the engine dies before they finish.
+  std::vector<std::coroutine_handle<>> drivers_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  int live_ = 0;
+  std::exception_ptr first_error_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+}  // namespace ms::sim

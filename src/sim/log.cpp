@@ -1,0 +1,45 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace ms::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* name_of(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string format_time(Time t) {
+  char buf[64];
+  if (t < ns(10)) {
+    std::snprintf(buf, sizeof buf, "%llu ps", static_cast<unsigned long long>(t));
+  } else if (t < us(10)) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", to_ns(t));
+  } else if (t < ms_(10)) {
+    std::snprintf(buf, sizeof buf, "%.2f us", to_us(t));
+  } else if (t < sec(10)) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", to_sec(t));
+  }
+  return buf;
+}
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Log::write(LogLevel lvl, Time now, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s] %s\n", name_of(lvl), format_time(now).c_str(),
+               msg.c_str());
+}
+
+}  // namespace ms::sim

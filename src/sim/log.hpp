@@ -1,0 +1,32 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Minimal leveled logger. Off above kInfo by default; the simulator's hot
+/// paths guard trace logging behind enabled() so disabled logging costs one
+/// branch. Output goes to stderr so bench tables on stdout stay clean.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, Time now, const std::string& msg);
+};
+
+#define MS_LOG(lvl, now, expr)                                   \
+  do {                                                           \
+    if (::ms::sim::Log::enabled(lvl)) {                          \
+      std::ostringstream os_;                                    \
+      os_ << expr;                                               \
+      ::ms::sim::Log::write(lvl, now, os_.str());                \
+    }                                                            \
+  } while (0)
+
+}  // namespace ms::sim

@@ -1,0 +1,91 @@
+#include "sim/stats.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace ms::sim {
+
+double Sampler::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+int bucket_for(std::uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+}  // namespace
+
+void Histogram::add(std::uint64_t v) {
+  int b = bucket_for(v);
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++buckets_[b];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      // Interpolate within the bucket [2^(b-1), 2^b).
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = std::ldexp(1.0, b);
+      double frac = buckets_[b] ? (target - seen) / static_cast<double>(buckets_[b]) : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+std::string Histogram::render(int max_width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 0;
+  int last = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    peak = std::max(peak, buckets_[b]);
+    if (buckets_[b] > 0) last = b;
+  }
+  if (peak == 0) return "(empty)\n";
+  for (int b = 0; b <= last; ++b) {
+    double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    int bar = static_cast<int>(static_cast<double>(buckets_[b]) /
+                               static_cast<double>(peak) * max_width);
+    out << ">=" << static_cast<std::uint64_t>(lo) << "\t" << buckets_[b] << "\t"
+        << std::string(static_cast<std::size_t>(bar), '#') << "\n";
+  }
+  return out.str();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  total_ = 0;
+}
+
+std::uint64_t StatRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string StatRegistry::report() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, s] : samplers_) {
+    out << name << ": n=" << s.count() << " mean=" << s.mean()
+        << " min=" << s.min() << " max=" << s.max() << " sd=" << s.stddev()
+        << "\n";
+  }
+  return out.str();
+}
+
+void StatRegistry::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, s] : samplers_) s.reset();
+  for (auto& [_, h] : histograms_) h.reset();
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming sample statistics (Welford) for latency-like values.
+class Sampler {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+  void add_time(Time t) { add(static_cast<double>(t)); }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset() { *this = Sampler{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram; cheap enough to leave always-on in the
+/// hot memory path, precise enough for latency-distribution reporting.
+class Histogram {
+ public:
+  void add(std::uint64_t v);
+  std::uint64_t count() const { return total_; }
+  /// Approximate quantile (q in [0,1]) assuming uniform density per bucket.
+  double quantile(double q) const;
+  std::string render(int max_width = 50) const;
+  void reset();
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Named registry so components can export their stats for reports/tests.
+/// Ownership of values stays with the registry; components hold references.
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Sampler& sampler(const std::string& name) { return samplers_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Sampler>& samplers() const { return samplers_; }
+
+  /// Value of a counter, or 0 when absent (convenient in assertions).
+  std::uint64_t counter_value(const std::string& name) const;
+
+  std::string report() const;
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Sampler> samplers_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ms::sim

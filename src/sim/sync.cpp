@@ -1,0 +1,37 @@
+#include "sim/sync.hpp"
+
+namespace ms::sim {
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    // Hand the token directly to the oldest waiter; the count stays at zero
+    // so a concurrent try_acquire cannot barge in front of it.
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    engine_.schedule(0, [h] { h.resume(); });
+  } else {
+    ++count_;
+  }
+}
+
+void Trigger::fire() {
+  fired_ = true;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters) {
+    engine_.schedule(0, [h] { h.resume(); });
+  }
+}
+
+void WaitGroup::done() {
+  --count_;
+  if (count_ == 0) {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      engine_.schedule(0, [h] { h.resume(); });
+    }
+  }
+}
+
+}  // namespace ms::sim

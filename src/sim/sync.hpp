@@ -1,0 +1,184 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Counting semaphore for simulated processes.
+///
+/// Used to model any resource with limited concurrency: an RMC's outstanding
+/// request slots, a link's single transmitter, a memory controller port.
+/// Waiters are served strictly FIFO; a released token is handed directly to
+/// the oldest waiter (no barging), which keeps service order deterministic.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, int initial) : engine_(engine), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  struct Acquire {
+    Semaphore* sem;
+    bool await_ready() const noexcept {
+      if (sem->count_ > 0) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await sem.acquire();  ... sem.release();
+  Acquire acquire() { return Acquire{this}; }
+  void release();
+
+  /// Tries to take a token without waiting.
+  bool try_acquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  int available() const { return count_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  int count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII helper: holds one semaphore token for the enclosing scope.
+/// Safe across co_await points (the guard lives in the coroutine frame).
+class SemToken {
+ public:
+  explicit SemToken(Semaphore& s) : sem_(&s) {}
+  SemToken(SemToken&& o) noexcept : sem_(std::exchange(o.sem_, nullptr)) {}
+  SemToken(const SemToken&) = delete;
+  SemToken& operator=(const SemToken&) = delete;
+  SemToken& operator=(SemToken&&) = delete;
+  ~SemToken() {
+    if (sem_) sem_->release();
+  }
+
+ private:
+  Semaphore* sem_;
+};
+
+/// One-shot broadcast event. Processes co_await wait(); fire() releases all
+/// of them (at the current time, through the event queue). Used for
+/// completion notifications, e.g. a response matching an outstanding tag.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  struct Wait {
+    Trigger* trig;
+    bool await_ready() const noexcept { return trig->fired_; }
+    void await_suspend(std::coroutine_handle<> h) { trig->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Wait wait() { return Wait{this}; }
+
+  void fire();
+  bool fired() const { return fired_; }
+  void reset() { fired_ = false; }
+
+ private:
+  Engine& engine_;
+  bool fired_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Join-counter for fan-out/fan-in: spawn N workers with add(N), each calls
+/// done() on exit, the parent co_awaits wait() until the count drains.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& engine) : engine_(engine) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(int n = 1) { count_ += n; }
+  void done();
+
+  struct Wait {
+    WaitGroup* wg;
+    bool await_ready() const noexcept { return wg->count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { wg->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Wait wait() { return Wait{this}; }
+
+  int count() const { return count_; }
+
+ private:
+  Engine& engine_;
+  int count_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel between simulated processes. send() never blocks;
+/// receive() blocks until an item is available. Receivers are served FIFO.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(engine) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void send(T item) {
+    if (!receivers_.empty()) {
+      Receiver r = receivers_.front();
+      receivers_.pop_front();
+      r.slot->emplace(std::move(item));
+      engine_.schedule(0, [h = r.handle] { h.resume(); });
+    } else {
+      items_.push_back(std::move(item));
+    }
+  }
+
+  struct Receive {
+    Mailbox* box;
+    std::optional<T> value;
+    bool await_ready() {
+      if (!box->items_.empty()) {
+        value.emplace(std::move(box->items_.front()));
+        box->items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      box->receivers_.push_back(Receiver{h, &value});
+    }
+    T await_resume() { return std::move(*value); }
+  };
+  Receive receive() { return Receive{this, std::nullopt}; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return receivers_.size(); }
+
+ private:
+  struct Receiver {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+  Engine& engine_;
+  std::deque<T> items_;
+  std::deque<Receiver> receivers_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ms::sim {
+
+/// Column-aligned text table with optional CSV export.
+///
+/// Every bench binary prints one of these per paper figure so the output can
+/// be compared to the figure's series directly, and optionally dumped as CSV
+/// for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row of pre-formatted cells; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience row builder mixing strings and numbers.
+  class RowBuilder {
+   public:
+    RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(const std::string& v);
+    RowBuilder& cell(double v, int precision = 2);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    ~RowBuilder();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::string render() const;
+  std::string csv() const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ms::sim

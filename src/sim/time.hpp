@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ms::sim {
+
+/// Simulated time in integer picoseconds.
+///
+/// Picosecond resolution keeps every latency constant in the model exact
+/// (e.g. one 64-byte flit on a 4 GB/s link is 16'000 ps) while still giving
+/// ~213 days of simulated range in 64 bits — far beyond any run we make.
+using Time = std::uint64_t;
+
+/// Signed duration, used for differences only.
+using TimeDelta = std::int64_t;
+
+inline constexpr Time kTimeMax = ~Time{0};
+
+// Duration constructors. Integer overloads are exact; the double overloads
+// round to the nearest picosecond and exist for derived quantities such as
+// bytes/bandwidth.
+constexpr Time ps(std::uint64_t v) { return v; }
+constexpr Time ns(std::uint64_t v) { return v * 1'000; }
+constexpr Time us(std::uint64_t v) { return v * 1'000'000; }
+constexpr Time ms_(std::uint64_t v) { return v * 1'000'000'000; }
+constexpr Time sec(std::uint64_t v) { return v * 1'000'000'000'000ULL; }
+
+constexpr Time ns_d(double v) { return static_cast<Time>(v * 1e3 + 0.5); }
+constexpr Time us_d(double v) { return static_cast<Time>(v * 1e6 + 0.5); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / 1e12; }
+
+/// Human-readable rendering with an auto-selected unit ("312 ns", "4.2 ms").
+std::string format_time(Time t);
+
+}  // namespace ms::sim

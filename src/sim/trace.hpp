@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Bounded memory-access trace for offline analysis.
+///
+/// Attach one to a core::MemorySpace (set_trace) to capture every timed
+/// access: simulated time, core, virtual address, size, direction. The
+/// buffer is a ring — old entries fall off past `capacity` so a trace can
+/// stay attached to an arbitrarily long run. dump_csv emits a header plus
+/// one row per record, newest last, suitable for plotting access patterns
+/// or replaying against another configuration.
+class AccessTrace {
+ public:
+  struct Record {
+    Time when;
+    std::uint64_t vaddr;
+    std::uint32_t bytes;
+    std::uint16_t core;
+    bool is_write;
+  };
+
+  explicit AccessTrace(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void record(Time when, int core, std::uint64_t vaddr, std::uint32_t bytes,
+              bool is_write) {
+    if (records_.size() == capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(Record{when, vaddr, bytes,
+                              static_cast<std::uint16_t>(core), is_write});
+  }
+
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  const std::deque<Record>& records() const { return records_; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  void dump_csv(std::ostream& out) const {
+    out << "time_ps,core,vaddr,bytes,op\n";
+    for (const auto& r : records_) {
+      out << r.when << ',' << r.core << ',' << r.vaddr << ',' << r.bytes
+          << ',' << (r.is_write ? 'W' : 'R') << '\n';
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::deque<Record> records_;
+};
+
+}  // namespace ms::sim

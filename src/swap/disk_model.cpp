@@ -1,0 +1,4 @@
+#include "swap/disk_model.hpp"
+
+// Header-only; anchors the module in the library.
+namespace ms::swap {}

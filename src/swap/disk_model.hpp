@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace ms::swap {
+
+/// 2010-era SATA disk for the classic swap baseline: a single spindle,
+/// average positioning time, then streaming transfer. The point the paper
+/// makes with it ("thrashing ... increasing execution time to prohibitive
+/// levels") only needs the four-orders-of-magnitude latency gap.
+class DiskModel {
+ public:
+  struct Params {
+    sim::Time position = sim::ms_(8);  ///< avg seek + rotational latency
+    double bytes_per_ns = 0.06;        ///< ~60 MB/s sustained
+  };
+
+  DiskModel(sim::Engine& engine, const Params& p)
+      : engine_(engine), params_(p), spindle_(engine, 1) {}
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  /// One page-sized transfer (read or write — symmetric).
+  sim::Task<void> transfer(std::uint32_t bytes) {
+    co_await spindle_.acquire();
+    sim::SemToken token(spindle_);
+    co_await engine_.delay(
+        params_.position +
+        sim::ns_d(static_cast<double>(bytes) / params_.bytes_per_ns));
+    ops_.inc();
+  }
+
+  std::uint64_t operations() const { return ops_.value(); }
+
+ private:
+  sim::Engine& engine_;
+  Params params_;
+  sim::Semaphore spindle_;
+  sim::Counter ops_;
+};
+
+}  // namespace ms::swap

@@ -1,0 +1,197 @@
+#include "swap/swap_manager.hpp"
+
+#include <stdexcept>
+
+namespace ms::swap {
+
+SwapManager::SwapManager(sim::Engine& engine, node::Node& node,
+                         noc::Fabric& fabric, os::RegionManager* region,
+                         DiskModel* disk, const Params& p)
+    : engine_(engine),
+      node_(node),
+      fabric_(fabric),
+      region_(region),
+      disk_(disk),
+      params_(p),
+      max_resident_(std::max<std::uint64_t>(1, p.resident_limit_bytes /
+                                                   p.page_bytes)),
+      fault_mutex_(engine, 1) {
+  if (p.backend == Backend::kRemote && region_ == nullptr) {
+    throw std::invalid_argument("SwapManager: remote backend needs a region");
+  }
+  if (p.backend == Backend::kDisk && disk_ == nullptr) {
+    throw std::invalid_argument("SwapManager: disk backend needs a disk");
+  }
+  // kCompressed needs neither: the backend is the local CPU + spare DRAM.
+}
+
+sim::Task<ht::PAddr> SwapManager::slot_of(os::VAddr page) {
+  auto it = slots_.find(page);
+  if (it != slots_.end()) co_return it->second;
+
+  ht::PAddr slot;
+  if (params_.backend == Backend::kRemote) {
+    auto allocated =
+        co_await region_->alloc_page(os::RegionManager::Placement::kRemoteOnly);
+    if (!allocated) co_return kNoSlot;
+    slot = *allocated;
+  } else {
+    // Disk/compressed slots: cost-only cookies under a pseudo-node key no
+    // fabric node uses, indexed by the virtual page itself.
+    if (page >= node::kLocalSpaceBytes) {
+      throw std::out_of_range("SwapManager: swap VA above 16 GiB");
+    }
+    slot = node::make_remote(node::kMaxNodeId, page);
+  }
+  slots_[page] = slot;
+  co_return slot;
+}
+
+sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend) {
+  const auto bytes = static_cast<std::uint32_t>(params_.page_bytes);
+  if (params_.backend == Backend::kDisk) {
+    co_await disk_->transfer(bytes);
+    co_return;
+  }
+  if (params_.backend == Backend::kCompressed) {
+    co_await engine_.delay(to_backend ? params_.compress_time
+                                      : params_.decompress_time);
+    co_return;
+  }
+  // Commodity NBD-over-GigE-class serialization dominates the transfer.
+  co_await engine_.delay(sim::ns_d(static_cast<double>(bytes) /
+                                   params_.backend_bytes_per_ns));
+  const ht::NodeId self = node_.id();
+  const ht::NodeId donor = node::node_of(slot);
+  co_await engine_.delay(params_.nic_overhead);
+  ht::Packet out{
+      .type = to_backend ? ht::PacketType::kWriteReq : ht::PacketType::kReadReq,
+      .src = self,
+      .dst = donor,
+      .addr = slot,
+      .size = to_backend ? bytes : 0,
+  };
+  co_await fabric_.traverse(out);
+  if (donor_service_) {
+    co_await donor_service_(donor, node::local_part(slot), bytes, to_backend);
+  } else {
+    co_await engine_.delay(sim::ns(120));  // standalone tests: flat DRAM cost
+  }
+  ht::Packet back{
+      .type = to_backend ? ht::PacketType::kWriteAck : ht::PacketType::kReadResp,
+      .src = donor,
+      .dst = self,
+      .addr = slot,
+      .size = to_backend ? 0 : bytes,
+  };
+  co_await fabric_.traverse(back);
+  co_await engine_.delay(params_.nic_overhead);
+}
+
+
+ht::PAddr SwapManager::fresh_frame(std::size_t index) const {
+  // Interleave resident frames across the node's sockets, like a real
+  // kernel's page allocator — otherwise every synthetic frame would sit on
+  // socket 0 and enjoy an unrealistic NUMA advantage.
+  const auto& np = node_.params();
+  const auto sockets = static_cast<std::uint64_t>(np.sockets);
+  const ht::PAddr per_socket = np.local_bytes / sockets;
+  const std::uint64_t i = static_cast<std::uint64_t>(index);
+  return (i % sockets) * per_socket + (i / sockets) * params_.page_bytes;
+}
+
+sim::Task<void> SwapManager::fault_in(os::VAddr page) {
+  faults_.inc();
+  // A page is "major" when its data lives in the backend (it was written
+  // out, or the setup phase declared it as pre-existing data). A truly
+  // fresh page is a zero-fill minor fault: no transfer, small cost.
+  const bool major = backed_.count(page) != 0 || slots_.count(page) != 0;
+  if (!major) {
+    co_await engine_.delay(params_.minor_fault);
+  } else {
+    major_faults_.inc();
+    co_await engine_.delay(params_.fault_trap);
+  }
+
+  ht::PAddr frame;
+  if (resident_.size() >= max_resident_) {
+    os::VAddr victim = lru_.front();
+    lru_.pop_front();
+    auto vit = resident_.find(victim);
+    frame = vit->second.frame;
+    const bool dirty = vit->second.dirty;
+    resident_.erase(vit);
+    evictions_.inc();
+    backed_.insert(victim);  // once evicted, a reload is always major
+    if (dirty) {
+      dirty_writebacks_.inc();
+      ht::PAddr slot = co_await slot_of(victim);
+      co_await page_transfer(slot, /*to_backend=*/true);
+    }
+  } else {
+    frame = fresh_frame(resident_.size());
+  }
+
+  if (major) {
+    ht::PAddr slot = co_await slot_of(page);
+    if (slot == kNoSlot) {
+      throw std::runtime_error("SwapManager: backend exhausted");
+    }
+    co_await page_transfer(slot, /*to_backend=*/false);
+    co_await engine_.delay(params_.map_update);
+  }
+
+  lru_.push_back(page);
+  resident_[page] = Resident{frame, false, std::prev(lru_.end())};
+}
+
+void SwapManager::note_poke(os::VAddr page) {
+  backed_.insert(page);
+  if (resident_.count(page) != 0) {
+    auto& r = resident_[page];
+    lru_.splice(lru_.end(), lru_, r.lru_it);
+    return;
+  }
+  // Untimed residency shuffle: the build phase left the most recently
+  // written pages in memory and pushed the rest to the backend.
+  ht::PAddr frame;
+  if (resident_.size() >= max_resident_) {
+    os::VAddr victim = lru_.front();
+    lru_.pop_front();
+    auto vit = resident_.find(victim);
+    frame = vit->second.frame;
+    resident_.erase(vit);
+    backed_.insert(victim);
+  } else {
+    frame = fresh_frame(resident_.size());
+  }
+  lru_.push_back(page);
+  resident_[page] = Resident{frame, false, std::prev(lru_.end())};
+}
+
+sim::Task<sim::Time> SwapManager::access(os::VAddr vaddr, std::uint32_t bytes,
+                                         bool is_write, int core,
+                                         sim::Time carried) {
+  const os::VAddr page = vaddr & ~(params_.page_bytes - 1);
+  auto it = resident_.find(page);
+  if (it == resident_.end()) {
+    co_await engine_.delay(carried);
+    carried = 0;
+    co_await fault_mutex_.acquire();
+    sim::SemToken lock(fault_mutex_);
+    it = resident_.find(page);  // a peer thread may have faulted it in
+    if (it == resident_.end()) {
+      co_await fault_in(page);
+      it = resident_.find(page);
+    }
+  }
+
+  // Touch LRU, set dirtiness, then time the access like any local reference.
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+  if (is_write) it->second.dirty = true;
+  const ht::PAddr phys =
+      it->second.frame + (vaddr & (params_.page_bytes - 1));
+  co_return co_await node_.access(core, phys, bytes, is_write, carried);
+}
+
+}  // namespace ms::swap

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "noc/fabric.hpp"
+#include "node/node.hpp"
+#include "os/page_table.hpp"
+#include "os/region_manager.hpp"
+#include "swap/disk_model.hpp"
+
+namespace ms::swap {
+
+/// Remote-swap / disk-swap baseline (Sec. II and Eq. 1).
+///
+/// The process sees only `resident_limit` bytes of local memory. Pages
+/// beyond it live in a backend — pinned remote segments (remote swap) or
+/// disk (classic swap). A reference to a non-resident page takes a fault:
+/// OS trap, LRU eviction (with write-back if dirty), a whole-page transfer
+/// in, and a mapping update. Resident pages are accessed through the normal
+/// local cache/DRAM path, so Eq. 1's two terms — A_total * L_local and
+/// (A_total / A_page) * L_swap — both emerge mechanistically.
+///
+/// Functional note: data bytes stay at the backend slot address in
+/// mem::BackingStore (copying them on every simulated migration would be
+/// pure overhead); the resident frame is a timing entity.
+class SwapManager {
+ public:
+  /// kCompressed models an in-memory compressed pool (the memory-
+  /// compression alternative of the paper's related work [12][13],
+  /// zram-style): faults cost CPU de/compression, no network or disk.
+  enum class Backend { kRemote, kDisk, kCompressed };
+
+  struct Params {
+    Backend backend = Backend::kRemote;
+    std::uint64_t page_bytes = 4096;
+    std::uint64_t resident_limit_bytes = 64 << 20;
+    // 2010-era remote-swap costs (network block device over the cluster
+    // interconnect, kernel block+net stack on both ends): tens of
+    // microseconds per fault end to end, cf. the remote-swap literature
+    // the paper cites ([7][8][26][27]).
+    sim::Time fault_trap = sim::us(8);    ///< trap + handler + block layer
+    sim::Time map_update = sim::us(2);    ///< page table + TLB maintenance
+    sim::Time minor_fault = sim::us(2);   ///< fresh zero page: no transfer
+    sim::Time nic_overhead = sim::us(50); ///< per-message driver/stack cost
+    sim::Time compress_time = sim::us(3);   ///< 4 KiB software LZO, 2010 CPU
+    sim::Time decompress_time = sim::us(2);
+    /// Remote-swap transfers ride a commodity NBD/GigE-class path (the
+    /// remote-swap literature's setting), not the HT fabric's bandwidth.
+    double backend_bytes_per_ns = 0.08;   ///< ~640 Mb/s effective (TCP/GigE)
+  };
+
+  /// `region` supplies backend slots for remote swap (pages on donor
+  /// nodes); `disk` is used for Backend::kDisk. Either may be null when
+  /// the corresponding backend is not selected.
+  SwapManager(sim::Engine& engine, node::Node& node, noc::Fabric& fabric,
+              os::RegionManager* region, DiskModel* disk, const Params& p);
+  SwapManager(const SwapManager&) = delete;
+  SwapManager& operator=(const SwapManager&) = delete;
+
+  /// Timing for one reference by `core`; same accumulated-time contract as
+  /// node::Node::access. Returns the new accumulator.
+  /// `slot` is the backend slot of the page (see slot_of).
+  sim::Task<sim::Time> access(os::VAddr vaddr, std::uint32_t bytes,
+                              bool is_write, int core, sim::Time carried);
+
+  /// Backend slot (prefixed physical address) assigned to a virtual page;
+  /// allocated lazily on first use. This is also where the functional
+  /// bytes of the page live. Returns kNoSlot on backend exhaustion.
+  sim::Task<ht::PAddr> slot_of(os::VAddr page);
+
+  static constexpr ht::PAddr kNoSlot = ~ht::PAddr{0};
+
+  /// Donor-side timing for a page transfer (bound by the cluster to the
+  /// donor node's serve_remote); when unset a flat DRAM cost is charged.
+  using DonorService = std::function<sim::Task<void>(
+      ht::NodeId donor, ht::PAddr donor_local, std::uint32_t bytes,
+      bool is_write)>;
+  void set_donor_service(DonorService svc) { donor_service_ = std::move(svc); }
+
+  /// Declares that `page` holds pre-existing data (workload setup wrote
+  /// it). The page becomes resident if there is room — the state a real
+  /// build phase leaves behind — and is marked as swap-backed, so a later
+  /// reload is a full (major) fault, never a cheap zero-fill.
+  void note_poke(os::VAddr page);
+
+  std::uint64_t faults() const { return faults_.value(); }
+  std::uint64_t major_faults() const { return major_faults_.value(); }
+  std::uint64_t minor_faults() const {
+    return faults_.value() - major_faults_.value();
+  }
+  std::uint64_t evictions() const { return evictions_.value(); }
+  std::uint64_t dirty_writebacks() const { return dirty_writebacks_.value(); }
+  std::size_t resident_pages() const { return resident_.size(); }
+  const Params& params() const { return params_; }
+
+ private:
+  struct Resident {
+    ht::PAddr frame;                       ///< local frame (timing address)
+    bool dirty;
+    std::list<os::VAddr>::iterator lru_it; ///< position in lru_ (back = hottest)
+  };
+
+  sim::Task<void> page_transfer(ht::PAddr slot, bool to_backend);
+  ht::PAddr fresh_frame(std::size_t index) const;
+  sim::Task<void> fault_in(os::VAddr page);
+
+  sim::Engine& engine_;
+  node::Node& node_;
+  noc::Fabric& fabric_;
+  os::RegionManager* region_;
+  DiskModel* disk_;
+  DonorService donor_service_;
+  Params params_;
+  std::uint64_t max_resident_;
+  sim::Semaphore fault_mutex_;  ///< one fault handled at a time (kernel lock)
+
+  std::unordered_map<os::VAddr, Resident> resident_;
+  std::list<os::VAddr> lru_;  ///< front = coldest
+  std::unordered_map<os::VAddr, ht::PAddr> slots_;
+  std::unordered_set<os::VAddr> backed_;  ///< pages with data in the backend
+  std::uint64_t next_local_frame_ = 0;
+
+  sim::Counter faults_;
+  sim::Counter major_faults_;
+  sim::Counter evictions_;
+  sim::Counter dirty_writebacks_;
+};
+
+}  // namespace ms::swap

@@ -1,0 +1,78 @@
+#include "workloads/blackscholes.hpp"
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+namespace {
+// Abramowitz & Stegun 26.2.17 — the same polynomial PARSEC uses.
+double normal_cdf(double x) {
+  const double a1 = 0.319381530, a2 = -0.356563782, a3 = 1.781477937,
+               a4 = -1.821255978, a5 = 1.330274429;
+  const double L = std::fabs(x);
+  const double k = 1.0 / (1.0 + 0.2316419 * L);
+  const double poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))));
+  const double w =
+      1.0 - 1.0 / std::sqrt(2.0 * M_PI) * std::exp(-L * L / 2.0) * poly;
+  return x < 0 ? 1.0 - w : w;
+}
+}  // namespace
+
+double Blackscholes::price(const OptionData& o) {
+  const double sqrt_t = std::sqrt(o.maturity);
+  const double d1 =
+      (std::log(o.spot / o.strike) +
+       (o.rate + o.volatility * o.volatility / 2.0) * o.maturity) /
+      (o.volatility * sqrt_t);
+  const double d2 = d1 - o.volatility * sqrt_t;
+  const double discounted = o.strike * std::exp(-o.rate * o.maturity);
+  if (o.is_put) {
+    return discounted * normal_cdf(-d2) - o.spot * normal_cdf(-d1);
+  }
+  return o.spot * normal_cdf(d1) - discounted * normal_cdf(d2);
+}
+
+Blackscholes::Blackscholes(core::MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {}
+
+sim::Task<void> Blackscholes::setup() {
+  options_ = co_await space_.map_range(params_.options * sizeof(OptionData));
+  results_ = co_await space_.map_range(params_.options * 8);
+  sim::Rng rng(params_.seed);
+  for (std::uint64_t i = 0; i < params_.options; ++i) {
+    OptionData o{
+        .spot = 20.0 + rng.uniform() * 80.0,
+        .strike = 20.0 + rng.uniform() * 80.0,
+        .rate = 0.01 + rng.uniform() * 0.09,
+        .volatility = 0.10 + rng.uniform() * 0.50,
+        .maturity = 0.25 + rng.uniform() * 2.0,
+        .is_put = static_cast<std::uint32_t>(rng.below(2)),
+    };
+    space_.poke_pod(options_ + i * sizeof(OptionData), o);
+  }
+}
+
+sim::Task<void> Blackscholes::run(core::ThreadCtx& t) {
+  for (int round = 0; round < params_.rounds; ++round) {
+    for (std::uint64_t i = 0; i < params_.options; ++i) {
+      auto o = co_await space_.read_pod<OptionData>(
+          t, options_ + i * sizeof(OptionData));
+      t.compute(params_.compute_per_option);
+      const double p = price(o);
+      co_await space_.write_pod(t, results_ + i * 8, p);
+    }
+  }
+  co_await space_.sync(t);
+}
+
+double Blackscholes::checksum() const {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < params_.options; ++i) {
+    sum += space_.peek_pod<double>(results_ + i * 8);
+  }
+  return sum;
+}
+
+}  // namespace ms::workloads

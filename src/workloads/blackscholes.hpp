@@ -1,0 +1,60 @@
+#pragma once
+
+#include "core/memory_space.hpp"
+
+namespace ms::workloads {
+
+/// blackscholes-like kernel (PARSEC): streaming option pricing.
+///
+/// Memory character (what Fig. 11 depends on): a sequential read of one
+/// 48-byte option record plus one 8-byte result write per option, with a
+/// few hundred nanoseconds of floating-point work in between. Footprint is
+/// `options * 56` bytes, locality is perfectly streaming — under remote
+/// swap each 4 KiB page serves ~73 options, so the fault cost amortizes to
+/// roughly a 2x slowdown rather than a blowup.
+///
+/// The math is the real Black-Scholes closed form (Abramowitz-Stegun normal
+/// CDF), so tests can validate prices against known values.
+class Blackscholes {
+ public:
+  struct Params {
+    std::uint64_t options = 100'000;
+    int rounds = 1;
+    std::uint64_t seed = 1;
+    sim::Time compute_per_option = sim::ns(500);  ///< transcendental-heavy math @ 2.1 GHz
+  };
+
+  struct OptionData {
+    double spot;
+    double strike;
+    double rate;
+    double volatility;
+    double maturity;
+    std::uint32_t is_put;
+    std::uint32_t pad = 0;
+  };
+  static_assert(sizeof(OptionData) == 48);
+
+  Blackscholes(core::MemorySpace& space, const Params& p);
+
+  sim::Task<void> setup();
+  sim::Task<void> run(core::ThreadCtx& t);
+
+  /// Sum of all computed prices (order-independent correctness check).
+  double checksum() const;
+
+  std::uint64_t footprint_bytes() const {
+    return params_.options * (sizeof(OptionData) + 8);
+  }
+
+  /// Reference price for one option (host-side oracle for tests).
+  static double price(const OptionData& o);
+
+ private:
+  core::MemorySpace& space_;
+  Params params_;
+  core::VAddr options_ = 0;
+  core::VAddr results_ = 0;
+};
+
+}  // namespace ms::workloads

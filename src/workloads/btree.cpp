@@ -1,0 +1,366 @@
+#include "workloads/btree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ms::workloads {
+
+BTree::BTree(core::MemorySpace& space, core::RemoteAllocator& alloc,
+             int fanout)
+    : space_(space), alloc_(alloc), fanout_(fanout) {
+  if (fanout < 3) throw std::invalid_argument("BTree: fanout must be >= 3");
+}
+
+sim::Task<core::VAddr> BTree::alloc_node() {
+  ++node_count_;
+  co_return co_await alloc_.gmalloc(node_bytes());
+}
+
+void BTree::poke_node(core::VAddr addr, const HostNode& n) {
+  space_.poke_pod<std::uint32_t>(addr, static_cast<std::uint32_t>(n.keys.size()));
+  space_.poke_pod<std::uint32_t>(addr + 4, n.leaf ? kLeafFlag : 0);
+  for (std::size_t i = 0; i < n.keys.size(); ++i) {
+    space_.poke_pod<std::uint64_t>(key_addr(addr, static_cast<int>(i)), n.keys[i]);
+  }
+  if (!n.leaf) {
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      space_.poke_pod<std::uint64_t>(child_addr(addr, static_cast<int>(i)),
+                                     n.children[i]);
+    }
+  }
+}
+
+BTree::HostNode BTree::peek_node(core::VAddr addr) const {
+  HostNode n;
+  auto nkeys = space_.peek_pod<std::uint32_t>(addr);
+  n.leaf = (space_.peek_pod<std::uint32_t>(addr + 4) & kLeafFlag) != 0;
+  n.keys.resize(nkeys);
+  for (std::uint32_t i = 0; i < nkeys; ++i) {
+    n.keys[i] = space_.peek_pod<std::uint64_t>(key_addr(addr, static_cast<int>(i)));
+  }
+  if (!n.leaf) {
+    n.children.resize(nkeys + 1);
+    for (std::uint32_t i = 0; i <= nkeys; ++i) {
+      n.children[i] =
+          space_.peek_pod<std::uint64_t>(child_addr(addr, static_cast<int>(i)));
+    }
+  }
+  return n;
+}
+
+sim::Task<BTree::HostNode> BTree::load_node(core::ThreadCtx& t,
+                                            core::VAddr addr) {
+  HostNode n;
+  auto header = co_await space_.read_pod<std::uint64_t>(t, addr);
+  auto nkeys = static_cast<std::uint32_t>(header & 0xffffffffu);
+  n.leaf = ((header >> 32) & kLeafFlag) != 0;
+  n.keys.resize(nkeys);
+  for (std::uint32_t i = 0; i < nkeys; ++i) {
+    n.keys[i] = co_await space_.read_u64(t, key_addr(addr, static_cast<int>(i)));
+  }
+  if (!n.leaf) {
+    n.children.resize(nkeys + 1);
+    for (std::uint32_t i = 0; i <= nkeys; ++i) {
+      n.children[i] =
+          co_await space_.read_u64(t, child_addr(addr, static_cast<int>(i)));
+    }
+  }
+  co_return n;
+}
+
+sim::Task<void> BTree::store_node(core::ThreadCtx& t, core::VAddr addr,
+                                  const HostNode& n) {
+  const std::uint64_t header =
+      static_cast<std::uint64_t>(n.keys.size()) |
+      (static_cast<std::uint64_t>(n.leaf ? kLeafFlag : 0) << 32);
+  co_await space_.write_pod(t, addr, header);
+  for (std::size_t i = 0; i < n.keys.size(); ++i) {
+    co_await space_.write_u64(t, key_addr(addr, static_cast<int>(i)), n.keys[i]);
+  }
+  if (!n.leaf) {
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      co_await space_.write_u64(t, child_addr(addr, static_cast<int>(i)),
+                                n.children[i]);
+    }
+  }
+}
+
+sim::Task<void> BTree::bulk_build(
+    std::uint64_t n,
+    const std::function<std::uint64_t(std::uint64_t)>& key_at) {
+  if (root_ != 0) throw std::logic_error("BTree: already built");
+  size_ = n;
+  if (n == 0) {
+    root_ = co_await alloc_node();
+    poke_node(root_, HostNode{});
+    height_ = 1;
+    co_return;
+  }
+
+  // Leaf level: full leaves (fanout-1 keys) filled left to right.
+  const auto max_keys = static_cast<std::uint64_t>(fanout_ - 1);
+  struct Built {
+    core::VAddr addr;
+    std::uint64_t min_key;
+  };
+  std::vector<Built> level;
+  std::uint64_t produced = 0;
+  while (produced < n) {
+    HostNode leaf;
+    leaf.leaf = true;
+    const std::uint64_t take = std::min(max_keys, n - produced);
+    leaf.keys.reserve(take);
+    for (std::uint64_t i = 0; i < take; ++i) {
+      leaf.keys.push_back(key_at(produced + i));
+    }
+    produced += take;
+    core::VAddr addr = co_await alloc_node();
+    poke_node(addr, leaf);
+    level.push_back(Built{addr, leaf.keys.front()});
+  }
+  height_ = 1;
+
+  // Internal levels: group `fanout` children per parent; the separator for
+  // child i>0 is the minimum key of its subtree.
+  while (level.size() > 1) {
+    std::vector<Built> parents;
+    for (std::size_t i = 0; i < level.size();) {
+      HostNode inner;
+      inner.leaf = false;
+      const std::size_t take =
+          std::min<std::size_t>(static_cast<std::size_t>(fanout_),
+                                level.size() - i);
+      for (std::size_t c = 0; c < take; ++c) {
+        inner.children.push_back(level[i + c].addr);
+        if (c > 0) inner.keys.push_back(level[i + c].min_key);
+      }
+      core::VAddr addr = co_await alloc_node();
+      poke_node(addr, inner);
+      parents.push_back(Built{addr, level[i].min_key});
+      i += take;
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front().addr;
+}
+
+sim::Task<bool> BTree::search(core::ThreadCtx& t, std::uint64_t key,
+                              SearchStats* stats) {
+  if (root_ == 0) co_return false;
+  core::VAddr node = root_;
+  SearchStats local;
+  while (true) {
+    ++local.nodes_visited;
+    const auto header = co_await space_.read_pod<std::uint64_t>(t, node);
+    const auto nkeys = static_cast<int>(header & 0xffffffffu);
+    const bool leaf = ((header >> 32) & kLeafFlag) != 0;
+
+    // Binary search over the key array, one timed probe per comparison.
+    int lo = 0, hi = nkeys;  // first index with keys[idx] > key
+    bool found = false;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      const std::uint64_t k = co_await space_.read_u64(t, key_addr(node, mid));
+      ++local.key_probes;
+      t.compute(compare_cost_);
+      if (k == key) {
+        found = true;
+        lo = mid + 1;
+        break;
+      }
+      if (k < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+
+    if (leaf) {
+      if (stats) *stats = local;
+      co_await space_.sync(t);
+      co_return found;
+    }
+    if (found) {
+      if (stats) *stats = local;
+      co_await space_.sync(t);
+      co_return true;  // separator hit: key exists in the subtree's min
+    }
+    node = co_await space_.read_u64(t, child_addr(node, lo));
+  }
+}
+
+sim::Task<std::optional<BTree::Split>> BTree::insert_into(core::ThreadCtx& t,
+                                                          core::VAddr addr,
+                                                          std::uint64_t key,
+                                                          bool* inserted) {
+  HostNode n = co_await load_node(t, addr);
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(n.keys.begin(), n.keys.end(), key) - n.keys.begin());
+  if (pos < n.keys.size() && n.keys[pos] == key) {
+    *inserted = false;
+    co_return std::nullopt;  // duplicate
+  }
+
+  if (n.leaf) {
+    n.keys.insert(n.keys.begin() + static_cast<std::ptrdiff_t>(pos), key);
+    *inserted = true;
+  } else {
+    auto split = co_await insert_into(t, n.children[pos], key, inserted);
+    if (!split) {
+      co_return std::nullopt;
+    }
+    n.keys.insert(n.keys.begin() + static_cast<std::ptrdiff_t>(pos),
+                  split->separator);
+    n.children.insert(n.children.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                      split->right);
+  }
+
+  const auto max_keys = static_cast<std::size_t>(fanout_ - 1);
+  if (n.keys.size() <= max_keys) {
+    co_await store_node(t, addr, n);
+    co_return std::nullopt;
+  }
+
+  // Split: left keeps the lower half, the middle key moves up.
+  const std::size_t mid = n.keys.size() / 2;
+  HostNode right;
+  right.leaf = n.leaf;
+  std::uint64_t separator;
+  if (n.leaf) {
+    // Leaf split: the separator is copied (stays in the right leaf).
+    separator = n.keys[mid];
+    right.keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                      n.keys.end());
+    n.keys.resize(mid);
+  } else {
+    separator = n.keys[mid];
+    right.keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                      n.keys.end());
+    right.children.assign(
+        n.children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+        n.children.end());
+    n.keys.resize(mid);
+    n.children.resize(mid + 1);
+  }
+  core::VAddr right_addr = co_await alloc_node();
+  co_await store_node(t, addr, n);
+  co_await store_node(t, right_addr, right);
+  co_return Split{separator, right_addr};
+}
+
+sim::Task<void> BTree::insert(core::ThreadCtx& t, std::uint64_t key) {
+  if (root_ == 0) {
+    root_ = co_await alloc_node();
+    poke_node(root_, HostNode{});
+    height_ = 1;
+  }
+  bool inserted = false;
+  auto split = co_await insert_into(t, root_, key, &inserted);
+  if (split) {
+    HostNode new_root;
+    new_root.leaf = false;
+    new_root.keys.push_back(split->separator);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split->right);
+    core::VAddr addr = co_await alloc_node();
+    co_await store_node(t, addr, new_root);
+    root_ = addr;
+    ++height_;
+  }
+  if (inserted) ++size_;
+  co_await space_.sync(t);
+}
+
+sim::Task<void> BTree::scan_node(core::ThreadCtx& t, core::VAddr addr,
+                                 std::uint64_t lo, std::uint64_t hi,
+                                 std::vector<std::uint64_t>* out) {
+  HostNode n = co_await load_node(t, addr);
+  if (n.leaf) {
+    for (std::uint64_t k : n.keys) {
+      if (k >= lo && k <= hi) out->push_back(k);
+    }
+    co_return;
+  }
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    // Child i holds keys in [keys[i-1], keys[i]) — separators copy up, so
+    // keys equal to a separator live in the right sibling.
+    if (i < n.keys.size() && n.keys[i] <= lo) continue;  // entirely below
+    if (i > 0 && n.keys[i - 1] > hi) break;  // this and the rest are above
+    co_await scan_node(t, n.children[i], lo, hi, out);
+  }
+}
+
+sim::Task<std::vector<std::uint64_t>> BTree::range_scan(core::ThreadCtx& t,
+                                                        std::uint64_t lo,
+                                                        std::uint64_t hi) {
+  std::vector<std::uint64_t> out;
+  if (root_ != 0 && lo <= hi) {
+    co_await scan_node(t, root_, lo, hi, &out);
+    co_await space_.sync(t);
+  }
+  co_return out;
+}
+
+void BTree::validate_node(core::VAddr addr, std::optional<std::uint64_t> lo,
+                          std::optional<std::uint64_t> hi, int depth,
+                          int& leaf_depth) const {
+  HostNode n = peek_node(addr);
+  if (n.keys.size() > static_cast<std::size_t>(fanout_ - 1)) {
+    throw std::logic_error("BTree: node overflows fanout");
+  }
+  for (std::size_t i = 0; i + 1 < n.keys.size(); ++i) {
+    if (n.keys[i] >= n.keys[i + 1]) {
+      throw std::logic_error("BTree: keys not strictly sorted");
+    }
+  }
+  for (std::uint64_t k : n.keys) {
+    if ((lo && k < *lo) || (hi && k >= *hi)) {
+      throw std::logic_error("BTree: key outside separator range");
+    }
+  }
+  if (n.leaf) {
+    if (leaf_depth == -1) {
+      leaf_depth = depth;
+    } else if (leaf_depth != depth) {
+      throw std::logic_error("BTree: leaves at different depths");
+    }
+    return;
+  }
+  if (n.children.size() != n.keys.size() + 1) {
+    throw std::logic_error("BTree: child count mismatch");
+  }
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    auto child_lo = i == 0 ? lo : std::optional<std::uint64_t>(n.keys[i - 1]);
+    auto child_hi =
+        i == n.keys.size() ? hi : std::optional<std::uint64_t>(n.keys[i]);
+    validate_node(n.children[i], child_lo, child_hi, depth + 1, leaf_depth);
+  }
+}
+
+void BTree::validate() const {
+  if (root_ == 0) return;
+  int leaf_depth = -1;
+  validate_node(root_, std::nullopt, std::nullopt, 0, leaf_depth);
+}
+
+void BTree::collect_node(core::VAddr addr,
+                         std::vector<std::uint64_t>& out) const {
+  HostNode n = peek_node(addr);
+  if (n.leaf) {
+    out.insert(out.end(), n.keys.begin(), n.keys.end());
+    return;
+  }
+  // Separators are always copies of leaf keys (B+-style copy-up on leaf
+  // splits, promotion of existing copies on internal splits), so the leaf
+  // level alone carries the exact key set.
+  for (core::VAddr child : n.children) collect_node(child, out);
+}
+
+std::vector<std::uint64_t> BTree::collect_all() const {
+  std::vector<std::uint64_t> out;
+  if (root_ != 0) collect_node(root_, out);
+  return out;
+}
+
+}  // namespace ms::workloads

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/memory_space.hpp"
+#include "core/remote_allocator.hpp"
+
+namespace ms::workloads {
+
+/// B-tree stored in simulated memory (Sec. V-B).
+///
+/// The paper uses b-tree search to mimic database index retrieval and to
+/// contrast the two architectures: remote swap pays per *page* touched, so
+/// it cares enormously about fanout; remote memory pays per *cache line*,
+/// so it is nearly locality-insensitive (Eq. 1 vs Eq. 2).
+///
+/// Node layout (fixed, 16*fanout bytes, so power-of-two size classes never
+/// straddle page boundaries for fanout <= 256):
+///   [u32 nkeys][u32 flags]              8 B header, bit0 of flags = leaf
+///   [u64 keys[fanout-1]]
+///   [u64 children[fanout]]              (meaningful for internal nodes)
+///
+/// Search is fine-grained — header word, ~log2(fanout) key probes, one
+/// child pointer per level — exactly the access pattern whose locality the
+/// paper analyzes. Insert loads/stores whole node blocks (page-style DB
+/// I/O) and supports splits, so tests can grow trees organically and check
+/// the invariants.
+class BTree {
+ public:
+  BTree(core::MemorySpace& space, core::RemoteAllocator& alloc, int fanout);
+
+  /// Bulk-populates with `n` keys from the strictly increasing generator
+  /// `key_at(i)`, building the paper's shape: all levels full except the
+  /// leaf level, which fills left to right. Construction is functional
+  /// (untimed) — the paper times only the searches.
+  sim::Task<void> bulk_build(std::uint64_t n,
+                             const std::function<std::uint64_t(std::uint64_t)>& key_at);
+
+  struct SearchStats {
+    int nodes_visited = 0;
+    int key_probes = 0;
+  };
+
+  /// Timed search; true iff the key is present.
+  sim::Task<bool> search(core::ThreadCtx& t, std::uint64_t key,
+                         SearchStats* stats = nullptr);
+
+  /// Timed insert with node splits (duplicates are ignored).
+  sim::Task<void> insert(core::ThreadCtx& t, std::uint64_t key);
+
+  /// Timed range query: every key in [lo, hi], ascending. The descent
+  /// prunes subtrees by separator, so cost ~ matching leaves + height.
+  sim::Task<std::vector<std::uint64_t>> range_scan(core::ThreadCtx& t,
+                                                   std::uint64_t lo,
+                                                   std::uint64_t hi);
+
+  std::uint64_t size() const { return size_; }
+  int height() const { return height_; }  ///< levels incl. leaf; 0 = empty
+  int fanout() const { return fanout_; }
+  std::uint64_t node_bytes() const {
+    return 16 * static_cast<std::uint64_t>(fanout_);
+  }
+  std::uint64_t node_count() const { return node_count_; }
+
+  /// Structural invariants, checked functionally (throws on violation):
+  /// sorted keys, fanout bounds, separator ranges, uniform leaf depth.
+  void validate() const;
+
+  /// All keys in order, functionally (test oracle).
+  std::vector<std::uint64_t> collect_all() const;
+
+ private:
+  static constexpr std::uint32_t kLeafFlag = 1;
+
+  // In-memory image of one node, for block-style operations.
+  struct HostNode {
+    bool leaf = true;
+    std::vector<std::uint64_t> keys;
+    std::vector<core::VAddr> children;
+  };
+
+  core::VAddr key_addr(core::VAddr node, int i) const {
+    return node + 8 + static_cast<core::VAddr>(i) * 8;
+  }
+  core::VAddr child_addr(core::VAddr node, int i) const {
+    return node + 8 + static_cast<core::VAddr>(fanout_ - 1) * 8 +
+           static_cast<core::VAddr>(i) * 8;
+  }
+
+  sim::Task<core::VAddr> alloc_node();
+
+  // Functional node I/O (construction / validation).
+  void poke_node(core::VAddr addr, const HostNode& n);
+  HostNode peek_node(core::VAddr addr) const;
+
+  // Timed block I/O (insert path).
+  sim::Task<HostNode> load_node(core::ThreadCtx& t, core::VAddr addr);
+  sim::Task<void> store_node(core::ThreadCtx& t, core::VAddr addr,
+                             const HostNode& n);
+
+  // Recursive helpers.
+  struct Split {
+    std::uint64_t separator;
+    core::VAddr right;
+  };
+  sim::Task<std::optional<Split>> insert_into(core::ThreadCtx& t,
+                                              core::VAddr addr,
+                                              std::uint64_t key,
+                                              bool* inserted);
+  sim::Task<void> scan_node(core::ThreadCtx& t, core::VAddr addr,
+                            std::uint64_t lo, std::uint64_t hi,
+                            std::vector<std::uint64_t>* out);
+  void validate_node(core::VAddr addr, std::optional<std::uint64_t> lo,
+                     std::optional<std::uint64_t> hi, int depth,
+                     int& leaf_depth) const;
+  void collect_node(core::VAddr addr, std::vector<std::uint64_t>& out) const;
+
+  core::MemorySpace& space_;
+  core::RemoteAllocator& alloc_;
+  int fanout_;
+  core::VAddr root_ = 0;
+  int height_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint64_t node_count_ = 0;
+  sim::Time compare_cost_ = sim::ns(2);
+};
+
+}  // namespace ms::workloads

@@ -1,0 +1,96 @@
+#include "workloads/canneal.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ms::workloads {
+
+Canneal::Canneal(core::MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {}
+
+sim::Task<void> Canneal::setup() {
+  elements_ = co_await space_.map_range(footprint_bytes());
+  sim::Rng rng(params_.seed);
+  const auto n = params_.elements;
+  const auto side = static_cast<std::int32_t>(std::sqrt(static_cast<double>(n)));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Element e{};
+    e.x = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(side)));
+    e.y = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(side)));
+    for (auto& nb : e.neighbors) {
+      nb = static_cast<std::uint32_t>(rng.below(n));
+    }
+    space_.poke_pod(elements_ + i * sizeof(Element), e);
+  }
+}
+
+namespace {
+struct Location {
+  std::int32_t x;
+  std::int32_t y;
+};
+}  // namespace
+
+sim::Task<void> Canneal::run(core::ThreadCtx& t) {
+  sim::Rng rng(params_.seed * 31 + 7);
+  double temperature = params_.initial_temperature;
+  const double cooling = std::pow(
+      0.01 / params_.initial_temperature,
+      1.0 / static_cast<double>(std::max<std::uint64_t>(1, params_.steps)));
+
+  for (std::uint64_t step = 0; step < params_.steps; ++step) {
+    const std::uint64_t ia = rng.below(params_.elements);
+    std::uint64_t ib = rng.below(params_.elements);
+    if (ib == ia) ib = (ib + 1) % params_.elements;
+
+    auto a = co_await space_.read_pod<Element>(t, elements_ + ia * sizeof(Element));
+    auto b = co_await space_.read_pod<Element>(t, elements_ + ib * sizeof(Element));
+
+    // Wire-length delta: chase all twelve neighbour locations.
+    double before = 0.0, after = 0.0;
+    for (std::uint32_t nb : a.neighbors) {
+      auto n = co_await space_.read_pod<Element>(
+          t, elements_ + static_cast<std::uint64_t>(nb) * sizeof(Element));
+      before += std::abs(a.x - n.x) + std::abs(a.y - n.y);
+      after += std::abs(b.x - n.x) + std::abs(b.y - n.y);
+    }
+    for (std::uint32_t nb : b.neighbors) {
+      auto n = co_await space_.read_pod<Element>(
+          t, elements_ + static_cast<std::uint64_t>(nb) * sizeof(Element));
+      before += std::abs(b.x - n.x) + std::abs(b.y - n.y);
+      after += std::abs(a.x - n.x) + std::abs(a.y - n.y);
+    }
+    t.compute(params_.compute_per_step);
+
+    const double delta = after - before;
+    const bool accept =
+        delta < 0 || rng.uniform() < std::exp(-delta / temperature);
+    if (accept) {
+      ++accepted_;
+      std::swap(a.x, b.x);
+      std::swap(a.y, b.y);
+      // Write back only the locations (first 8 bytes of each record).
+      co_await space_.write_pod(t, elements_ + ia * sizeof(Element),
+                                Location{a.x, a.y});
+      co_await space_.write_pod(t, elements_ + ib * sizeof(Element),
+                                Location{b.x, b.y});
+    }
+    temperature *= cooling;
+  }
+  co_await space_.sync(t);
+}
+
+double Canneal::total_wire_length() const {
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < params_.elements; ++i) {
+    auto e = space_.peek_pod<Element>(elements_ + i * sizeof(Element));
+    for (std::uint32_t nb : e.neighbors) {
+      auto n = space_.peek_pod<Element>(
+          elements_ + static_cast<std::uint64_t>(nb) * sizeof(Element));
+      total += std::abs(e.x - n.x) + std::abs(e.y - n.y);
+    }
+  }
+  return total;
+}
+
+}  // namespace ms::workloads

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "core/memory_space.hpp"
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+/// canneal-like kernel (PARSEC): simulated annealing of a netlist
+/// placement.
+///
+/// The netlist is an array of 64-byte elements, each with a 2D location
+/// and six neighbour ids pointing *uniformly at random* across the whole
+/// array. One annealing step picks two random elements, reads both
+/// records, chases all twelve neighbour locations (more uniform random
+/// 64-byte touches), computes the wire-length delta and swaps the
+/// locations when accepted.
+///
+/// This is the memory-hungry, locality-free access pattern for which the
+/// paper's architecture exists: under remote memory each step costs a
+/// bounded number of line fills; under remote swap nearly every touch is a
+/// page fault and "the performance worsens exponentially to prohibitive
+/// levels" (Sec. V-C).
+class Canneal {
+ public:
+  struct Params {
+    std::uint64_t elements = 1 << 20;  ///< 64 MiB netlist
+    std::uint64_t steps = 20'000;
+    std::uint64_t seed = 1;
+    double initial_temperature = 100.0;
+    sim::Time compute_per_step = sim::ns(180);
+  };
+
+  struct Element {
+    std::int32_t x;
+    std::int32_t y;
+    std::uint32_t neighbors[6];
+    std::uint32_t pad[8];
+  };
+  static_assert(sizeof(Element) == 64);
+
+  Canneal(core::MemorySpace& space, const Params& p);
+
+  sim::Task<void> setup();
+  sim::Task<void> run(core::ThreadCtx& t);
+
+  std::uint64_t footprint_bytes() const {
+    return params_.elements * sizeof(Element);
+  }
+  std::uint64_t accepted_swaps() const { return accepted_; }
+
+  /// Total wire length (functional, exact) — must strictly decrease over a
+  /// cooling run; tests assert it.
+  double total_wire_length() const;
+
+ private:
+  core::MemorySpace& space_;
+  Params params_;
+  core::VAddr elements_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace ms::workloads

@@ -1,0 +1,120 @@
+#include "workloads/hash_index.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ms::workloads {
+
+HashIndex::HashIndex(core::MemorySpace& space, std::uint64_t capacity_slots)
+    : space_(space), capacity_(capacity_slots) {
+  if (!std::has_single_bit(capacity_slots)) {
+    throw std::invalid_argument("HashIndex: capacity must be a power of two");
+  }
+}
+
+sim::Task<void> HashIndex::build(
+    std::uint64_t n,
+    const std::function<std::uint64_t(std::uint64_t)>& key_at) {
+  if (!mapped_) {
+    base_ = co_await space_.map_range(footprint_bytes());
+    mapped_ = true;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = key_at(i);
+    if (key == 0) throw std::invalid_argument("HashIndex: key 0 is reserved");
+    std::uint64_t slot = slot_of(key);
+    while (true) {
+      const auto existing =
+          space_.peek_pod<std::uint64_t>(slot_addr(slot));
+      if (existing == 0) {
+        space_.poke_pod(slot_addr(slot), key);
+        space_.poke_pod(slot_addr(slot) + 8, i);
+        ++size_;
+        break;
+      }
+      if (existing == key) break;  // duplicate
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    if (size_ * 4 > capacity_ * 3) {
+      throw std::runtime_error("HashIndex: load factor above 0.75");
+    }
+  }
+}
+
+sim::Task<void> HashIndex::insert(core::ThreadCtx& t, std::uint64_t key,
+                                  std::uint64_t value) {
+  if (!mapped_) {
+    base_ = co_await space_.map_range(footprint_bytes());
+    mapped_ = true;
+  }
+  if (key == 0) throw std::invalid_argument("HashIndex: key 0 is reserved");
+  if (size_ * 4 > capacity_ * 3) {
+    throw std::runtime_error("HashIndex: load factor above 0.75");
+  }
+  std::uint64_t slot = slot_of(key);
+  while (true) {
+    probes_.inc();
+    const auto existing = co_await space_.read_u64(t, slot_addr(slot));
+    t.compute(sim::ns(2));
+    if (existing == 0) {
+      co_await space_.write_u64(t, slot_addr(slot), key);
+      co_await space_.write_u64(t, slot_addr(slot) + 8, value);
+      ++size_;
+      break;
+    }
+    if (existing == key) {
+      co_await space_.write_u64(t, slot_addr(slot) + 8, value);
+      break;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+  co_await space_.sync(t);
+}
+
+sim::Task<std::optional<std::uint64_t>> HashIndex::get(core::ThreadCtx& t,
+                                                       std::uint64_t key) {
+  std::uint64_t slot = slot_of(key);
+  while (true) {
+    probes_.inc();
+    const auto existing = co_await space_.read_u64(t, slot_addr(slot));
+    t.compute(sim::ns(2));
+    if (existing == 0) {
+      co_await space_.sync(t);
+      co_return std::nullopt;
+    }
+    if (existing == key) {
+      const auto value = co_await space_.read_u64(t, slot_addr(slot) + 8);
+      co_await space_.sync(t);
+      co_return value;
+    }
+    slot = (slot + 1) & (capacity_ - 1);
+  }
+}
+
+sim::Task<bool> HashIndex::contains(core::ThreadCtx& t, std::uint64_t key) {
+  co_return (co_await get(t, key)).has_value();
+}
+
+void HashIndex::validate() const {
+  std::uint64_t found = 0;
+  for (std::uint64_t s = 0; s < capacity_; ++s) {
+    const auto key = space_.peek_pod<std::uint64_t>(slot_addr(s));
+    if (key == 0) continue;
+    ++found;
+    // The probe sequence from the key's home slot must reach s without
+    // crossing an empty slot.
+    std::uint64_t probe = slot_of(key);
+    while (probe != s) {
+      const auto k = space_.peek_pod<std::uint64_t>(slot_addr(probe));
+      if (k == 0) {
+        throw std::logic_error("HashIndex: probe chain broken by empty slot");
+      }
+      probe = (probe + 1) & (capacity_ - 1);
+    }
+  }
+  if (found != size_) {
+    throw std::logic_error("HashIndex: slot count does not match size");
+  }
+}
+
+}  // namespace ms::workloads

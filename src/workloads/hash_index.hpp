@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+
+#include "core/memory_space.hpp"
+
+namespace ms::workloads {
+
+/// Open-addressing hash index in simulated memory.
+///
+/// The paper's footnote 3: "in-memory databases usually implement hash
+/// indexes, as this structure presents even better performance when it is
+/// stored in memory. Thus, by using b-trees in this study, we relinquish
+/// the advantage over remote swap provided by hash indexes when used in
+/// remote memory." This class makes that claim measurable
+/// (bench_ext_hash_vs_btree): a lookup costs ~1 probe = ~1 cache line in
+/// remote memory (far cheaper than a b-tree walk), but the same probe is a
+/// whole page fault under remote swap — hash indexes amplify exactly the
+/// locality difference between the two architectures.
+///
+/// Layout: a power-of-two array of 16-byte slots {key, value}, linear
+/// probing, key 0 reserved as the empty sentinel. No deletion (the paper's
+/// retrieval study needs none); inserts are timed block operations like
+/// the b-tree's.
+class HashIndex {
+ public:
+  HashIndex(core::MemorySpace& space, std::uint64_t capacity_slots);
+
+  /// Functional bulk population (untimed), like BTree::bulk_build.
+  sim::Task<void> build(std::uint64_t n,
+                        const std::function<std::uint64_t(std::uint64_t)>& key_at);
+
+  /// Timed operations.
+  sim::Task<void> insert(core::ThreadCtx& t, std::uint64_t key,
+                         std::uint64_t value);
+  sim::Task<std::optional<std::uint64_t>> get(core::ThreadCtx& t,
+                                              std::uint64_t key);
+  sim::Task<bool> contains(core::ThreadCtx& t, std::uint64_t key);
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const { return capacity_; }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(capacity_);
+  }
+  std::uint64_t total_probes() const { return probes_.value(); }
+  std::uint64_t footprint_bytes() const { return capacity_ * 16; }
+
+  /// Functional invariant check: every slot's key rehashes to a probe
+  /// sequence that reaches it without crossing an empty slot.
+  void validate() const;
+
+ private:
+  static std::uint64_t mix(std::uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 33;
+    return key;
+  }
+  std::uint64_t slot_of(std::uint64_t key) const {
+    return mix(key) & (capacity_ - 1);
+  }
+  core::VAddr slot_addr(std::uint64_t slot) const {
+    return base_ + slot * 16;
+  }
+
+  core::MemorySpace& space_;
+  std::uint64_t capacity_;
+  core::VAddr base_ = 0;
+  std::uint64_t size_ = 0;
+  bool mapped_ = false;
+  sim::Counter probes_;
+};
+
+}  // namespace ms::workloads

@@ -1,0 +1,51 @@
+#include "workloads/random_access.hpp"
+
+#include <stdexcept>
+
+namespace ms::workloads {
+
+RandomAccess::RandomAccess(core::MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {
+  if (p.access_bytes == 0 || p.buffer_bytes % 8 != 0) {
+    throw std::invalid_argument("RandomAccess: bad sizes");
+  }
+}
+
+sim::Task<void> RandomAccess::setup(std::vector<ht::NodeId> servers) {
+  if (servers.empty()) {
+    throw std::invalid_argument("RandomAccess: need at least one server");
+  }
+  words_per_slice_ = params_.buffer_bytes / 8;
+  std::uint64_t word = 0;
+  for (ht::NodeId server : servers) {
+    core::VAddr base =
+        server == space_.home()
+            ? co_await space_.map_range(params_.buffer_bytes)
+            : co_await space_.map_range_on(params_.buffer_bytes, server);
+    slices_.push_back(base);
+    for (std::uint64_t w = 0; w < words_per_slice_; ++w, ++word) {
+      space_.poke_pod<std::uint64_t>(base + w * 8, pattern(word));
+    }
+  }
+}
+
+sim::Task<void> RandomAccess::thread_fn(int core, int thread_id) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(params_.seed * 7919 + static_cast<std::uint64_t>(thread_id));
+  const std::uint64_t total_words =
+      words_per_slice_ * slices_.size();
+
+  for (std::uint64_t i = 0; i < params_.accesses_per_thread; ++i) {
+    const std::uint64_t word = rng.below(total_words);
+    const std::size_t slice = static_cast<std::size_t>(word / words_per_slice_);
+    const std::uint64_t in_slice = word % words_per_slice_;
+    t.compute(params_.loop_overhead);
+    const std::uint64_t got =
+        co_await space_.read_u64(t, slices_[slice] + in_slice * 8);
+    ++total_reads_;
+    if (params_.verify && got != pattern(word)) ++errors_;
+  }
+  co_await space_.sync(t);
+}
+
+}  // namespace ms::workloads

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/memory_space.hpp"
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+/// The paper's "random benchmark" (Sec. V-A): threads hammer a remote
+/// buffer with independent random reads; execution time for a fixed number
+/// of accesses exposes where the architecture saturates (client RMC at ~2
+/// threads, then the server RMC as client nodes multiply).
+class RandomAccess {
+ public:
+  struct Params {
+    std::uint64_t buffer_bytes = std::uint64_t{1} << 28;  ///< per server
+    std::uint64_t accesses_per_thread = 20'000;
+    std::uint32_t access_bytes = 8;
+    std::uint64_t seed = 1;
+    bool verify = true;              ///< check the data pattern on every read
+    sim::Time loop_overhead = sim::ns(4);  ///< address generation per access
+  };
+
+  RandomAccess(core::MemorySpace& space, const Params& p);
+
+  /// Maps one buffer slice per server node and fills it with the pattern.
+  /// Servers may be remote donors or the home node itself (local baseline).
+  sim::Task<void> setup(std::vector<ht::NodeId> servers);
+
+  /// One benchmark thread bound to `core`; performs the configured number
+  /// of random reads uniformly over all slices.
+  sim::Task<void> thread_fn(int core, int thread_id);
+
+  std::uint64_t errors() const { return errors_; }
+  std::uint64_t total_reads() const { return total_reads_; }
+
+  /// Deterministic content at byte offset (verification pattern).
+  static std::uint64_t pattern(std::uint64_t word_index) {
+    return word_index * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  }
+
+ private:
+  core::MemorySpace& space_;
+  Params params_;
+  std::vector<core::VAddr> slices_;
+  std::uint64_t words_per_slice_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t total_reads_ = 0;
+};
+
+}  // namespace ms::workloads

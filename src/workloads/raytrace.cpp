@@ -1,0 +1,78 @@
+#include "workloads/raytrace.hpp"
+
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+Raytrace::Raytrace(core::MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {
+  if (p.depth < 2 || p.depth > 30) {
+    throw std::invalid_argument("Raytrace: depth out of range");
+  }
+}
+
+sim::Task<void> Raytrace::setup() {
+  nodes_ = co_await space_.map_range(footprint_bytes());
+  // Node contents: only the checksum seed matters functionally; fill it
+  // deterministically so the traversal hash is checkable.
+  for (std::uint64_t i = 0; i < node_count(); ++i) {
+    BvhNode n{};
+    n.prim_id = i;
+    n.checksum_seed = i * 0x9e3779b97f4a7c15ULL + 1;
+    space_.poke_pod(nodes_ + i * sizeof(BvhNode), n);
+  }
+}
+
+std::uint64_t Raytrace::target_leaf(std::uint64_t ray, sim::Rng& rng) const {
+  // Coherent sweep across the leaf layer with bounded jitter.
+  const std::uint64_t leaves = leaf_count();
+  const std::uint64_t base = (ray * params_.stride) % leaves;  // slow pan
+  const std::uint64_t j = rng.below(params_.jitter);
+  return (base + j) % leaves;
+}
+
+sim::Task<void> Raytrace::run(core::ThreadCtx& t) {
+  sim::Rng rng(params_.seed);
+  const std::uint64_t first_leaf = leaf_count() - 1;  // heap index of leaf 0
+  for (std::uint64_t ray = 0; ray < params_.rays; ++ray) {
+    std::uint64_t leaf_index = first_leaf + target_leaf(ray, rng);
+
+    // Root-to-leaf path in the implicit heap: the path is the bit prefix
+    // of (leaf_index+1).
+    std::uint64_t path = leaf_index + 1;
+    int levels = 0;
+    std::uint64_t probe = path;
+    while (probe > 1) {
+      probe >>= 1;
+      ++levels;
+    }
+    for (int level = levels; level >= 0; --level) {
+      const std::uint64_t heap_pos = (path >> level) - 1;
+      auto n = co_await space_.read_pod<BvhNode>(
+          t, nodes_ + heap_pos * sizeof(BvhNode));
+      if (level == 0) {
+        t.compute(params_.compute_per_leaf);
+        hash_ ^= n.checksum_seed * (ray + 1);
+      } else {
+        t.compute(params_.compute_per_node);
+      }
+    }
+  }
+  co_await space_.sync(t);
+}
+
+std::uint64_t Raytrace::expected_hash() const {
+  sim::Rng rng(params_.seed);
+  std::uint64_t h = 0;
+  const std::uint64_t first_leaf = leaf_count() - 1;
+  for (std::uint64_t ray = 0; ray < params_.rays; ++ray) {
+    std::uint64_t idx = first_leaf + target_leaf(ray, rng);
+    std::uint64_t seed = idx * 0x9e3779b97f4a7c15ULL + 1;
+    h ^= seed * (ray + 1);
+  }
+  return h;
+}
+
+}  // namespace ms::workloads

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "core/memory_space.hpp"
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+/// raytrace-like kernel (PARSEC): coherent rays through a BVH.
+///
+/// The acceleration structure is a complete binary BVH stored as an
+/// implicit heap of 64-byte node records. Rays are *coherent* the way a
+/// frame render's rays are: consecutive rays hit neighbouring leaves (with
+/// small jitter), so the top of the tree stays cached/resident and leaf
+/// pages stream. Each ray reads its full root-to-leaf path plus the leaf's
+/// primitive block and does a bounded amount of intersection math.
+///
+/// Under remote swap this behaves like blackscholes-with-depth: mostly
+/// streaming faults amortized over many rays per page (~2x), while canneal
+/// (random access) thrashes — the contrast Fig. 11 shows.
+class Raytrace {
+ public:
+  struct Params {
+    int depth = 18;            ///< tree levels; leaves = 2^(depth-1)
+    std::uint64_t rays = 50'000;
+    std::uint64_t seed = 1;
+    std::uint32_t jitter = 64; ///< leaf neighbourhood of consecutive rays
+    std::uint32_t stride = 2;  ///< leaf-layer pan speed (ray coherence)
+    sim::Time compute_per_node = sim::ns(25);  ///< AABB test
+    sim::Time compute_per_leaf = sim::ns(120); ///< triangle intersections
+  };
+
+  struct BvhNode {
+    float bounds[12];      ///< two child AABBs
+    std::uint64_t prim_id; ///< leaf payload tag
+    std::uint64_t checksum_seed;
+  };
+  static_assert(sizeof(BvhNode) == 64);
+
+  Raytrace(core::MemorySpace& space, const Params& p);
+
+  sim::Task<void> setup();
+  sim::Task<void> run(core::ThreadCtx& t);
+
+  std::uint64_t footprint_bytes() const { return node_count() * 64; }
+  std::uint64_t node_count() const {
+    return (std::uint64_t{1} << params_.depth) - 1;
+  }
+  std::uint64_t leaf_count() const {
+    return std::uint64_t{1} << (params_.depth - 1);
+  }
+
+  /// Accumulated hit hash — deterministic for a given seed (test oracle).
+  std::uint64_t result_hash() const { return hash_; }
+
+  /// Host-side oracle: the hash the run must produce.
+  std::uint64_t expected_hash() const;
+
+ private:
+  std::uint64_t target_leaf(std::uint64_t ray, sim::Rng& rng) const;
+
+  core::MemorySpace& space_;
+  Params params_;
+  core::VAddr nodes_ = 0;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace ms::workloads

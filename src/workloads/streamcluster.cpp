@@ -1,0 +1,85 @@
+#include "workloads/streamcluster.hpp"
+
+#include "sim/random.hpp"
+
+namespace ms::workloads {
+
+Streamcluster::Streamcluster(core::MemorySpace& space, const Params& p)
+    : space_(space), params_(p) {}
+
+std::vector<Streamcluster::Point> Streamcluster::make_centers() const {
+  sim::Rng rng(params_.seed * 1013 + 5);
+  std::vector<Point> centers(static_cast<std::size_t>(params_.centers));
+  for (auto& c : centers) {
+    for (auto& x : c.coord) x = static_cast<float>(rng.uniform() * 100.0);
+  }
+  return centers;
+}
+
+sim::Task<void> Streamcluster::setup() {
+  points_ = co_await space_.map_range(params_.points * sizeof(Point));
+  labels_ = co_await space_.map_range(params_.points * 4);
+  sim::Rng rng(params_.seed);
+  for (std::uint64_t i = 0; i < params_.points; ++i) {
+    Point p;
+    for (auto& x : p.coord) x = static_cast<float>(rng.uniform() * 100.0);
+    space_.poke_pod(points_ + i * sizeof(Point), p);
+  }
+}
+
+sim::Task<void> Streamcluster::run(core::ThreadCtx& t) {
+  const auto centers = make_centers();
+  assignment_sum_ = 0;
+  for (int round = 0; round < params_.rounds; ++round) {
+    for (std::uint64_t i = 0; i < params_.points; ++i) {
+      auto p = co_await space_.read_pod<Point>(t, points_ + i * sizeof(Point));
+      int best = 0;
+      float best_d = 0;
+      for (int c = 0; c < params_.centers; ++c) {
+        float d = 0;
+        for (int k = 0; k < kDims; ++k) {
+          const float diff = p.coord[k] - centers[static_cast<std::size_t>(c)].coord[k];
+          d += diff * diff;
+        }
+        t.compute(params_.compute_per_distance);
+        if (c == 0 || d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      co_await space_.write_pod(t, labels_ + i * 4,
+                                static_cast<std::uint32_t>(best));
+      if (round == params_.rounds - 1) {
+        assignment_sum_ += static_cast<std::uint64_t>(best);
+      }
+    }
+  }
+  co_await space_.sync(t);
+}
+
+std::uint64_t Streamcluster::expected_assignment_sum() const {
+  const auto centers = make_centers();
+  sim::Rng rng(params_.seed);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < params_.points; ++i) {
+    Point p;
+    for (auto& x : p.coord) x = static_cast<float>(rng.uniform() * 100.0);
+    int best = 0;
+    float best_d = 0;
+    for (int c = 0; c < params_.centers; ++c) {
+      float d = 0;
+      for (int k = 0; k < kDims; ++k) {
+        const float diff = p.coord[k] - centers[static_cast<std::size_t>(c)].coord[k];
+        d += diff * diff;
+      }
+      if (c == 0 || d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    sum += static_cast<std::uint64_t>(best);
+  }
+  return sum;
+}
+
+}  // namespace ms::workloads

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "core/memory_space.hpp"
+
+namespace ms::workloads {
+
+/// streamcluster-like kernel (PARSEC): online k-median assignment.
+///
+/// Points stream sequentially (one 64-byte record each — 16 floats); every
+/// point is compared against the k current centers, which form a tiny hot
+/// working set that the cache holds. Footprint is the points array only,
+/// and the paper sized it *below* the remote-swap resident limit, so swap
+/// never triggers for this benchmark — the "small footprint" control case
+/// of Fig. 11.
+class Streamcluster {
+ public:
+  static constexpr int kDims = 16;
+
+  struct Params {
+    std::uint64_t points = 200'000;
+    int centers = 16;
+    int rounds = 1;
+    std::uint64_t seed = 1;
+    sim::Time compute_per_distance = sim::ns(20);  ///< 16-dim L2, SSE-ish
+  };
+
+  struct Point {
+    float coord[kDims];
+  };
+  static_assert(sizeof(Point) == 64);
+
+  Streamcluster(core::MemorySpace& space, const Params& p);
+
+  sim::Task<void> setup();
+  sim::Task<void> run(core::ThreadCtx& t);
+
+  std::uint64_t footprint_bytes() const {
+    return params_.points * sizeof(Point) + params_.points * 4;
+  }
+
+  /// Sum over points of the chosen center index (deterministic oracle).
+  std::uint64_t assignment_sum() const { return assignment_sum_; }
+  std::uint64_t expected_assignment_sum() const;
+
+ private:
+  std::vector<Point> make_centers() const;
+
+  core::MemorySpace& space_;
+  Params params_;
+  core::VAddr points_ = 0;
+  core::VAddr labels_ = 0;
+  std::uint64_t assignment_sum_ = 0;
+};
+
+}  // namespace ms::workloads

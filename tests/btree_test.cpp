@@ -1,0 +1,204 @@
+// B-tree correctness: bulk-build shape, search against an oracle set,
+// organic inserts with splits, invariants across fanouts (parameterized),
+// and the access-pattern statistics the paper's analysis relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/remote_allocator.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+#include "workloads/btree.hpp"
+
+namespace ms::workloads {
+namespace {
+
+struct TreeHarness {
+  explicit TreeHarness(core::Cluster& cluster, int fanout,
+                       core::MemorySpace::Mode mode =
+                           core::MemorySpace::Mode::kRemoteRegion)
+      : space(cluster, 1, make_params(mode)),
+        alloc(space),
+        tree(space, alloc, fanout) {}
+
+  static core::MemorySpace::Params make_params(core::MemorySpace::Mode mode) {
+    core::MemorySpace::Params p;
+    p.mode = mode;
+    if (mode == core::MemorySpace::Mode::kRemoteSwap) {
+      p.swap.resident_limit_bytes = 32 * 4096;
+    }
+    return p;
+  }
+
+  core::MemorySpace space;
+  core::RemoteAllocator alloc;
+  BTree tree;
+};
+
+sim::Task<void> build_sequential(BTree& tree, std::uint64_t n) {
+  co_await tree.bulk_build(n, [](std::uint64_t i) { return i * 2 + 1; });
+}
+
+TEST(BTree, BulkBuildShapeAndValidation) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, 8);
+  e.spawn(build_sequential(h.tree, 1000));
+  e.run();
+  EXPECT_EQ(h.tree.size(), 1000u);
+  // fanout 8 => 7 keys/leaf => 143 leaves => height 1 (leaves) + 3.
+  EXPECT_EQ(h.tree.height(), 4);
+  EXPECT_NO_THROW(h.tree.validate());
+  auto keys = h.tree.collect_all();
+  ASSERT_EQ(keys.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(keys[i], i * 2 + 1);
+}
+
+sim::Task<void> search_all(BTree& tree, std::uint64_t n, int* wrong) {
+  core::ThreadCtx t;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Present keys (odd) must be found, absent keys (even) must not.
+    if (!co_await tree.search(t, i * 2 + 1)) ++*wrong;
+    if (co_await tree.search(t, i * 2)) ++*wrong;
+  }
+}
+
+TEST(BTree, SearchFindsExactlyTheInsertedKeys) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, 16);
+  e.spawn(build_sequential(h.tree, 500));
+  e.run();
+  int wrong = 0;
+  e.spawn(search_all(h.tree, 500, &wrong));
+  e.run();
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST(BTree, EmptyTreeFindsNothing) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, 8);
+  e.spawn(build_sequential(h.tree, 0));
+  e.run();
+  bool found = true;
+  e.spawn([](BTree& tree, bool* f) -> sim::Task<void> {
+    core::ThreadCtx t;
+    *f = co_await tree.search(t, 42);
+  }(h.tree, &found));
+  e.run();
+  EXPECT_FALSE(found);
+}
+
+TEST(BTree, SearchStatsMatchTheory) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, 32);
+  e.spawn(build_sequential(h.tree, 10'000));
+  e.run();
+  BTree::SearchStats stats;
+  e.spawn([](BTree& tree, BTree::SearchStats* s) -> sim::Task<void> {
+    core::ThreadCtx t;
+    co_await tree.search(t, 4001, s);
+  }(h.tree, &stats));
+  e.run();
+  // Nodes visited <= height; probes ~ nodes * log2(fanout).
+  EXPECT_GE(stats.nodes_visited, 1);
+  EXPECT_LE(stats.nodes_visited, h.tree.height());
+  EXPECT_LE(stats.key_probes,
+            stats.nodes_visited * 6 + 6);  // log2(31) ~ 5
+}
+
+sim::Task<void> insert_random(BTree& tree, std::set<std::uint64_t>* oracle,
+                              int count, std::uint64_t seed) {
+  core::ThreadCtx t;
+  sim::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t key = rng.below(10'000);
+    oracle->insert(key);
+    co_await tree.insert(t, key);
+  }
+}
+
+sim::Task<void> check_membership(BTree& tree,
+                                 const std::set<std::uint64_t>& oracle,
+                                 int limit, int* wrong) {
+  core::ThreadCtx t;
+  for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(limit); ++k) {
+    const bool expected = oracle.count(k) != 0;
+    if (co_await tree.search(t, k) != expected) ++*wrong;
+  }
+}
+
+class BTreeFanout : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeFanout, OrganicInsertsMatchOracleAndStayValid) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, GetParam());
+  std::set<std::uint64_t> oracle;
+  e.spawn(insert_random(h.tree, &oracle, 800, 1234));
+  e.run();
+  EXPECT_NO_THROW(h.tree.validate());
+  EXPECT_EQ(h.tree.size(), oracle.size());
+
+  auto keys = h.tree.collect_all();
+  std::vector<std::uint64_t> expect(oracle.begin(), oracle.end());
+  EXPECT_EQ(keys, expect);
+
+  int wrong = 0;
+  e.spawn(check_membership(h.tree, oracle, 2'000, &wrong));
+  e.run();
+  EXPECT_EQ(wrong, 0);
+}
+
+TEST_P(BTreeFanout, BulkThenInsertMixWorks) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, GetParam());
+  e.spawn(build_sequential(h.tree, 300));  // odd keys 1..599
+  e.run();
+  std::set<std::uint64_t> oracle;
+  for (std::uint64_t i = 0; i < 300; ++i) oracle.insert(i * 2 + 1);
+  e.spawn(insert_random(h.tree, &oracle, 300, 77));
+  e.run();
+  EXPECT_NO_THROW(h.tree.validate());
+  auto keys = h.tree.collect_all();
+  std::vector<std::uint64_t> expect(oracle.begin(), oracle.end());
+  EXPECT_EQ(keys, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanout,
+                         ::testing::Values(3, 4, 7, 16, 64, 168),
+                         [](const auto& info) {
+                           return "fanout" + std::to_string(info.param);
+                         });
+
+TEST(BTree, WorksOverRemoteSwapSpace) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  TreeHarness h(cluster, 32, core::MemorySpace::Mode::kRemoteSwap);
+  // ~10k keys * 512 B/node well exceeds the 128 KiB resident limit, so the
+  // search phase must take major faults — and still return correct results.
+  e.spawn(build_sequential(h.tree, 10'000));
+  e.run();
+  int wrong = 0;
+  e.spawn(search_all(h.tree, 200, &wrong));
+  e.run();
+  EXPECT_EQ(wrong, 0);
+  EXPECT_GT(h.space.swapper()->major_faults(), 0u);
+}
+
+TEST(BTree, RejectsTinyFanoutAndDoubleBuild) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  EXPECT_THROW(TreeHarness(cluster, 2), std::invalid_argument);
+  TreeHarness h(cluster, 8);
+  e.spawn(build_sequential(h.tree, 10));
+  e.run();
+  e.spawn(build_sequential(h.tree, 10));
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ms::workloads

@@ -1,0 +1,403 @@
+// Tests for the OS layer: frame allocator (incl. random property test and
+// hot-plug), page table, TLB, cluster directory, reservation protocol and
+// region manager (growth, denial, release).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "os/cluster_directory.hpp"
+#include "os/frame_allocator.hpp"
+#include "os/page_table.hpp"
+#include "os/region_manager.hpp"
+#include "os/reservation.hpp"
+#include "os/tlb.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace ms::os {
+namespace {
+
+TEST(FrameAllocator, AllocatesDistinctAlignedRanges) {
+  FrameAllocator fa(0, 1 << 20);
+  auto a = fa.allocate(10'000);
+  auto b = fa.allocate(10'000);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a % 4096, 0u);
+  EXPECT_EQ(*b % 4096, 0u);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(fa.free_bytes(), (1 << 20) - 2 * 12288u);  // rounded to frames
+}
+
+TEST(FrameAllocator, ExhaustionReturnsNullopt) {
+  FrameAllocator fa(0, 64 << 10);
+  EXPECT_TRUE(fa.allocate(64 << 10).has_value());
+  EXPECT_FALSE(fa.allocate(4096).has_value());
+}
+
+TEST(FrameAllocator, FreeCoalescesNeighbours) {
+  FrameAllocator fa(0, 1 << 20);
+  auto a = fa.allocate(256 << 10);
+  auto b = fa.allocate(256 << 10);
+  auto c = fa.allocate(256 << 10);
+  ASSERT_TRUE(a && b && c);
+  fa.free(*a);
+  fa.free(*c);
+  fa.free(*b);  // coalesces with both sides
+  EXPECT_EQ(fa.largest_free_range(), 1u << 20);
+  auto big = fa.allocate(1 << 20);
+  EXPECT_TRUE(big.has_value());
+}
+
+TEST(FrameAllocator, DoubleAndPartialFreeAreErrors) {
+  FrameAllocator fa(0, 1 << 20);
+  auto a = fa.allocate(8192);
+  ASSERT_TRUE(a);
+  fa.free(*a);
+  EXPECT_THROW(fa.free(*a), std::logic_error);
+  auto b = fa.allocate(8192);
+  EXPECT_THROW(fa.free(*b + 4096), std::logic_error);
+}
+
+TEST(FrameAllocator, PinningIsTracked) {
+  FrameAllocator fa(0, 1 << 20);
+  auto p = fa.allocate(64 << 10, /*pinned=*/true);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(fa.pinned_bytes(), 64u << 10);
+  EXPECT_TRUE(fa.is_pinned(*p));
+  EXPECT_TRUE(fa.is_pinned(*p + 4096));
+  auto q = fa.allocate(4096);
+  EXPECT_FALSE(fa.is_pinned(*q));
+  fa.free(*p);
+  EXPECT_EQ(fa.pinned_bytes(), 0u);
+}
+
+TEST(FrameAllocator, HotRemoveOnlyWhenFree) {
+  FrameAllocator fa(0, 1 << 20);
+  auto a = fa.allocate(4096);
+  ASSERT_TRUE(a);
+  // Range overlapping the allocation cannot be removed.
+  EXPECT_FALSE(fa.hot_remove(*a, 8192));
+  // A free range can.
+  EXPECT_TRUE(fa.hot_remove(512 << 10, 256 << 10));
+  EXPECT_EQ(fa.total_bytes(), (1u << 20) - (256u << 10));
+  // And can come back.
+  fa.hot_add(512 << 10, 256 << 10);
+  EXPECT_EQ(fa.total_bytes(), 1u << 20);
+  EXPECT_EQ(fa.free_bytes(), (1u << 20) - 4096);
+}
+
+// Property: random alloc/free keeps ranges disjoint and conserves bytes.
+TEST(FrameAllocator, RandomAllocFreeConservesAndNeverOverlaps) {
+  FrameAllocator fa(0, 4 << 20);
+  sim::Rng rng(42);
+  std::map<ht::PAddr, ht::PAddr> live;  // base -> rounded bytes
+  ht::PAddr live_bytes = 0;
+  for (int i = 0; i < 3'000; ++i) {
+    if (live.empty() || rng.chance(0.6)) {
+      const ht::PAddr want = (rng.below(16) + 1) * 4096;
+      auto base = fa.allocate(want);
+      if (!base) continue;
+      // Overlap check against neighbours in address order.
+      auto next = live.lower_bound(*base);
+      if (next != live.end()) ASSERT_LE(*base + want, next->first);
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second, *base);
+      }
+      live[*base] = want;
+      live_bytes += want;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      fa.free(it->first);
+      live_bytes -= it->second;
+      live.erase(it);
+    }
+    ASSERT_EQ(fa.free_bytes(), (4u << 20) - live_bytes);
+  }
+}
+
+TEST(PageTable, MapTranslateUnmap) {
+  PageTable pt(4096);
+  pt.map(0x10000, 0xABC000);
+  EXPECT_EQ(pt.translate(0x10000), 0xABC000u);
+  EXPECT_EQ(pt.translate(0x10123), 0xABC123u);
+  EXPECT_FALSE(pt.translate(0x20000).has_value());
+  pt.unmap(0x10000);
+  EXPECT_FALSE(pt.translate(0x10000).has_value());
+}
+
+TEST(PageTable, PrefixedFramesSurviveRoundTrip) {
+  PageTable pt(4096);
+  const ht::PAddr frame = node::make_remote(3, 0x41000000);
+  pt.map(0x7000, frame);
+  auto pa = pt.translate(0x7abc);
+  ASSERT_TRUE(pa);
+  EXPECT_EQ(node::node_of(*pa), 3);
+  EXPECT_EQ(node::local_part(*pa), 0x41000abcu);
+}
+
+TEST(PageTable, NonPresentEntriesDoNotTranslate) {
+  PageTable pt(4096);
+  pt.ensure(0x3000).present = false;
+  EXPECT_FALSE(pt.translate(0x3000).has_value());
+  EXPECT_NE(pt.find(0x3000), nullptr);
+}
+
+TEST(Tlb, HitsMissesAndLruEviction) {
+  Tlb tlb(Tlb::Params{.entries = 2});
+  EXPECT_FALSE(tlb.lookup(0x1000).has_value());
+  tlb.insert(0x1000, 0xA000);
+  tlb.insert(0x2000, 0xB000);
+  EXPECT_EQ(tlb.lookup(0x1000), 0xA000u);  // refresh LRU of 0x1000
+  tlb.insert(0x3000, 0xC000);              // evicts 0x2000
+  EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+  EXPECT_TRUE(tlb.lookup(0x1000).has_value());
+  EXPECT_EQ(tlb.hits(), 2u);
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, FlushAndInvalidate) {
+  Tlb tlb(Tlb::Params{.entries = 8});
+  tlb.insert(0x1000, 0xA000);
+  tlb.insert(0x2000, 0xB000);
+  tlb.invalidate(0x1000);
+  EXPECT_FALSE(tlb.lookup(0x1000).has_value());
+  EXPECT_TRUE(tlb.lookup(0x2000).has_value());
+  tlb.flush();
+  EXPECT_FALSE(tlb.lookup(0x2000).has_value());
+}
+
+TEST(ClusterDirectory, PoliciesPickExpectedDonors) {
+  FrameAllocator a(0, 1 << 20), b(0, 4 << 20), c(0, 2 << 20);
+  ClusterDirectory dir;
+  dir.register_node(1, &a);
+  dir.register_node(2, &b);
+  dir.register_node(3, &c);
+  auto hops = [](ht::NodeId x, ht::NodeId y) {
+    return std::abs(static_cast<int>(x) - static_cast<int>(y));
+  };
+  // Most free: node 2.
+  EXPECT_EQ(dir.pick_donor(1, 4096, ClusterDirectory::Policy::kMostFree, hops),
+            2);
+  // Nearest with space: node 2 is 1 hop from node 1; node 3 is 2 hops.
+  EXPECT_EQ(dir.pick_donor(1, 4096, ClusterDirectory::Policy::kNearest, hops),
+            2);
+  // From node 3's perspective the nearest is node 2 as well.
+  EXPECT_EQ(dir.pick_donor(3, 4096, ClusterDirectory::Policy::kNearest, hops),
+            2);
+  // Requester itself is never picked even if it has the most memory.
+  EXPECT_EQ(dir.pick_donor(2, 4096, ClusterDirectory::Policy::kMostFree, hops),
+            3);
+  // Demands nobody can satisfy return nothing.
+  EXPECT_FALSE(dir.pick_donor(1, 8 << 20, ClusterDirectory::Policy::kMostFree,
+                              hops)
+                   .has_value());
+  EXPECT_EQ(dir.total_free(), (1u << 20) + (4u << 20) + (2u << 20));
+}
+
+TEST(ClusterDirectory, ParsePolicy) {
+  EXPECT_EQ(ClusterDirectory::parse_policy("most_free"),
+            ClusterDirectory::Policy::kMostFree);
+  EXPECT_EQ(ClusterDirectory::parse_policy("nearest"),
+            ClusterDirectory::Policy::kNearest);
+  EXPECT_THROW(ClusterDirectory::parse_policy("bogus"), std::invalid_argument);
+}
+
+// ---- Reservation protocol over a real fabric ----
+
+class ReservationTest : public ::testing::Test {
+ protected:
+  ReservationTest()
+      : fabric_(engine_, noc::Topology::make("mesh2d", 4), {}),
+        svc_(engine_, fabric_, ReservationService::Params{}),
+        donor_alloc_(0, 16 << 20) {
+    svc_.register_node(3, &donor_alloc_);
+  }
+  sim::Engine engine_;
+  noc::Fabric fabric_;
+  ReservationService svc_;
+  FrameAllocator donor_alloc_;
+};
+
+sim::Task<void> do_reserve(ReservationService& svc, ht::NodeId req,
+                           ht::NodeId donor, ht::PAddr bytes,
+                           std::optional<ReservationService::Grant>* out) {
+  *out = co_await svc.reserve(req, donor, bytes);
+}
+
+TEST_F(ReservationTest, GrantCarriesDonorPrefixAndPinsMemory) {
+  std::optional<ReservationService::Grant> grant;
+  engine_.spawn(do_reserve(svc_, 1, 3, 4 << 20, &grant));
+  engine_.run();
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->donor, 3);
+  EXPECT_EQ(node::node_of(grant->prefixed_base), 3);
+  EXPECT_TRUE(donor_alloc_.is_pinned(node::local_part(grant->prefixed_base)));
+  EXPECT_EQ(svc_.grants(), 1u);
+  // Control messages actually crossed the fabric (request + ack).
+  EXPECT_EQ(fabric_.packets_delivered(), 2u);
+  // OS handling on both sides took real time.
+  EXPECT_GE(engine_.now(), sim::us(6));
+}
+
+TEST_F(ReservationTest, DenialWhenDonorExhausted) {
+  std::optional<ReservationService::Grant> g1, g2;
+  engine_.spawn(do_reserve(svc_, 1, 3, 12 << 20, &g1));
+  engine_.run();
+  engine_.spawn(do_reserve(svc_, 2, 3, 12 << 20, &g2));
+  engine_.run();
+  EXPECT_TRUE(g1.has_value());
+  EXPECT_FALSE(g2.has_value());
+  EXPECT_EQ(svc_.denials(), 1u);
+}
+
+sim::Task<void> do_release(ReservationService& svc, ht::NodeId req,
+                           ReservationService::Grant g) {
+  co_await svc.release(req, g);
+}
+
+TEST_F(ReservationTest, ReleaseReturnsMemoryToDonor) {
+  std::optional<ReservationService::Grant> grant;
+  engine_.spawn(do_reserve(svc_, 1, 3, 4 << 20, &grant));
+  engine_.run();
+  const auto free_before = donor_alloc_.free_bytes();
+  engine_.spawn(do_release(svc_, 1, *grant));
+  engine_.run();
+  EXPECT_EQ(donor_alloc_.free_bytes(), free_before + (4u << 20));
+  EXPECT_EQ(donor_alloc_.pinned_bytes(), 0u);
+}
+
+TEST_F(ReservationTest, RemovableGuardsReservedRanges) {
+  std::optional<ReservationService::Grant> grant;
+  engine_.spawn(do_reserve(svc_, 1, 3, 4 << 20, &grant));
+  engine_.run();
+  const ht::PAddr base = node::local_part(grant->prefixed_base);
+  EXPECT_FALSE(svc_.removable(3, base, 4 << 20));
+  EXPECT_TRUE(svc_.removable(3, 8 << 20, 4 << 20));
+  EXPECT_FALSE(svc_.removable(99, 0, 4096));  // unknown node
+}
+
+// ---- Region manager on a full small cluster ----
+
+sim::Task<void> grow_pages(os::RegionManager& rm, int pages,
+                           RegionManager::Placement placement,
+                           std::vector<ht::PAddr>* out) {
+  for (int i = 0; i < pages; ++i) {
+    auto page = co_await rm.alloc_page(placement);
+    if (page) out->push_back(*page);
+  }
+}
+
+TEST(RegionManager, AutoSpillsFromLocalToRemote) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.node.local_bytes = ht::PAddr{16} << 20;
+  cfg.os_reserved_bytes = ht::PAddr{12} << 20;  // only 4 MiB local left
+  cfg.region.segment_bytes = ht::PAddr{2} << 20;
+  core::Cluster cluster(engine, cfg);
+  auto rm = cluster.make_region(1);
+
+  std::vector<ht::PAddr> pages;
+  const int want = (6 << 20) / 4096;  // 6 MiB: must spill
+  engine.spawn(grow_pages(*rm, want, RegionManager::Placement::kAuto, &pages));
+  engine.run();
+  ASSERT_EQ(pages.size(), static_cast<size_t>(want));
+  EXPECT_GT(rm->local_pages(), 0u);
+  EXPECT_GT(rm->remote_pages(), 0u);
+  EXPECT_GE(rm->segment_count(), 1u);
+  // All remote pages carry a donor prefix and are distinct.
+  std::set<ht::PAddr> uniq(pages.begin(), pages.end());
+  EXPECT_EQ(uniq.size(), pages.size());
+}
+
+TEST(RegionManager, RemoteOnlyNeverUsesLocalFrames) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  auto rm = cluster.make_region(1);
+  std::vector<ht::PAddr> pages;
+  engine.spawn(grow_pages(*rm, 64, RegionManager::Placement::kRemoteOnly,
+                          &pages));
+  engine.run();
+  ASSERT_EQ(pages.size(), 64u);
+  for (auto p : pages) {
+    EXPECT_TRUE(node::has_prefix(p));
+    EXPECT_NE(node::node_of(p), 1);
+  }
+  EXPECT_EQ(rm->local_pages(), 0u);
+}
+
+TEST(RegionManager, LocalOnlyFailsInsteadOfBorrowing) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.node.local_bytes = ht::PAddr{16} << 20;
+  cfg.os_reserved_bytes = ht::PAddr{15} << 20;
+  core::Cluster cluster(engine, cfg);
+  auto rm = cluster.make_region(1);
+  std::vector<ht::PAddr> pages;
+  engine.spawn(grow_pages(*rm, (2 << 20) / 4096,
+                          RegionManager::Placement::kLocalOnly, &pages));
+  engine.run();
+  EXPECT_EQ(pages.size(), (1u << 20) / 4096);  // got only the free 1 MiB
+  EXPECT_EQ(rm->segment_count(), 0u);
+}
+
+sim::Task<void> grow_on(os::RegionManager& rm, ht::NodeId donor, int pages,
+                        std::vector<ht::PAddr>* out) {
+  for (int i = 0; i < pages; ++i) {
+    auto page = co_await rm.alloc_page_on(donor);
+    if (page) out->push_back(*page);
+  }
+}
+
+TEST(RegionManager, PlacementPinsDonor) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  auto rm = cluster.make_region(1);
+  std::vector<ht::PAddr> pages;
+  engine.spawn(grow_on(*rm, 4, 16, &pages));
+  engine.run();
+  ASSERT_EQ(pages.size(), 16u);
+  for (auto p : pages) EXPECT_EQ(node::node_of(p), 4);
+}
+
+sim::Task<void> grow_then_release(os::RegionManager& rm,
+                                  core::Cluster& cluster) {
+  for (int i = 0; i < 8; ++i) {
+    co_await rm.alloc_page(RegionManager::Placement::kRemoteOnly);
+  }
+  co_await rm.release_all();
+  (void)cluster;
+}
+
+TEST(RegionManager, ReleaseAllReturnsSegments) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  auto rm = cluster.make_region(1);
+  const auto free_before = cluster.directory().total_free();
+  engine.spawn(grow_then_release(*rm, cluster));
+  engine.run();
+  EXPECT_EQ(rm->segment_count(), 0u);
+  EXPECT_EQ(cluster.directory().total_free(), free_before);
+}
+
+TEST(RegionManager, FreedPagesAreReused) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  auto rm = cluster.make_region(1);
+  std::vector<ht::PAddr> pages;
+  engine.spawn(grow_pages(*rm, 4, RegionManager::Placement::kRemoteOnly,
+                          &pages));
+  engine.run();
+  rm->free_page(pages[0]);
+  std::vector<ht::PAddr> again;
+  engine.spawn(grow_pages(*rm, 1, RegionManager::Placement::kRemoteOnly,
+                          &again));
+  engine.run();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], pages[0]);
+}
+
+}  // namespace
+}  // namespace ms::os

@@ -1,0 +1,252 @@
+// Tests for the reliability/fidelity extensions: link-layer CRC retries,
+// virtual channels, intra-node NUMA distance, and the compressed-memory
+// swap backend.
+#include <gtest/gtest.h>
+
+#include "core/memory_space.hpp"
+#include "core/runner.hpp"
+#include "ht/link.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace ms {
+namespace {
+
+// ---- Link error injection ----
+
+sim::Task<void> send_n(ht::Link& link, int n) {
+  for (int i = 0; i < n; ++i) co_await link.transmit(80);
+}
+
+TEST(LinkErrors, RetriesCostTimeAndAreCounted) {
+  ht::Link::Params clean{.bytes_per_ns = 4.0, .propagation = sim::ns(20),
+                         .credits = 8};
+  ht::Link::Params lossy = clean;
+  lossy.error_rate = 0.5;
+
+  sim::Engine e1;
+  ht::Link l1(e1, "clean", clean);
+  e1.spawn(send_n(l1, 200));
+  e1.run();
+
+  sim::Engine e2;
+  ht::Link l2(e2, "lossy", lossy);
+  e2.spawn(send_n(l2, 200));
+  e2.run();
+
+  EXPECT_EQ(l1.retries(), 0u);
+  EXPECT_GT(l2.retries(), 50u);   // ~1 retry per packet at 50% loss
+  EXPECT_LT(l2.retries(), 400u);
+  EXPECT_GT(e2.now(), e1.now());  // retransmissions cost wire time
+}
+
+TEST(LinkErrors, ErrorStreamIsDeterministic) {
+  ht::Link::Params lossy{.bytes_per_ns = 4.0, .propagation = sim::ns(20),
+                         .credits = 8, .error_rate = 0.3, .error_seed = 7};
+  auto run_once = [&] {
+    sim::Engine e;
+    ht::Link l(e, "lossy", lossy);
+    e.spawn(send_n(l, 100));
+    e.run();
+    return std::pair(e.now(), l.retries());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(LinkErrors, EndToEndAccessStillCompletesOnLossyFabric) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.fabric.link.error_rate = 0.2;
+  core::Cluster cluster(engine, cfg);
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, p);
+
+  engine.spawn([](core::MemorySpace& s) -> sim::Task<void> {
+    core::ThreadCtx t;
+    auto base = co_await s.map_range(1 << 16);
+    for (int i = 0; i < 64; ++i) {
+      co_await s.write_u64(t, base + i * 8, 42u + static_cast<unsigned>(i));
+    }
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(co_await s.read_u64(t, base + i * 8),
+                42u + static_cast<unsigned>(i));
+    }
+    co_await s.sync(t);
+  }(space));
+  engine.run();
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+// ---- Virtual channels ----
+
+TEST(VirtualChannels, ResponsesBypassRequestQueueing) {
+  // One congested edge: a flood of large write requests vs. one read's
+  // small response. With 2 VCs the response never waits behind requests.
+  auto run_with_vcs = [](int vcs) {
+    sim::Engine e;
+    noc::Fabric::Params fp;
+    fp.virtual_channels = vcs;
+    noc::Fabric f(e, noc::Topology::make("ring", 2), fp);
+    // Saturate with big requests 1->2.
+    for (int i = 0; i < 16; ++i) {
+      e.spawn([](noc::Fabric& fab) -> sim::Task<void> {
+        ht::Packet big{.type = ht::PacketType::kWriteReq, .src = 1, .dst = 2,
+                       .size = 4096};
+        co_await fab.traverse(big);
+      }(f));
+    }
+    // One response packet in the same direction, issued at t=0 as well.
+    sim::Time resp_done = 0;
+    e.spawn([](noc::Fabric& fab, sim::Engine& eng,
+               sim::Time* out) -> sim::Task<void> {
+      ht::Packet resp{.type = ht::PacketType::kReadResp, .src = 1, .dst = 2,
+                      .size = 64};
+      co_await fab.traverse(resp);
+      *out = eng.now();
+    }(f, e, &resp_done));
+    e.run();
+    return resp_done;
+  };
+  const sim::Time shared = run_with_vcs(1);
+  const sim::Time separated = run_with_vcs(2);
+  EXPECT_LT(separated, shared / 4);
+}
+
+TEST(VirtualChannels, VcSelectionByPacketClass) {
+  sim::Engine e;
+  noc::Fabric::Params fp;
+  fp.virtual_channels = 2;
+  noc::Fabric f(e, noc::Topology::make("ring", 2), fp);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kReadReq), 0);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kCtrlReq), 0);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kCohProbe), 0);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kReadResp), 1);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kWriteAck), 1);
+  EXPECT_EQ(f.vc_of(ht::PacketType::kCohAck), 1);
+}
+
+TEST(VirtualChannels, SingleVcKeepsEverythingOnChannelZero) {
+  sim::Engine e;
+  noc::Fabric f(e, noc::Topology::make("ring", 2), {});
+  EXPECT_EQ(f.vc_of(ht::PacketType::kReadResp), 0);
+  EXPECT_THROW(f.link(1, 2, 1), std::out_of_range);
+}
+
+// ---- Intra-node NUMA ----
+
+sim::Task<sim::Time> timed_local(core::Cluster& c, sim::Engine& e, int core,
+                                 ht::PAddr addr) {
+  const sim::Time start = e.now();
+  sim::Time left = co_await c.node(1).access(core, addr, 8, false, 0);
+  co_await e.delay(left);
+  co_return e.now() - start;
+}
+
+TEST(Numa, CrossSocketAccessIsSlower) {
+  sim::Engine engine;
+  auto cfg = test::small_config();  // 2 sockets x 2 cores, 64 MiB local
+  core::Cluster cluster(engine, cfg);
+  // Core 0 is on socket 0; socket 0 owns [0, 32 MiB), socket 1 the rest.
+  sim::Time near = 0, far = 0;
+  engine.spawn([](core::Cluster& c, sim::Engine& e, sim::Time* n,
+                  sim::Time* f) -> sim::Task<void> {
+    *n = co_await timed_local(c, e, 0, 0x100000);             // socket 0
+    *f = co_await timed_local(c, e, 0, (ht::PAddr{33} << 20)); // socket 1
+  }(cluster, engine, &near, &far));
+  engine.run();
+  EXPECT_GT(far, near);
+  // Two cHT crossings (there and back) at the configured hop latency.
+  EXPECT_GE(far - near,
+            2 * cluster.config().node.socket_hop_latency - sim::ns(25));
+}
+
+TEST(Numa, SocketHopsAreSquareTopology) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.node.sockets = 4;
+  cfg.node.cores_per_socket = 1;
+  core::Cluster cluster(engine, cfg);
+  auto& n = cluster.node(1);
+  EXPECT_EQ(n.socket_hops(0, 0), 0);
+  EXPECT_EQ(n.socket_hops(0, 1), 1);
+  EXPECT_EQ(n.socket_hops(0, 2), 1);
+  EXPECT_EQ(n.socket_hops(0, 3), 2);  // diagonal
+  EXPECT_EQ(n.socket_hops(1, 2), 2);  // the other diagonal
+}
+
+// ---- Compressed-memory backend ----
+
+TEST(CompressedSwap, FaultsCostMicrosecondsNotNetwork) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kCompressedSwap;
+  p.swap.resident_limit_bytes = 8 * 4096;
+  core::MemorySpace space(cluster, 1, p);
+
+  sim::Time elapsed = 0;
+  engine.spawn([](core::MemorySpace& s, sim::Engine& e,
+                  sim::Time* out) -> sim::Task<void> {
+    auto base = co_await s.map_range(32 * 4096);
+    for (int i = 0; i < 32; ++i) {
+      s.poke_pod<std::uint64_t>(base + static_cast<core::VAddr>(i) * 4096,
+                                9u);
+    }
+    core::ThreadCtx t;
+    const sim::Time start = e.now();
+    for (int i = 0; i < 24; ++i) {  // all major (pushed out during setup)
+      auto v = co_await s.read_u64(t, base + static_cast<core::VAddr>(i) * 4096);
+      EXPECT_EQ(v, 9u);
+    }
+    co_await s.sync(t);
+    *out = e.now() - start;
+  }(space, engine, &elapsed));
+  engine.run();
+
+  EXPECT_EQ(space.swapper()->major_faults(), 24u);
+  const double per_fault = static_cast<double>(elapsed) / 24.0;
+  // Decompression-class cost: an order of magnitude under the NBD path.
+  EXPECT_GT(per_fault, static_cast<double>(sim::us(2)));
+  EXPECT_LT(per_fault, static_cast<double>(sim::us(20)));
+  // And zero packets crossed the fabric for it.
+  EXPECT_EQ(cluster.fabric().packets_delivered(), 0u);
+}
+
+TEST(CompressedSwap, SitsBetweenRemoteMemoryAndRemoteSwap) {
+  auto fault_heavy_time = [](core::MemorySpace::Mode mode) {
+    sim::Engine engine;
+    core::Cluster cluster(engine, test::small_config());
+    core::MemorySpace::Params p;
+    p.mode = mode;
+    p.placement = mode == core::MemorySpace::Mode::kRemoteRegion
+                      ? os::RegionManager::Placement::kRemoteOnly
+                      : p.placement;
+    p.swap.resident_limit_bytes = 4 * 4096;
+    core::MemorySpace space(cluster, 1, p);
+    core::Runner r(engine);
+    r.spawn([](core::MemorySpace& s) -> sim::Task<void> {
+      auto base = co_await s.map_range(64 * 4096);
+      for (int i = 0; i < 64; ++i) {
+        s.poke_pod<std::uint64_t>(base + static_cast<core::VAddr>(i) * 4096,
+                                  1u);
+      }
+      core::ThreadCtx t;
+      sim::Rng rng(4);
+      for (int i = 0; i < 200; ++i) {
+        co_await s.read_u64(t, base + rng.below(64) * 4096);
+      }
+      co_await s.sync(t);
+    }(space));
+    return r.run_all();
+  };
+  const sim::Time remote = fault_heavy_time(core::MemorySpace::Mode::kRemoteRegion);
+  const sim::Time zram = fault_heavy_time(core::MemorySpace::Mode::kCompressedSwap);
+  const sim::Time nbd = fault_heavy_time(core::MemorySpace::Mode::kRemoteSwap);
+  EXPECT_LT(remote, zram);
+  EXPECT_LT(zram, nbd);
+}
+
+}  // namespace
+}  // namespace ms

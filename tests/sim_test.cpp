@@ -1,0 +1,362 @@
+// Unit tests for the discrete-event kernel: engine ordering, coroutine
+// semantics, synchronization primitives, RNG, statistics, config, tables.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/table.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace ms::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(ns(1), 1000u);
+  EXPECT_EQ(us(1), ns(1000));
+  EXPECT_EQ(ms_(1), us(1000));
+  EXPECT_EQ(sec(1), ms_(1000));
+  EXPECT_DOUBLE_EQ(to_ns(ns(250)), 250.0);
+  EXPECT_EQ(ns_d(2.5), 2500u);
+}
+
+TEST(Time, FormatPicksUnits) {
+  EXPECT_EQ(format_time(ps(5)), "5 ps");
+  EXPECT_NE(format_time(ns(100)).find("ns"), std::string::npos);
+  EXPECT_NE(format_time(us(100)).find("us"), std::string::npos);
+  EXPECT_NE(format_time(sec(100)).find(" s"), std::string::npos);
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(ns(30), [&] { order.push_back(3); });
+  e.schedule(ns(10), [&] { order.push_back(1); });
+  e.schedule(ns(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), ns(30));
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule(ns(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.schedule(ns(10), [&] {
+    EXPECT_THROW(e.schedule_at(ns(5), [] {}), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule(ns(10), [&] { ++fired; });
+  e.schedule(ns(100), [&] { ++fired; });
+  e.run_until(ns(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), ns(50));
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+Task<void> delay_chain(Engine& e, std::vector<Time>& stamps) {
+  co_await e.delay(ns(10));
+  stamps.push_back(e.now());
+  co_await e.delay(ns(15));
+  stamps.push_back(e.now());
+}
+
+TEST(Engine, SpawnedProcessObservesDelays) {
+  Engine e;
+  std::vector<Time> stamps;
+  e.spawn(delay_chain(e, stamps));
+  EXPECT_EQ(e.live_processes(), 0);  // starts via the queue
+  e.run();
+  EXPECT_EQ(stamps, (std::vector<Time>{ns(10), ns(25)}));
+  EXPECT_EQ(e.live_processes(), 0);
+}
+
+Task<int> answer() { co_return 42; }
+Task<int> add_one() { co_return 1 + co_await answer(); }
+Task<void> check_nested(bool& done) {
+  EXPECT_EQ(co_await add_one(), 43);
+  done = true;
+}
+
+TEST(Task, NestedAwaitPropagatesValues) {
+  Engine e;
+  bool done = false;
+  e.spawn(check_nested(done));
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+Task<void> thrower() {
+  co_await std::suspend_never{};
+  throw std::runtime_error("boom");
+}
+
+TEST(Task, ExceptionPropagatesOutOfRun) {
+  Engine e;
+  e.spawn(thrower());
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+Task<int> never_started_counter(int& constructed) {
+  ++constructed;
+  co_return 7;
+}
+
+TEST(Task, LazyTaskNeverRunsIfNotAwaited) {
+  int constructed = 0;
+  {
+    auto t = never_started_counter(constructed);
+    EXPECT_TRUE(t.valid());
+  }  // destroyed without running
+  EXPECT_EQ(constructed, 0);
+}
+
+Task<void> hold_sem(Engine& e, Semaphore& s, Time hold, std::vector<int>& log,
+                    int id) {
+  co_await s.acquire();
+  log.push_back(id);
+  co_await e.delay(hold);
+  s.release();
+}
+
+TEST(Semaphore, SerializesFifo) {
+  Engine e;
+  Semaphore s(e, 1);
+  std::vector<int> log;
+  for (int i = 0; i < 4; ++i) e.spawn(hold_sem(e, s, ns(10), log, i));
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(e.now(), ns(40));
+  EXPECT_EQ(s.available(), 1);
+}
+
+TEST(Semaphore, TryAcquireDoesNotBarge) {
+  Engine e;
+  Semaphore s(e, 1);
+  std::vector<int> log;
+  e.spawn(hold_sem(e, s, ns(10), log, 0));
+  e.spawn(hold_sem(e, s, ns(10), log, 1));
+  bool barged = true;
+  e.schedule(ns(5), [&] { barged = s.try_acquire(); });
+  e.run();
+  // Token was handed directly to waiter 1; the barger must fail.
+  EXPECT_FALSE(barged);
+  EXPECT_EQ(log, (std::vector<int>{0, 1}));
+}
+
+TEST(Semaphore, CountingAllowsParallelHolders) {
+  Engine e;
+  Semaphore s(e, 2);
+  std::vector<int> log;
+  for (int i = 0; i < 4; ++i) e.spawn(hold_sem(e, s, ns(10), log, i));
+  e.run();
+  EXPECT_EQ(e.now(), ns(20));  // two batches of two
+}
+
+Task<void> waiter_fn(Trigger& t, int& count) {
+  co_await t.wait();
+  ++count;
+}
+
+TEST(Trigger, BroadcastReleasesAllAndStaysFired) {
+  Engine e;
+  Trigger t(e);
+  int count = 0;
+  e.spawn(waiter_fn(t, count));
+  e.spawn(waiter_fn(t, count));
+  e.schedule(ns(10), [&] { t.fire(); });
+  e.run();
+  EXPECT_EQ(count, 2);
+  // Already-fired trigger does not block new waiters.
+  e.spawn(waiter_fn(t, count));
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+Task<void> produce(Engine& e, Mailbox<int>& box) {
+  co_await e.delay(ns(10));
+  box.send(1);
+  co_await e.delay(ns(10));
+  box.send(2);
+}
+
+Task<void> consume(Mailbox<int>& box, std::vector<int>& got) {
+  got.push_back(co_await box.receive());
+  got.push_back(co_await box.receive());
+}
+
+TEST(Mailbox, BlocksUntilItemsArriveInOrder) {
+  Engine e;
+  Mailbox<int> box(e);
+  std::vector<int> got;
+  e.spawn(consume(box, got));
+  e.spawn(produce(e, box));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Mailbox, BuffersWhenNoReceiver) {
+  Engine e;
+  Mailbox<int> box(e);
+  box.send(5);
+  EXPECT_EQ(box.size(), 1u);
+  std::vector<int> got;
+  e.spawn([](Mailbox<int>& b, std::vector<int>& g) -> Task<void> {
+    g.push_back(co_await b.receive());
+  }(box, got));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{5}));
+}
+
+Task<void> wg_worker(Engine& e, WaitGroup& wg, Time d) {
+  co_await e.delay(d);
+  wg.done();
+}
+
+Task<void> wg_waiter(Engine& e, WaitGroup& wg, Time& done_at) {
+  co_await wg.wait();
+  done_at = e.now();
+}
+
+TEST(WaitGroup, WaitsForAllWorkers) {
+  Engine e;
+  WaitGroup wg(e);
+  wg.add(3);
+  Time done_at = 0;
+  e.spawn(wg_waiter(e, wg, done_at));
+  e.spawn(wg_worker(e, wg, ns(10)));
+  e.spawn(wg_worker(e, wg, ns(30)));
+  e.spawn(wg_worker(e, wg, ns(20)));
+  e.run();
+  EXPECT_EQ(done_at, ns(30));
+}
+
+TEST(Rng, DeterministicAndReseedable) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  a.reseed(123);
+  Rng c(123);
+  EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng r(7);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[static_cast<size_t>(v)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(11);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Stats, SamplerMoments) {
+  Sampler s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 1000u);
+  double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 200.0);
+  EXPECT_LT(p50, 800.0);
+  EXPECT_LE(h.quantile(0.1), p50);
+}
+
+TEST(Stats, RegistryReportsAndResets) {
+  StatRegistry reg;
+  reg.counter("x").inc(5);
+  reg.sampler("lat").add(3.0);
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_NE(reg.report().find("x = 5"), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("x"), 0u);
+}
+
+TEST(Config, ParsesTypedValuesAndSizes) {
+  const char* argv[] = {"prog", "nodes=8", "ratio=0.5", "flag=true",
+                        "size=64M"};
+  auto cfg = Config::from_args(5, const_cast<char**>(argv));
+  EXPECT_EQ(cfg.get_int("nodes", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.get_double("ratio", 0), 0.5);
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+  EXPECT_EQ(cfg.get_u64("size", 0), 64ull << 20);
+  EXPECT_EQ(cfg.get_int("absent", 17), 17);
+}
+
+TEST(Config, RejectsMalformedArgs) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Config::from_args(2, const_cast<char**>(argv)),
+               std::invalid_argument);
+}
+
+TEST(Config, ParseSizeSuffixes) {
+  EXPECT_EQ(parse_size("4096"), 4096u);
+  EXPECT_EQ(parse_size("2K"), 2048u);
+  EXPECT_EQ(parse_size("3g"), 3ull << 30);
+  EXPECT_THROW(parse_size("5x"), std::invalid_argument);
+  EXPECT_THROW(parse_size(""), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"a", "bb"});
+  t.row().cell(std::uint64_t{1}).cell("x");
+  t.row().cell(2.5, 1).cell("yy");
+  auto text = t.render();
+  EXPECT_NE(text.find("bb"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.csv(), "a,bb\n1,x\n2.5,yy\n");
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::sim

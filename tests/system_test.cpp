@@ -1,0 +1,308 @@
+// System-level properties: bit-exact determinism, process isolation,
+// uncached remote mode, multi-region coexistence on one donor (Fig. 1's
+// scenario), link failure surfacing through the full stack, and the
+// cluster report.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/remote_allocator.hpp"
+#include "core/runner.hpp"
+#include "test_util.hpp"
+#include "workloads/random_access.hpp"
+
+namespace ms {
+namespace {
+
+// ---- Determinism ----
+
+sim::Time run_identical_workload(std::uint64_t seed) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, p);
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = 4 << 20;
+  rp.accesses_per_thread = 1500;
+  rp.seed = seed;
+  workloads::RandomAccess ra(space, rp);
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({2, 3}));
+  setup.run_all();
+  core::Runner run(engine);
+  run.spawn(ra.thread_fn(0, 0));
+  run.spawn(ra.thread_fn(1, 1));
+  run.run_all();
+  return engine.now();
+}
+
+TEST(SystemDeterminism, IdenticalRunsEndAtIdenticalTimes) {
+  // The whole point of a deterministic DES: bit-exact replay. Two full
+  // multi-threaded runs with the same seed end at the same picosecond.
+  const sim::Time a = run_identical_workload(99);
+  const sim::Time b = run_identical_workload(99);
+  EXPECT_EQ(a, b);
+  // And a different seed gives a different interleaving.
+  const sim::Time c = run_identical_workload(100);
+  EXPECT_NE(a, c);
+}
+
+// ---- Process isolation ----
+
+TEST(SystemIsolation, TwoSpacesNeverSeeEachOthersData) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace a(cluster, 1, p);
+  core::MemorySpace b(cluster, 2, p);
+
+  engine.spawn([](core::MemorySpace& sa, core::MemorySpace& sb)
+                   -> sim::Task<void> {
+    core::ThreadCtx ta, tb;
+    auto base_a = co_await sa.map_range(1 << 16);
+    auto base_b = co_await sb.map_range(1 << 16);
+    for (int i = 0; i < 64; ++i) {
+      co_await sa.write_u64(ta, base_a + i * 8, 0xAAAA0000u + i);
+      co_await sb.write_u64(tb, base_b + i * 8, 0xBBBB0000u + i);
+    }
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(co_await sa.read_u64(ta, base_a + i * 8), 0xAAAA0000u + i);
+      EXPECT_EQ(co_await sb.read_u64(tb, base_b + i * 8), 0xBBBB0000u + i);
+    }
+    // The two processes' physical pages are disjoint.
+    auto pa = co_await sa.backing_of(base_a);
+    auto pb = co_await sb.backing_of(base_b);
+    EXPECT_NE(pa, pb);
+    co_await sa.sync(ta);
+    co_await sb.sync(tb);
+  }(a, b));
+  engine.run();
+  EXPECT_EQ(engine.live_processes(), 0);
+}
+
+// ---- Fig. 1: several regions coexisting inside one donor node ----
+
+TEST(SystemRegions, ThreeRegionsCoexistInOneDonor) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  // Nodes 1, 2 and 3 all borrow from node 4 (like node D in Fig. 1
+  // hosting parts of several foreign regions alongside its own).
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+  for (ht::NodeId home : {1, 2, 3}) {
+    spaces.push_back(std::make_unique<core::MemorySpace>(cluster, home, p));
+  }
+  std::vector<core::VAddr> bases(3);
+  engine.spawn([](std::vector<std::unique_ptr<core::MemorySpace>>& sp,
+                  std::vector<core::VAddr>& bs) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      bs[static_cast<std::size_t>(i)] =
+          co_await sp[static_cast<std::size_t>(i)]->map_range_on(1 << 20, 4);
+      core::ThreadCtx t;
+      co_await sp[static_cast<std::size_t>(i)]->write_u64(
+          t, bs[static_cast<std::size_t>(i)], 7000u + static_cast<unsigned>(i));
+      co_await sp[static_cast<std::size_t>(i)]->sync(t);
+    }
+    for (int i = 0; i < 3; ++i) {
+      core::ThreadCtx t;
+      EXPECT_EQ(co_await sp[static_cast<std::size_t>(i)]->read_u64(
+                    t, bs[static_cast<std::size_t>(i)]),
+                7000u + static_cast<unsigned>(i));
+      co_await sp[static_cast<std::size_t>(i)]->sync(t);
+    }
+  }(spaces, bases));
+  engine.run();
+
+  // The donor pinned three separate grants; its own OS memory is intact.
+  EXPECT_GE(cluster.allocator(4).pinned_bytes(),
+            3 * cluster.config().region.segment_bytes +
+                cluster.config().os_reserved_bytes);
+  // And the donor node's caches were never involved: it served requests
+  // through its MCs without a single cache fill of its own.
+  std::uint64_t donor_cache_traffic = 0;
+  for (int c = 0; c < cluster.node(4).num_cores(); ++c) {
+    donor_cache_traffic += cluster.node(4).core(c).cache().hits() +
+                           cluster.node(4).core(c).cache().misses();
+  }
+  EXPECT_EQ(donor_cache_traffic, 0u);
+  EXPECT_GT(cluster.rmc(4).served_requests(), 0u);
+}
+
+// ---- Uncached remote mode (I/O-style default before the write-back trick)
+
+TEST(SystemUncached, UncachedRemoteModeWorksAndNeverCaches) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.node.cache_remote = false;  // the I/O-memory default
+  core::Cluster cluster(engine, cfg);
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, p);
+
+  engine.spawn([](core::MemorySpace& s, core::Cluster& c) -> sim::Task<void> {
+    core::ThreadCtx t;
+    auto base = co_await s.map_range(1 << 16);
+    for (int i = 0; i < 32; ++i) {
+      co_await s.write_u64(t, base + i * 8, 100u + static_cast<unsigned>(i));
+    }
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(co_await s.read_u64(t, base + i * 8),
+                100u + static_cast<unsigned>(i));
+    }
+    co_await s.sync(t);
+    (void)c;
+  }(space, cluster));
+  engine.run();
+
+  // Every one of the 64 accesses went to the RMC (no caching of remote
+  // ranges), and nothing remote sits in the local cache.
+  EXPECT_EQ(cluster.rmc(1).client_requests(), 64u);
+  EXPECT_EQ(cluster.node(1).core(0).cache().hits() +
+                cluster.node(1).core(0).cache().misses(),
+            0u);
+}
+
+TEST(SystemUncached, CachedModeIsFasterThanUncached) {
+  auto run_mode = [](bool cache_remote) {
+    sim::Engine engine;
+    auto cfg = test::small_config();
+    cfg.node.cache_remote = cache_remote;
+    core::Cluster cluster(engine, cfg);
+    core::MemorySpace::Params p;
+    p.mode = core::MemorySpace::Mode::kRemoteRegion;
+    p.placement = os::RegionManager::Placement::kRemoteOnly;
+    core::MemorySpace space(cluster, 1, p);
+    core::Runner r(engine);
+    r.spawn([](core::MemorySpace& s) -> sim::Task<void> {
+      core::ThreadCtx t;
+      auto base = co_await s.map_range(1 << 16);
+      // Sequential 8-byte reads: with write-back caching, 7 of 8 hit.
+      for (int i = 0; i < 512; ++i) co_await s.read_u64(t, base + i * 8);
+      co_await s.sync(t);
+    }(space));
+    return r.run_all();
+  };
+  EXPECT_LT(run_mode(true), run_mode(false) / 4);
+}
+
+// ---- Failure surfacing through the full stack ----
+
+TEST(SystemFailure, LinkDownSurfacesFromMemoryAccess) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  core::MemorySpace space(cluster, 1, p);
+
+  engine.spawn([](core::MemorySpace& s, core::Cluster& c) -> sim::Task<void> {
+    core::ThreadCtx t;
+    auto base = co_await s.map_range_on(1 << 16, 2);
+    co_await s.read_u64(t, base);  // warms up fine
+    c.fabric().set_link_down(1, 2, true);
+    // Uncached line: force a new fill over the dead link.
+    co_await s.read_u64(t, base + (64 << 10) - 8);
+    co_await s.sync(t);
+  }(space, cluster));
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(SystemRegions, ConcurrentFirstTouchReservesOneSegment) {
+  // Eight threads hit an empty region simultaneously; the grow mutex must
+  // serialize the reservation so exactly one donor segment is taken (all
+  // eight pages fit in it), not eight.
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  auto rm = cluster.make_region(1);
+  std::vector<ht::PAddr> pages(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    engine.spawn([](os::RegionManager& r, ht::PAddr* out) -> sim::Task<void> {
+      auto page =
+          co_await r.alloc_page(os::RegionManager::Placement::kRemoteOnly);
+      *out = page.value_or(0);
+    }(*rm, &pages[static_cast<std::size_t>(i)]));
+  }
+  engine.run();
+  std::set<ht::PAddr> uniq(pages.begin(), pages.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  EXPECT_EQ(uniq.count(0), 0u);
+  EXPECT_EQ(rm->segment_count(), 1u);
+  EXPECT_EQ(cluster.reservation().grants(), 1u);
+}
+
+sim::Task<void> blocked_forever(sim::Semaphore& sem) {
+  co_await sem.acquire();  // never released
+}
+
+TEST(SystemTeardown, EngineDestroysBlockedProcessesCleanly) {
+  // A process parked on a semaphore when the engine dies must have its
+  // coroutine frame (and owned children) destroyed, not leaked. If this
+  // mismanages lifetimes it crashes or trips sanitizers.
+  auto engine = std::make_unique<sim::Engine>();
+  sim::Semaphore sem(*engine, 0);
+  engine->spawn(blocked_forever(sem));
+  engine->run();  // drains; the process is still live, parked on sem
+  EXPECT_EQ(engine->live_processes(), 1);
+  engine.reset();  // must not crash or leak
+}
+
+TEST(SystemTrace, CapturesAccessesAndBoundsMemory) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kLocal;
+  core::MemorySpace space(cluster, 1, p);
+  sim::AccessTrace trace(/*capacity=*/16);
+  space.set_trace(&trace);
+
+  engine.spawn([](core::MemorySpace& s) -> sim::Task<void> {
+    core::ThreadCtx t{.core = 2};
+    auto base = co_await s.map_range(1 << 16);
+    for (int i = 0; i < 40; ++i) {
+      co_await s.write_u64(t, base + i * 8, 1);
+    }
+    co_await s.read_u64(t, base);
+    co_await s.sync(t);
+  }(space));
+  engine.run();
+
+  EXPECT_EQ(trace.size(), 16u);           // ring bounded
+  EXPECT_EQ(trace.dropped(), 25u);        // 41 total - 16 kept
+  EXPECT_EQ(trace.records().back().is_write, false);  // last op was a read
+  EXPECT_EQ(trace.records().back().core, 2);
+  std::ostringstream csv;
+  trace.dump_csv(csv);
+  EXPECT_NE(csv.str().find("time_ps,core,vaddr,bytes,op"), std::string::npos);
+  EXPECT_NE(csv.str().find(",R\n"), std::string::npos);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(SystemReport, ReportMentionsActiveNodesOnly) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  core::MemorySpace space(cluster, 1, p);
+  engine.spawn([](core::MemorySpace& s) -> sim::Task<void> {
+    core::ThreadCtx t;
+    auto base = co_await s.map_range_on(1 << 16, 2);
+    co_await s.write_u64(t, base, 1);
+    co_await s.sync(t);
+  }(space));
+  engine.run();
+  const std::string report = cluster.report();
+  EXPECT_NE(report.find("node 1"), std::string::npos);
+  EXPECT_NE(report.find("node 2"), std::string::npos);
+  EXPECT_EQ(report.find("node 3"), std::string::npos);  // idle
+  EXPECT_NE(report.find("grants"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace ms::test {
+
+/// Cluster sized for fast unit tests: 4 nodes in a 2x2 mesh, 2x2 cores,
+/// 64 MiB local memory per node (8 MiB OS-reserved), small caches and
+/// small donor segments so growth paths run quickly.
+inline core::ClusterConfig small_config(int nodes = 4) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.topology = "mesh2d";
+  cfg.os_reserved_bytes = ht::PAddr{8} << 20;
+  cfg.node.sockets = 2;
+  cfg.node.cores_per_socket = 2;
+  cfg.node.local_bytes = ht::PAddr{64} << 20;
+  cfg.node.cache.size_bytes = 64 << 10;
+  cfg.region.segment_bytes = ht::PAddr{4} << 20;
+  return cfg;
+}
+
+/// Runs one simulated process to completion and asserts clean termination.
+inline void run_in_sim(sim::Engine& engine, sim::Task<void> body) {
+  engine.spawn(std::move(body));
+  engine.run();
+  ASSERT_EQ(engine.live_processes(), 0) << "simulated process deadlocked";
+}
+
+}  // namespace ms::test

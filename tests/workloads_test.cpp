@@ -1,0 +1,235 @@
+// Workload correctness: every kernel computes a real, checkable result
+// while running through the simulated memory system, in more than one
+// backing mode (the figures only make sense if the workloads are honest).
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "test_util.hpp"
+#include "workloads/blackscholes.hpp"
+#include "workloads/canneal.hpp"
+#include "workloads/random_access.hpp"
+#include "workloads/raytrace.hpp"
+#include "workloads/streamcluster.hpp"
+
+namespace ms::workloads {
+namespace {
+
+core::MemorySpace::Params mode_params(core::MemorySpace::Mode mode,
+                                      std::uint64_t resident = 64 * 4096) {
+  core::MemorySpace::Params p;
+  p.mode = mode;
+  if (mode == core::MemorySpace::Mode::kRemoteSwap ||
+      mode == core::MemorySpace::Mode::kDiskSwap) {
+    p.swap.resident_limit_bytes = resident;
+  }
+  if (mode == core::MemorySpace::Mode::kRemoteRegion) {
+    p.placement = os::RegionManager::Placement::kRemoteOnly;
+  }
+  return p;
+}
+
+TEST(RandomAccessTest, VerifiesPatternAndCountsReads) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(
+      cluster, 1, mode_params(core::MemorySpace::Mode::kRemoteRegion));
+  RandomAccess::Params p;
+  p.buffer_bytes = 1 << 20;
+  p.accesses_per_thread = 1000;
+  RandomAccess ra(space, p);
+  core::Runner setup(e);
+  setup.spawn(ra.setup({2, 3}));
+  setup.run_all();
+  core::Runner r(e);
+  r.spawn(ra.thread_fn(0, 0));
+  r.run_all();
+  EXPECT_EQ(ra.total_reads(), 1000u);
+  EXPECT_EQ(ra.errors(), 0u);
+}
+
+TEST(RandomAccessTest, MoreThreadsFinishFasterUntilSaturation) {
+  auto run_with_threads = [](int threads) {
+    sim::Engine e;
+    core::Cluster cluster(e, test::small_config());
+    core::MemorySpace space(
+        cluster, 1, mode_params(core::MemorySpace::Mode::kRemoteRegion));
+    RandomAccess::Params p;
+    p.buffer_bytes = 4 << 20;
+    p.accesses_per_thread = 2000 / static_cast<std::uint64_t>(threads);
+    RandomAccess ra(space, p);
+    core::Runner setup(e);
+    setup.spawn(ra.setup({2}));
+    setup.run_all();
+    core::Runner r(e);
+    for (int i = 0; i < threads; ++i) r.spawn(ra.thread_fn(i, i));
+    return r.run_all();
+  };
+  const sim::Time one = run_with_threads(1);
+  const sim::Time two = run_with_threads(2);
+  // Two threads with one outstanding slot each overlap their round trips.
+  EXPECT_LT(two, one);
+  EXPECT_GT(two, one / 4);
+}
+
+struct KernelCase {
+  core::MemorySpace::Mode mode;
+  const char* name;
+};
+
+class KernelModes : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelModes, BlackscholesMatchesOracle) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(cluster, 1, mode_params(GetParam().mode));
+  Blackscholes::Params p;
+  p.options = 2'000;
+  Blackscholes bs(space, p);
+  core::Runner r(e);
+  r.spawn([](Blackscholes& b, core::MemorySpace& s) -> sim::Task<void> {
+    co_await b.setup();
+    core::ThreadCtx t;
+    co_await b.run(t);
+    (void)s;
+  }(bs, space));
+  const sim::Time elapsed = r.run_all();
+  EXPECT_GT(elapsed, 0u);
+
+  // Oracle: regenerate the option stream host-side (same seed and
+  // generator as setup) and compare the checksum of simulated results.
+  sim::Rng rng(p.seed);
+  double expect = 0;
+  for (std::uint64_t i = 0; i < p.options; ++i) {
+    Blackscholes::OptionData o{
+        .spot = 20.0 + rng.uniform() * 80.0,
+        .strike = 20.0 + rng.uniform() * 80.0,
+        .rate = 0.01 + rng.uniform() * 0.09,
+        .volatility = 0.10 + rng.uniform() * 0.50,
+        .maturity = 0.25 + rng.uniform() * 2.0,
+        .is_put = static_cast<std::uint32_t>(rng.below(2)),
+    };
+    expect += Blackscholes::price(o);
+  }
+  EXPECT_NEAR(bs.checksum(), expect, 1e-6 * expect);
+}
+
+TEST_P(KernelModes, RaytraceHashMatchesExpectation) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(cluster, 1, mode_params(GetParam().mode));
+  Raytrace::Params p;
+  p.depth = 12;
+  p.rays = 2'000;
+  Raytrace rt(space, p);
+  core::Runner r(e);
+  r.spawn([](Raytrace& w) -> sim::Task<void> {
+    co_await w.setup();
+    core::ThreadCtx t;
+    co_await w.run(t);
+  }(rt));
+  r.run_all();
+  EXPECT_EQ(rt.result_hash(), rt.expected_hash());
+}
+
+TEST_P(KernelModes, StreamclusterAssignmentsMatchOracle) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(cluster, 1, mode_params(GetParam().mode));
+  Streamcluster::Params p;
+  p.points = 3'000;
+  Streamcluster sc(space, p);
+  core::Runner r(e);
+  r.spawn([](Streamcluster& w) -> sim::Task<void> {
+    co_await w.setup();
+    core::ThreadCtx t;
+    co_await w.run(t);
+  }(sc));
+  r.run_all();
+  EXPECT_EQ(sc.assignment_sum(), sc.expected_assignment_sum());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, KernelModes,
+    ::testing::Values(
+        KernelCase{core::MemorySpace::Mode::kLocal, "local"},
+        KernelCase{core::MemorySpace::Mode::kRemoteRegion, "remote"},
+        KernelCase{core::MemorySpace::Mode::kRemoteSwap, "swap"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(BlackscholesTest, PriceOracleKnownValues) {
+  // Standard textbook check: S=100 K=100 r=5% sigma=20% T=1 call ~ 10.45.
+  Blackscholes::OptionData call{.spot = 100, .strike = 100, .rate = 0.05,
+                                .volatility = 0.2, .maturity = 1.0,
+                                .is_put = 0};
+  EXPECT_NEAR(Blackscholes::price(call), 10.45, 0.02);
+  Blackscholes::OptionData put = call;
+  put.is_put = 1;
+  // Put-call parity: C - P = S - K e^{-rT}.
+  const double parity = Blackscholes::price(call) - Blackscholes::price(put);
+  EXPECT_NEAR(parity, 100.0 - 100.0 * std::exp(-0.05), 0.02);
+}
+
+TEST(CannealTest, AnnealingReducesWireLength) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(
+      cluster, 1, mode_params(core::MemorySpace::Mode::kRemoteRegion));
+  Canneal::Params p;
+  p.elements = 1 << 12;
+  p.steps = 4'000;
+  p.initial_temperature = 1.0;  // mostly greedy: length must drop
+  Canneal cn(space, p);
+  double before = 0, after = 0;
+  core::Runner r(e);
+  r.spawn([](Canneal& w, double* b, double* a) -> sim::Task<void> {
+    co_await w.setup();
+    *b = w.total_wire_length();
+    core::ThreadCtx t;
+    co_await w.run(t);
+    *a = w.total_wire_length();
+  }(cn, &before, &after));
+  r.run_all();
+  EXPECT_GT(cn.accepted_swaps(), 0u);
+  EXPECT_LT(after, before);
+}
+
+TEST(CannealTest, RandomAccessesThrashUnderSwap) {
+  // The Fig. 11 contrast in miniature: canneal under swap pays far more
+  // than under remote memory for the same number of steps.
+  auto run_mode = [](core::MemorySpace::Mode mode) {
+    sim::Engine e;
+    core::Cluster cluster(e, test::small_config());
+    core::MemorySpace space(cluster, 1, mode_params(mode, /*resident=*/32 * 4096));
+    Canneal::Params p;
+    p.elements = 1 << 14;  // 1 MiB footprint vs 128 KiB resident
+    p.steps = 300;
+    Canneal cn(space, p);
+    core::Runner r(e);
+    sim::Time elapsed = 0;
+    r.spawn([](Canneal& w, sim::Engine& eng, sim::Time* out) -> sim::Task<void> {
+      co_await w.setup();
+      core::ThreadCtx t;
+      const sim::Time start = eng.now();
+      co_await w.run(t);
+      *out = eng.now() - start;
+    }(cn, e, &elapsed));
+    r.run_all();
+    return elapsed;
+  };
+  const sim::Time remote = run_mode(core::MemorySpace::Mode::kRemoteRegion);
+  const sim::Time swapped = run_mode(core::MemorySpace::Mode::kRemoteSwap);
+  EXPECT_GT(swapped, 5 * remote);
+}
+
+TEST(RaytraceTest, RejectsBadDepth) {
+  sim::Engine e;
+  core::Cluster cluster(e, test::small_config());
+  core::MemorySpace space(
+      cluster, 1, mode_params(core::MemorySpace::Mode::kLocal));
+  Raytrace::Params p;
+  p.depth = 1;
+  EXPECT_THROW(Raytrace(space, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ms::workloads
