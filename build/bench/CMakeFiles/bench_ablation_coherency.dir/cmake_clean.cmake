@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coherency.dir/bench_ablation_coherency.cpp.o"
+  "CMakeFiles/bench_ablation_coherency.dir/bench_ablation_coherency.cpp.o.d"
+  "bench_ablation_coherency"
+  "bench_ablation_coherency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

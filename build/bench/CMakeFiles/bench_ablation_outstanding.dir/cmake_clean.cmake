@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outstanding.dir/bench_ablation_outstanding.cpp.o"
+  "CMakeFiles/bench_ablation_outstanding.dir/bench_ablation_outstanding.cpp.o.d"
+  "bench_ablation_outstanding"
+  "bench_ablation_outstanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outstanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

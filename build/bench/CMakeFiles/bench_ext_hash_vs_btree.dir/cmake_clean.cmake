@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hash_vs_btree.dir/bench_ext_hash_vs_btree.cpp.o"
+  "CMakeFiles/bench_ext_hash_vs_btree.dir/bench_ext_hash_vs_btree.cpp.o.d"
+  "bench_ext_hash_vs_btree"
+  "bench_ext_hash_vs_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hash_vs_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

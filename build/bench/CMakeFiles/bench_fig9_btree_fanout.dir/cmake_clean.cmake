@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_btree_fanout.dir/bench_fig9_btree_fanout.cpp.o"
+  "CMakeFiles/bench_fig9_btree_fanout.dir/bench_fig9_btree_fanout.cpp.o.d"
+  "bench_fig9_btree_fanout"
+  "bench_fig9_btree_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_btree_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

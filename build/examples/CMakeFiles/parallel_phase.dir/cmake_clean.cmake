@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_phase.dir/parallel_phase.cpp.o"
+  "CMakeFiles/parallel_phase.dir/parallel_phase.cpp.o.d"
+  "parallel_phase"
+  "parallel_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_rebalance.dir/region_rebalance.cpp.o"
+  "CMakeFiles/region_rebalance.dir/region_rebalance.cpp.o.d"
+  "region_rebalance"
+  "region_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/memscale.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/memory_space.cpp" "src/CMakeFiles/memscale.dir/core/memory_space.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/core/memory_space.cpp.o.d"
+  "/root/repo/src/core/remote_allocator.cpp" "src/CMakeFiles/memscale.dir/core/remote_allocator.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/core/remote_allocator.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/memscale.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/core/runner.cpp.o.d"
+  "/root/repo/src/dsm/directory_dsm.cpp" "src/CMakeFiles/memscale.dir/dsm/directory_dsm.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/dsm/directory_dsm.cpp.o.d"
+  "/root/repo/src/ht/bridge.cpp" "src/CMakeFiles/memscale.dir/ht/bridge.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/ht/bridge.cpp.o.d"
+  "/root/repo/src/ht/link.cpp" "src/CMakeFiles/memscale.dir/ht/link.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/ht/link.cpp.o.d"
+  "/root/repo/src/ht/packet.cpp" "src/CMakeFiles/memscale.dir/ht/packet.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/ht/packet.cpp.o.d"
+  "/root/repo/src/mem/backing_store.cpp" "src/CMakeFiles/memscale.dir/mem/backing_store.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/memscale.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/coherence.cpp" "src/CMakeFiles/memscale.dir/mem/coherence.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/mem/coherence.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/memscale.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/memory_controller.cpp" "src/CMakeFiles/memscale.dir/mem/memory_controller.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/mem/memory_controller.cpp.o.d"
+  "/root/repo/src/noc/fabric.cpp" "src/CMakeFiles/memscale.dir/noc/fabric.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/noc/fabric.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/CMakeFiles/memscale.dir/noc/routing.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/noc/routing.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/CMakeFiles/memscale.dir/noc/topology.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/noc/topology.cpp.o.d"
+  "/root/repo/src/node/address_map.cpp" "src/CMakeFiles/memscale.dir/node/address_map.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/node/address_map.cpp.o.d"
+  "/root/repo/src/node/core.cpp" "src/CMakeFiles/memscale.dir/node/core.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/node/core.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/CMakeFiles/memscale.dir/node/node.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/node/node.cpp.o.d"
+  "/root/repo/src/os/cluster_directory.cpp" "src/CMakeFiles/memscale.dir/os/cluster_directory.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/cluster_directory.cpp.o.d"
+  "/root/repo/src/os/frame_allocator.cpp" "src/CMakeFiles/memscale.dir/os/frame_allocator.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/frame_allocator.cpp.o.d"
+  "/root/repo/src/os/page_table.cpp" "src/CMakeFiles/memscale.dir/os/page_table.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/page_table.cpp.o.d"
+  "/root/repo/src/os/region_manager.cpp" "src/CMakeFiles/memscale.dir/os/region_manager.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/region_manager.cpp.o.d"
+  "/root/repo/src/os/reservation.cpp" "src/CMakeFiles/memscale.dir/os/reservation.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/reservation.cpp.o.d"
+  "/root/repo/src/os/tlb.cpp" "src/CMakeFiles/memscale.dir/os/tlb.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/os/tlb.cpp.o.d"
+  "/root/repo/src/rmc/prefetcher.cpp" "src/CMakeFiles/memscale.dir/rmc/prefetcher.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/rmc/prefetcher.cpp.o.d"
+  "/root/repo/src/rmc/rmc.cpp" "src/CMakeFiles/memscale.dir/rmc/rmc.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/rmc/rmc.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/memscale.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/memscale.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/memscale.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/memscale.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/memscale.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/sync.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/CMakeFiles/memscale.dir/sim/table.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/sim/table.cpp.o.d"
+  "/root/repo/src/swap/disk_model.cpp" "src/CMakeFiles/memscale.dir/swap/disk_model.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/swap/disk_model.cpp.o.d"
+  "/root/repo/src/swap/swap_manager.cpp" "src/CMakeFiles/memscale.dir/swap/swap_manager.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/swap/swap_manager.cpp.o.d"
+  "/root/repo/src/workloads/blackscholes.cpp" "src/CMakeFiles/memscale.dir/workloads/blackscholes.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/btree.cpp" "src/CMakeFiles/memscale.dir/workloads/btree.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/btree.cpp.o.d"
+  "/root/repo/src/workloads/canneal.cpp" "src/CMakeFiles/memscale.dir/workloads/canneal.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/canneal.cpp.o.d"
+  "/root/repo/src/workloads/hash_index.cpp" "src/CMakeFiles/memscale.dir/workloads/hash_index.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/hash_index.cpp.o.d"
+  "/root/repo/src/workloads/random_access.cpp" "src/CMakeFiles/memscale.dir/workloads/random_access.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/random_access.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/CMakeFiles/memscale.dir/workloads/raytrace.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/streamcluster.cpp" "src/CMakeFiles/memscale.dir/workloads/streamcluster.cpp.o" "gcc" "src/CMakeFiles/memscale.dir/workloads/streamcluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cpp" "tests/CMakeFiles/memscale_tests.dir/btree_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/btree_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/memscale_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/memscale_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/ht_noc_test.cpp" "tests/CMakeFiles/memscale_tests.dir/ht_noc_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/ht_noc_test.cpp.o.d"
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/memscale_tests.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/mem_test.cpp.o.d"
+  "/root/repo/tests/node_rmc_test.cpp" "tests/CMakeFiles/memscale_tests.dir/node_rmc_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/node_rmc_test.cpp.o.d"
+  "/root/repo/tests/os_test.cpp" "tests/CMakeFiles/memscale_tests.dir/os_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/os_test.cpp.o.d"
+  "/root/repo/tests/reliability_test.cpp" "tests/CMakeFiles/memscale_tests.dir/reliability_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/reliability_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/memscale_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/swap_dsm_test.cpp" "tests/CMakeFiles/memscale_tests.dir/swap_dsm_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/swap_dsm_test.cpp.o.d"
+  "/root/repo/tests/system_test.cpp" "tests/CMakeFiles/memscale_tests.dir/system_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/memscale_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/memscale_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/memscale.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

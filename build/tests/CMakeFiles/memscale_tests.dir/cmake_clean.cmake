@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memscale_tests.dir/btree_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/btree_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/core_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/ht_noc_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/ht_noc_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/mem_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/mem_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/node_rmc_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/node_rmc_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/os_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/os_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/reliability_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/reliability_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/swap_dsm_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/swap_dsm_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/system_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/system_test.cpp.o.d"
+  "CMakeFiles/memscale_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/memscale_tests.dir/workloads_test.cpp.o.d"
+  "memscale_tests"
+  "memscale_tests.pdb"
+  "memscale_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memscale_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
