@@ -21,10 +21,15 @@ struct Point {
   int height;
 };
 
-Point run_point(const bench::Env& env, core::MemorySpace::Mode mode,
+Point run_point(bench::Env& env, core::MemorySpace::Mode mode,
                 int fanout, std::uint64_t keys, std::uint64_t searches,
                 std::uint64_t resident) {
+  const std::string label =
+      std::string(mode == core::MemorySpace::Mode::kRemoteSwap ? "swap"
+                                                               : "remote") +
+      ".keys=" + std::to_string(keys);
   sim::Engine engine;
+  env.attach(engine, label);
   core::Cluster cluster(engine, env.cluster_config());
   core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
   core::RemoteAllocator alloc(space);
@@ -66,6 +71,7 @@ Point run_point(const bench::Env& env, core::MemorySpace::Mode mode,
                       : 0.0;
   p.tree_mb = tree.node_count() * tree.node_bytes() >> 20;
   p.height = tree.height();
+  env.capture(label, cluster);
   return p;
 }
 
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
         .cell(swap.faults_per_search, 2);
   }
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf("shape check: remote memory grows with tree height only; swap "
               "is faster while the tree fits the %llu MiB resident set, then "
               "thrashes super-linearly.\n",

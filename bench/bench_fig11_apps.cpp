@@ -25,10 +25,21 @@ struct RunResult {
   std::uint64_t faults;
 };
 
+const char* mode_name(core::MemorySpace::Mode mode) {
+  switch (mode) {
+    case core::MemorySpace::Mode::kLocal: return "local";
+    case core::MemorySpace::Mode::kRemoteSwap: return "swap";
+    default: return "remote";
+  }
+}
+
 template <typename Workload, typename ParamsT>
-RunResult run_kernel(const bench::Env& env, core::MemorySpace::Mode mode,
-                     const ParamsT& params, std::uint64_t resident) {
+RunResult run_kernel(bench::Env& env, core::MemorySpace::Mode mode,
+                     const char* name, const ParamsT& params,
+                     std::uint64_t resident) {
+  const std::string label = std::string(name) + "." + mode_name(mode);
   sim::Engine engine;
+  env.attach(engine, label);
   core::Cluster cluster(engine, env.cluster_config());
   core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
   Workload w(space, params);
@@ -43,19 +54,20 @@ RunResult run_kernel(const bench::Env& env, core::MemorySpace::Mode mode,
     co_await wl.run(t);
   }(w));
   const sim::Time elapsed = run.run_all();
+  env.capture(label, cluster);
   return RunResult{sim::to_ms(elapsed), w.footprint_bytes() >> 20,
                    space.swapper() ? space.swapper()->faults() : 0};
 }
 
 template <typename Workload, typename ParamsT>
-void bench_app(sim::Table& table, const bench::Env& env, const char* name,
+void bench_app(sim::Table& table, bench::Env& env, const char* name,
                const ParamsT& params, std::uint64_t resident) {
   auto local = run_kernel<Workload>(env, core::MemorySpace::Mode::kLocal,
-                                    params, resident);
+                                    name, params, resident);
   auto remote = run_kernel<Workload>(
-      env, core::MemorySpace::Mode::kRemoteRegion, params, resident);
+      env, core::MemorySpace::Mode::kRemoteRegion, name, params, resident);
   auto swap = run_kernel<Workload>(env, core::MemorySpace::Mode::kRemoteSwap,
-                                   params, resident);
+                                   name, params, resident);
   table.row()
       .cell(name)
       .cell(local.footprint_mb)
@@ -113,6 +125,7 @@ int main(int argc, char** argv) {
   }
 
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf(
       "shape check: blackscholes/raytrace swap ~2x local; canneal remote "
       "noticeably slower than local but feasible, swap prohibitive; "

@@ -24,9 +24,10 @@ struct Point {
   double hit_rate;
 };
 
-Point run_point(const bench::Env& env, int hops, std::uint64_t accesses,
+Point run_point(bench::Env& env, int hops, std::uint64_t accesses,
                 std::uint64_t buffer_bytes) {
   sim::Engine engine;
+  env.attach(engine, "hops=" + std::to_string(hops));
   core::Cluster cluster(engine, env.cluster_config());
   auto mp = bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0);
   // hop 0 places the buffer in node 1's own local memory; remote rows pin
@@ -49,6 +50,7 @@ Point run_point(const bench::Env& env, int hops, std::uint64_t accesses,
 
   const auto& rtt = cluster.rmc(1).round_trip();
   double hit_rate = cluster.node(1).core(0).cache().hit_rate();
+  env.capture("hops=" + std::to_string(hops), cluster);
   return Point{hops,
                sim::to_us(elapsed) / static_cast<double>(accesses),
                rtt.count() ? rtt.mean() / 1e6 : 0.0,
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
         .cell(p.hit_rate, 3);
   }
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf("shape check: latency should grow ~linearly with hops; hop 0 is "
               "the local-memory floor.\n");
   return 0;

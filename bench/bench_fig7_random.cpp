@@ -29,10 +29,11 @@ struct Scenario {
   int hops;
 };
 
-double run_scenario(const bench::Env& env, const Scenario& sc,
+double run_scenario(bench::Env& env, const Scenario& sc,
                     std::uint64_t total_accesses,
                     std::uint64_t buffer_bytes) {
   sim::Engine engine;
+  env.attach(engine, sc.label);
   core::Cluster cluster(engine, env.cluster_config());
   core::MemorySpace space(
       cluster, kClient,
@@ -50,7 +51,9 @@ double run_scenario(const bench::Env& env, const Scenario& sc,
 
   core::Runner run(engine);
   for (int t = 0; t < sc.threads; ++t) run.spawn(ra.thread_fn(t, t));
-  return sim::to_ms(run.run_all());
+  const double elapsed_ms = sim::to_ms(run.run_all());
+  env.capture(sc.label, cluster);
+  return elapsed_ms;
 }
 
 }  // namespace
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(total) / (ms * 1000.0), 3);
   }
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf(
       "shape check: 2t ~ half of 1t; 4t ~ 2t (client RMC saturated); 4 "
       "servers ~ 1 server; farther servers slightly faster under 4t.\n");

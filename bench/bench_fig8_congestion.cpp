@@ -39,9 +39,10 @@ struct Point {
   double server_req_rate;  // requests/us arriving at the server RMC
 };
 
-Point run_point(const bench::Env& env, int stress_nodes, int threads_per_node,
+Point run_point(bench::Env& env, int stress_nodes, int threads_per_node,
                 std::uint64_t control_accesses, std::uint64_t buffer_bytes) {
   sim::Engine engine;
+  env.attach(engine, "stress_nodes=" + std::to_string(stress_nodes));
   core::Cluster cluster(engine, env.cluster_config());
 
   // Control process on node 2.
@@ -104,6 +105,7 @@ Point run_point(const bench::Env& env, int stress_nodes, int threads_per_node,
                                 served_before) /
                 elapsed_us
           : 0.0;
+  env.capture("stress_nodes=" + std::to_string(stress_nodes), cluster);
   return Point{sim::to_ms(control_done - start_served), rate};
 }
 
@@ -139,6 +141,7 @@ int main(int argc, char** argv) {
         .cell(p.server_req_rate, 3);
   }
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf("shape check: control time flat up to ~3 nodes x 4 threads, "
               "then rising (server RMC congestion, not the network).\n");
   return 0;

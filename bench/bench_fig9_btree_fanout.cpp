@@ -16,10 +16,15 @@ using namespace ms;
 
 namespace {
 
-double run_search_us(const bench::Env& env, core::MemorySpace::Mode mode,
+double run_search_us(bench::Env& env, core::MemorySpace::Mode mode,
                      int fanout, std::uint64_t keys, std::uint64_t searches,
                      std::uint64_t resident) {
+  const std::string label =
+      std::string(mode == core::MemorySpace::Mode::kRemoteSwap ? "swap"
+                                                               : "remote") +
+      ".fanout=" + std::to_string(fanout);
   sim::Engine engine;
+  env.attach(engine, label);
   core::Cluster cluster(engine, env.cluster_config());
   core::MemorySpace space(cluster, 1, bench::mode_params(mode, resident));
   core::RemoteAllocator alloc(space);
@@ -53,6 +58,7 @@ double run_search_us(const bench::Env& env, core::MemorySpace::Mode mode,
     }
   }(tree, searches, keys));
   const sim::Time elapsed = run.run_all();
+  env.capture(label, cluster);
   return sim::to_us(elapsed) / static_cast<double>(searches);
 }
 
@@ -98,6 +104,7 @@ int main(int argc, char** argv) {
         .cell(remote_us, 2);
   }
   bench::print_table(table, env);
+  env.write_outputs();
   std::printf("shape check: swap series is U-shaped with its minimum where "
               "one node ~ one page; remote-memory series is nearly flat "
               "(locality-insensitive, Eq. 2).\n");

@@ -6,28 +6,85 @@
 // one aligned table (plus CSV with csv=1) whose rows correspond to the
 // figure's series. Command-line overrides use key=value tokens and are
 // echoed so every run is reproducible.
+//
+// Observability flags (accepted by every fig bench):
+//   --stats-json=FILE   dump a StatRegistry JSON snapshot of every data
+//                       point's cluster (counters, latency percentiles)
+//   --trace=FILE        record a Chrome trace_event timeline of the whole
+//                       run, one process group per data point; open it in
+//                       chrome://tracing or https://ui.perfetto.dev
+// The spellings stats_json=FILE / trace=FILE work too (plain key=value).
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/cluster.hpp"
 #include "core/memory_space.hpp"
 #include "core/runner.hpp"
 #include "sim/config.hpp"
+#include "sim/stats.hpp"
 #include "sim/table.hpp"
+#include "sim/tracer.hpp"
 
 namespace ms::bench {
 
 struct Env {
   sim::Config raw;
   bool csv = false;
+  std::string stats_path;
+  std::string trace_path;
+  sim::StatRegistry stats;
+  sim::Tracer tracer;
 
   Env(int argc, char** argv) : raw(sim::Config::from_args(argc, argv)) {
     csv = raw.get_bool("csv", false);
+    stats_path = raw.get_str("--stats-json", raw.get_str("stats_json", ""));
+    trace_path = raw.get_str("--trace", raw.get_str("trace", ""));
   }
 
   core::ClusterConfig cluster_config() const {
     return core::ClusterConfig::from(raw);
+  }
+
+  bool tracing() const { return !trace_path.empty(); }
+  bool collecting_stats() const { return !stats_path.empty(); }
+
+  /// Call once per data point, right after constructing its engine: starts
+  /// a new process group in the trace (named `label`) and attaches the
+  /// tracer. No-op unless --trace was given.
+  void attach(sim::Engine& engine, const std::string& label) {
+    if (!tracing()) return;
+    tracer.begin_process(label);
+    engine.set_tracer(&tracer);
+  }
+
+  /// Call at the end of a data point: snapshots the cluster's stats under
+  /// "<label>." so every point's percentiles land in the JSON dump.
+  /// No-op unless --stats-json was given.
+  void capture(const std::string& label, const core::Cluster& cluster) {
+    if (!collecting_stats()) return;
+    cluster.export_stats(stats, label + ".");
+  }
+
+  /// Call once after the table is printed: writes the requested output
+  /// files. Throws on I/O failure so a bad path fails the run loudly.
+  void write_outputs() {
+    if (collecting_stats()) {
+      std::ofstream out(stats_path);
+      if (!out) throw std::runtime_error("cannot write " + stats_path);
+      stats.dump_json(out);
+      std::printf("stats json: %s\n", stats_path.c_str());
+    }
+    if (tracing()) {
+      std::ofstream out(trace_path);
+      if (!out) throw std::runtime_error("cannot write " + trace_path);
+      tracer.export_chrome(out);
+      std::printf("chrome trace: %s (%zu spans) — load in chrome://tracing "
+                  "or ui.perfetto.dev\n",
+                  trace_path.c_str(), tracer.span_count());
+    }
   }
 };
 

@@ -140,6 +140,60 @@ std::string Cluster::report() const {
   return out.str();
 }
 
+void Cluster::export_stats(sim::StatRegistry& reg,
+                           const std::string& prefix) const {
+  fabric_->export_stats(reg, prefix + "noc.");
+  reg.counter(prefix + "reservation.grants").inc(reservation_->grants());
+  reg.counter(prefix + "reservation.denials").inc(reservation_->denials());
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const auto& n = *nodes_[i];
+    const auto& r = *rmcs_[i];
+    const std::string node_p =
+        prefix + "node." + std::to_string(i + 1) + ".";
+    const std::string rmc_p = prefix + "rmc." + std::to_string(i + 1) + ".";
+
+    std::uint64_t hits = 0, misses = 0, writebacks = 0;
+    for (int c = 0; c < n.num_cores(); ++c) {
+      hits += nodes_[i]->core(c).cache().hits();
+      misses += nodes_[i]->core(c).cache().misses();
+      writebacks += nodes_[i]->core(c).cache().writebacks();
+    }
+    std::uint64_t mc_reads = 0, mc_writes = 0;
+    for (int s = 0; s < cfg_.node.sockets; ++s) {
+      mc_reads += nodes_[i]->mc(s).reads();
+      mc_writes += nodes_[i]->mc(s).writes();
+    }
+    const bool idle = mc_reads + mc_writes + r.client_requests() +
+                          r.served_requests() + hits + misses ==
+                      0;
+    if (idle) continue;
+
+    reg.counter(node_p + "cache_hits").inc(hits);
+    reg.counter(node_p + "cache_misses").inc(misses);
+    reg.counter(node_p + "cache_writebacks").inc(writebacks);
+    reg.counter(node_p + "mc_reads").inc(mc_reads);
+    reg.counter(node_p + "mc_writes").inc(mc_writes);
+    reg.counter(node_p + "local_accesses").inc(n.local_accesses());
+    reg.counter(node_p + "remote_accesses").inc(n.remote_accesses());
+    reg.counter(node_p + "coherence_probes").inc(n.directory().probes());
+    for (int s = 0; s < cfg_.node.sockets; ++s) {
+      const auto& mc = nodes_[i]->mc(s);
+      if (mc.reads() + mc.writes() == 0) continue;
+      reg.sampler(node_p + "mc" + std::to_string(s) + ".latency_ps") =
+          mc.latency();
+    }
+
+    reg.counter(rmc_p + "client_requests").inc(r.client_requests());
+    reg.counter(rmc_p + "served_requests").inc(r.served_requests());
+    reg.counter(rmc_p + "loopbacks").inc(r.loopbacks());
+    reg.counter(rmc_p + "turnarounds").inc(r.turnarounds());
+    if (r.round_trip().count() > 0) {
+      reg.sampler(rmc_p + "round_trip_ps") = r.round_trip();
+      reg.sampler(rmc_p + "port_wait_ps") = r.port_wait();
+    }
+  }
+}
+
 std::uint64_t Cluster::total_intra_node_probes() const {
   std::uint64_t sum = 0;
   for (const auto& n : nodes_) sum += n->directory().probes();

@@ -78,6 +78,13 @@ class Cluster {
   /// that saw no traffic are skipped.
   std::string report() const;
 
+  /// Snapshots every component's counters and latency distributions into
+  /// `reg` under `prefix`, for StatRegistry::dump_json. Names are stable
+  /// ("rmc.1.round_trip_ps", "node.2.cache_misses", ...) so bench output
+  /// can be diffed across runs; idle nodes are skipped like in report().
+  void export_stats(sim::StatRegistry& reg,
+                    const std::string& prefix = "") const;
+
  private:
   sim::Engine& engine_;
   ClusterConfig cfg_;

@@ -1,5 +1,7 @@
 #include "ht/link.hpp"
 
+#include "sim/tracer.hpp"
+
 namespace ms::ht {
 
 Link::Link(sim::Engine& engine, std::string name, const Params& p)
@@ -20,16 +22,23 @@ sim::Task<void> Link::transmit(std::uint32_t bytes) {
   sim::SemToken credit(credits_);
   co_await transmitter_.acquire();
   queue_wait_.add_time(engine_.now() - arrived);
-  const sim::Time ser = serialization_time(bytes);
-  // Link-layer CRC retry: a corrupted packet is detected at the far end,
-  // NAKed, and retransmitted while still holding the transmitter.
-  while (params_.error_rate > 0.0 && error_rng_.chance(params_.error_rate)) {
-    retries_.inc();
-    busy_ += ser;
-    co_await engine_.delay(ser + params_.retry_penalty);
+  if (auto* tr = engine_.tracer(); tr != nullptr && engine_.now() != arrived) {
+    tr->end_span(tr->begin_span(name_, "wait", arrived), engine_.now());
   }
-  busy_ += ser;
-  co_await engine_.delay(ser);
+  const sim::Time ser = serialization_time(bytes);
+  {
+    // Span covers exactly the transmitter occupancy (retries included).
+    sim::ScopedSpan xmit(engine_, name_, "xmit");
+    // Link-layer CRC retry: a corrupted packet is detected at the far end,
+    // NAKed, and retransmitted while still holding the transmitter.
+    while (params_.error_rate > 0.0 && error_rng_.chance(params_.error_rate)) {
+      retries_.inc();
+      busy_ += ser;
+      co_await engine_.delay(ser + params_.retry_penalty);
+    }
+    busy_ += ser;
+    co_await engine_.delay(ser);
+  }
   transmitter_.release();
   // Propagation does not hold the transmitter; the credit is returned when
   // the tail reaches the receiver (SemToken destructor at coroutine end).

@@ -3,7 +3,16 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/tracer.hpp"
+
 namespace ms::mem {
+
+void Cache::trace_event(const char* what) const {
+  if (trace_engine_ == nullptr) return;
+  if (auto* tr = trace_engine_->tracer()) {
+    tr->instant(track_, what, trace_engine_->now());
+  }
+}
 
 Cache::Cache(const Params& p) : params_(p) {
   if (!std::has_single_bit(p.line_bytes)) {
@@ -46,6 +55,7 @@ Cache::AccessResult Cache::access(ht::PAddr addr, bool is_write) {
     return {.hit = true};
   }
   misses_.inc();
+  trace_event("miss");
   AccessResult r = install(addr);
   r.hit = false;
   if (is_write) find(addr)->dirty = true;
@@ -71,9 +81,11 @@ Cache::AccessResult Cache::install(ht::PAddr addr) {
   if (victim->valid) {
     r.evicted = true;
     r.victim_line = victim->tag;
+    trace_event("evict");
     if (victim->dirty) {
       r.writeback = true;
       writebacks_.inc();
+      trace_event("writeback");
     }
   }
   victim->valid = true;

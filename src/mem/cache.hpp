@@ -2,11 +2,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "ht/packet.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+
+namespace ms::sim {
+class Engine;
+}
 
 namespace ms::mem {
 
@@ -69,6 +74,14 @@ class Cache {
 
   ht::PAddr line_of(ht::PAddr addr) const { return addr & ~line_mask_; }
 
+  /// Binds the cache to an engine so miss/evict/writeback show up as
+  /// instant events on `track` when a tracer is attached. The cache itself
+  /// is untimed, so this is its only connection to the engine.
+  void bind_trace(sim::Engine* engine, std::string track) {
+    trace_engine_ = engine;
+    track_ = std::move(track);
+  }
+
   const Params& params() const { return params_; }
   std::uint64_t hits() const { return hits_.value(); }
   std::uint64_t misses() const { return misses_.value(); }
@@ -86,8 +99,11 @@ class Cache {
   std::size_t set_of(ht::PAddr addr) const;
   Way* find(ht::PAddr addr);
   const Way* find(ht::PAddr addr) const;
+  void trace_event(const char* what) const;
 
   Params params_;
+  sim::Engine* trace_engine_ = nullptr;
+  std::string track_;
   ht::PAddr line_mask_;
   std::size_t num_sets_;
   std::uint64_t tick_ = 0;

@@ -1,5 +1,7 @@
 #include "mem/memory_controller.hpp"
 
+#include "sim/tracer.hpp"
+
 namespace ms::mem {
 
 MemoryController::MemoryController(sim::Engine& engine, std::string name,
@@ -18,6 +20,7 @@ MemoryController::MemoryController(sim::Engine& engine, std::string name,
 sim::Task<void> MemoryController::access(ht::PAddr local_addr,
                                          std::uint32_t bytes, bool is_write) {
   const sim::Time start = engine_.now();
+  sim::ScopedSpan span(engine_, name_, is_write ? "dram.write" : "dram.read");
   co_await ports_.acquire();
   sim::SemToken port(ports_);
   co_await engine_.delay(params_.controller_latency);

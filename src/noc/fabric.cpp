@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/tracer.hpp"
+
 namespace ms::noc {
 
 Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topo,
@@ -53,7 +55,15 @@ sim::Task<void> Fabric::traverse(ht::Packet packet) {
       throw std::logic_error("Fabric: link " + std::to_string(prev) + "->" +
                              std::to_string(hop) + " is down");
     }
-    co_await engine_.delay(params_.router_delay);
+    if (engine_.tracer() != nullptr) {
+      // Router occupancy: the routing/arbitration stage at the hop's
+      // ingress. Track names are built only when a tracer is attached.
+      sim::ScopedSpan route(engine_, "router." + std::to_string(prev),
+                            "route");
+      co_await engine_.delay(params_.router_delay);
+    } else {
+      co_await engine_.delay(params_.router_delay);
+    }
     co_await links_.at(key)[static_cast<std::size_t>(vc)]->transmit(bytes);
     prev = hop;
   }
@@ -85,6 +95,24 @@ bool Fabric::link_is_down(NodeId from, NodeId to) const {
 
 const ht::Link& Fabric::link(NodeId from, NodeId to, int vc) const {
   return *links_.at({from, to}).at(static_cast<std::size_t>(vc));
+}
+
+void Fabric::export_stats(sim::StatRegistry& reg,
+                          const std::string& prefix) const {
+  reg.counter(prefix + "packets_delivered").inc(delivered_.value());
+  reg.sampler(prefix + "traversal_latency_ps") = traversal_latency_;
+  for (const auto& [edge, vcs] : links_) {
+    for (const auto& link : vcs) {
+      if (link->packets() == 0) continue;
+      const std::string p = prefix + link->name() + ".";
+      reg.counter(p + "packets").inc(link->packets());
+      reg.counter(p + "bytes").inc(link->bytes());
+      reg.counter(p + "retries").inc(link->retries());
+      reg.counter(p + "busy_ps").inc(static_cast<std::uint64_t>(
+          link->busy_time()));
+      reg.sampler(p + "queue_wait_ps") = link->queue_wait();
+    }
+  }
 }
 
 }  // namespace ms::noc

@@ -64,6 +64,10 @@ class Fabric {
   std::uint64_t packets_delivered() const { return delivered_.value(); }
   const sim::Sampler& traversal_latency() const { return traversal_latency_; }
 
+  /// Snapshots fabric totals and every link that saw traffic into `reg`
+  /// under `prefix` ("noc.", "noc.link.1-2.vc0.", ...).
+  void export_stats(sim::StatRegistry& reg, const std::string& prefix) const;
+
  private:
   sim::Engine& engine_;
   std::unique_ptr<Topology> topo_;

@@ -19,6 +19,8 @@ Node::Node(sim::Engine& engine, ht::NodeId id, const Params& p)
                                             p.core_local_outstanding,
                                             p.core_remote_outstanding));
     caches.push_back(&cores_.back()->cache());
+    caches.back()->bind_trace(&engine, "cache.n" + std::to_string(id) + ".c" +
+                                           std::to_string(c));
   }
   directory_ = std::make_unique<mem::CoherenceDirectory>(p.coherence, caches);
   mcs_.reserve(static_cast<std::size_t>(p.sockets));

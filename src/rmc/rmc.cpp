@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/tracer.hpp"
+
 namespace ms::rmc {
 
 Rmc::Rmc(sim::Engine& engine, ht::NodeId self, noc::Fabric& fabric,
@@ -11,7 +13,8 @@ Rmc::Rmc(sim::Engine& engine, ht::NodeId self, noc::Fabric& fabric,
       fabric_(fabric),
       params_(p),
       bridge_(p.bridge),
-      port_(engine, p.local_port_slots) {}
+      port_(engine, p.local_port_slots),
+      track_("rmc." + std::to_string(self)) {}
 
 sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg) {
   const bool contended = port_.available() == 0;
@@ -19,6 +22,10 @@ sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg) {
   const sim::Time asked = engine_.now();
   co_await port_.acquire();
   port_wait_.add_time(engine_.now() - asked);
+  if (auto* tr = engine_.tracer(); tr != nullptr && engine_.now() != asked) {
+    // Recorded retroactively: the wait is only interesting once it happened.
+    tr->end_span(tr->begin_span(track_, "port.wait", asked), engine_.now());
+  }
 
   if (client_leg && contended && last_dir_ != Dir::kNone && last_dir_ != d) {
     const int w = std::min(queued + 1, params_.max_turnaround_waiters);
@@ -37,6 +44,7 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
   }
   const sim::Time start = engine_.now();
   client_requests_.inc();
+  sim::ScopedSpan span(engine_, track_, is_write ? "write" : "read");
 
   ht::Packet req{
       .type = is_write ? ht::PacketType::kWriteReq : ht::PacketType::kReadReq,
@@ -48,8 +56,12 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
   };
 
   // Request enters the RMC from the local HT domain.
-  co_await use_port(Dir::kToFabric, params_.process_latency, /*client_leg=*/true);
-  co_await engine_.delay(bridge_.encapsulate(req));
+  {
+    sim::ScopedSpan issue(engine_, track_, "issue");
+    co_await use_port(Dir::kToFabric, params_.process_latency,
+                      /*client_leg=*/true);
+    co_await engine_.delay(bridge_.encapsulate(req));
+  }
 
   if (req.dst == self_) {
     // Loopback mode (Sec. III-B): the prefix names this very node. The RMC
@@ -65,7 +77,10 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
     co_return;
   }
 
-  co_await fabric_.traverse(req);
+  {
+    sim::ScopedSpan hop(engine_, track_, "fabric.req");
+    co_await fabric_.traverse(req);
+  }
 
   Rmc* peer = peer_lookup_ ? peer_lookup_(req.dst) : nullptr;
   if (peer == nullptr) {
@@ -81,16 +96,24 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
       .size = is_write ? 0 : bytes,
       .tag = req.tag,
   };
-  co_await fabric_.traverse(resp);
+  {
+    sim::ScopedSpan hop(engine_, track_, "fabric.resp");
+    co_await fabric_.traverse(resp);
+  }
 
   // Response is decapsulated and delivered back into the local HT domain.
-  co_await engine_.delay(bridge_.decapsulate(resp));
-  co_await use_port(Dir::kToLocal, params_.process_latency, /*client_leg=*/true);
+  {
+    sim::ScopedSpan reply(engine_, track_, "reply");
+    co_await engine_.delay(bridge_.decapsulate(resp));
+    co_await use_port(Dir::kToLocal, params_.process_latency,
+                      /*client_leg=*/true);
+  }
   round_trip_.add_time(engine_.now() - start);
 }
 
 sim::Task<void> Rmc::serve(ht::Packet req) {
   served_requests_.inc();
+  sim::ScopedSpan span(engine_, track_, "serve");
   const bool is_write = req.type == ht::PacketType::kWriteReq;
   co_await engine_.delay(bridge_.decapsulate(req));
   // Forward into the donor's HT domain; its memory controllers answer. The

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "ht/bridge.hpp"
 #include "ht/packet.hpp"
@@ -109,6 +110,7 @@ class Rmc {
   Params params_;
   ht::HncBridge bridge_;
   sim::Semaphore port_;
+  std::string track_;  ///< tracer track ("rmc.N")
   Dir last_dir_ = Dir::kNone;
   std::uint64_t next_tag_ = 1;
   LocalService local_service_;

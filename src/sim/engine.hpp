@@ -10,6 +10,8 @@
 
 namespace ms::sim {
 
+class Tracer;
+
 /// Discrete-event simulation engine.
 ///
 /// The engine owns a time-ordered event queue. Events are plain callbacks;
@@ -60,6 +62,12 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Optional timeline tracer (see sim/tracer.hpp). Instrumented components
+  /// check this pointer on their hot paths; when no tracer is installed the
+  /// whole observability layer costs one predictable branch per span site.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+
   /// Awaitable: suspends the current process for `d` simulated time.
   struct DelayAwaiter {
     Engine* engine;
@@ -103,6 +111,7 @@ class Engine {
   bool step();  // pops and runs one event; returns false when queue empty
 
   Time now_ = 0;
+  Tracer* tracer_ = nullptr;
   // Driver frames still suspended; destroyed (recursively, through their
   // owned child tasks) if the engine dies before they finish.
   std::vector<std::coroutine_handle<>> drivers_;

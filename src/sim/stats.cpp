@@ -2,66 +2,128 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace ms::sim {
 
 double Sampler::stddev() const { return std::sqrt(variance()); }
 
-namespace {
-int bucket_for(std::uint64_t v) {
-  return v == 0 ? 0 : 64 - std::countl_zero(v);
+int Histogram::bucket_for(std::uint64_t v) {
+  if (v < 2 * kSubBuckets) return static_cast<int>(v);
+  const int shift = std::bit_width(v) - (kSubBits + 1);  // >= 1 here
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return (shift + 1) * kSubBuckets + sub;
 }
-}  // namespace
+
+std::uint64_t Histogram::bucket_lo(int b) {
+  if (b < 2 * kSubBuckets) return static_cast<std::uint64_t>(b);
+  const int shift = b / kSubBuckets - 1;
+  const auto sub = static_cast<std::uint64_t>(b % kSubBuckets);
+  return (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+}
+
+std::uint64_t Histogram::bucket_hi(int b) {
+  if (b < 2 * kSubBuckets) return static_cast<std::uint64_t>(b) + 1;
+  const int shift = b / kSubBuckets - 1;
+  const std::uint64_t lo = bucket_lo(b);
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  // The very top bucket's upper bound would be 2^64; saturate.
+  return lo + width < lo ? std::numeric_limits<std::uint64_t>::max()
+                         : lo + width;
+}
 
 void Histogram::add(std::uint64_t v) {
-  int b = bucket_for(v);
-  if (b >= kBuckets) b = kBuckets - 1;
-  ++buckets_[b];
+  ++buckets_[static_cast<std::size_t>(bucket_for(v))];
   ++total_;
+}
+
+void Histogram::add_double(double v) {
+  if (!(v > 0.0)) {  // negatives and NaN clamp to the zero bucket
+    add(0);
+  } else if (v >= 0x1p64) {
+    add(std::numeric_limits<std::uint64_t>::max());
+  } else {
+    add(static_cast<std::uint64_t>(v + 0.5));
+  }
 }
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_);
   double seen = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    double next = seen + static_cast<double>(buckets_[b]);
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    const double next = seen + static_cast<double>(n);
     if (next >= target) {
-      // Interpolate within the bucket [2^(b-1), 2^b).
-      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
-      double hi = std::ldexp(1.0, b);
-      double frac = buckets_[b] ? (target - seen) / static_cast<double>(buckets_[b]) : 0.0;
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double frac = (target - seen) / static_cast<double>(n);
       return lo + frac * (hi - lo);
     }
     seen = next;
   }
-  return std::ldexp(1.0, kBuckets - 1);
+  return static_cast<double>(bucket_lo(kBuckets - 1));
+}
+
+double Histogram::max_value() const {
+  for (int b = kBuckets - 1; b >= 0; --b) {
+    if (buckets_[static_cast<std::size_t>(b)]) {
+      return static_cast<double>(bucket_hi(b));
+    }
+  }
+  return 0.0;
 }
 
 std::string Histogram::render(int max_width) const {
   std::ostringstream out;
   std::uint64_t peak = 0;
-  int last = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    peak = std::max(peak, buckets_[b]);
-    if (buckets_[b] > 0) last = b;
-  }
+  for (auto b : buckets_) peak = std::max(peak, b);
   if (peak == 0) return "(empty)\n";
-  for (int b = 0; b <= last; ++b) {
-    double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
-    int bar = static_cast<int>(static_cast<double>(buckets_[b]) /
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    int bar = static_cast<int>(static_cast<double>(n) /
                                static_cast<double>(peak) * max_width);
-    out << ">=" << static_cast<std::uint64_t>(lo) << "\t" << buckets_[b] << "\t"
+    out << ">=" << bucket_lo(b) << "\t" << n << "\t"
         << std::string(static_cast<std::size_t>(bar), '#') << "\n";
   }
   return out.str();
 }
 
+void Histogram::dump_json(std::ostream& out) const {
+  out << "{\"count\":" << total_ << ",\"p50\":" << json_double(p50())
+      << ",\"p90\":" << json_double(p90()) << ",\"p99\":" << json_double(p99())
+      << ",\"p999\":" << json_double(p999()) << ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "[" << bucket_lo(b) << "," << n << "]";
+  }
+  out << "]}";
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b = 0;
   total_ = 0;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  char buf[40];
+  // Shortest representation that round-trips: deterministic for identical
+  // bit patterns, which is all the byte-identical-dump tests need.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
 }
 
 std::uint64_t StatRegistry::counter_value(const std::string& name) const {
@@ -77,9 +139,46 @@ std::string StatRegistry::report() const {
   for (const auto& [name, s] : samplers_) {
     out << name << ": n=" << s.count() << " mean=" << s.mean()
         << " min=" << s.min() << " max=" << s.max() << " sd=" << s.stddev()
-        << "\n";
+        << " p50=" << s.p50() << " p99=" << s.p99() << "\n";
   }
   return out.str();
+}
+
+namespace {
+void dump_sampler_json(std::ostream& out, const Sampler& s) {
+  out << "{\"count\":" << s.count() << ",\"mean\":" << json_double(s.mean())
+      << ",\"min\":" << json_double(s.min())
+      << ",\"max\":" << json_double(s.max())
+      << ",\"stddev\":" << json_double(s.stddev())
+      << ",\"p50\":" << json_double(s.p50())
+      << ",\"p90\":" << json_double(s.p90())
+      << ",\"p99\":" << json_double(s.p99())
+      << ",\"p999\":" << json_double(s.p999()) << "}";
+}
+}  // namespace
+
+void StatRegistry::dump_json(std::ostream& out) const {
+  out << "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "\"" << name << "\":" << c.value();
+    first = false;
+  }
+  out << "\n},\n\"samplers\":{";
+  first = true;
+  for (const auto& [name, s] : samplers_) {
+    out << (first ? "\n" : ",\n") << "\"" << name << "\":";
+    dump_sampler_json(out, s);
+    first = false;
+  }
+  out << "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "\"" << name << "\":";
+    h.dump_json(out);
+    first = false;
+  }
+  out << "\n}\n}\n";
 }
 
 void StatRegistry::reset() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,55 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Streaming sample statistics (Welford) for latency-like values.
+/// HDR-style log-bucketed histogram: values up to 2^(kSubBits+1) are counted
+/// exactly, larger ones land in one of 2^kSubBits linear sub-buckets per
+/// power of two, bounding the relative quantile error at 2^-kSubBits
+/// (~6%). Cheap enough to leave always-on in the hot memory path (one
+/// bit-scan plus an increment per sample), precise enough for the
+/// p50/p99/p999 latency-distribution reporting every figure needs.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Buckets 0..2*kSubBuckets-1 are exact; each further power of two
+  /// contributes kSubBuckets buckets, up to the top bit of uint64.
+  static constexpr int kBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  /// Maps a value to its bucket index (exposed for boundary tests).
+  static int bucket_for(std::uint64_t v);
+  /// Inclusive lower / exclusive upper value bound of bucket `b`.
+  static std::uint64_t bucket_lo(int b);
+  static std::uint64_t bucket_hi(int b);
+
+  void add(std::uint64_t v);
+  /// Doubles (Sampler feed): negatives clamp to zero, huge values saturate.
+  void add_double(double v);
+  void add_time(Time t) { add(static_cast<std::uint64_t>(t)); }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+  /// Approximate quantile (q in [0,1]) assuming uniform density per bucket.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+  double max_value() const;
+  std::string render(int max_width = 50) const;
+  /// {"count":N,"p50":...,"buckets":[[lo,count],...]} — nonzero buckets only.
+  void dump_json(std::ostream& out) const;
+  void reset();
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming sample statistics (Welford) plus an embedded log-bucketed
+/// histogram, so every latency call-site that feeds a Sampler gets
+/// percentiles for free.
 class Sampler {
  public:
   void add(double x) {
@@ -33,6 +82,7 @@ class Sampler {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
     sum_ += x;
+    hist_.add_double(x);
   }
   void add_time(Time t) { add(static_cast<double>(t)); }
 
@@ -43,6 +93,12 @@ class Sampler {
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
+  double quantile(double q) const { return hist_.quantile(q); }
+  double p50() const { return hist_.p50(); }
+  double p90() const { return hist_.p90(); }
+  double p99() const { return hist_.p99(); }
+  double p999() const { return hist_.p999(); }
+  const Histogram& histogram() const { return hist_; }
   void reset() { *this = Sampler{}; }
 
  private:
@@ -52,24 +108,12 @@ class Sampler {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  Histogram hist_;
 };
 
-/// Power-of-two bucketed histogram; cheap enough to leave always-on in the
-/// hot memory path, precise enough for latency-distribution reporting.
-class Histogram {
- public:
-  void add(std::uint64_t v);
-  std::uint64_t count() const { return total_; }
-  /// Approximate quantile (q in [0,1]) assuming uniform density per bucket.
-  double quantile(double q) const;
-  std::string render(int max_width = 50) const;
-  void reset();
-
- private:
-  static constexpr int kBuckets = 64;
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t total_ = 0;
-};
+/// Formats a double for the JSON dump: shortest round-trippable decimal,
+/// so two runs producing bit-identical doubles dump byte-identical JSON.
+std::string json_double(double v);
 
 /// Named registry so components can export their stats for reports/tests.
 /// Ownership of values stays with the registry; components hold references.
@@ -81,11 +125,19 @@ class StatRegistry {
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Sampler>& samplers() const { return samplers_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Value of a counter, or 0 when absent (convenient in assertions).
   std::uint64_t counter_value(const std::string& name) const;
 
   std::string report() const;
+  /// Machine-readable dump: {"counters":{...},"samplers":{...},
+  /// "histograms":{...}}. Iteration order is the map's sorted key order and
+  /// doubles print shortest-round-trip, so identical stats dump
+  /// byte-identical JSON — the determinism tests rely on this.
+  void dump_json(std::ostream& out) const;
   void reset();
 
  private:

@@ -1,0 +1,204 @@
+#include "sim/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/stats.hpp"
+
+namespace ms::sim {
+
+void Tracer::begin_process(std::string_view name) {
+  process_names_.emplace_back(name);
+  // Track names intern per process: the same component name in the next
+  // bench point must get its own lane group under the new pid.
+  track_ids_.clear();
+}
+
+std::uint32_t Tracer::track_id(std::string_view name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(tracks_.size());
+  const int pid =
+      process_names_.empty() ? 0 : static_cast<int>(process_names_.size()) - 1;
+  tracks_.push_back(Track{std::string(name), pid});
+  track_ids_.emplace(tracks_.back().name, id);
+  return id;
+}
+
+Tracer::SpanId Tracer::begin_span(std::string_view track,
+                                  std::string_view name, Time t) {
+  Span s;
+  s.begin = t;
+  s.end = t;
+  s.track = track_id(track);
+  s.seq = static_cast<std::uint32_t>(spans_.size());
+  s.name = std::string(name);
+  spans_.push_back(std::move(s));
+  ++open_;
+  last_time_ = std::max(last_time_, t);
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(SpanId id, Time t) {
+  if (id == kNoSpan || id >= spans_.size() || spans_[id].closed) return;
+  Span& s = spans_[id];
+  s.end = std::max(s.begin, t);
+  s.closed = true;
+  --open_;
+  last_time_ = std::max(last_time_, t);
+}
+
+void Tracer::instant(std::string_view track, std::string_view name, Time t) {
+  instants_.push_back(Instant{t, track_id(track), std::string(name)});
+  last_time_ = std::max(last_time_, t);
+}
+
+void Tracer::counter(std::string_view track, std::string_view name, Time t,
+                     double value) {
+  counter_samples_.push_back(
+      CounterSample{t, track_id(track), value, std::string(name)});
+  last_time_ = std::max(last_time_, t);
+}
+
+void Tracer::clear() {
+  process_names_.clear();
+  tracks_.clear();
+  track_ids_.clear();
+  spans_.clear();
+  instants_.clear();
+  counter_samples_.clear();
+  open_ = 0;
+  last_time_ = 0;
+}
+
+namespace {
+
+// "ts" is in microseconds; simulated time is picoseconds, so six decimals
+// preserve full resolution (exactly, for any run shorter than ~2.5 hours).
+std::string fmt_ts(Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", static_cast<double>(t) / 1e6);
+  return buf;
+}
+
+struct ExportSpan {
+  Time begin;
+  Time end;
+  std::uint32_t seq;
+  const std::string* name;
+};
+
+}  // namespace
+
+void Tracer::export_chrome(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    return out;
+  };
+
+  if (process_names_.empty()) {
+    sep() << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+             "\"args\":{\"name\":\"sim\"}}";
+  }
+  for (std::size_t p = 0; p < process_names_.size(); ++p) {
+    sep() << "{\"ph\":\"M\",\"pid\":" << p
+          << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+          << process_names_[p] << "\"}}";
+    sep() << "{\"ph\":\"M\",\"pid\":" << p
+          << ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{"
+             "\"sort_index\":"
+          << p << "}}";
+  }
+
+  // Group spans by track, pack each track into nesting lanes, emit each
+  // lane as one tid of balanced B/E events.
+  std::vector<std::vector<ExportSpan>> by_track(tracks_.size());
+  for (const Span& s : spans_) {
+    by_track[s.track].push_back(ExportSpan{
+        s.begin, s.closed ? s.end : std::max(s.begin, last_time_), s.seq,
+        &s.name});
+  }
+
+  int next_tid = 1;
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    auto& spans = by_track[t];
+    const int pid = tracks_[t].pid;
+    if (spans.empty()) continue;
+    std::sort(spans.begin(), spans.end(),
+              [](const ExportSpan& a, const ExportSpan& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                if (a.end != b.end) return a.end > b.end;
+                return a.seq < b.seq;
+              });
+    // Greedy lane packing: a span joins the first lane whose innermost
+    // still-open span fully contains it (or that is idle by then).
+    std::vector<std::vector<Time>> lane_open;   // per lane: stack of ends
+    std::vector<std::vector<const ExportSpan*>> lane_spans;
+    for (const ExportSpan& s : spans) {
+      std::size_t lane = lane_open.size();
+      for (std::size_t i = 0; i < lane_open.size(); ++i) {
+        auto& ends = lane_open[i];
+        while (!ends.empty() && ends.back() <= s.begin) ends.pop_back();
+        if (ends.empty() || ends.back() >= s.end) {
+          lane = i;
+          break;
+        }
+      }
+      if (lane == lane_open.size()) {
+        lane_open.emplace_back();
+        lane_spans.emplace_back();
+      }
+      lane_open[lane].push_back(s.end);
+      lane_spans[lane].push_back(&s);
+    }
+
+    for (std::size_t lane = 0; lane < lane_spans.size(); ++lane) {
+      const int tid = next_tid++;
+      std::string label = tracks_[t].name;
+      if (lane > 0) label += " #" + std::to_string(lane + 1);
+      sep() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << label
+            << "\"}}";
+      sep() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+            << tid << "}}";
+      auto emit = [&](char ph, const ExportSpan* s, Time ts) {
+        sep() << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
+              << ",\"tid\":" << tid << ",\"ts\":" << fmt_ts(ts)
+              << ",\"name\":\"" << *s->name << "\"}";
+      };
+      std::vector<const ExportSpan*> stack;
+      for (const ExportSpan* s : lane_spans[lane]) {
+        while (!stack.empty() && stack.back()->end <= s->begin) {
+          emit('E', stack.back(), stack.back()->end);
+          stack.pop_back();
+        }
+        emit('B', s, s->begin);
+        stack.push_back(s);
+      }
+      while (!stack.empty()) {
+        emit('E', stack.back(), stack.back()->end);
+        stack.pop_back();
+      }
+    }
+  }
+
+  for (const Instant& i : instants_) {
+    sep() << "{\"ph\":\"i\",\"pid\":" << tracks_[i.track].pid
+          << ",\"tid\":0,\"ts\":" << fmt_ts(i.when) << ",\"name\":\""
+          << tracks_[i.track].name << "." << i.name << "\",\"s\":\"t\"}";
+  }
+  for (const CounterSample& c : counter_samples_) {
+    sep() << "{\"ph\":\"C\",\"pid\":" << tracks_[c.track].pid
+          << ",\"tid\":0,\"ts\":" << fmt_ts(c.when) << ",\"name\":\""
+          << tracks_[c.track].name << "." << c.name
+          << "\",\"args\":{\"value\":" << json_double(c.value) << "}}";
+  }
+
+  out << "\n]}\n";
+}
+
+}  // namespace ms::sim

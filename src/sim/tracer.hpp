@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Span-based timeline tracer.
+///
+/// Components record named begin/end spans, instant events and counter
+/// samples against simulated time, grouped on named tracks ("rmc.1",
+/// "link.1-2.vc0", "swap.3"). export_chrome emits the Chrome trace_event
+/// JSON array format, loadable in chrome://tracing and Perfetto.
+///
+/// Concurrency model: coroutine processes interleave freely, so spans on
+/// one track may overlap partially — which the Chrome B/E duration-event
+/// format forbids within one thread lane. At export time each track's
+/// spans are therefore greedily packed into the minimum number of lanes
+/// such that spans within a lane strictly nest; each lane becomes one tid
+/// with balanced, monotonically timestamped B/E events.
+///
+/// Cost when disabled: the tracer is attached via Engine::set_tracer, and
+/// every instrumentation site guards on `engine.tracer()` being non-null —
+/// a single branch. No strings are built, nothing allocates.
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+  /// Starts a new process group (one pid in the trace). Benches call this
+  /// once per data point so each point gets its own named lane group.
+  void begin_process(std::string_view name);
+
+  SpanId begin_span(std::string_view track, std::string_view name, Time t);
+  void end_span(SpanId id, Time t);
+  void instant(std::string_view track, std::string_view name, Time t);
+  void counter(std::string_view track, std::string_view name, Time t,
+               double value);
+
+  std::size_t span_count() const { return spans_.size(); }
+  std::size_t open_span_count() const { return open_; }
+  std::size_t instant_count() const { return instants_.size(); }
+  std::size_t counter_count() const { return counter_samples_.size(); }
+
+  /// Chrome trace_event JSON ("ts" in microseconds, one event per line).
+  /// Deterministic: identical recorded histories export byte-identically.
+  void export_chrome(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  struct Span {
+    Time begin = 0;
+    Time end = 0;
+    std::uint32_t track = 0;
+    std::uint32_t seq = 0;
+    bool closed = false;
+    std::string name;
+  };
+  struct Instant {
+    Time when;
+    std::uint32_t track;
+    std::string name;
+  };
+  struct CounterSample {
+    Time when;
+    std::uint32_t track;
+    double value;
+    std::string name;
+  };
+  struct Track {
+    std::string name;
+    int pid;
+  };
+
+  std::uint32_t track_id(std::string_view name);
+
+  std::vector<std::string> process_names_;
+  std::vector<Track> tracks_;
+  std::map<std::string, std::uint32_t, std::less<>> track_ids_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<CounterSample> counter_samples_;
+  std::size_t open_ = 0;
+  Time last_time_ = 0;
+};
+
+/// RAII span: begins at construction, ends when destroyed (including via
+/// coroutine-frame destruction on engine teardown). Inert when the engine
+/// has no tracer installed.
+class ScopedSpan {
+ public:
+  ScopedSpan(Engine& engine, std::string_view track, std::string_view name)
+      : engine_(&engine), tracer_(engine.tracer()) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->begin_span(track, name, engine.now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end_span(id_, engine_->now());
+  }
+
+ private:
+  Engine* engine_;
+  Tracer* tracer_;
+  Tracer::SpanId id_ = Tracer::kNoSpan;
+};
+
+}  // namespace ms::sim

@@ -1,6 +1,9 @@
 #include "swap/swap_manager.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "sim/tracer.hpp"
 
 namespace ms::swap {
 
@@ -15,7 +18,8 @@ SwapManager::SwapManager(sim::Engine& engine, node::Node& node,
       params_(p),
       max_resident_(std::max<std::uint64_t>(1, p.resident_limit_bytes /
                                                    p.page_bytes)),
-      fault_mutex_(engine, 1) {
+      fault_mutex_(engine, 1),
+      track_("swap." + std::to_string(node.id())) {
   if (p.backend == Backend::kRemote && region_ == nullptr) {
     throw std::invalid_argument("SwapManager: remote backend needs a region");
   }
@@ -48,6 +52,7 @@ sim::Task<ht::PAddr> SwapManager::slot_of(os::VAddr page) {
 }
 
 sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend) {
+  sim::ScopedSpan span(engine_, track_, to_backend ? "swap_out" : "swap_in");
   const auto bytes = static_cast<std::uint32_t>(params_.page_bytes);
   if (params_.backend == Backend::kDisk) {
     co_await disk_->transfer(bytes);
@@ -106,6 +111,8 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
   // out, or the setup phase declared it as pre-existing data). A truly
   // fresh page is a zero-fill minor fault: no transfer, small cost.
   const bool major = backed_.count(page) != 0 || slots_.count(page) != 0;
+  sim::ScopedSpan span(engine_, track_,
+                       major ? "major_fault" : "minor_fault");
   if (!major) {
     co_await engine_.delay(params_.minor_fault);
   } else {
@@ -143,6 +150,10 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
 
   lru_.push_back(page);
   resident_[page] = Resident{frame, false, std::prev(lru_.end())};
+  if (auto* tr = engine_.tracer()) {
+    tr->counter(track_, "resident_pages", engine_.now(),
+                static_cast<double>(resident_.size()));
+  }
 }
 
 void SwapManager::note_poke(os::VAddr page) {

@@ -115,6 +115,7 @@ class SwapManager {
   Params params_;
   std::uint64_t max_resident_;
   sim::Semaphore fault_mutex_;  ///< one fault handled at a time (kernel lock)
+  std::string track_;           ///< tracer track ("swap.N")
 
   std::unordered_map<os::VAddr, Resident> resident_;
   std::list<os::VAddr> lru_;  ///< front = coldest

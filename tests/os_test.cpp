@@ -5,6 +5,9 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "os/cluster_directory.hpp"
 #include "os/frame_allocator.hpp"
@@ -397,6 +400,142 @@ TEST(RegionManager, FreedPagesAreReused) {
   engine.run();
   ASSERT_EQ(again.size(), 1u);
   EXPECT_EQ(again[0], pages[0]);
+}
+
+// ---- Property test: PageTable + FrameAllocator vs. a reference model ----
+//
+// Randomized map/unmap/touch sequences, checked after every step against a
+// plain std::unordered_map. The page table and frame allocator must agree
+// with the model on every translation, every count, and every byte of
+// accounting, for any operation order. Seeds are reported on failure so a
+// counterexample replays exactly.
+
+class PageMappingModel {
+ public:
+  PageMappingModel(PageTable& pt, FrameAllocator& fa) : pt_(pt), fa_(fa) {}
+
+  bool try_map(VAddr page, bool pinned_frame) {
+    if (model_.count(page)) return false;  // already mapped: invalid op
+    auto frame = fa_.allocate(fa_.frame_bytes(), pinned_frame);
+    if (!frame) return false;  // physical memory exhausted
+    // Frames must never be handed out twice.
+    EXPECT_TRUE(frames_.insert(*frame).second) << "frame reused: " << *frame;
+    pt_.map(page, *frame);
+    model_[page] = *frame;
+    order_.push_back(page);
+    return true;
+  }
+
+  void unmap_random(sim::Rng& rng) {
+    if (order_.empty()) return;
+    const std::size_t i = static_cast<std::size_t>(rng.below(order_.size()));
+    const VAddr page = order_[i];
+    order_[i] = order_.back();
+    order_.pop_back();
+    const ht::PAddr frame = model_.at(page);
+    pt_.unmap(page);
+    fa_.free(frame);
+    EXPECT_EQ(frames_.erase(frame), 1u);
+    model_.erase(page);
+  }
+
+  void touch(VAddr page, std::uint64_t offset) {
+    const auto got = pt_.translate(page + offset);
+    const auto it = model_.find(page);
+    if (it == model_.end()) {
+      EXPECT_FALSE(got.has_value()) << "phantom mapping for page " << page;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "lost mapping for page " << page;
+      EXPECT_EQ(*got, it->second + offset);
+      EXPECT_TRUE(fa_.is_allocated(it->second));
+    }
+  }
+
+  void toggle_present(sim::Rng& rng) {
+    if (order_.empty()) return;
+    const VAddr page =
+        order_[static_cast<std::size_t>(rng.below(order_.size()))];
+    PageTable::Entry* e = pt_.find(page);
+    ASSERT_NE(e, nullptr);
+    e->present = false;
+    EXPECT_FALSE(pt_.translate(page).has_value());  // swap-out: faults
+    e->present = true;
+    EXPECT_TRUE(pt_.translate(page).has_value());
+  }
+
+  void check_invariants() const {
+    EXPECT_EQ(pt_.mapped_pages(), model_.size());
+    EXPECT_EQ(fa_.total_bytes() - fa_.free_bytes(),
+              model_.size() * fa_.frame_bytes());
+  }
+
+  const std::unordered_map<VAddr, ht::PAddr>& model() const { return model_; }
+
+ private:
+  PageTable& pt_;
+  FrameAllocator& fa_;
+  std::unordered_map<VAddr, ht::PAddr> model_;
+  std::set<ht::PAddr> frames_;
+  std::vector<VAddr> order_;  // for uniform random eviction picks
+};
+
+void run_page_mapping_property(std::uint64_t seed, int steps) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (rerun with this seed to replay the counterexample)");
+  constexpr std::uint64_t kPageBytes = 4096;
+  constexpr std::uint64_t kFrames = 64;  // small pool: exhaustion is common
+  constexpr std::uint64_t kPages = 256;  // VA space 4x the physical pool
+  PageTable pt(kPageBytes);
+  FrameAllocator fa(/*base=*/1 << 20, kFrames * kPageBytes, kPageBytes);
+  PageMappingModel m(pt, fa);
+  sim::Rng rng(seed);
+
+  for (int s = 0; s < steps; ++s) {
+    const VAddr page = rng.below(kPages) * kPageBytes;
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        m.try_map(page, rng.below(4) == 0);
+        break;
+      case 4:
+      case 5:
+        m.unmap_random(rng);
+        break;
+      case 6:
+        m.toggle_present(rng);
+        break;
+      default:
+        m.touch(page, rng.below(kPageBytes));
+        break;
+    }
+    m.check_invariants();
+    if (testing::Test::HasFatalFailure()) return;
+  }
+
+  // Drain: unmap everything and the allocator must be whole again.
+  while (!m.model().empty()) m.unmap_random(rng);
+  m.check_invariants();
+  EXPECT_EQ(fa.free_bytes(), fa.total_bytes());
+  EXPECT_EQ(fa.largest_free_range(), fa.total_bytes());
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+TEST(PageMappingProperty, RandomOpsMatchReferenceModel) {
+  for (std::uint64_t seed : {1ull, 42ull, 20260806ull}) {
+    run_page_mapping_property(seed, 4000);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(PageMappingProperty, ChurnUnderExhaustionMatchesModel) {
+  // Heavier map pressure than frames available: most maps fail with
+  // nullopt, which the model must treat as a legal no-op, never a crash.
+  for (std::uint64_t seed : {7ull, 99ull}) {
+    run_page_mapping_property(seed, 8000);
+    if (testing::Test::HasFatalFailure()) return;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,12 @@
 // semantics, synchronization primitives, RNG, statistics, config, tables.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -12,6 +18,7 @@
 #include "sim/table.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "sim/tracer.hpp"
 
 namespace ms::sim {
 namespace {
@@ -345,6 +352,274 @@ TEST(Config, ParseSizeSuffixes) {
   EXPECT_EQ(parse_size("3g"), 3ull << 30);
   EXPECT_THROW(parse_size("5x"), std::invalid_argument);
   EXPECT_THROW(parse_size(""), std::invalid_argument);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_for(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lo(static_cast<int>(v)), v);
+    EXPECT_EQ(Histogram::bucket_hi(static_cast<int>(v)), v + 1);
+  }
+}
+
+TEST(Histogram, BucketBoundsRoundTrip) {
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t lo = Histogram::bucket_lo(b);
+    const std::uint64_t hi = Histogram::bucket_hi(b);
+    ASSERT_LT(lo, hi) << "bucket " << b;
+    EXPECT_EQ(Histogram::bucket_for(lo), b);
+    EXPECT_EQ(Histogram::bucket_for(hi - 1), b);
+    if (b > 0) {
+      EXPECT_EQ(Histogram::bucket_hi(b - 1), lo);
+    }
+  }
+  // The whole uint64 range is covered, endpoints included.
+  EXPECT_EQ(Histogram::bucket_for(0), 0);
+  const int top = Histogram::bucket_for(~std::uint64_t{0});
+  EXPECT_LT(top, Histogram::kBuckets);
+  EXPECT_EQ(Histogram::bucket_hi(top), ~std::uint64_t{0});
+}
+
+TEST(Histogram, BucketWidthBoundsRelativeError) {
+  Rng r(31);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t v = r.next() >> (r.next() % 64);
+    const int b = Histogram::bucket_for(v);
+    const std::uint64_t lo = Histogram::bucket_lo(b);
+    const std::uint64_t hi = Histogram::bucket_hi(b);
+    ASSERT_GE(v, lo);
+    ASSERT_LT(v, hi);
+    // Width of v's bucket is at most lo/2^kSubBits (or 1 for exact buckets),
+    // which is what caps the quantile error at ~2^-kSubBits relative.
+    EXPECT_LE(hi - lo,
+              std::max<std::uint64_t>(1, lo >> Histogram::kSubBits));
+  }
+}
+
+TEST(Histogram, QuantilesMonotonicInQ) {
+  Histogram h;
+  Rng r(47);
+  for (int i = 0; i < 50'000; ++i) {
+    h.add(1 + r.below(1'000'000) * (1 + r.below(100)));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(Histogram, QuantileAccuracyOnUniform) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) h.add(v);
+  // Relative error bound: one sub-bucket, 2^-4 ~ 6.25%.
+  EXPECT_NEAR(h.quantile(0.5), 50'000, 50'000 * 0.07);
+  EXPECT_NEAR(h.quantile(0.9), 90'000, 90'000 * 0.07);
+  EXPECT_NEAR(h.quantile(0.99), 99'000, 99'000 * 0.07);
+  EXPECT_NEAR(h.max_value(), 100'000, 100'000 * 0.07);
+}
+
+TEST(Histogram, QuantileAccuracyOnBimodal) {
+  Histogram h;
+  for (int i = 0; i < 900; ++i) h.add(100);    // fast path
+  for (int i = 0; i < 100; ++i) h.add(10'000); // slow tail
+  EXPECT_NEAR(h.quantile(0.5), 100, 100 * 0.07 + 1);
+  EXPECT_NEAR(h.quantile(0.95), 10'000, 10'000 * 0.07);
+  EXPECT_NEAR(h.p999(), 10'000, 10'000 * 0.07);
+}
+
+TEST(Histogram, ExtremesClampAndSaturate) {
+  Histogram h;
+  h.add(0);
+  h.add(~std::uint64_t{0});
+  h.add_double(-5.0);   // clamps to 0
+  h.add_double(1e300);  // saturates to the top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  for (double q : {0.0, 0.5, 0.999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << q;
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Stats, SamplerEmbedsHistogramPercentiles) {
+  Sampler s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.07);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.07);
+  EXPECT_EQ(s.histogram().count(), 1000u);
+  s.reset();
+  EXPECT_EQ(s.histogram().count(), 0u);
+}
+
+TEST(Stats, JsonDoubleRoundTripsExactly) {
+  for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 123456789.123456, 1e-300,
+                   1.7e308, 170000.0, 2.5}) {
+    const std::string s = json_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    EXPECT_EQ(s.find('n'), std::string::npos) << s;  // no nan/inf leaks
+  }
+}
+
+TEST(Stats, DumpJsonIsDeterministicAndWellFormed) {
+  auto fill = [](StatRegistry& reg) {
+    reg.counter("b.count").inc(7);
+    reg.counter("a.count").inc(3);
+    Sampler& s = reg.sampler("lat");
+    for (int i = 1; i <= 100; ++i) s.add(i * 1000.0);
+    reg.histogram("h").add(42);
+  };
+  StatRegistry r1, r2;
+  fill(r1);
+  fill(r2);
+  std::ostringstream o1, o2;
+  r1.dump_json(o1);
+  r2.dump_json(o2);
+  EXPECT_EQ(o1.str(), o2.str());
+
+  const std::string j = o1.str();
+  // Keys appear in sorted order and the three sections are present.
+  EXPECT_LT(j.find("\"a.count\""), j.find("\"b.count\""));
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"samplers\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"p50\""), std::string::npos);
+  // Balanced braces/brackets (no strings in the dump contain them).
+  int brace = 0, bracket = 0;
+  for (char c : j) {
+    brace += c == '{';
+    brace -= c == '}';
+    bracket += c == '[';
+    bracket -= c == ']';
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+}
+
+Task<void> traced_work(Engine& e) {
+  ScopedSpan outer(e, "unit", "outer");
+  co_await e.delay(ns(10));
+  {
+    ScopedSpan inner(e, "unit", "inner");
+    co_await e.delay(ns(5));
+  }
+  co_await e.delay(ns(5));
+}
+
+TEST(Tracer, DisabledEngineRecordsNoSpans) {
+  Engine e;  // no tracer attached
+  e.spawn(traced_work(e));
+  e.run();
+  Tracer t;
+  EXPECT_EQ(t.span_count(), 0u);
+  std::ostringstream out;
+  t.export_chrome(out);
+  // Still a valid, loadable (metadata-only) trace.
+  EXPECT_NE(out.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"ph\":\"B\""), std::string::npos);
+}
+
+TEST(Tracer, ScopedSpansRecordSimTime) {
+  Engine e;
+  Tracer t;
+  e.set_tracer(&t);
+  e.spawn(traced_work(e));
+  e.run();
+  EXPECT_EQ(t.span_count(), 2u);
+  EXPECT_EQ(t.open_span_count(), 0u);
+}
+
+// Minimal line-oriented checker for the exporter's one-event-per-line JSON:
+// per (pid,tid) lane, B/E events must balance and timestamps must be
+// monotonically non-decreasing — exactly what chrome://tracing requires.
+void check_chrome_trace(const std::string& json, std::size_t expect_be) {
+  std::istringstream in(json);
+  std::string line;
+  std::map<std::pair<long, long>, int> depth;
+  std::map<std::pair<long, long>, double> last_ts;
+  std::size_t be_events = 0;
+  auto field = [&](const std::string& key) -> double {
+    const auto pos = line.find("\"" + key + "\":");
+    EXPECT_NE(pos, std::string::npos) << line;
+    return std::strtod(line.c_str() + pos + key.size() + 3, nullptr);
+  };
+  while (std::getline(in, line)) {
+    const bool is_b = line.find("\"ph\":\"B\"") != std::string::npos;
+    const bool is_e = line.find("\"ph\":\"E\"") != std::string::npos;
+    if (!is_b && !is_e) continue;
+    ++be_events;
+    const auto lane = std::make_pair(static_cast<long>(field("pid")),
+                                     static_cast<long>(field("tid")));
+    const double ts = field("ts");
+    auto it = last_ts.find(lane);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << line;
+    }
+    last_ts[lane] = ts;
+    depth[lane] += is_b ? 1 : -1;
+    ASSERT_GE(depth[lane], 0) << line;
+  }
+  for (const auto& [lane, d] : depth) {
+    EXPECT_EQ(d, 0) << "pid=" << lane.first << " tid=" << lane.second;
+  }
+  EXPECT_EQ(be_events, expect_be);
+}
+
+TEST(Tracer, ChromeExportNestsOverlappingSpans) {
+  Tracer t;
+  t.begin_process("point0");
+  // Partial overlap on one track: must be split across two lanes.
+  auto a = t.begin_span("rmc.0", "a", ps(0));
+  auto b = t.begin_span("rmc.0", "b", ps(50));
+  t.end_span(a, ps(100));
+  t.end_span(b, ps(150));
+  // Properly nested pair: one lane suffices.
+  auto c = t.begin_span("rmc.0", "c", ps(200));
+  auto d = t.begin_span("rmc.0", "d", ps(210));
+  t.end_span(d, ps(220));
+  t.end_span(c, ps(300));
+  t.instant("rmc.0", "evict", ps(250));
+  t.counter("rmc.0", "occupancy", ps(260), 3.0);
+
+  std::ostringstream out;
+  t.export_chrome(out);
+  const std::string j = out.str();
+  check_chrome_trace(j, 8);  // 4 spans -> 4 B + 4 E
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"point0\""), std::string::npos);
+  // The overlap forced a second lane for the same track.
+  EXPECT_NE(j.find("\"name\":\"rmc.0 #2\""), std::string::npos);
+}
+
+TEST(Tracer, EndToEndExportFromSimulation) {
+  Engine e;
+  Tracer t;
+  t.begin_process("run");
+  e.set_tracer(&t);
+  for (int i = 0; i < 4; ++i) e.spawn(traced_work(e));
+  e.run();
+  EXPECT_EQ(t.span_count(), 8u);
+  std::ostringstream out;
+  t.export_chrome(out);
+  check_chrome_trace(out.str(), 16);
+}
+
+TEST(Tracer, UnclosedSpansAreClosedAtExport) {
+  Tracer t;
+  t.begin_span("x", "leaked", ps(10));
+  t.begin_span("x", "later", ps(20));  // never ended; last_time_ = 20
+  EXPECT_EQ(t.open_span_count(), 2u);
+  std::ostringstream out;
+  t.export_chrome(out);
+  check_chrome_trace(out.str(), 4);
 }
 
 TEST(Table, RendersAlignedAndCsv) {
