@@ -1,13 +1,26 @@
 // Host-performance microbenchmarks of the simulator itself (google-
 // benchmark). These do not reproduce paper figures — they guard the
 // simulator's own speed, which bounds how large the figure sweeps can be.
+// A second mode, `engine_overhead=1`, bypasses google-benchmark and times a
+// pure scheduling loop (no memory system) to report raw engine throughput in
+// events/sec — one callback-driven run and one coroutine-driven run. Results
+// go to stdout and, with --stats-json=FILE, to a StatRegistry JSON dump so CI
+// can archive the trajectory (see BENCH_engine.json at the repo root).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "noc/routing.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "sim/stats.hpp"
 #include "sim/sync.hpp"
 
 namespace {
@@ -102,6 +115,110 @@ void BM_Rng(benchmark::State& state) {
 }
 BENCHMARK(BM_Rng);
 
+// ---------------------------------------------------------------------------
+// engine_overhead mode: raw scheduler throughput, no memory system at all.
+// Keeps ~kPending events in flight and processes kEvents total, with delays
+// mixed across the wheel's level scales (sub-ns ties up to microseconds).
+
+sim::Time next_delay(sim::Rng& rng) {
+  // Mix of wheel-level scales: mostly sub-ns..ns gaps, some us-scale.
+  const std::uint64_t r = rng.below(100);
+  if (r < 70) return sim::ps(rng.below(4096));
+  if (r < 95) return sim::ns(rng.below(1000));
+  return sim::us(1 + rng.below(16));
+}
+
+struct CallbackLoop {
+  sim::Engine& e;
+  sim::Rng rng{12345};
+  std::uint64_t remaining;
+  void pump() {
+    if (remaining == 0) return;
+    --remaining;
+    e.schedule(next_delay(rng), [this] { pump(); });
+  }
+};
+
+sim::Task<void> coro_loop(sim::Engine& e, sim::Rng& rng,
+                          std::uint64_t* remaining) {
+  while (*remaining > 0) {
+    --*remaining;
+    co_await e.delay(next_delay(rng));
+  }
+}
+
+int run_engine_overhead(std::uint64_t events, int pending,
+                        const std::string& stats_path) {
+  double callback_rate = 0, coro_rate = 0;
+  {
+    sim::Engine e;
+    CallbackLoop loop{e, sim::Rng(12345), events};
+    for (int i = 0; i < pending; ++i) loop.pump();
+    const auto t0 = std::chrono::steady_clock::now();
+    e.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    callback_rate = static_cast<double>(e.events_processed()) / secs;
+    std::printf("callback_events_per_sec %.0f (events=%llu)\n", callback_rate,
+                static_cast<unsigned long long>(e.events_processed()));
+  }
+  {
+    sim::Engine e;
+    sim::Rng rng(777);
+    std::uint64_t remaining = events;
+    for (int i = 0; i < pending; ++i) e.spawn(coro_loop(e, rng, &remaining));
+    const auto t0 = std::chrono::steady_clock::now();
+    e.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    coro_rate = static_cast<double>(e.events_processed()) / secs;
+    std::printf("coro_events_per_sec %.0f (events=%llu)\n", coro_rate,
+                static_cast<unsigned long long>(e.events_processed()));
+  }
+  if (!stats_path.empty()) {
+    sim::StatRegistry reg;
+    reg.counter("engine_overhead.events").inc(events);
+    reg.counter("engine_overhead.pending").inc(
+        static_cast<std::uint64_t>(pending));
+    reg.counter("engine_overhead.callback_events_per_sec")
+        .inc(static_cast<std::uint64_t>(callback_rate));
+    reg.counter("engine_overhead.coro_events_per_sec")
+        .inc(static_cast<std::uint64_t>(coro_rate));
+    std::ofstream out(stats_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", stats_path.c_str());
+      return 1;
+    }
+    reg.dump_json(out);
+    std::printf("stats json: %s\n", stats_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool engine_overhead = false;
+  std::uint64_t events = 2'000'000;
+  int pending = 1024;
+  std::string stats_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "engine_overhead=1") engine_overhead = true;
+    else if (arg.rfind("events=", 0) == 0)
+      events = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    else if (arg.rfind("pending=", 0) == 0)
+      pending = std::atoi(arg.c_str() + 8);
+    else if (arg.rfind("--stats-json=", 0) == 0)
+      stats_path = arg.substr(std::strlen("--stats-json="));
+    else if (arg.rfind("stats_json=", 0) == 0)
+      stats_path = arg.substr(std::strlen("stats_json="));
+  }
+  if (engine_overhead) return run_engine_overhead(events, pending, stats_path);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -187,6 +187,11 @@ void Cluster::export_stats(sim::StatRegistry& reg,
     reg.counter(rmc_p + "served_requests").inc(r.served_requests());
     reg.counter(rmc_p + "loopbacks").inc(r.loopbacks());
     reg.counter(rmc_p + "turnarounds").inc(r.turnarounds());
+    if (r.request_timeouts() > 0) {
+      // Watchdog is off by default; emit only when it fired so configs that
+      // never arm it keep byte-identical stats output.
+      reg.counter(rmc_p + "request_timeouts").inc(r.request_timeouts());
+    }
     if (r.round_trip().count() > 0) {
       reg.sampler(rmc_p + "round_trip_ps") = r.round_trip();
       reg.sampler(rmc_p + "port_wait_ps") = r.port_wait();

@@ -18,9 +18,18 @@ sim::Time Link::serialization_time(std::uint32_t bytes) const {
 
 sim::Task<void> Link::transmit(std::uint32_t bytes) {
   const sim::Time arrived = engine_.now();
+  // Stall watchdog across the whole wait (credits + transmitter). Armed
+  // only when configured; cancelled in O(1) once the wait ends, so in the
+  // common case the closure never runs and its node goes back to the pool.
+  sim::Engine::TimerHandle watchdog;
+  if (params_.stall_timeout > 0) {
+    watchdog = engine_.schedule(params_.stall_timeout,
+                                [this] { stall_timeouts_.inc(); });
+  }
   co_await credits_.acquire();
   sim::SemToken credit(credits_);
   co_await transmitter_.acquire();
+  engine_.cancel(watchdog);
   queue_wait_.add_time(engine_.now() - arrived);
   if (auto* tr = engine_.tracer(); tr != nullptr && engine_.now() != arrived) {
     tr->end_span(tr->begin_span(name_, "wait", arrived), engine_.now());

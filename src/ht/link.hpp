@@ -33,6 +33,11 @@ class Link {
     double error_rate = 0.0;
     sim::Time retry_penalty = sim::ns(100);  ///< error detect + NAK turnaround
     std::uint64_t error_seed = 0x5eed;       ///< deterministic error stream
+    /// Stall watchdog: if a message waits longer than this for credits plus
+    /// the transmitter, stall_timeouts() ticks once. Zero disables the
+    /// watchdog (the default — it changes no timing either way; the timer
+    /// is cancelled in O(1) when the wait ends first).
+    sim::Time stall_timeout = 0;
   };
 
   Link(sim::Engine& engine, std::string name, const Params& p);
@@ -48,6 +53,7 @@ class Link {
   std::uint64_t packets() const { return packets_.value(); }
   std::uint64_t bytes() const { return bytes_.value(); }
   std::uint64_t retries() const { return retries_.value(); }
+  std::uint64_t stall_timeouts() const { return stall_timeouts_.value(); }
   sim::Time busy_time() const { return busy_; }
   const sim::Sampler& queue_wait() const { return queue_wait_; }
 
@@ -60,6 +66,7 @@ class Link {
   sim::Counter packets_;
   sim::Counter bytes_;
   sim::Counter retries_;
+  sim::Counter stall_timeouts_;
   sim::Time busy_ = 0;
   sim::Sampler queue_wait_;
   sim::Rng error_rng_;

@@ -45,6 +45,16 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
   const sim::Time start = engine_.now();
   client_requests_.inc();
   sim::ScopedSpan span(engine_, track_, is_write ? "write" : "read");
+  // Watchdog over the whole round trip; disarms on every exit path
+  // (loopback co_return, normal return, exception) via RAII.
+  sim::ScopedTimer watchdog =
+      params_.request_timeout > 0
+          ? sim::ScopedTimer(engine_,
+                             engine_.schedule(params_.request_timeout,
+                                              [this] {
+                                                request_timeouts_.inc();
+                                              }))
+          : sim::ScopedTimer();
 
   ht::Packet req{
       .type = is_write ? ht::PacketType::kWriteReq : ht::PacketType::kReadReq,

@@ -61,6 +61,11 @@ class Rmc {
     sim::Time per_waiter_turnaround = sim::ns(50);///< contention thrash per queued msg
     int max_turnaround_waiters = 4;
     int local_port_slots = 1;                     ///< HT-side interface width
+    /// Round-trip watchdog for client_access: request_timeouts() ticks when
+    /// a round trip exceeds this. Zero disables it (default). The timer is
+    /// cancelled when the response arrives first, on every exit path — it
+    /// rides a ScopedTimer in the coroutine frame.
+    sim::Time request_timeout = 0;
     ht::HncBridge::Params bridge;
   };
 
@@ -86,6 +91,7 @@ class Rmc {
   std::uint64_t served_requests() const { return served_requests_.value(); }
   std::uint64_t loopbacks() const { return loopbacks_.value(); }
   std::uint64_t turnarounds() const { return turnarounds_.value(); }
+  std::uint64_t request_timeouts() const { return request_timeouts_.value(); }
   const sim::Sampler& round_trip() const { return round_trip_; }
   const sim::Sampler& port_wait() const { return port_wait_; }
   const ht::HncBridge& bridge() const { return bridge_; }
@@ -120,6 +126,7 @@ class Rmc {
   sim::Counter served_requests_;
   sim::Counter loopbacks_;
   sim::Counter turnarounds_;
+  sim::Counter request_timeouts_;
   sim::Sampler round_trip_;
   sim::Sampler port_wait_;
 };

@@ -1,15 +1,208 @@
 #include "sim/engine.hpp"
 
-#include <cstdio>
 #include <stdexcept>
 
 namespace ms::sim {
 
-void Engine::schedule_at(Time when, std::function<void()> fn) {
+Engine::Engine() {
+  for (int level = 0; level < kLevels; ++level) {
+    const int nslots = level == 0 ? kL0Slots : kLevelSlots;
+    levels_[level].slots.resize(static_cast<std::size_t>(nslots));
+    levels_[level].occupied.resize(static_cast<std::size_t>(nslots / 64), 0);
+  }
+}
+
+Engine::~Engine() {
+  // Destroy payloads of events that never fired: heap-allocated callables
+  // and inline captures are freed here (ASan's leak checker watches this).
+  // Coroutine handles are non-owning — the frames belong to the drivers.
+  for (auto& level : levels_) {
+    for (auto& slot : level.slots) {
+      for (EventNode* n = slot.head; n != nullptr; n = n->next) {
+        if (n->destroy != nullptr) n->destroy(n);
+      }
+    }
+  }
+  // Destroy any process still suspended. Child task frames are owned by
+  // their parents' locals, so destroying the driver frame unwinds the whole
+  // chain. Handles left in component wait-lists are never resumed after
+  // this point, so they cannot dangle into freed frames at runtime.
+  for (auto h : drivers_) {
+    if (h && !h.done()) h.destroy();
+  }
+}
+
+Engine::EventNode* Engine::prepare(Time when) {
   if (when < now_) {
     throw std::logic_error("Engine::schedule_at: scheduling into the past");
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  EventNode* n = alloc_node();
+  n->when = when;
+  return n;
+}
+
+void Engine::commit(EventNode* n) {
+  place(n);
+  ++size_;
+}
+
+Engine::EventNode* Engine::alloc_node() {
+  if (free_ == nullptr) grow_pool();
+  EventNode* n = free_;
+  free_ = n->next;
+  return n;
+}
+
+void Engine::grow_pool() {
+  auto block = std::make_unique<EventNode[]>(kPoolBlock);
+  for (std::size_t i = kPoolBlock; i-- > 0;) {
+    EventNode& n = block[i];
+    n.gen = 0;
+    n.next = free_;
+    free_ = &n;
+  }
+  blocks_.push_back(std::move(block));
+}
+
+namespace {
+inline void set_bit(std::vector<std::uint64_t>& words, std::uint64_t& summary,
+                    int s) {
+  words[static_cast<std::size_t>(s >> 6)] |= std::uint64_t{1} << (s & 63);
+  summary |= std::uint64_t{1} << (s >> 6);
+}
+inline void clear_bit(std::vector<std::uint64_t>& words,
+                      std::uint64_t& summary, int s) {
+  auto& w = words[static_cast<std::size_t>(s >> 6)];
+  w &= ~(std::uint64_t{1} << (s & 63));
+  if (w == 0) summary &= ~(std::uint64_t{1} << (s >> 6));
+}
+}  // namespace
+
+void Engine::place(EventNode* n) {
+  // The wheel is anchored at cursor_ <= every pending timestamp, so the
+  // highest bit in which `when` differs from the cursor picks the level.
+  const Time diff = n->when ^ cursor_;
+  const int level = diff == 0 ? 0 : level_of_diff(diff);
+  const int slot = static_cast<int>((n->when >> shift_of(level)) &
+                                    ((Time{1} << bits_of(level)) - 1));
+  n->level = static_cast<std::uint16_t>(level);
+  n->slot = static_cast<std::uint16_t>(slot);
+  Level& lv = levels_[level];
+  Slot& sl = lv.slots[static_cast<std::size_t>(slot)];
+  n->prev = sl.tail;
+  n->next = nullptr;
+  if (sl.tail != nullptr) {
+    sl.tail->next = n;
+  } else {
+    sl.head = n;
+    set_bit(lv.occupied, lv.summary, slot);
+  }
+  sl.tail = n;
+}
+
+void Engine::unlink(EventNode* n) {
+  Level& lv = levels_[n->level];
+  Slot& sl = lv.slots[n->slot];
+  if (n->prev != nullptr) n->prev->next = n->next; else sl.head = n->next;
+  if (n->next != nullptr) n->next->prev = n->prev; else sl.tail = n->prev;
+  if (sl.head == nullptr) clear_bit(lv.occupied, lv.summary, n->slot);
+}
+
+int Engine::find_occupied(const Level& l, int from) const {
+  int word = from >> 6;
+  const std::uint64_t bits = l.occupied[static_cast<std::size_t>(word)] &
+                             (~std::uint64_t{0} << (from & 63));
+  if (bits != 0) return (word << 6) + std::countr_zero(bits);
+  if (word + 1 >= 64) return -1;
+  const std::uint64_t sum = l.summary & (~std::uint64_t{0} << (word + 1));
+  if (sum == 0) return -1;
+  word = std::countr_zero(sum);
+  return (word << 6) +
+         std::countr_zero(l.occupied[static_cast<std::size_t>(word)]);
+}
+
+Engine::EventNode* Engine::pop_next(Time limit) {
+  if (size_ == 0) return nullptr;
+  for (;;) {
+    // Near wheel: every level-0 event lies in the cursor's current 4096 ps
+    // window, and every overflow event lies beyond it, so the first
+    // occupied near slot at/after the cursor is the global minimum.
+    {
+      Level& l0 = levels_[0];
+      const int start = static_cast<int>(cursor_ & (kL0Slots - 1));
+      const int s = find_occupied(l0, start);
+      if (s >= 0) {
+        const Time t =
+            (cursor_ & ~Time{kL0Slots - 1}) | static_cast<Time>(s);
+        if (t > limit) return nullptr;
+        cursor_ = t;
+        Slot& sl = l0.slots[static_cast<std::size_t>(s)];
+        EventNode* n = sl.head;
+        sl.head = n->next;
+        if (sl.head != nullptr) {
+          sl.head->prev = nullptr;
+        } else {
+          sl.tail = nullptr;
+          clear_bit(l0.occupied, l0.summary, s);
+        }
+        return n;
+      }
+    }
+    // Near window exhausted: cascade the earliest occupied overflow slot.
+    // Coarser levels hold strictly later events, so the lowest level with
+    // an occupied slot at/after its cursor index is the one to open up.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      Level& lv = levels_[level];
+      const int idx = static_cast<int>((cursor_ >> shift_of(level)) &
+                                       (kLevelSlots - 1));
+      const int s = find_occupied(lv, idx);
+      if (s < 0) continue;
+      const int span = shift_of(level) + bits_of(level);
+      const Time below =
+          span >= 64 ? ~Time{0} : (Time{1} << span) - 1;
+      const Time base =
+          (cursor_ & ~below) | (static_cast<Time>(s) << shift_of(level));
+      if (base > limit) return nullptr;
+      // Move the whole slot, preserving list order so same-timestamp FIFO
+      // survives the cascade; the nodes re-place against the new cursor.
+      cursor_ = base;
+      Slot& sl = lv.slots[static_cast<std::size_t>(s)];
+      EventNode* n = sl.head;
+      sl.head = sl.tail = nullptr;
+      clear_bit(lv.occupied, lv.summary, s);
+      while (n != nullptr) {
+        EventNode* next = n->next;
+        place(n);
+        n = next;
+      }
+      cascaded = true;
+      break;
+    }
+    if (!cascaded) return nullptr;  // unreachable while size_ > 0
+  }
+}
+
+void Engine::fire(EventNode* n) {
+  if (n->invoke == nullptr) {
+    // Coroutine fast path: copy the handle out, recycle, resume.
+    const auto h = n->payload.coro;
+    recycle(n);
+    h.resume();
+  } else {
+    n->invoke(this, n);  // moves the callable out and recycles the node
+  }
+}
+
+bool Engine::cancel(TimerHandle& h) {
+  EventNode* n = h.node_;
+  h.node_ = nullptr;
+  if (n == nullptr || n->gen != h.gen_) return false;  // fired or recycled
+  unlink(n);
+  if (n->destroy != nullptr) n->destroy(n);
+  recycle(n);
+  --size_;
+  return true;
 }
 
 namespace {
@@ -41,30 +234,16 @@ void Engine::spawn(Task<void> task) {
   auto driver = drive(std::move(task));
   auto h = driver.handle;
   drivers_.push_back(h);
-  schedule(0, [h] { h.resume(); });
+  schedule_resume(0, h);
 }
 
-Engine::~Engine() {
-  // Destroy any process still suspended. Child task frames are owned by
-  // their parents' locals, so destroying the driver frame unwinds the whole
-  // chain. Handles left in component wait-lists are never resumed after
-  // this point, so they cannot dangle into freed frames at runtime.
-  for (auto h : drivers_) {
-    if (h && !h.done()) h.destroy();
-  }
-}
-
-bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; the event is moved out via const_cast,
-  // which is safe because pop() immediately removes the moved-from element.
-  auto& top = const_cast<Event&>(queue_.top());
-  Time when = top.when;
-  auto fn = std::move(top.fn);
-  queue_.pop();
-  now_ = when;
+bool Engine::step(Time limit) {
+  EventNode* n = pop_next(limit);
+  if (n == nullptr) return false;
+  --size_;
+  now_ = n->when;
   ++events_processed_;
-  fn();
+  fire(n);
   if (first_error_) {
     auto err = first_error_;
     first_error_ = nullptr;
@@ -74,13 +253,12 @@ bool Engine::step() {
 }
 
 void Engine::run() {
-  while (step()) {
+  while (step(kTimeMax)) {
   }
 }
 
 Time Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    step();
+  while (step(deadline)) {
   }
   if (now_ < deadline) now_ = deadline;
   return now_;

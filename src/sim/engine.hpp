@@ -1,8 +1,13 @@
 #pragma once
 
+#include <bit>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -14,19 +19,56 @@ class Tracer;
 
 /// Discrete-event simulation engine.
 ///
-/// The engine owns a time-ordered event queue. Events are plain callbacks;
-/// simulated processes are Task<void> coroutines spawned onto the engine,
-/// whose suspension points (Delay, Semaphore, Mailbox, ...) schedule their
-/// own resumption as events. Ties in timestamp are broken FIFO by a sequence
-/// number, so runs are fully deterministic.
+/// The scheduler core is a hierarchical timing wheel: a fine near wheel
+/// (4096 slots of 1 ps) plus coarser overflow wheels (256 slots each, the
+/// top one covering the full 64-bit range). Insert, pop and cancel are O(1)
+/// amortized — an event parked in an overflow wheel is re-distributed
+/// ("cascaded") into finer wheels when simulated time enters its window,
+/// at most once per level.
+///
+/// Events are intrusive pool-allocated nodes; the pool grows in blocks and
+/// nodes are recycled, so steady-state scheduling performs no heap
+/// allocation. The callback lives inside the node: a coroutine handle (the
+/// dominant event type — every suspension point resumes through
+/// schedule_resume), or a callable stored in-place when it fits
+/// kInlinePayload bytes. Only a callable larger than that falls back to one
+/// heap allocation.
+///
+/// Firing order is exactly the (timestamp, schedule-order) order of a
+/// binary-heap scheduler: ties in timestamp are broken FIFO (slots are
+/// appended to and drained from the front, and cascades preserve list
+/// order), so runs are fully deterministic and bit-identical to the
+/// pre-wheel engine. tests/engine_stress_test.cpp proves the equivalence
+/// against a retained reference heap scheduler under randomized
+/// schedule/cancel/spawn workloads.
 ///
 /// Single-threaded by design: a simulation at this granularity is dominated
 /// by pointer-chasing through component state, and determinism is worth more
 /// than parallel speedup (cf. the reproducibility requirements of the
 /// benchmarks — every figure must be replayable bit-for-bit).
 class Engine {
+  struct EventNode;  // defined below; opaque to users
+
  public:
-  Engine() = default;
+  /// Ticket for a scheduled event, returned by every schedule variant.
+  /// Cancellation is O(1); a handle outliving its event (fired, cancelled,
+  /// or its node recycled for a new event) is detected by generation and
+  /// cancel() becomes a safe no-op.
+  class TimerHandle {
+   public:
+    TimerHandle() = default;
+    /// True if the handle was ever bound to an event (it may have fired
+    /// since; cancel() reports whether it was still pending).
+    explicit operator bool() const noexcept { return node_ != nullptr; }
+
+   private:
+    friend class Engine;
+    TimerHandle(EventNode* n, std::uint64_t g) : node_(n), gen_(g) {}
+    EventNode* node_ = nullptr;
+    std::uint64_t gen_ = 0;
+  };
+
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
@@ -35,12 +77,57 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run `delay` after the current time.
-  void schedule(Time delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  TimerHandle schedule(Time delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
-  /// Schedules `fn` at absolute time `when` (must be >= now()).
-  void schedule_at(Time when, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `when` (must be >= now()). The callable
+  /// is stored inside the event node when `sizeof(fn) <= kInlinePayload`;
+  /// larger callables cost one heap allocation.
+  template <typename F>
+  TimerHandle schedule_at(Time when, F&& fn) {
+    using D = std::decay_t<F>;
+    EventNode* n = prepare(when);
+    if constexpr (sizeof(D) <= kInlinePayload &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(n->payload.inline_buf))
+          D(std::forward<F>(fn));
+      n->invoke = &invoke_inline<D>;
+      n->destroy =
+          std::is_trivially_destructible_v<D> ? nullptr : &destroy_inline<D>;
+    } else {
+      n->payload.heap_obj = new D(std::forward<F>(fn));
+      n->invoke = &invoke_heap<D>;
+      n->destroy = &destroy_heap<D>;
+    }
+    commit(n);
+    return TimerHandle{n, n->gen};
+  }
+
+  /// Allocation-free fast path: resume a coroutine after `delay`. This is
+  /// what every suspension primitive (delay, Semaphore, Trigger, WaitGroup,
+  /// Mailbox) and spawn() use.
+  TimerHandle schedule_resume(Time delay, std::coroutine_handle<> h) {
+    return schedule_resume_at(now_ + delay, h);
+  }
+
+  /// Allocation-free fast path, absolute-time variant.
+  TimerHandle schedule_resume_at(Time when, std::coroutine_handle<> h) {
+    EventNode* n = prepare(when);
+    n->invoke = nullptr;  // coroutine fast path
+    n->destroy = nullptr;
+    n->payload.coro = h;
+    commit(n);
+    return TimerHandle{n, n->gen};
+  }
+
+  /// Cancels a pending timer in O(1). Returns true if the event was still
+  /// pending (it will never fire and its node returns to the pool); false
+  /// if it already fired, was already cancelled, or the handle is empty.
+  /// The handle is reset either way, so double-cancel is a safe no-op.
+  bool cancel(TimerHandle& h);
 
   /// Starts a simulated process. The engine takes ownership of the coroutine
   /// frame; the first resumption happens through the event queue at the
@@ -62,6 +149,14 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Events scheduled but not yet fired or cancelled.
+  std::size_t pending_events() const { return size_; }
+
+  /// Event nodes ever allocated (pool capacity; grows in blocks of
+  /// kPoolBlock and never shrinks before destruction). Tests use this to
+  /// assert that cancelled timers recycle their nodes.
+  std::size_t allocated_nodes() const { return blocks_.size() * kPoolBlock; }
+
   /// Optional timeline tracer (see sim/tracer.hpp). Instrumented components
   /// check this pointer on their hot paths; when no tracer is installed the
   /// whole observability layer costs one predictable branch per span site.
@@ -74,24 +169,94 @@ class Engine {
     Time delay;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      engine->schedule(delay, [h] { h.resume(); });
+      engine->schedule_resume(delay, h);
     }
     void await_resume() const noexcept {}
   };
   DelayAwaiter delay(Time d) { return DelayAwaiter{this, d}; }
 
+  /// Largest callable stored inside an event node without heap allocation.
+  static constexpr std::size_t kInlinePayload = 48;
+
  private:
-  struct Event {
+  // ---- timing-wheel geometry ----
+  // Level 0: 2^12 slots of 2^0 ps (covers 4.1 ns — most inter-event gaps).
+  // Levels 1..7: 2^8 slots each, geometrically coarser; level 7's span caps
+  // at bit 63, so the eight levels cover the full 64-bit time range.
+  static constexpr int kLevels = 8;
+  static constexpr int kL0Bits = 12;
+  static constexpr int kLevelBits = 8;
+  static constexpr int kL0Slots = 1 << kL0Bits;
+  static constexpr int kLevelSlots = 1 << kLevelBits;
+  static constexpr std::size_t kPoolBlock = 256;
+
+  static constexpr int shift_of(int level) {
+    return level == 0 ? 0 : kL0Bits + kLevelBits * (level - 1);
+  }
+  static constexpr int bits_of(int level) {
+    return level == 0 ? kL0Bits : kLevelBits;
+  }
+  static int level_of_diff(Time diff) {
+    // Highest differing bit decides the wheel level; diff != 0.
+    const int hi = 63 - std::countl_zero(diff);
+    if (hi < kL0Bits) return 0;
+    const int level = 1 + (hi - kL0Bits) / kLevelBits;
+    return level < kLevels ? level : kLevels - 1;
+  }
+
+  struct EventNode {
+    EventNode* prev;
+    EventNode* next;
     Time when;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint64_t gen;  // bumped on every recycle; guards stale handles
+    // invoke == nullptr marks the coroutine fast path. For callables,
+    // invoke() moves the payload out, recycles the node and calls it;
+    // destroy() (nullable: trivially destructible payload) is used only
+    // when the event dies without firing (cancel / engine teardown).
+    void (*invoke)(Engine*, EventNode*);
+    void (*destroy)(EventNode*);
+    std::uint16_t level;
+    std::uint16_t slot;
+    union Payload {
+      Payload() {}  // members are managed manually via invoke/destroy
+      std::coroutine_handle<> coro;
+      void* heap_obj;
+      alignas(std::max_align_t) unsigned char inline_buf[kInlinePayload];
+    } payload;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
   };
+  struct Level {
+    std::vector<Slot> slots;
+    std::vector<std::uint64_t> occupied;  // one bit per slot
+    std::uint64_t summary = 0;            // one bit per occupied word
+  };
+
+  template <typename F>
+  static void invoke_inline(Engine* e, EventNode* n) {
+    F* f = std::launder(reinterpret_cast<F*>(n->payload.inline_buf));
+    F local(std::move(*f));
+    f->~F();
+    e->recycle(n);
+    local();
+  }
+  template <typename F>
+  static void destroy_inline(EventNode* n) {
+    std::launder(reinterpret_cast<F*>(n->payload.inline_buf))->~F();
+  }
+  template <typename F>
+  static void invoke_heap(Engine* e, EventNode* n) {
+    std::unique_ptr<F> f(static_cast<F*>(n->payload.heap_obj));
+    e->recycle(n);
+    (*f)();
+  }
+  template <typename F>
+  static void destroy_heap(EventNode* n) {
+    delete static_cast<F*>(n->payload.heap_obj);
+  }
 
   // Detached driver coroutine: runs `task` to completion and self-destroys.
   struct Detached {
@@ -108,18 +273,61 @@ class Engine {
   };
   Detached drive(Task<void> task);
 
-  bool step();  // pops and runs one event; returns false when queue empty
+  EventNode* prepare(Time when);  // validates `when`, takes a pool node
+  void commit(EventNode* n);      // places the node and grows size_
+  void place(EventNode* n);
+  void unlink(EventNode* n);
+  void recycle(EventNode* n) {
+    ++n->gen;
+    n->next = free_;
+    free_ = n;
+  }
+  EventNode* alloc_node();
+  void grow_pool();
+  EventNode* pop_next(Time limit);  // null if empty or next event > limit
+  int find_occupied(const Level& l, int from) const;
+  void fire(EventNode* n);
+  bool step(Time limit);  // pops and runs one event; false when none <= limit
 
   Time now_ = 0;
+  // Wheel cursor: lower bound on the next pending event's timestamp. It can
+  // run ahead of now_ only transiently inside pop_next (never observable by
+  // user code) and never past a run_until deadline.
+  Time cursor_ = 0;
   Tracer* tracer_ = nullptr;
   // Driver frames still suspended; destroyed (recursively, through their
   // owned child tasks) if the engine dies before they finish.
   std::vector<std::coroutine_handle<>> drivers_;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::size_t size_ = 0;
   int live_ = 0;
   std::exception_ptr first_error_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  Level levels_[kLevels];
+  std::vector<std::unique_ptr<EventNode[]>> blocks_;
+  EventNode* free_ = nullptr;
+};
+
+/// RAII guard that cancels a pending timer when the scope exits. Safe across
+/// co_await points (it lives in the coroutine frame) and safe when the timer
+/// has already fired — cancel degrades to a no-op then. Used for watchdog
+/// timeouts: arm, do the guarded work, and let scope exit disarm.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  ScopedTimer(Engine& engine, Engine::TimerHandle h)
+      : engine_(&engine), handle_(h) {}
+  ScopedTimer(ScopedTimer&& o) noexcept
+      : engine_(std::exchange(o.engine_, nullptr)), handle_(o.handle_) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(ScopedTimer&&) = delete;
+  ~ScopedTimer() {
+    if (engine_ != nullptr) engine_->cancel(handle_);
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  Engine::TimerHandle handle_;
 };
 
 }  // namespace ms::sim

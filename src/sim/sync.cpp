@@ -8,7 +8,7 @@ void Semaphore::release() {
     // so a concurrent try_acquire cannot barge in front of it.
     auto h = waiters_.front();
     waiters_.pop_front();
-    engine_.schedule(0, [h] { h.resume(); });
+    engine_.schedule_resume(0, h);
   } else {
     ++count_;
   }
@@ -19,7 +19,7 @@ void Trigger::fire() {
   auto waiters = std::move(waiters_);
   waiters_.clear();
   for (auto h : waiters) {
-    engine_.schedule(0, [h] { h.resume(); });
+    engine_.schedule_resume(0, h);
   }
 }
 
@@ -29,7 +29,7 @@ void WaitGroup::done() {
     auto waiters = std::move(waiters_);
     waiters_.clear();
     for (auto h : waiters) {
-      engine_.schedule(0, [h] { h.resume(); });
+      engine_.schedule_resume(0, h);
     }
   }
 }

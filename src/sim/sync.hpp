@@ -143,7 +143,7 @@ class Mailbox {
       Receiver r = receivers_.front();
       receivers_.pop_front();
       r.slot->emplace(std::move(item));
-      engine_.schedule(0, [h = r.handle] { h.resume(); });
+      engine_.schedule_resume(0, r.handle);
     } else {
       items_.push_back(std::move(item));
     }

@@ -113,6 +113,16 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
   const bool major = backed_.count(page) != 0 || slots_.count(page) != 0;
   sim::ScopedSpan span(engine_, track_,
                        major ? "major_fault" : "minor_fault");
+  // Fault watchdog (trap through map update); RAII disarm covers the
+  // backend-exhausted throw below as well as normal completion.
+  sim::ScopedTimer watchdog =
+      params_.fault_timeout > 0
+          ? sim::ScopedTimer(engine_,
+                             engine_.schedule(params_.fault_timeout,
+                                              [this] {
+                                                fault_timeouts_.inc();
+                                              }))
+          : sim::ScopedTimer();
   if (!major) {
     co_await engine_.delay(params_.minor_fault);
   } else {

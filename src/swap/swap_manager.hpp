@@ -49,6 +49,10 @@ class SwapManager {
     /// Remote-swap transfers ride a commodity NBD/GigE-class path (the
     /// remote-swap literature's setting), not the HT fabric's bandwidth.
     double backend_bytes_per_ns = 0.08;   ///< ~640 Mb/s effective (TCP/GigE)
+    /// Fault watchdog: fault_timeouts() ticks when one fault (trap through
+    /// map update) exceeds this. Zero disables it (default); when the fault
+    /// completes first the timer is cancelled in O(1).
+    sim::Time fault_timeout = 0;
   };
 
   /// `region` supplies backend slots for remote swap (pages on donor
@@ -92,6 +96,7 @@ class SwapManager {
   }
   std::uint64_t evictions() const { return evictions_.value(); }
   std::uint64_t dirty_writebacks() const { return dirty_writebacks_.value(); }
+  std::uint64_t fault_timeouts() const { return fault_timeouts_.value(); }
   std::size_t resident_pages() const { return resident_.size(); }
   const Params& params() const { return params_; }
 
@@ -127,6 +132,7 @@ class SwapManager {
   sim::Counter major_faults_;
   sim::Counter evictions_;
   sim::Counter dirty_writebacks_;
+  sim::Counter fault_timeouts_;
 };
 
 }  // namespace ms::swap

@@ -7,8 +7,10 @@
 // guarantee.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/runner.hpp"
 #include "sim/stats.hpp"
@@ -96,6 +98,151 @@ TEST(ObservedDeterminism, RemoteSwapRunsAreByteIdentical) {
   EXPECT_EQ(a.trace_json, b.trace_json);
   // Swap instrumentation shows up on its own tracks.
   EXPECT_NE(a.trace_json.find("swap."), std::string::npos);
+}
+
+// Fig. 7-style configuration: several hammering threads sharing one client
+// node's RMC, the saturation scenario. Scaled to the unit-test cluster.
+Capture run_fig7_style(std::uint64_t seed) {
+  sim::Engine engine;
+  sim::Tracer tracer;
+  tracer.begin_process("fig7");
+  engine.set_tracer(&tracer);
+
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, p);
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = 4 << 20;
+  rp.accesses_per_thread = 500;
+  rp.seed = seed;
+  workloads::RandomAccess ra(space, rp);
+
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({2, 3}));
+  setup.run_all();
+  core::Runner run(engine);
+  for (int t = 0; t < 4; ++t) run.spawn(ra.thread_fn(t, t));
+  run.run_all();
+
+  Capture c;
+  c.end_time = engine.now();
+  sim::StatRegistry reg;
+  cluster.export_stats(reg, "");
+  std::ostringstream stats_out, trace_out;
+  reg.dump_json(stats_out);
+  tracer.export_chrome(trace_out);
+  c.stats_json = stats_out.str();
+  c.trace_json = trace_out.str();
+  return c;
+}
+
+// Fig. 8-style configuration: a control thread reads from a memory server
+// while stressor nodes hammer the same server until the control thread
+// finishes — the stop-flag watcher makes the interleaving maximally
+// schedule-sensitive, so byte-identical replay here pins the engine hard.
+sim::Task<void> stress_thread(core::MemorySpace& space, int core,
+                              core::VAddr base, std::uint64_t words,
+                              std::uint64_t seed, const bool* stop) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(seed);
+  while (!*stop) {
+    co_await space.read_u64(t, base + rng.below(words) * 8);
+  }
+  co_await space.sync(t);
+}
+
+Capture run_fig8_style(std::uint64_t seed) {
+  constexpr ht::NodeId kServer = 4;
+  constexpr ht::NodeId kControl = 1;
+  constexpr ht::NodeId kStressors[] = {2, 3};
+  constexpr std::uint64_t kBuffer = 1 << 20;
+
+  sim::Engine engine;
+  sim::Tracer tracer;
+  tracer.begin_process("fig8");
+  engine.set_tracer(&tracer);
+
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+
+  core::MemorySpace control_space(cluster, kControl, p);
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = kBuffer;
+  rp.accesses_per_thread = 300;
+  rp.seed = seed;
+  workloads::RandomAccess control(control_space, rp);
+
+  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+  core::Runner setup(engine);
+  setup.spawn(control.setup({kServer}));
+  for (ht::NodeId n : kStressors) {
+    spaces.push_back(std::make_unique<core::MemorySpace>(cluster, n, p));
+  }
+  setup.run_all();
+
+  std::vector<core::VAddr> bases(spaces.size());
+  core::Runner map_setup(engine);
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    map_setup.spawn([](core::MemorySpace& s, core::VAddr* out,
+                       std::uint64_t bytes) -> sim::Task<void> {
+      *out = co_await s.map_range_on(bytes, kServer);
+    }(*spaces[n], &bases[n], kBuffer));
+  }
+  map_setup.run_all();
+
+  bool stop = false;
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    for (int t = 0; t < 2; ++t) {
+      engine.spawn(stress_thread(*spaces[n], t, bases[n], kBuffer / 8,
+                                 seed + n * 31 + static_cast<unsigned>(t),
+                                 &stop));
+    }
+  }
+
+  core::Runner run(engine);
+  run.spawn(control.thread_fn(0, 0));
+  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
+    co_await r->join();
+    *flag = true;
+  }(&stop, &run));
+  engine.run();
+
+  Capture c;
+  c.end_time = engine.now();
+  sim::StatRegistry reg;
+  cluster.export_stats(reg, "");
+  std::ostringstream stats_out, trace_out;
+  reg.dump_json(stats_out);
+  tracer.export_chrome(trace_out);
+  c.stats_json = stats_out.str();
+  c.trace_json = trace_out.str();
+  return c;
+}
+
+TEST(ObservedDeterminism, Fig7StyleRunsAreByteIdentical) {
+  const Capture a = run_fig7_style(21);
+  const Capture b = run_fig7_style(21);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_GT(a.end_time, 0u);
+  EXPECT_NE(a.stats_json.find("round_trip_ps"), std::string::npos);
+}
+
+TEST(ObservedDeterminism, Fig8StyleRunsAreByteIdentical) {
+  const Capture a = run_fig8_style(33);
+  const Capture b = run_fig8_style(33);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.stats_json, b.stats_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_GT(a.end_time, 0u);
+  // The congested server actually served the stressors.
+  EXPECT_NE(a.stats_json.find("served_requests"), std::string::npos);
 }
 
 TEST(ObservedDeterminism, DifferentSeedsDivergeEverywhere) {

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "core/runner.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "mem/coherence.hpp"
@@ -14,6 +15,8 @@
 #include "mem/memory_controller.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "test_util.hpp"
+#include "workloads/random_access.hpp"
 
 namespace ms::mem {
 namespace {
@@ -308,6 +311,272 @@ TEST_F(DirectoryTest, SingleWriterNeverProbes) {
   }
   EXPECT_EQ(dir_->probes(), 0u);
   EXPECT_EQ(dir_->invalidations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven protocol conformance: every {directory state for a line} x
+// {read / write / evict / remote read / remote write} cell, checked against
+// the MSI transition the directory must implement. Each row runs on a fresh
+// directory; the focal core is 0, remote actors are cores 1 and 2.
+// ---------------------------------------------------------------------------
+
+enum class LineState {
+  kUntracked,        // no cache holds the line
+  kSharedSelf,       // core 0 holds it shared, alone
+  kSharedSelfOther,  // cores 0 and 1 share it
+  kSharedOthers,     // cores 1 and 2 share it; core 0 does not hold it
+  kModifiedSelf,     // core 0 owns it modified
+  kModifiedOther     // core 1 owns it modified
+};
+
+enum class LineOp {
+  kRead,         // core 0 reads
+  kWrite,        // core 0 writes
+  kEvict,        // the holding focal core evicts (no-op if it doesn't hold)
+  kRemoteRead,   // another core reads
+  kRemoteWrite   // another core writes
+};
+
+struct ConformanceRow {
+  const char* name;
+  LineState state;
+  LineOp op;
+  int remote_actor;  // core applying kRemote*; ignored otherwise
+  // Expected outcome of the op and post-state of the directory.
+  int probes;
+  int invalidations;
+  bool dirty_transfer;
+  int sharers_after;
+  bool tracked_after;
+};
+
+class ConformanceFixture {
+ public:
+  ConformanceFixture() {
+    Cache::Params p{.size_bytes = 1024, .ways = 2, .line_bytes = 64};
+    for (int i = 0; i < 4; ++i) caches_.emplace_back(p);
+    std::vector<Cache*> ptrs;
+    for (auto& c : caches_) ptrs.push_back(&c);
+    dir_ = std::make_unique<CoherenceDirectory>(CoherenceDirectory::Params{},
+                                                ptrs);
+  }
+
+  // Mirrors the node access path: cache first, then the directory on a miss
+  // or a write hit, with evictions reported.
+  CoherenceDirectory::Outcome access(int core, bool is_write) {
+    auto res = caches_[static_cast<std::size_t>(core)].access(kLine, is_write);
+    if (res.evicted) dir_->on_evict(core, res.victim_line);
+    if (res.hit) {
+      return is_write ? dir_->on_write_hit(core, kLine)
+                      : CoherenceDirectory::Outcome{};
+    }
+    return dir_->on_miss(core, kLine, is_write);
+  }
+
+  void establish(LineState s) {
+    switch (s) {
+      case LineState::kUntracked:
+        break;
+      case LineState::kSharedSelf:
+        access(0, false);
+        break;
+      case LineState::kSharedSelfOther:
+        access(0, false);
+        access(1, false);
+        break;
+      case LineState::kSharedOthers:
+        access(1, false);
+        access(2, false);
+        break;
+      case LineState::kModifiedSelf:
+        access(0, true);
+        break;
+      case LineState::kModifiedOther:
+        access(1, true);
+        break;
+    }
+  }
+
+  CoherenceDirectory::Outcome apply(LineOp op, int remote_actor) {
+    switch (op) {
+      case LineOp::kRead:
+        return access(0, false);
+      case LineOp::kWrite:
+        return access(0, true);
+      case LineOp::kEvict: {
+        // The holding focal core gives the line up (capacity eviction).
+        for (int c : {0, 1}) {
+          if (caches_[static_cast<std::size_t>(c)].contains(kLine)) {
+            caches_[static_cast<std::size_t>(c)].invalidate(kLine);
+            dir_->on_evict(c, kLine);
+            break;
+          }
+        }
+        return {};
+      }
+      case LineOp::kRemoteRead:
+        return access(remote_actor, false);
+      case LineOp::kRemoteWrite:
+        return access(remote_actor, true);
+    }
+    return {};
+  }
+
+  static constexpr ht::PAddr kLine = 0;
+  std::vector<Cache> caches_;
+  std::unique_ptr<CoherenceDirectory> dir_;
+};
+
+TEST(DirectoryConformance, EveryStateByOperationCell) {
+  const ConformanceRow rows[] = {
+      // Untracked line: first touch never probes.
+      {"untracked/read", LineState::kUntracked, LineOp::kRead, 1,
+       0, 0, false, 1, true},
+      {"untracked/write", LineState::kUntracked, LineOp::kWrite, 1,
+       0, 0, false, 1, true},
+      {"untracked/evict", LineState::kUntracked, LineOp::kEvict, 1,
+       0, 0, false, 0, false},
+      {"untracked/remote-read", LineState::kUntracked, LineOp::kRemoteRead, 1,
+       0, 0, false, 1, true},
+      {"untracked/remote-write", LineState::kUntracked, LineOp::kRemoteWrite, 1,
+       0, 0, false, 1, true},
+
+      // Shared, held only by the focal core.
+      {"shared-self/read", LineState::kSharedSelf, LineOp::kRead, 1,
+       0, 0, false, 1, true},
+      {"shared-self/write", LineState::kSharedSelf, LineOp::kWrite, 1,
+       0, 0, false, 1, true},  // silent S->M upgrade: no other sharers
+      {"shared-self/evict", LineState::kSharedSelf, LineOp::kEvict, 1,
+       0, 0, false, 0, false},
+      {"shared-self/remote-read", LineState::kSharedSelf, LineOp::kRemoteRead,
+       1, 0, 0, false, 2, true},
+      {"shared-self/remote-write", LineState::kSharedSelf, LineOp::kRemoteWrite,
+       1, 1, 1, false, 1, true},  // clean invalidation of core 0
+
+      // Shared by the focal core and one peer.
+      {"shared-both/read", LineState::kSharedSelfOther, LineOp::kRead, 2,
+       0, 0, false, 2, true},
+      {"shared-both/write", LineState::kSharedSelfOther, LineOp::kWrite, 2,
+       1, 1, false, 1, true},  // upgrade invalidates the peer
+      {"shared-both/evict", LineState::kSharedSelfOther, LineOp::kEvict, 2,
+       0, 0, false, 1, true},  // peer keeps the line tracked
+      {"shared-both/remote-read", LineState::kSharedSelfOther,
+       LineOp::kRemoteRead, 2, 0, 0, false, 3, true},
+      {"shared-both/remote-write", LineState::kSharedSelfOther,
+       LineOp::kRemoteWrite, 2, 2, 2, false, 1, true},
+
+      // Shared by two peers; the focal core holds nothing.
+      {"shared-others/read", LineState::kSharedOthers, LineOp::kRead, 1,
+       0, 0, false, 3, true},
+      {"shared-others/write", LineState::kSharedOthers, LineOp::kWrite, 1,
+       2, 2, false, 1, true},
+      {"shared-others/evict", LineState::kSharedOthers, LineOp::kEvict, 1,
+       0, 0, false, 1, true},  // core 1 evicts; core 2 remains
+      {"shared-others/remote-read", LineState::kSharedOthers,
+       LineOp::kRemoteRead, 1, 0, 0, false, 2, true},  // re-read hits
+      {"shared-others/remote-write", LineState::kSharedOthers,
+       LineOp::kRemoteWrite, 1, 1, 1, false, 1, true},  // upgrade vs core 2
+
+      // Modified by the focal core.
+      {"modified-self/read", LineState::kModifiedSelf, LineOp::kRead, 1,
+       0, 0, false, 1, true},
+      {"modified-self/write", LineState::kModifiedSelf, LineOp::kWrite, 1,
+       0, 0, false, 1, true},
+      {"modified-self/evict", LineState::kModifiedSelf, LineOp::kEvict, 1,
+       0, 0, false, 0, false},
+      {"modified-self/remote-read", LineState::kModifiedSelf,
+       LineOp::kRemoteRead, 1, 1, 0, true, 2, true},  // owner supplies data
+      {"modified-self/remote-write", LineState::kModifiedSelf,
+       LineOp::kRemoteWrite, 1, 1, 1, true, 1, true},
+
+      // Modified by a peer.
+      {"modified-other/read", LineState::kModifiedOther, LineOp::kRead, 2,
+       1, 0, true, 2, true},
+      {"modified-other/write", LineState::kModifiedOther, LineOp::kWrite, 2,
+       1, 1, true, 1, true},
+      {"modified-other/evict", LineState::kModifiedOther, LineOp::kEvict, 2,
+       0, 0, false, 0, false},
+      {"modified-other/remote-read", LineState::kModifiedOther,
+       LineOp::kRemoteRead, 2, 1, 0, true, 2, true},
+      {"modified-other/remote-write", LineState::kModifiedOther,
+       LineOp::kRemoteWrite, 2, 1, 1, true, 1, true},
+  };
+
+  for (const auto& row : rows) {
+    SCOPED_TRACE(row.name);
+    ConformanceFixture f;
+    f.establish(row.state);
+    const auto before_probes = f.dir_->probes();
+    const auto before_inv = f.dir_->invalidations();
+    const auto out = f.apply(row.op, row.remote_actor);
+    EXPECT_EQ(out.probes, row.probes);
+    EXPECT_EQ(out.invalidations, row.invalidations);
+    EXPECT_EQ(out.dirty_transfer, row.dirty_transfer);
+    // Counters advance exactly with the reported outcome.
+    EXPECT_EQ(f.dir_->probes() - before_probes,
+              static_cast<std::uint64_t>(row.probes));
+    EXPECT_EQ(f.dir_->invalidations() - before_inv,
+              static_cast<std::uint64_t>(row.invalidations));
+    EXPECT_EQ(f.dir_->sharer_count(ConformanceFixture::kLine),
+              row.sharers_after);
+    EXPECT_EQ(f.dir_->tracked(ConformanceFixture::kLine), row.tracked_after);
+    // Latency is charged iff coherence work happened.
+    if (row.probes > 0 || row.dirty_transfer) {
+      EXPECT_GT(out.latency, 0u);
+    } else {
+      EXPECT_EQ(out.latency, 0u);
+    }
+  }
+}
+
+TEST(DirectoryConformance, DonorNodeNeverCachesRemoteFrames) {
+  // The paper's central invariant: a donor serves remote requests straight
+  // from its memory controllers — the request never enters the donor's
+  // caches or coherence domain, so growing a borrower's region adds zero
+  // probes on the donor.
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, p);
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = 2 << 20;
+  rp.accesses_per_thread = 500;
+  workloads::RandomAccess ra(space, rp);
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({2}));  // node 2 donates every frame
+  setup.run_all();
+  core::Runner run(engine);
+  run.spawn(ra.thread_fn(0, 0));
+  run.run_all();
+
+  auto& donor = cluster.node(2);
+  ASSERT_GT(cluster.rmc(2).served_requests(), 0u);  // traffic reached it
+  std::uint64_t donor_mc = 0;
+  for (int s = 0; s < 2; ++s) {
+    donor_mc += donor.mc(s).reads() + donor.mc(s).writes();
+  }
+  EXPECT_GT(donor_mc, 0u);  // served from DRAM...
+  for (int c = 0; c < donor.num_cores(); ++c) {
+    EXPECT_EQ(donor.core(c).cache().hits(), 0u);  // ...never from a cache
+    EXPECT_EQ(donor.core(c).cache().misses(), 0u);
+  }
+  EXPECT_EQ(donor.directory().probes(), 0u);
+  EXPECT_EQ(donor.directory().invalidations(), 0u);
+}
+
+TEST(DirectoryConformance, DirtyTransferCleansTheOwner) {
+  // The transition behind the table's modified/remote-read cells, checked
+  // against the caches: after a peer read, the former owner holds the line
+  // clean, and a later eviction writes nothing back.
+  ConformanceFixture f;
+  f.establish(LineState::kModifiedSelf);
+  EXPECT_TRUE(f.caches_[0].dirty(ConformanceFixture::kLine));
+  f.access(1, false);
+  EXPECT_TRUE(f.caches_[0].contains(ConformanceFixture::kLine));
+  EXPECT_FALSE(f.caches_[0].dirty(ConformanceFixture::kLine));
 }
 
 }  // namespace
