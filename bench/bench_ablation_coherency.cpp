@@ -69,8 +69,8 @@ Point run_dsm(const bench::Env& env, int nodes,
   dsm::DirectoryDsm dsm(
       engine, cluster.fabric(),
       [&cluster](ht::NodeId home, ht::PAddr addr, std::uint32_t bytes,
-                 bool write) {
-        return cluster.node(home).serve_remote(addr, bytes, write);
+                 bool write, sim::TraceContext ctx) {
+        return cluster.node(home).serve_remote(addr, bytes, write, ctx);
       },
       dsm::DirectoryDsm::Params{.num_nodes = cluster.num_nodes()});
 

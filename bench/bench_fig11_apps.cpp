@@ -49,6 +49,7 @@ RunResult run_kernel(bench::Env& env, core::MemorySpace::Mode mode,
   setup.run_all();
 
   core::Runner run(engine);
+  env.start_timeseries(engine, cluster, label);
   run.spawn([](Workload& wl) -> sim::Task<void> {
     core::ThreadCtx t;
     co_await wl.run(t);

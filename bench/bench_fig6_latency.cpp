@@ -45,6 +45,7 @@ Point run_point(bench::Env& env, int hops, std::uint64_t accesses,
   setup.run_all();
 
   core::Runner run(engine);
+  env.start_timeseries(engine, cluster, "hops=" + std::to_string(hops));
   run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/0));
   const sim::Time elapsed = run.run_all();
 

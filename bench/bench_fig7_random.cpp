@@ -50,6 +50,7 @@ double run_scenario(bench::Env& env, const Scenario& sc,
   setup.run_all();
 
   core::Runner run(engine);
+  env.start_timeseries(engine, cluster, sc.label);
   for (int t = 0; t < sc.threads; ++t) run.spawn(ra.thread_fn(t, t));
   const double elapsed_ms = sim::to_ms(run.run_all());
   env.capture(sc.label, cluster);

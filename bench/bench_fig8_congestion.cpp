@@ -40,7 +40,8 @@ struct Point {
 };
 
 Point run_point(bench::Env& env, int stress_nodes, int threads_per_node,
-                std::uint64_t control_accesses, std::uint64_t buffer_bytes) {
+                std::uint64_t control_accesses, std::uint64_t buffer_bytes,
+                std::uint64_t hot_pages_k) {
   sim::Engine engine;
   env.attach(engine, "stress_nodes=" + std::to_string(stress_nodes));
   core::Cluster cluster(engine, env.cluster_config());
@@ -76,6 +77,15 @@ Point run_point(bench::Env& env, int stress_nodes, int threads_per_node,
   }
   map_setup.run_all();
 
+  // Observe the measured phase only: any earlier Runner::run_all drains the
+  // engine, which would terminate the time-series sampler.
+  env.start_timeseries(engine, cluster,
+                       "stress_nodes=" + std::to_string(stress_nodes));
+  if (hot_pages_k > 0) {
+    cluster.hot_pages().enable();
+    cluster.hot_pages().reset();
+  }
+
   bool stop = false;
   for (std::size_t n = 0; n < spaces.size(); ++n) {
     for (int t = 0; t < threads_per_node; ++t) {
@@ -106,6 +116,21 @@ Point run_point(bench::Env& env, int stress_nodes, int threads_per_node,
                 elapsed_us
           : 0.0;
   env.capture("stress_nodes=" + std::to_string(stress_nodes), cluster);
+  if (hot_pages_k > 0) {
+    // Which 4 KiB pages drive the server-side contention this point saw —
+    // every stressor hammers node 6, so the top pages are its hot spots.
+    std::printf("hot pages (stress_nodes=%d, top %llu of %zu):",
+                stress_nodes,
+                static_cast<unsigned long long>(hot_pages_k),
+                cluster.hot_pages().distinct_pages());
+    for (const auto& [page, count] :
+         cluster.hot_pages().top(static_cast<std::size_t>(hot_pages_k))) {
+      std::printf(" 0x%llx:%llu",
+                  static_cast<unsigned long long>(page << 12),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
   return Point{sim::to_ms(control_done - start_served), rate};
 }
 
@@ -120,6 +145,10 @@ int main(int argc, char** argv) {
 
   const auto control_accesses = env.raw.get_u64("accesses", 4000);
   const auto buffer = env.raw.get_u64("buffer", std::uint64_t{64} << 20);
+  // --hot-pages=K prints the K most-accessed server pages per data point
+  // (0 = off, keeps the default output unchanged).
+  const auto hot_k =
+      env.raw.get_u64("--hot-pages", env.raw.get_u64("hot_pages", 0));
 
   struct Load {
     int nodes;
@@ -132,7 +161,7 @@ int main(int argc, char** argv) {
                     "control_ms", "server_Mreq_per_s"});
   for (const auto& load : loads) {
     auto p = run_point(env, load.nodes, load.threads, control_accesses,
-                       buffer);
+                       buffer, hot_k);
     table.row()
         .cell(load.nodes)
         .cell(load.threads)

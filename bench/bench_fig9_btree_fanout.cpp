@@ -49,6 +49,7 @@ double run_search_us(bench::Env& env, core::MemorySpace::Mode mode,
   warm.run_all();
 
   core::Runner run(engine);
+  env.start_timeseries(engine, cluster, label);
   run.spawn([](workloads::BTree& t, std::uint64_t n,
                std::uint64_t key_count) -> sim::Task<void> {
     core::ThreadCtx ctx;

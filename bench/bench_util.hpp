@@ -9,11 +9,26 @@
 //
 // Observability flags (accepted by every fig bench):
 //   --stats-json=FILE   dump a StatRegistry JSON snapshot of every data
-//                       point's cluster (counters, latency percentiles)
+//                       point's cluster (counters, latency percentiles);
+//                       with tracing on, per-transaction critical-path
+//                       breakdowns land under "<label>.txn.*"
 //   --trace=FILE        record a Chrome trace_event timeline of the whole
 //                       run, one process group per data point; open it in
-//                       chrome://tracing or https://ui.perfetto.dev
-// The spellings stats_json=FILE / trace=FILE work too (plain key=value).
+//                       chrome://tracing or https://ui.perfetto.dev, or
+//                       feed it to tools/memscale_analyze
+//   --trace-sample=N    trace every Nth transaction only (default 1 = all);
+//                       untraced transactions record no spans at all, which
+//                       bounds tracing overhead on long runs
+//   --flight=FILE       bounded binary flight recorder instead of the
+//                       unbounded JSON trace (keeps the most recent spans;
+//                       memscale_analyze reads it directly). Mutually
+//                       exclusive with --trace.
+//   --flight-capacity=N ring capacity in span records (default 65536)
+//   --timeseries-json=FILE      periodic machine snapshots (queue depths,
+//                               link utilization, RMC occupancy, hot pages)
+//   --timeseries-interval-us=N  sampling interval (default 100 µs)
+// The plain key=value spellings (stats_json=FILE, trace=FILE,
+// trace_sample=N, flight=FILE, timeseries_json=FILE, ...) work too.
 
 #include <cstdio>
 #include <fstream>
@@ -26,6 +41,7 @@
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
+#include "sim/timeseries.hpp"
 #include "sim/tracer.hpp"
 
 namespace ms::bench {
@@ -35,37 +51,90 @@ struct Env {
   bool csv = false;
   std::string stats_path;
   std::string trace_path;
+  std::string flight_path;
+  std::uint64_t flight_capacity = 1 << 16;
+  std::uint64_t trace_sample = 1;
+  std::string timeseries_path;
+  std::uint64_t timeseries_interval_us = 100;
+  int timeseries_top_k = 8;
   sim::StatRegistry stats;
   sim::Tracer tracer;
+  sim::TimeSeries timeseries;
 
   Env(int argc, char** argv) : raw(sim::Config::from_args(argc, argv)) {
     csv = raw.get_bool("csv", false);
     stats_path = raw.get_str("--stats-json", raw.get_str("stats_json", ""));
     trace_path = raw.get_str("--trace", raw.get_str("trace", ""));
+    flight_path = raw.get_str("--flight", raw.get_str("flight", ""));
+    flight_capacity = raw.get_u64(
+        "--flight-capacity", raw.get_u64("flight_capacity", flight_capacity));
+    trace_sample =
+        raw.get_u64("--trace-sample", raw.get_u64("trace_sample", 1));
+    timeseries_path =
+        raw.get_str("--timeseries-json", raw.get_str("timeseries_json", ""));
+    timeseries_interval_us = raw.get_u64(
+        "--timeseries-interval-us",
+        raw.get_u64("timeseries_interval_us", timeseries_interval_us));
+    if (!trace_path.empty() && !flight_path.empty()) {
+      throw std::invalid_argument(
+          "--trace and --flight are mutually exclusive (the flight recorder "
+          "recycles span slots, so no Chrome JSON can be exported)");
+    }
   }
 
   core::ClusterConfig cluster_config() const {
     return core::ClusterConfig::from(raw);
   }
 
-  bool tracing() const { return !trace_path.empty(); }
+  bool tracing() const {
+    return !trace_path.empty() || !flight_path.empty();
+  }
   bool collecting_stats() const { return !stats_path.empty(); }
 
   /// Call once per data point, right after constructing its engine: starts
   /// a new process group in the trace (named `label`) and attaches the
-  /// tracer. No-op unless --trace was given.
+  /// tracer. No-op unless --trace or --flight was given.
   void attach(sim::Engine& engine, const std::string& label) {
     if (!tracing()) return;
+    if (!flight_path.empty() && !tracer.flight_mode()) {
+      tracer.enable_flight_recorder(
+          static_cast<std::size_t>(flight_capacity));
+    }
+    tracer.set_sample_interval(trace_sample);
     tracer.begin_process(label);
     engine.set_tracer(&tracer);
   }
 
+  /// Call once per data point, after setup phases and immediately before
+  /// spawning the measured workload: the sampling process snapshots the
+  /// cluster every --timeseries-interval-us of simulated time and exits
+  /// once it is the only live process (so the engine still drains) — which
+  /// is also why it must start *after* any setup Runner::run_all, since
+  /// those drain the engine and would end the sampler early. Also turns on
+  /// the hot-page profiler. No-op unless --timeseries-json was given.
+  void start_timeseries(sim::Engine& engine, core::Cluster& cluster,
+                        const std::string& label) {
+    if (timeseries_path.empty()) return;
+    cluster.hot_pages().enable();
+    cluster.hot_pages().reset();
+    engine.spawn(timeseries_ticker(engine, cluster,
+                                   timeseries.start_run(label),
+                                   sim::us(timeseries_interval_us),
+                                   timeseries_top_k));
+  }
+
   /// Call at the end of a data point: snapshots the cluster's stats under
-  /// "<label>." so every point's percentiles land in the JSON dump.
+  /// "<label>." so every point's percentiles land in the JSON dump. With
+  /// tracing on, the tracer's per-transaction latency decomposition is
+  /// exported under "<label>.txn." and reset for the next point.
   /// No-op unless --stats-json was given.
   void capture(const std::string& label, const core::Cluster& cluster) {
     if (!collecting_stats()) return;
     cluster.export_stats(stats, label + ".");
+    if (tracing() && tracer.txns_finalized() > 0) {
+      tracer.export_txn_stats(stats, label + ".txn.");
+      tracer.reset_txn_stats();
+    }
   }
 
   /// Call once after the table is printed: writes the requested output
@@ -77,13 +146,42 @@ struct Env {
       stats.dump_json(out);
       std::printf("stats json: %s\n", stats_path.c_str());
     }
-    if (tracing()) {
+    if (!trace_path.empty()) {
       std::ofstream out(trace_path);
       if (!out) throw std::runtime_error("cannot write " + trace_path);
       tracer.export_chrome(out);
-      std::printf("chrome trace: %s (%zu spans) — load in chrome://tracing "
-                  "or ui.perfetto.dev\n",
+      std::printf("chrome trace: %s (%zu spans) — load in chrome://tracing, "
+                  "ui.perfetto.dev or memscale_analyze\n",
                   trace_path.c_str(), tracer.span_count());
+    }
+    if (!flight_path.empty()) {
+      std::ofstream out(flight_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + flight_path);
+      tracer.export_flight(out);
+      std::printf("flight recorder: %s (%zu records, %llu dropped) — read "
+                  "with memscale_analyze\n",
+                  flight_path.c_str(), tracer.flight_record_count(),
+                  static_cast<unsigned long long>(tracer.flight_dropped()));
+    }
+    if (!timeseries_path.empty()) {
+      std::ofstream out(timeseries_path);
+      if (!out) throw std::runtime_error("cannot write " + timeseries_path);
+      timeseries.dump_json(out, sim::us(timeseries_interval_us));
+      std::printf("timeseries json: %s (%zu runs)\n", timeseries_path.c_str(),
+                  timeseries.runs().size());
+    }
+  }
+
+ private:
+  static sim::Task<void> timeseries_ticker(sim::Engine& engine,
+                                           const core::Cluster& cluster,
+                                           sim::TimeSeriesRun& run,
+                                           sim::Time interval, int top_k) {
+    while (true) {
+      co_await engine.delay(interval);
+      // Workloads done (only this sampler left): stop so the engine drains.
+      if (engine.live_processes() <= 1) co_return;
+      run.points.push_back(cluster.sample_timeseries(engine.now(), top_k));
     }
   }
 };

@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -69,6 +70,7 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
     const auto id = static_cast<ht::NodeId>(i + 1);
     nodes_.push_back(std::make_unique<node::Node>(engine, id, cfg.node));
     rmcs_.push_back(std::make_unique<rmc::Rmc>(engine, id, *fabric_, cfg.rmc));
+    rmcs_.back()->set_hot_pages(&hot_pages_);
     nodes_.back()->attach_rmc(rmcs_.back().get());
     allocators_.push_back(std::make_unique<os::FrameAllocator>(
         ht::PAddr{0}, cfg.node.local_bytes));
@@ -197,6 +199,44 @@ void Cluster::export_stats(sim::StatRegistry& reg,
       reg.sampler(rmc_p + "port_wait_ps") = r.port_wait();
     }
   }
+}
+
+sim::TimeSeriesPoint Cluster::sample_timeseries(sim::Time now,
+                                                int top_k) const {
+  sim::TimeSeriesPoint pt;
+  pt.t = now;
+  fabric_->sample_timeseries(pt.values, "noc.");
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const auto& r = *rmcs_[i];
+    if (r.client_requests() + r.served_requests() == 0) continue;
+    const std::string rmc_p = "rmc." + std::to_string(i + 1) + ".";
+    pt.values.emplace_back(rmc_p + "outstanding",
+                           static_cast<double>(r.outstanding()));
+    pt.values.emplace_back(rmc_p + "port_waiters",
+                           static_cast<double>(r.port_waiters()));
+    pt.values.emplace_back(rmc_p + "client_requests",
+                           static_cast<double>(r.client_requests()));
+    pt.values.emplace_back(rmc_p + "served_requests",
+                           static_cast<double>(r.served_requests()));
+  }
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    for (int s = 0; s < cfg_.node.sockets; ++s) {
+      const auto& mc = nodes_[i]->mc(s);
+      if (mc.reads() + mc.writes() == 0) continue;
+      const std::string mc_p = "node." + std::to_string(i + 1) + ".mc" +
+                               std::to_string(s) + ".";
+      pt.values.emplace_back(mc_p + "port_waiters",
+                             static_cast<double>(mc.port_waiters()));
+      pt.values.emplace_back(mc_p + "accesses",
+                             static_cast<double>(mc.reads() + mc.writes()));
+    }
+  }
+  std::sort(pt.values.begin(), pt.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (hot_pages_.enabled() && top_k > 0) {
+    pt.hot_pages = hot_pages_.top(static_cast<std::size_t>(top_k));
+  }
+  return pt;
 }
 
 std::uint64_t Cluster::total_intra_node_probes() const {

@@ -14,6 +14,7 @@
 #include "rmc/rmc.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/timeseries.hpp"
 #include "swap/disk_model.hpp"
 
 namespace ms::core {
@@ -85,6 +86,19 @@ class Cluster {
   void export_stats(sim::StatRegistry& reg,
                     const std::string& prefix = "") const;
 
+  /// Per-4KiB-page access profile seen by every RMC (serve + loopback
+  /// paths). Disabled by default; benches enable it for hot-page reports
+  /// and time-series streams.
+  sim::HotPageProfiler& hot_pages() { return hot_pages_; }
+  const sim::HotPageProfiler& hot_pages() const { return hot_pages_; }
+
+  /// One periodic snapshot of the machine: fabric counters, per-RMC
+  /// occupancy/queue depth, per-node memory-controller port queues —
+  /// components that saw no traffic are skipped — plus the top-`top_k`
+  /// hottest pages when the profiler is enabled. Keys are sorted so the
+  /// JSON stream is deterministic.
+  sim::TimeSeriesPoint sample_timeseries(sim::Time now, int top_k = 8) const;
+
  private:
   sim::Engine& engine_;
   ClusterConfig cfg_;
@@ -96,6 +110,7 @@ class Cluster {
   std::unique_ptr<os::ReservationService> reservation_;
   os::ClusterDirectory directory_;
   std::unique_ptr<swap::DiskModel> disk_;
+  sim::HotPageProfiler hot_pages_;
 };
 
 }  // namespace ms::core

@@ -3,6 +3,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "sim/tracer.hpp"
+
 namespace ms::core {
 
 namespace {
@@ -22,7 +24,8 @@ MemorySpace::MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p)
       params_(p),
       table_(4096),
       tlb_(p.tlb),
-      next_va_(p.va_base) {
+      next_va_(p.va_base),
+      txn_track_("txn.n" + std::to_string(home)) {
   const bool is_swap = p.mode == Mode::kRemoteSwap ||
                        p.mode == Mode::kDiskSwap ||
                        p.mode == Mode::kCompressedSwap;
@@ -50,8 +53,9 @@ MemorySpace::MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p)
         &cluster.disk(), sp);
     swap_->set_donor_service(
         [this](ht::NodeId donor, ht::PAddr local, std::uint32_t bytes,
-               bool is_write) {
-          return cluster_.node(donor).serve_remote(local, bytes, is_write);
+               bool is_write, sim::TraceContext ctx) {
+          return cluster_.node(donor).serve_remote(local, bytes, is_write,
+                                                   ctx);
         });
     pseudo_node_ = next_pseudo_node();
   }
@@ -141,10 +145,11 @@ void MemorySpace::functional_rw(VAddr va, void* data, std::uint32_t bytes,
 
 sim::Task<sim::Time> MemorySpace::timed_chunk(ThreadCtx& t, VAddr va,
                                               std::uint32_t bytes,
-                                              bool is_write,
-                                              sim::Time carried) {
+                                              bool is_write, sim::Time carried,
+                                              sim::TraceContext ctx) {
   if (swap_) {
-    co_return co_await swap_->access(va, bytes, is_write, t.core, carried);
+    co_return co_await swap_->access(va, bytes, is_write, t.core, carried,
+                                     ctx);
   }
   // TLB, then the hardware path.
   const VAddr page_va = table_.page_base(va);
@@ -157,7 +162,8 @@ sim::Task<sim::Time> MemorySpace::timed_chunk(ThreadCtx& t, VAddr va,
     frame = *pa;
   }
   const ht::PAddr pa = *frame + (va - page_va);
-  co_return co_await home_node().access(t.core, pa, bytes, is_write, carried);
+  co_return co_await home_node().access(t.core, pa, bytes, is_write, carried,
+                                        ctx);
 }
 
 sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
@@ -169,6 +175,13 @@ sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
   // Functional transfer first (order is unobservable within one thread).
   if (data != nullptr) functional_rw(va, data, bytes, is_write);
 
+  // Transactions are minted here — the core/workload boundary — and the
+  // context rides through every layer below (node, RMC, fabric, swap). The
+  // root span covers the timed chunks only; quantum realization below is
+  // compute time already accounted by the workload, not memory latency.
+  sim::TxnScope txn(cluster_.engine(), txn_track_,
+                    is_write ? "write" : "read");
+
   constexpr std::uint64_t kLine = 64;
   std::uint32_t done = 0;
   while (done < bytes) {
@@ -179,9 +192,11 @@ sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>({bytes - done, to_line, to_page}));
     ++t.accesses;
-    t.pending = co_await timed_chunk(t, cur, chunk, is_write, t.pending);
+    t.pending =
+        co_await timed_chunk(t, cur, chunk, is_write, t.pending, txn.ctx());
     done += chunk;
   }
+  txn.finish();
   if (t.pending >= t.quantum) {
     const sim::Time d = t.pending;
     t.pending = 0;

@@ -137,7 +137,8 @@ class MemorySpace {
  private:
   /// Timing for one chunk that stays within a line and a page.
   sim::Task<sim::Time> timed_chunk(ThreadCtx& t, VAddr va, std::uint32_t bytes,
-                                   bool is_write, sim::Time carried);
+                                   bool is_write, sim::Time carried,
+                                   sim::TraceContext ctx);
 
   /// Full access: functional bytes + timing, chunked.
   sim::Task<void> access(ThreadCtx& t, VAddr va, void* data,
@@ -161,6 +162,7 @@ class MemorySpace {
   std::unique_ptr<swap::SwapManager> swap_;
   VAddr next_va_;
   ht::NodeId pseudo_node_ = ht::kNoNode;  ///< functional key for swap modes
+  std::string txn_track_;  ///< tracer track for minted transactions
   sim::AccessTrace* trace_ = nullptr;
   sim::Counter reads_;
   sim::Counter writes_;

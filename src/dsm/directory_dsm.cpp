@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "node/address_map.hpp"
+#include "sim/tracer.hpp"
 
 namespace ms::dsm {
 
@@ -26,19 +27,25 @@ bool DirectoryDsm::is_hit(const Entry& e, ht::NodeId node,
 
 sim::Task<void> DirectoryDsm::message(ht::NodeId from, ht::NodeId to,
                                       ht::PacketType type, ht::PAddr addr,
-                                      std::uint32_t size) {
+                                      std::uint32_t size,
+                                      sim::TraceContext ctx) {
   messages_.inc();
   if (params_.software_overhead != 0) {
+    sim::SegmentSpan sw(engine_, ctx, "dsm", "sw_overhead",
+                        sim::Segment::kCoherence);
     co_await engine_.delay(params_.software_overhead);
   }
   if (from == to) co_return;  // intra-node
   ht::Packet pkt{.type = type, .src = from, .dst = to, .addr = addr,
                  .size = size};
+  pkt.txn = ctx.txn;
+  pkt.parent_span = ctx.span;
   co_await fabric_.traverse(pkt);
 }
 
 sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
-                                     std::uint32_t bytes, bool is_write) {
+                                     std::uint32_t bytes, bool is_write,
+                                     sim::TraceContext ctx) {
   const ht::PAddr line = addr & ~static_cast<ht::PAddr>(params_.line_bytes - 1);
   // Copy the directory state: references into lines_ must not be held
   // across co_await (concurrent accesses insert and rehash the map).
@@ -50,6 +57,10 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
   }
   misses_.inc();
 
+  sim::ScopedSpan span(engine_, "dsm", is_write ? "coh_write" : "coh_read",
+                       ctx);
+  const sim::TraceContext here = span.ctx() ? span.ctx() : ctx;
+
   const ht::NodeId home = home_of(line);
   const std::uint64_t self_bit = 1ULL << (requester - 1);
 
@@ -57,8 +68,12 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
   co_await message(requester, home,
                    is_write ? ht::PacketType::kWriteReq
                             : ht::PacketType::kReadReq,
-                   line, 0);
-  co_await engine_.delay(params_.directory_latency);
+                   line, 0, here);
+  {
+    sim::SegmentSpan dir(engine_, here, "dsm", "directory",
+                         sim::Segment::kCoherence);
+    co_await engine_.delay(params_.directory_latency);
+  }
 
   if (is_write) {
     // Invalidate every other sharer and collect acknowledgements.
@@ -69,13 +84,14 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
       probes_.inc();
       invalidations_.inc();
       co_await message(home, static_cast<ht::NodeId>(peer),
-                       ht::PacketType::kCohProbe, line, 0);
+                       ht::PacketType::kCohProbe, line, 0, here);
       co_await message(static_cast<ht::NodeId>(peer), home,
-                       ht::PacketType::kCohAck, line, 0);
+                       ht::PacketType::kCohAck, line, 0, here);
     }
     if (e.owner != 0 && e.owner != requester) {
       // Modified elsewhere: the owner's data is written back at home.
-      co_await mem_(home, node::local_part(line), params_.line_bytes, true);
+      co_await mem_(home, node::local_part(line), params_.line_bytes, true,
+                    here);
     }
     e.sharers = self_bit;
     e.owner = requester;
@@ -84,13 +100,15 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
       // Forward to the modified owner; it supplies data and demotes.
       probes_.inc();
       co_await message(home, static_cast<ht::NodeId>(e.owner),
-                       ht::PacketType::kCohProbe, line, 0);
+                       ht::PacketType::kCohProbe, line, 0, here);
       co_await message(static_cast<ht::NodeId>(e.owner), home,
-                       ht::PacketType::kReadResp, line, params_.line_bytes);
+                       ht::PacketType::kReadResp, line, params_.line_bytes,
+                       here);
       e.owner = 0;
     } else {
       // Clean at home: read memory there.
-      co_await mem_(home, node::local_part(line), params_.line_bytes, false);
+      co_await mem_(home, node::local_part(line), params_.line_bytes, false,
+                    here);
     }
     e.sharers |= self_bit;
   }
@@ -104,7 +122,7 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
   co_await message(home, requester,
                    is_write ? ht::PacketType::kWriteAck
                             : ht::PacketType::kReadResp,
-                   line, is_write ? 0 : bytes);
+                   line, is_write ? 0 : bytes, here);
 }
 
 }  // namespace ms::dsm

@@ -9,6 +9,7 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
+#include "sim/trace_context.hpp"
 
 namespace ms::dsm {
 
@@ -37,7 +38,8 @@ class DirectoryDsm {
 
   /// Timing of a memory access executed at `home`'s local controllers.
   using MemService = std::function<sim::Task<void>(
-      ht::NodeId home, ht::PAddr addr, std::uint32_t bytes, bool is_write)>;
+      ht::NodeId home, ht::PAddr addr, std::uint32_t bytes, bool is_write,
+      sim::TraceContext ctx)>;
 
   DirectoryDsm(sim::Engine& engine, noc::Fabric& fabric, MemService mem,
                const Params& p);
@@ -46,9 +48,11 @@ class DirectoryDsm {
 
   /// One coherent access (line-granular miss handling) by `requester`.
   /// `cached` tells whether the requester already holds the line in the
-  /// state needed (hit — no global action).
+  /// state needed (hit — no global action). `ctx` links recorded spans into
+  /// a traced transaction (observability only).
   sim::Task<void> access(ht::NodeId requester, ht::PAddr addr,
-                         std::uint32_t bytes, bool is_write);
+                         std::uint32_t bytes, bool is_write,
+                         sim::TraceContext ctx = {});
 
   /// Home node of a line: the address prefix when present, otherwise
   /// round-robin interleave over the nodes.
@@ -72,7 +76,7 @@ class DirectoryDsm {
 
   sim::Task<void> message(ht::NodeId from, ht::NodeId to,
                           ht::PacketType type, ht::PAddr addr,
-                          std::uint32_t size);
+                          std::uint32_t size, sim::TraceContext ctx);
 
   sim::Engine& engine_;
   noc::Fabric& fabric_;

@@ -16,28 +16,31 @@ sim::Time Link::serialization_time(std::uint32_t bytes) const {
   return sim::ns_d(static_cast<double>(bytes) / params_.bytes_per_ns);
 }
 
-sim::Task<void> Link::transmit(std::uint32_t bytes) {
+sim::Task<void> Link::transmit(std::uint32_t bytes, sim::TraceContext ctx) {
   const sim::Time arrived = engine_.now();
   // Stall watchdog across the whole wait (credits + transmitter). Armed
-  // only when configured; cancelled in O(1) once the wait ends, so in the
+  // only when configured; disarmed in O(1) once the wait ends, so in the
   // common case the closure never runs and its node goes back to the pool.
-  sim::Engine::TimerHandle watchdog;
-  if (params_.stall_timeout > 0) {
-    watchdog = engine_.schedule(params_.stall_timeout,
-                                [this] { stall_timeouts_.inc(); });
-  }
+  // The ScopedTimer additionally covers frame destruction mid-wait.
+  sim::ScopedTimer watchdog =
+      params_.stall_timeout > 0
+          ? sim::ScopedTimer(engine_,
+                             engine_.schedule(params_.stall_timeout,
+                                              [this] {
+                                                stall_timeouts_.inc();
+                                              }))
+          : sim::ScopedTimer();
   co_await credits_.acquire();
   sim::SemToken credit(credits_);
   co_await transmitter_.acquire();
-  engine_.cancel(watchdog);
+  watchdog.disarm();
   queue_wait_.add_time(engine_.now() - arrived);
-  if (auto* tr = engine_.tracer(); tr != nullptr && engine_.now() != arrived) {
-    tr->end_span(tr->begin_span(name_, "wait", arrived), engine_.now());
-  }
+  sim::record_wait(engine_, name_, "wait", arrived, ctx);
   const sim::Time ser = serialization_time(bytes);
   {
     // Span covers exactly the transmitter occupancy (retries included).
-    sim::ScopedSpan xmit(engine_, name_, "xmit");
+    sim::ScopedSpan xmit(engine_, name_, "xmit", ctx,
+                         sim::Segment::kSerialization);
     // Link-layer CRC retry: a corrupted packet is detected at the far end,
     // NAKed, and retransmitted while still holding the transmitter.
     while (params_.error_rate > 0.0 && error_rng_.chance(params_.error_rate)) {
@@ -51,7 +54,10 @@ sim::Task<void> Link::transmit(std::uint32_t bytes) {
   transmitter_.release();
   // Propagation does not hold the transmitter; the credit is returned when
   // the tail reaches the receiver (SemToken destructor at coroutine end).
-  co_await engine_.delay(params_.propagation);
+  {
+    sim::SegmentSpan prop(engine_, ctx, name_, "prop", sim::Segment::kLink);
+    co_await engine_.delay(params_.propagation);
+  }
   packets_.inc();
   bytes_.inc(bytes);
 }

@@ -5,6 +5,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "sim/trace_context.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -44,8 +45,10 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// Moves `bytes` across the link; resumes when the tail arrives.
-  sim::Task<void> transmit(std::uint32_t bytes);
+  /// Moves `bytes` across the link; resumes when the tail arrives. `ctx`
+  /// links the recorded spans into a traced transaction (observability
+  /// only; timing is identical with or without it).
+  sim::Task<void> transmit(std::uint32_t bytes, sim::TraceContext ctx = {});
 
   sim::Time serialization_time(std::uint32_t bytes) const;
 

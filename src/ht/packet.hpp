@@ -48,6 +48,11 @@ struct Packet {
   std::uint32_t ctrl_op = 0; ///< opcode for kCtrl* packets
   std::uint64_t payload0 = 0;
   std::uint64_t payload1 = 0;
+  /// Causal trace identity (sim/trace_context.hpp), threaded through the
+  /// fabric so per-hop spans link back to the originating transaction.
+  /// Pure observability: zero when untraced, never affects timing.
+  std::uint64_t txn = 0;
+  std::uint64_t parent_span = 0;
 
   std::string describe() const;
 };

@@ -18,17 +18,33 @@ MemoryController::MemoryController(sim::Engine& engine, std::string name,
 }
 
 sim::Task<void> MemoryController::access(ht::PAddr local_addr,
-                                         std::uint32_t bytes, bool is_write) {
+                                         std::uint32_t bytes, bool is_write,
+                                         sim::TraceContext ctx) {
   const sim::Time start = engine_.now();
-  sim::ScopedSpan span(engine_, name_, is_write ? "dram.write" : "dram.read");
+  // Container span (kNone): the tagged leaves below carry the segment
+  // attribution, so nothing is double-counted in the decomposition.
+  sim::ScopedSpan span(engine_, name_, is_write ? "dram.write" : "dram.read",
+                       ctx);
+  const sim::TraceContext here = span.ctx() ? span.ctx() : ctx;
   co_await ports_.acquire();
   sim::SemToken port(ports_);
-  co_await engine_.delay(params_.controller_latency);
+  sim::record_wait(engine_, name_, "port.wait", start, here);
+  {
+    sim::SegmentSpan sched(engine_, here, name_, "sched",
+                           sim::Segment::kMemory);
+    co_await engine_.delay(params_.controller_latency);
+  }
 
   auto& bank = *banks_[static_cast<std::size_t>(dram_.bank_of(local_addr))];
+  const sim::Time bank_asked = engine_.now();
   co_await bank.acquire();
+  sim::record_wait(engine_, name_, "bank.wait", bank_asked, here);
   const sim::Time lat = dram_.access_latency(local_addr, bytes);
-  co_await engine_.delay(lat);
+  {
+    sim::SegmentSpan burst(engine_, here, name_, "dram",
+                           sim::Segment::kMemory);
+    co_await engine_.delay(lat);
+  }
   bank.release();
 
   (is_write ? writes_ : reads_).inc();

@@ -9,6 +9,7 @@
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "sim/trace_context.hpp"
 
 namespace ms::mem {
 
@@ -33,14 +34,20 @@ class MemoryController {
 
   /// Performs one access (timing only); resumes when data would be returned
   /// (reads) or accepted for write (writes are posted at full latency —
-  /// HT sized writes carry data and get an ack at completion).
-  sim::Task<void> access(ht::PAddr local_addr, std::uint32_t bytes, bool is_write);
+  /// HT sized writes carry data and get an ack at completion). `ctx` links
+  /// the recorded spans into a traced transaction (observability only).
+  sim::Task<void> access(ht::PAddr local_addr, std::uint32_t bytes,
+                         bool is_write, sim::TraceContext ctx = {});
 
   const std::string& name() const { return name_; }
   std::uint64_t reads() const { return reads_.value(); }
   std::uint64_t writes() const { return writes_.value(); }
   const sim::Sampler& latency() const { return latency_; }
   const DramModel& dram() const { return dram_; }
+
+  /// Instantaneous queue state, for time-series sampling.
+  std::size_t port_waiters() const { return ports_.waiters(); }
+  int ports_free() const { return ports_.available(); }
 
  private:
   sim::Engine& engine_;

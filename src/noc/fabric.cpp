@@ -45,6 +45,7 @@ sim::Task<void> Fabric::traverse(ht::Packet packet) {
   }
   const sim::Time start = engine_.now();
   const std::uint32_t bytes = ht::wire_size(packet);
+  const sim::TraceContext ctx{packet.txn, packet.parent_span};
   const int vc = vc_of(packet.type);
   const auto& path = routes_.route(packet.src, packet.dst);
   NodeId prev = packet.src;
@@ -59,12 +60,13 @@ sim::Task<void> Fabric::traverse(ht::Packet packet) {
       // Router occupancy: the routing/arbitration stage at the hop's
       // ingress. Track names are built only when a tracer is attached.
       sim::ScopedSpan route(engine_, "router." + std::to_string(prev),
-                            "route");
+                            "route", ctx, sim::Segment::kLink);
       co_await engine_.delay(params_.router_delay);
     } else {
       co_await engine_.delay(params_.router_delay);
     }
-    co_await links_.at(key)[static_cast<std::size_t>(vc)]->transmit(bytes);
+    co_await links_.at(key)[static_cast<std::size_t>(vc)]->transmit(bytes,
+                                                                    ctx);
     prev = hop;
   }
   delivered_.inc();
@@ -116,6 +118,22 @@ void Fabric::export_stats(sim::StatRegistry& reg,
       reg.counter(p + "busy_ps").inc(static_cast<std::uint64_t>(
           link->busy_time()));
       reg.sampler(p + "queue_wait_ps") = link->queue_wait();
+    }
+  }
+}
+
+void Fabric::sample_timeseries(
+    std::vector<std::pair<std::string, double>>& out,
+    const std::string& prefix) const {
+  out.emplace_back(prefix + "packets_delivered",
+                   static_cast<double>(delivered_.value()));
+  for (const auto& [edge, vcs] : links_) {
+    for (const auto& link : vcs) {
+      if (link->packets() == 0) continue;
+      out.emplace_back(prefix + link->name() + ".busy_ps",
+                       static_cast<double>(link->busy_time()));
+      out.emplace_back(prefix + link->name() + ".packets",
+                       static_cast<double>(link->packets()));
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ht/link.hpp"
 #include "ht/packet.hpp"
@@ -67,6 +69,12 @@ class Fabric {
   /// Snapshots fabric totals and every link that saw traffic into `reg`
   /// under `prefix` ("noc.", "noc.link.1-2.vc0.", ...).
   void export_stats(sim::StatRegistry& reg, const std::string& prefix) const;
+
+  /// Time-series sample: appends "<prefix><link>.busy_ps" / ".packets" for
+  /// every link that saw traffic (cumulative values; consumers diff
+  /// consecutive points for utilization).
+  void sample_timeseries(std::vector<std::pair<std::string, double>>& out,
+                         const std::string& prefix) const;
 
  private:
   sim::Engine& engine_;

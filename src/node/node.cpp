@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <stdexcept>
+#include <string>
+
+#include "sim/tracer.hpp"
 
 namespace ms::node {
 
@@ -34,8 +37,9 @@ Node::Node(sim::Engine& engine, ht::NodeId id, const Params& p)
 void Node::attach_rmc(rmc::Rmc* rmc) {
   rmc_ = rmc;
   rmc_->set_local_service(
-      [this](ht::PAddr local, std::uint32_t bytes, bool is_write) {
-        return serve_remote(local, bytes, is_write);
+      [this](ht::PAddr local, std::uint32_t bytes, bool is_write,
+             sim::TraceContext ctx) {
+        return serve_remote(local, bytes, is_write, ctx);
       });
 }
 
@@ -44,57 +48,83 @@ int Node::socket_hops(int a, int b) const {
 }
 
 sim::Task<void> Node::serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
-                                   bool is_write) {
-  co_await engine_.delay(params_.crossbar_latency);
+                                   bool is_write, sim::TraceContext ctx) {
+  const std::string track = "node." + std::to_string(id_);
+  {
+    // Donor-side intra-node transport counts as memory service time.
+    sim::SegmentSpan xbar(engine_, ctx, track, "crossbar",
+                          sim::Segment::kMemory);
+    co_await engine_.delay(params_.crossbar_latency);
+  }
   // The RMC sits in the HTX slot attached to socket 0; reaching another
   // socket's controller crosses cHT links.
   const int target = addr_map_.socket_of_local(local_addr);
   const int hops = socket_hops(0, target);
   if (hops > 0) {
+    sim::SegmentSpan numa(engine_, ctx, track, "socket_hops",
+                          sim::Segment::kMemory);
     co_await engine_.delay(params_.socket_hop_latency *
                            static_cast<sim::Time>(hops));
   }
-  co_await mc(target).access(local_addr, bytes, is_write);
+  co_await mc(target).access(local_addr, bytes, is_write, ctx);
 }
 
 sim::Task<void> Node::fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
-                            bool is_write) {
+                            bool is_write, sim::TraceContext ctx) {
   Core& c = *cores_[static_cast<std::size_t>(core)];
-  co_await engine_.delay(params_.crossbar_latency);
+  const std::string track = "node." + std::to_string(id_);
+  {
+    sim::SegmentSpan xbar(engine_, ctx, track, "crossbar",
+                          sim::Segment::kOther);
+    co_await engine_.delay(params_.crossbar_latency);
+  }
   if (has_prefix(paddr)) {
     remote_accesses_.inc();
     if (params_.remote_sw_overhead != 0) {
+      sim::SegmentSpan sw(engine_, ctx, track, "sw_overhead",
+                          sim::Segment::kOther);
       co_await engine_.delay(params_.remote_sw_overhead);
     }
+    const sim::Time asked = engine_.now();
     co_await c.remote_slots().acquire();
+    sim::record_wait(engine_, track, "remote_slot.wait", asked, ctx);
     sim::SemToken slot(c.remote_slots());
-    co_await rmc_->client_access(paddr, bytes, is_write);
+    co_await rmc_->client_access(paddr, bytes, is_write, ctx);
   } else {
     local_accesses_.inc();
+    const sim::Time asked = engine_.now();
     co_await c.local_slots().acquire();
+    sim::record_wait(engine_, track, "local_slot.wait", asked, ctx);
     sim::SemToken slot(c.local_slots());
     const int target = addr_map_.socket_of_local(paddr);
     const int hops = socket_hops(socket_of_core(core), target);
     if (hops > 0) {
       // NUMA: the request and its response each cross `hops` cHT links.
+      sim::SegmentSpan numa(engine_, ctx, track, "socket_hops",
+                            sim::Segment::kMemory);
       co_await engine_.delay(2 * params_.socket_hop_latency *
                              static_cast<sim::Time>(hops));
     }
-    co_await mc(target).access(paddr, bytes, is_write);
+    co_await mc(target).access(paddr, bytes, is_write, ctx);
   }
 }
 
 sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
                                   std::uint32_t bytes, bool is_write,
-                                  sim::Time carried) {
+                                  sim::Time carried, sim::TraceContext ctx) {
   Core& c = *cores_[static_cast<std::size_t>(core)];
+  const std::string track = "node." + std::to_string(id_);
   const bool via_rmc = has_prefix(paddr);
   const bool cacheable = !via_rmc || params_.cache_remote;
 
   if (!cacheable) {
     // Uncached I/O-style access: the full reference goes to the RMC.
-    co_await engine_.delay(carried);
-    co_await fetch(core, paddr, bytes, is_write);
+    {
+      sim::SegmentSpan cr(engine_, ctx, track, "carried",
+                          sim::Segment::kOther);
+      co_await engine_.delay(carried);
+    }
+    co_await fetch(core, paddr, bytes, is_write, ctx);
     co_return 0;
   }
 
@@ -114,11 +144,21 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     auto pending = fills_.find(mshr_key(core, line));
     if (pending != fills_.end()) {
       mshr_merges_.inc();
-      co_await engine_.delay(carried + cache.params().hit_latency);
+      {
+        sim::SegmentSpan cr(engine_, ctx, track, "carried",
+                            sim::Segment::kOther);
+        co_await engine_.delay(carried + cache.params().hit_latency);
+      }
+      const sim::Time asked = engine_.now();
       co_await pending->second->wait();
+      sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
       if (is_write) {
         auto coh = directory_->on_write_hit(core, line);
-        if (coh.latency != 0) co_await engine_.delay(coh.latency);
+        if (coh.latency != 0) {
+          sim::SegmentSpan wh(engine_, ctx, track, "write_hit",
+                              sim::Segment::kCoherence);
+          co_await engine_.delay(coh.latency);
+        }
       }
       co_return 0;
     }
@@ -137,8 +177,14 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
   if (existing != fills_.end()) {
     // An earlier prefetch or miss is already filling this line: merge.
     mshr_merges_.inc();
-    co_await engine_.delay(carried + cache.params().hit_latency);
+    {
+      sim::SegmentSpan cr(engine_, ctx, track, "carried",
+                          sim::Segment::kOther);
+      co_await engine_.delay(carried + cache.params().hit_latency);
+    }
+    const sim::Time asked = engine_.now();
     co_await existing->second->wait();
+    sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
     co_return 0;
   }
   auto trigger = std::make_unique<sim::Trigger>(engine_);
@@ -146,9 +192,16 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
   fills_.emplace(key, std::move(trigger));
 
   // Realize the accumulated compute time, then walk the miss path.
-  co_await engine_.delay(carried + cache.params().hit_latency);
+  {
+    sim::SegmentSpan cr(engine_, ctx, track, "carried", sim::Segment::kOther);
+    co_await engine_.delay(carried + cache.params().hit_latency);
+  }
   auto coh = directory_->on_miss(core, line, is_write);
-  if (coh.latency != 0) co_await engine_.delay(coh.latency);
+  if (coh.latency != 0) {
+    sim::SegmentSpan cs(engine_, ctx, track, "coherence",
+                        sim::Segment::kCoherence);
+    co_await engine_.delay(coh.latency);
+  }
 
   if (!coh.dirty_transfer) {
     if (via_rmc && prefetcher_.enabled()) {
@@ -158,7 +211,7 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     }
     // Fetch the whole line (write-allocate: writes fetch too; the data
     // goes out later as a write-back).
-    co_await fetch(core, line, cache.params().line_bytes, false);
+    co_await fetch(core, line, cache.params().line_bytes, false, ctx);
   }
   raw->fire();
   fills_.erase(key);

@@ -15,6 +15,7 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
+#include "sim/trace_context.hpp"
 
 namespace ms::node {
 
@@ -64,15 +65,17 @@ class Node {
   /// accumulated since it last blocked; on the fast path (cache hit) the
   /// updated accumulator is returned without touching the event queue, on
   /// slow paths it is turned into real simulated delay first.
-  /// Returns the new accumulator value.
+  /// Returns the new accumulator value. `ctx` links recorded spans into a
+  /// traced transaction (observability only).
   sim::Task<sim::Time> access(int core, ht::PAddr paddr, std::uint32_t bytes,
-                              bool is_write, sim::Time carried);
+                              bool is_write, sim::Time carried,
+                              sim::TraceContext ctx = {});
 
   /// Donor-side service: an access arriving from a peer RMC for this node's
   /// local memory. Bypasses every local cache (the borrowed range is pinned
   /// and never cached here — the paper's no-inter-node-coherence argument).
   sim::Task<void> serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
-                               bool is_write);
+                               bool is_write, sim::TraceContext ctx = {});
 
   /// Writes back and invalidates one core's cache (the explicit flush the
   /// prototype needs between a write phase and a parallel read-only phase).
@@ -109,7 +112,7 @@ class Node {
 
   /// Fetch one line (or uncached chunk) from its home, local or remote.
   sim::Task<void> fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
-                        bool is_write);
+                        bool is_write, sim::TraceContext ctx);
 
   sim::Engine& engine_;
   ht::NodeId id_;

@@ -6,6 +6,20 @@
 
 namespace ms::rmc {
 
+namespace {
+
+/// Decrements the in-flight gauge on every exit path (including frame
+/// destruction on engine teardown).
+struct GaugeGuard {
+  int* v;
+  explicit GaugeGuard(int* gauge) : v(gauge) { ++*v; }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+  ~GaugeGuard() { --*v; }
+};
+
+}  // namespace
+
 Rmc::Rmc(sim::Engine& engine, ht::NodeId self, noc::Fabric& fabric,
          const Params& p)
     : engine_(engine),
@@ -16,16 +30,15 @@ Rmc::Rmc(sim::Engine& engine, ht::NodeId self, noc::Fabric& fabric,
       port_(engine, p.local_port_slots),
       track_("rmc." + std::to_string(self)) {}
 
-sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg) {
+sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg,
+                              sim::TraceContext ctx) {
   const bool contended = port_.available() == 0;
   const int queued = static_cast<int>(port_.waiters());
   const sim::Time asked = engine_.now();
   co_await port_.acquire();
   port_wait_.add_time(engine_.now() - asked);
-  if (auto* tr = engine_.tracer(); tr != nullptr && engine_.now() != asked) {
-    // Recorded retroactively: the wait is only interesting once it happened.
-    tr->end_span(tr->begin_span(track_, "port.wait", asked), engine_.now());
-  }
+  // Recorded retroactively: the wait is only interesting once it happened.
+  sim::record_wait(engine_, track_, "port.wait", asked, ctx);
 
   if (client_leg && contended && last_dir_ != Dir::kNone && last_dir_ != d) {
     const int w = std::min(queued + 1, params_.max_turnaround_waiters);
@@ -33,18 +46,25 @@ sim::Task<void> Rmc::use_port(Dir d, sim::Time occupancy, bool client_leg) {
     turnarounds_.inc();
   }
   last_dir_ = d;
-  co_await engine_.delay(occupancy);
+  {
+    sim::SegmentSpan port(engine_, ctx, track_, "port", sim::Segment::kRmc);
+    co_await engine_.delay(occupancy);
+  }
   port_.release();
 }
 
 sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
-                                   bool is_write) {
+                                   bool is_write, sim::TraceContext ctx) {
   if (!node::has_prefix(addr)) {
     throw std::logic_error("Rmc::client_access: address has no node prefix");
   }
   const sim::Time start = engine_.now();
   client_requests_.inc();
-  sim::ScopedSpan span(engine_, track_, is_write ? "write" : "read");
+  GaugeGuard in_flight(&outstanding_);
+  sim::ScopedSpan span(engine_, track_, is_write ? "write" : "read", ctx);
+  // Children attach under this round-trip container when it recorded;
+  // otherwise the incoming context is passed through untouched.
+  const sim::TraceContext here = span.ctx() ? span.ctx() : ctx;
   // Watchdog over the whole round trip; disarms on every exit path
   // (loopback co_return, normal return, exception) via RAII.
   sim::ScopedTimer watchdog =
@@ -64,12 +84,15 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
       .size = bytes,
       .tag = next_tag_++,
   };
+  req.txn = here.txn;
 
   // Request enters the RMC from the local HT domain.
   {
-    sim::ScopedSpan issue(engine_, track_, "issue");
+    sim::ScopedSpan issue(engine_, track_, "issue", here);
+    const sim::TraceContext ic = issue.ctx() ? issue.ctx() : here;
     co_await use_port(Dir::kToFabric, params_.process_latency,
-                      /*client_leg=*/true);
+                      /*client_leg=*/true, ic);
+    sim::SegmentSpan encap(engine_, ic, track_, "encap", sim::Segment::kRmc);
     co_await engine_.delay(bridge_.encapsulate(req));
   }
 
@@ -77,18 +100,24 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
     // Loopback mode (Sec. III-B): the prefix names this very node. The RMC
     // strips it and replays the access locally without touching the fabric.
     loopbacks_.inc();
-    co_await engine_.delay(bridge_.decapsulate(req));
-    co_await use_port(Dir::kToLocal, params_.serve_occupancy, false);
-    co_await local_service_(node::local_part(addr), bytes, is_write);
-    co_await use_port(Dir::kToFabric, params_.serve_occupancy, false);
+    if (hot_pages_ != nullptr) hot_pages_->record(addr >> 12);
+    {
+      sim::SegmentSpan decap(engine_, here, track_, "decap",
+                             sim::Segment::kRmc);
+      co_await engine_.delay(bridge_.decapsulate(req));
+    }
+    co_await use_port(Dir::kToLocal, params_.serve_occupancy, false, here);
+    co_await local_service_(node::local_part(addr), bytes, is_write, here);
+    co_await use_port(Dir::kToFabric, params_.serve_occupancy, false, here);
     // Response delivery to the core is a client leg again.
-    co_await use_port(Dir::kToLocal, params_.process_latency, true);
+    co_await use_port(Dir::kToLocal, params_.process_latency, true, here);
     round_trip_.add_time(engine_.now() - start);
     co_return;
   }
 
   {
-    sim::ScopedSpan hop(engine_, track_, "fabric.req");
+    sim::ScopedSpan hop(engine_, track_, "fabric.req", here);
+    req.parent_span = hop.ctx() ? hop.ctx().span : here.span;
     co_await fabric_.traverse(req);
   }
 
@@ -96,6 +125,7 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
   if (peer == nullptr) {
     throw std::logic_error("Rmc: no peer RMC registered for destination node");
   }
+  req.parent_span = here.span;
   co_await peer->serve(req);
 
   ht::Packet resp{
@@ -106,38 +136,61 @@ sim::Task<void> Rmc::client_access(ht::PAddr addr, std::uint32_t bytes,
       .size = is_write ? 0 : bytes,
       .tag = req.tag,
   };
+  resp.txn = here.txn;
   {
-    sim::ScopedSpan hop(engine_, track_, "fabric.resp");
+    sim::ScopedSpan hop(engine_, track_, "fabric.resp", here);
+    resp.parent_span = hop.ctx() ? hop.ctx().span : here.span;
     co_await fabric_.traverse(resp);
   }
 
   // Response is decapsulated and delivered back into the local HT domain.
   {
-    sim::ScopedSpan reply(engine_, track_, "reply");
-    co_await engine_.delay(bridge_.decapsulate(resp));
+    sim::ScopedSpan reply(engine_, track_, "reply", here);
+    const sim::TraceContext rc = reply.ctx() ? reply.ctx() : here;
+    {
+      sim::SegmentSpan decap(engine_, rc, track_, "decap",
+                             sim::Segment::kRmc);
+      co_await engine_.delay(bridge_.decapsulate(resp));
+    }
     co_await use_port(Dir::kToLocal, params_.process_latency,
-                      /*client_leg=*/true);
+                      /*client_leg=*/true, rc);
   }
   round_trip_.add_time(engine_.now() - start);
 }
 
 sim::Task<void> Rmc::serve(ht::Packet req) {
   served_requests_.inc();
-  sim::ScopedSpan span(engine_, track_, "serve");
+  if (hot_pages_ != nullptr) hot_pages_->record(req.addr >> 12);
+  const sim::TraceContext in{req.txn, req.parent_span};
+  sim::ScopedSpan span(engine_, track_, "serve", in);
+  const sim::TraceContext here = span.ctx() ? span.ctx() : in;
   const bool is_write = req.type == ht::PacketType::kWriteReq;
-  co_await engine_.delay(bridge_.decapsulate(req));
+  {
+    sim::SegmentSpan decap(engine_, here, track_, "decap",
+                           sim::Segment::kRmc);
+    co_await engine_.delay(bridge_.decapsulate(req));
+  }
   // Forward into the donor's HT domain; its memory controllers answer. The
   // serve path pipelines: the port is held for the issue interval only and
   // the residual pipeline latency runs unblocked.
-  co_await use_port(Dir::kToLocal, params_.serve_occupancy, false);
-  co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  co_await use_port(Dir::kToLocal, params_.serve_occupancy, false, here);
+  {
+    sim::SegmentSpan pipe(engine_, here, track_, "pipeline",
+                          sim::Segment::kRmc);
+    co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  }
   if (!local_service_) {
     throw std::logic_error("Rmc::serve: no local service bound");
   }
-  co_await local_service_(node::local_part(req.addr), req.size, is_write);
+  co_await local_service_(node::local_part(req.addr), req.size, is_write,
+                          here);
   // Response crosses back into the RMC and is encapsulated for the fabric.
-  co_await use_port(Dir::kToFabric, params_.serve_occupancy, false);
-  co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  co_await use_port(Dir::kToFabric, params_.serve_occupancy, false, here);
+  {
+    sim::SegmentSpan pipe(engine_, here, track_, "pipeline",
+                          sim::Segment::kRmc);
+    co_await engine_.delay(params_.process_latency - params_.serve_occupancy);
+  }
   ht::Packet resp{
       .type = is_write ? ht::PacketType::kWriteAck : ht::PacketType::kReadResp,
       .src = self_,
@@ -146,7 +199,11 @@ sim::Task<void> Rmc::serve(ht::Packet req) {
       .size = is_write ? 0 : req.size,
       .tag = req.tag,
   };
-  co_await engine_.delay(bridge_.encapsulate(resp));
+  {
+    sim::SegmentSpan encap(engine_, here, track_, "encap",
+                           sim::Segment::kRmc);
+    co_await engine_.delay(bridge_.encapsulate(resp));
+  }
 }
 
 }  // namespace ms::rmc

@@ -12,6 +12,8 @@
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "sim/timeseries.hpp"
+#include "sim/trace_context.hpp"
 
 namespace ms::rmc {
 
@@ -41,10 +43,11 @@ namespace ms::rmc {
 class Rmc {
  public:
   /// Timing-only access to the *donor-local* memory system, bound to
-  /// node::Node::serve_remote by cluster wiring.
+  /// node::Node::serve_remote by cluster wiring. The context links the
+  /// donor-side spans into the requester's traced transaction.
   using LocalService =
       std::function<sim::Task<void>(ht::PAddr local_addr, std::uint32_t bytes,
-                                    bool is_write)>;
+                                    bool is_write, sim::TraceContext ctx)>;
 
   struct Params {
     // Calibrated so the Fig. 6/7 shapes reproduce: ~1 us 1-hop read round
@@ -81,11 +84,21 @@ class Rmc {
 
   /// Full round trip for one remote access issued by a local core. `addr`
   /// carries the node prefix. Resumes when the response has been delivered
-  /// back into the local HT domain.
+  /// back into the local HT domain. `ctx` links the recorded spans into a
+  /// traced transaction (observability only; timing is unaffected).
   sim::Task<void> client_access(ht::PAddr addr, std::uint32_t bytes,
-                                bool is_write);
+                                bool is_write, sim::TraceContext ctx = {});
 
   ht::NodeId node_id() const { return self_; }
+
+  /// Optional hot-page profiler: every request this RMC answers (served or
+  /// loopback) records the 4 KiB page of the target address. Not owned.
+  void set_hot_pages(sim::HotPageProfiler* hp) { hot_pages_ = hp; }
+
+  /// Client round trips currently in flight (time-series gauge).
+  int outstanding() const { return outstanding_; }
+  /// Requests queued on the shared local HT port right now.
+  std::size_t port_waiters() const { return port_.waiters(); }
 
   std::uint64_t client_requests() const { return client_requests_.value(); }
   std::uint64_t served_requests() const { return served_requests_.value(); }
@@ -104,7 +117,8 @@ class Rmc {
   /// thrash under contention; pipelined serve legs hold it for
   /// `occupancy` only (the residual pipeline latency is charged by the
   /// caller without blocking the port).
-  sim::Task<void> use_port(Dir d, sim::Time occupancy, bool client_leg);
+  sim::Task<void> use_port(Dir d, sim::Time occupancy, bool client_leg,
+                           sim::TraceContext ctx = {});
 
   /// Server side: handles a request that has traversed the fabric. Runs in
   /// the *requesting* process's coroutine but consumes this RMC's resources.
@@ -119,8 +133,10 @@ class Rmc {
   std::string track_;  ///< tracer track ("rmc.N")
   Dir last_dir_ = Dir::kNone;
   std::uint64_t next_tag_ = 1;
+  int outstanding_ = 0;
   LocalService local_service_;
   std::function<Rmc*(ht::NodeId)> peer_lookup_;
+  sim::HotPageProfiler* hot_pages_ = nullptr;
 
   sim::Counter client_requests_;
   sim::Counter served_requests_;

@@ -325,6 +325,13 @@ class ScopedTimer {
     if (engine_ != nullptr) engine_->cancel(handle_);
   }
 
+  /// Cancels the timer now (e.g. a stall watchdog that must stop ticking
+  /// once the guarded wait — not the whole scope — ends). Idempotent; the
+  /// destructor still covers early-exit paths before this point.
+  void disarm() {
+    if (engine_ != nullptr) engine_->cancel(handle_);
+  }
+
  private:
   Engine* engine_ = nullptr;
   Engine::TimerHandle handle_;

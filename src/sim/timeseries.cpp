@@ -1,0 +1,53 @@
+#include "sim/timeseries.hpp"
+
+#include <algorithm>
+
+#include "sim/stats.hpp"
+
+namespace ms::sim {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> HotPageProfiler::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> all(counts_.begin(),
+                                                           counts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void TimeSeries::dump_json(std::ostream& out, Time interval) const {
+  out << "{\"interval_us\":" << json_double(to_us(interval)) << ",\"runs\":[";
+  bool first_run = true;
+  for (const TimeSeriesRun& run : runs_) {
+    out << (first_run ? "\n" : ",\n");
+    first_run = false;
+    out << "{\"label\":\"" << run.label << "\",\"points\":[";
+    bool first_pt = true;
+    for (const TimeSeriesPoint& pt : run.points) {
+      out << (first_pt ? "\n" : ",\n");
+      first_pt = false;
+      out << "{\"t_us\":" << json_double(to_us(pt.t)) << ",\"values\":{";
+      bool first_v = true;
+      for (const auto& [k, v] : pt.values) {
+        if (!first_v) out << ",";
+        first_v = false;
+        out << "\"" << k << "\":" << json_double(v);
+      }
+      out << "},\"hot_pages\":[";
+      bool first_h = true;
+      for (const auto& [page, count] : pt.hot_pages) {
+        if (!first_h) out << ",";
+        first_h = false;
+        out << "[" << page << "," << count << "]";
+      }
+      out << "]}";
+    }
+    out << "\n]}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// Counts accesses per 4 KiB page and reports the top-K hottest — the
+/// congestion figures' "which pages drive mesh contention" view. Disabled
+/// by default (one branch per record); benches enable it when a time-series
+/// stream or hot-page report was requested.
+class HotPageProfiler {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t page) {
+    if (!enabled_) return;
+    ++counts_[page];
+  }
+
+  /// Top-K (page, count) pairs, hottest first; ties broken by ascending
+  /// page so the output is deterministic.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top(std::size_t k) const;
+
+  std::size_t distinct_pages() const { return counts_.size(); }
+  void reset() { counts_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+/// One periodic snapshot of instantaneous/cumulative gauges, taken at a
+/// fixed sim-time interval while a bench data point runs.
+struct TimeSeriesPoint {
+  Time t = 0;
+  /// Sorted by key before the point is stored, so the JSON is deterministic.
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hot_pages;
+};
+
+/// All snapshots of one bench data point (one labelled run).
+struct TimeSeriesRun {
+  std::string label;
+  std::vector<TimeSeriesPoint> points;
+};
+
+/// The --timeseries-json stream: one run per bench data point.
+class TimeSeries {
+ public:
+  TimeSeriesRun& start_run(std::string label) {
+    runs_.push_back(TimeSeriesRun{std::move(label), {}});
+    return runs_.back();
+  }
+
+  const std::vector<TimeSeriesRun>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+
+  /// {"interval_us":I,"runs":[{"label":L,"points":[{"t_us":T,
+  ///  "values":{...},"hot_pages":[[page,count],...]}]}]} — deterministic.
+  void dump_json(std::ostream& out, Time interval) const;
+
+ private:
+  std::vector<TimeSeriesRun> runs_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,292 @@
+#include "sim/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+namespace ms::sim {
+
+namespace {
+
+// Minimal field extraction for the fixed single-line event format the
+// tracer emits. Not a general JSON parser — it does not need to be: the
+// producer is in this repo and the formats are covered by round-trip tests.
+bool find_field(const std::string& line, const std::string& key,
+                std::size_t& pos) {
+  const std::string needle = "\"" + key + "\":";
+  pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  return true;
+}
+
+bool field_u64(const std::string& line, const std::string& key,
+               std::uint64_t& out) {
+  std::size_t pos;
+  if (!find_field(line, key, pos)) return false;
+  out = std::strtoull(line.c_str() + pos, nullptr, 10);
+  return true;
+}
+
+bool field_str(const std::string& line, const std::string& key,
+               std::string& out) {
+  std::size_t pos;
+  if (!find_field(line, key, pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const std::size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+Segment segment_from(const std::string& s) {
+  for (int i = 0; i < kNumSegments; ++i) {
+    const auto seg = static_cast<Segment>(i);
+    if (s == to_string(seg)) return seg;
+  }
+  throw std::runtime_error("trace analysis: unknown segment \"" + s + "\"");
+}
+
+// "router.3 #2" -> "router.3": strips the overflow-lane suffix the Chrome
+// exporter appends so all lanes of one component aggregate together.
+std::string strip_lane(std::string label) {
+  const std::size_t pos = label.rfind(" #");
+  if (pos == std::string::npos) return label;
+  if (pos + 2 >= label.size()) return label;
+  for (std::size_t i = pos + 2; i < label.size(); ++i) {
+    if (label[i] < '0' || label[i] > '9') return label;
+  }
+  label.resize(pos);
+  return label;
+}
+
+std::uint64_t lane_key(std::uint64_t pid, std::uint64_t tid) {
+  return (pid << 32) | tid;
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("trace analysis: truncated flight dump");
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  const std::uint64_t lo = get_u32(in);
+  const std::uint64_t hi = get_u32(in);
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+Time parse_ts_us(const std::string& text) {
+  const std::size_t dot = text.find('.');
+  const std::uint64_t whole =
+      std::strtoull(text.substr(0, dot).c_str(), nullptr, 10);
+  std::uint64_t frac = 0;
+  if (dot != std::string::npos) {
+    std::string digits = text.substr(dot + 1);
+    digits.resize(6, '0');  // µs with six decimals == integer picoseconds
+    frac = std::strtoull(digits.c_str(), nullptr, 10);
+  }
+  return static_cast<Time>(whole * 1000000ULL + frac);
+}
+
+TraceAnalysis TraceAnalysis::load_chrome(std::istream& in) {
+  TraceAnalysis out;
+  std::unordered_map<std::uint64_t, std::string> lane_names;
+  // Per-lane stack of open spans: B pushes, E pops its innermost.
+  std::unordered_map<std::uint64_t, std::vector<AnalyzedSpan>> open;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string ph;
+    if (!field_str(line, "ph", ph)) continue;
+    if (ph == "M") {
+      std::string mname;
+      if (field_str(line, "name", mname) && mname == "thread_name") {
+        std::uint64_t pid = 0, tid = 0;
+        std::string label;
+        field_u64(line, "pid", pid);
+        field_u64(line, "tid", tid);
+        // args:{"name":"..."} — the second "name" field; take the last one.
+        const std::size_t args = line.find("\"args\"");
+        if (args != std::string::npos) {
+          const std::string rest = line.substr(args);
+          if (field_str(rest, "name", label)) {
+            lane_names[lane_key(pid, tid)] = strip_lane(label);
+          }
+        }
+      }
+      continue;
+    }
+    if (ph != "B" && ph != "E") continue;  // flows/instants/counters
+
+    std::uint64_t pid = 0, tid = 0;
+    field_u64(line, "pid", pid);
+    field_u64(line, "tid", tid);
+    const std::uint64_t key = lane_key(pid, tid);
+    std::string ts;
+    if (!field_str(line, "ts", ts)) {
+      // "ts" is numeric, not quoted: extract manually.
+      std::size_t pos;
+      if (!find_field(line, "ts", pos)) {
+        throw std::runtime_error("trace analysis: event without ts");
+      }
+      const std::size_t end = line.find_first_of(",}", pos);
+      ts = line.substr(pos, end - pos);
+    }
+    const Time when = parse_ts_us(ts);
+
+    if (ph == "B") {
+      AnalyzedSpan s;
+      s.begin = when;
+      field_str(line, "name", s.name);
+      auto it = lane_names.find(key);
+      s.track = it != lane_names.end() ? it->second : "";
+      field_u64(line, "txn", s.txn);
+      field_u64(line, "uid", s.uid);
+      field_u64(line, "parent", s.parent);
+      std::string seg;
+      if (field_str(line, "seg", seg)) s.segment = segment_from(seg);
+      open[key].push_back(std::move(s));
+    } else {
+      auto& stack = open[key];
+      if (stack.empty()) {
+        throw std::runtime_error("trace analysis: unbalanced E event");
+      }
+      AnalyzedSpan s = std::move(stack.back());
+      stack.pop_back();
+      s.end = when;
+      out.spans_.push_back(std::move(s));
+    }
+  }
+  for (const auto& [key, stack] : open) {
+    if (!stack.empty()) {
+      throw std::runtime_error("trace analysis: unclosed span in trace");
+    }
+  }
+  return out;
+}
+
+TraceAnalysis TraceAnalysis::load_flight(std::istream& in) {
+  char magic[8];
+  in.read(magic, 8);
+  if (!in || std::string(magic, 8) != "MSFLIGHT") {
+    throw std::runtime_error("trace analysis: not a flight-recorder dump");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != 1) {
+    throw std::runtime_error("trace analysis: unsupported flight version");
+  }
+  get_u32(in);  // reserved
+  const std::uint64_t records = get_u64(in);
+  TraceAnalysis out;
+  out.flight_dropped_ = get_u64(in);
+  const std::uint32_t names = get_u32(in);
+  std::vector<std::string> table(names);
+  for (std::uint32_t i = 0; i < names; ++i) {
+    const std::uint32_t len = get_u32(in);
+    table[i].resize(len);
+    in.read(table[i].data(), len);
+    if (!in) throw std::runtime_error("trace analysis: truncated flight dump");
+  }
+  out.spans_.reserve(records);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    AnalyzedSpan s;
+    s.begin = static_cast<Time>(get_u64(in));
+    s.end = static_cast<Time>(get_u64(in));
+    s.uid = get_u64(in);
+    s.txn = get_u64(in);
+    s.parent = get_u64(in);
+    const std::uint32_t track_id = get_u32(in);
+    const std::uint32_t name_id = get_u32(in);
+    const std::uint32_t flags = get_u32(in);
+    if (track_id >= names || name_id >= names) {
+      throw std::runtime_error("trace analysis: flight name id out of range");
+    }
+    s.track = table[track_id];
+    s.name = table[name_id];
+    s.segment = static_cast<Segment>(flags & 0xff);
+    out.spans_.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<TxnSummary> TraceAnalysis::transactions() const {
+  std::map<std::uint64_t, TxnSummary> txns;
+  // Roots first: the root span's extent is the end-to-end latency.
+  for (const AnalyzedSpan& s : spans_) {
+    if (s.txn == 0 || s.parent != 0) continue;
+    TxnSummary& t = txns[s.txn];
+    t.txn = s.txn;
+    t.name = s.name;
+    t.track = s.track;
+    t.begin = s.begin;
+    t.end = s.end;
+    t.total = s.end - s.begin;
+  }
+  // Tagged leaves accumulate; container spans (kNone) only group.
+  for (const AnalyzedSpan& s : spans_) {
+    if (s.txn == 0 || s.segment == Segment::kNone) continue;
+    auto it = txns.find(s.txn);
+    if (it == txns.end()) continue;  // root fell out of the flight ring
+    it->second.seg[static_cast<int>(s.segment)] += s.end - s.begin;
+    ++it->second.spans;
+  }
+  std::vector<TxnSummary> out;
+  out.reserve(txns.size());
+  for (auto& [id, t] : txns) {
+    Time accounted = 0;
+    for (const Time v : t.seg) accounted += v;
+    // Residual-to-other, same rule as Tracer::finalize_txn — the invariant
+    // memscale-analyze (and the tests) rely on: sum(seg) == total, exactly.
+    if (accounted <= t.total) {
+      t.seg[static_cast<int>(Segment::kOther)] += t.total - accounted;
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<ComponentRow> TraceAnalysis::components() const {
+  std::map<std::tuple<std::string, std::string, int>, ComponentRow> rows;
+  for (const AnalyzedSpan& s : spans_) {
+    if (s.txn == 0 || s.segment == Segment::kNone) continue;
+    auto key = std::make_tuple(s.track, s.name, static_cast<int>(s.segment));
+    ComponentRow& r = rows[key];
+    if (r.count == 0) {
+      r.track = s.track;
+      r.name = s.name;
+      r.segment = s.segment;
+    }
+    ++r.count;
+    r.total += s.end - s.begin;
+  }
+  std::vector<ComponentRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, r] : rows) out.push_back(std::move(r));
+  std::sort(out.begin(), out.end(),
+            [](const ComponentRow& a, const ComponentRow& b) {
+              if (a.total != b.total) return a.total > b.total;
+              if (a.track != b.track) return a.track < b.track;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::array<Time, kNumSegments> TraceAnalysis::segment_totals() const {
+  std::array<Time, kNumSegments> totals{};
+  for (const TxnSummary& t : transactions()) {
+    for (int i = 0; i < kNumSegments; ++i) totals[i] += t.seg[i];
+  }
+  return totals;
+}
+
+}  // namespace ms::sim

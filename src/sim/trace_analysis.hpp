@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace_context.hpp"
+
+namespace ms::sim {
+
+/// Offline view of an exported trace — the substrate of memscale-analyze.
+///
+/// Loads either the Chrome-trace JSON (`Tracer::export_chrome`) or the
+/// binary flight-recorder dump (`Tracer::export_flight`) back into spans,
+/// then rebuilds per-transaction critical-path breakdowns with exactly the
+/// tracer's accounting rules: only tagged leaf spans (segment != kNone)
+/// accumulate, the root span's extent is the transaction's end-to-end
+/// latency, and any un-attributed residual is credited to Segment::kOther —
+/// so the per-segment sum always equals the total, in integer picoseconds.
+struct AnalyzedSpan {
+  Time begin = 0;
+  Time end = 0;
+  std::uint64_t uid = 0;
+  std::uint64_t txn = 0;     ///< 0 = span not part of a traced transaction
+  std::uint64_t parent = 0;  ///< parent span uid (0 = root / untraced)
+  Segment segment = Segment::kNone;
+  std::string track;  ///< component lane, " #N" overflow suffix stripped
+  std::string name;
+};
+
+/// One reconstructed transaction: end-to-end extent plus its decomposition.
+struct TxnSummary {
+  std::uint64_t txn = 0;
+  std::string name;   ///< root span name ("read"/"write")
+  std::string track;  ///< root span track ("txn.nN")
+  Time begin = 0;
+  Time end = 0;
+  Time total = 0;  ///< == end - begin of the root span
+  std::array<Time, kNumSegments> seg{};  ///< sums exactly to `total`
+  int spans = 0;  ///< tagged leaf spans attributed to this transaction
+};
+
+/// Per (track, name, segment) leaf aggregation — the component table.
+struct ComponentRow {
+  std::string track;
+  std::string name;
+  Segment segment = Segment::kNone;
+  std::uint64_t count = 0;
+  Time total = 0;
+};
+
+class TraceAnalysis {
+ public:
+  /// Parses a Chrome-trace JSON stream produced by Tracer::export_chrome.
+  /// Throws std::runtime_error on malformed input.
+  static TraceAnalysis load_chrome(std::istream& in);
+
+  /// Parses a binary flight-recorder dump (Tracer::export_flight).
+  static TraceAnalysis load_flight(std::istream& in);
+
+  const std::vector<AnalyzedSpan>& spans() const { return spans_; }
+  std::uint64_t flight_dropped() const { return flight_dropped_; }
+
+  /// All transactions, ascending by id. Segment sums equal totals exactly.
+  std::vector<TxnSummary> transactions() const;
+
+  /// Tagged-leaf aggregation, descending by total time (ties: by key) —
+  /// only spans belonging to a transaction are counted.
+  std::vector<ComponentRow> components() const;
+
+  /// Cross-transaction segment totals, indexed by Segment.
+  std::array<Time, kNumSegments> segment_totals() const;
+
+ private:
+  std::vector<AnalyzedSpan> spans_;
+  std::uint64_t flight_dropped_ = 0;
+};
+
+/// Parses a Tracer timestamp ("ts") string — microseconds with six decimal
+/// digits — back to integer picoseconds, exactly.
+Time parse_ts_us(const std::string& text);
+
+}  // namespace ms::sim

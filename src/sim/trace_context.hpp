@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ms::sim {
+
+/// Causal identity of one memory transaction, minted at the core/workload
+/// boundary (core::MemorySpace) and threaded through every component a
+/// request traverses — ht::Packet carries it across the fabric, coroutine
+/// parameters carry it through the RMC, memory controllers and the swap
+/// manager. A default-constructed context means "untraced": every
+/// instrumentation site degrades to the flat PR-1 span behaviour.
+struct TraceContext {
+  std::uint64_t txn = 0;   ///< transaction id; 0 = no transaction
+  std::uint64_t span = 0;  ///< uid of the parent span; 0 = transaction root
+
+  explicit operator bool() const { return txn != 0; }
+};
+
+/// Critical-path segment classes. Leaf spans tagged with a segment
+/// accumulate into their transaction's latency decomposition; kNone marks
+/// container spans (they group children but never accumulate, so nothing is
+/// double-counted). kOther is both an explicit class (crossbar injection,
+/// realized compute carry) and the derived residual total − Σsegments, so a
+/// transaction's segments always sum to its end-to-end latency exactly.
+enum class Segment : std::uint8_t {
+  kNone = 0,       ///< container span, not accumulated
+  kQueue,          ///< waiting for a contended resource (port, credit, bank)
+  kSerialization,  ///< bytes crossing a wire at link bandwidth
+  kLink,           ///< router hops + wire propagation (link flight)
+  kRmc,            ///< RMC pipeline + HNC bridge processing
+  kMemory,         ///< memory controller + DRAM + intra-node transport
+  kCoherence,      ///< intra-node directory / inter-node DSM actions
+  kSwap,           ///< OS fault handling: trap, map update, de/compression
+  kOther,          ///< explicitly unclassified time + derived residual
+};
+
+inline constexpr int kNumSegments = 9;
+
+inline const char* to_string(Segment s) {
+  switch (s) {
+    case Segment::kNone: return "none";
+    case Segment::kQueue: return "queue";
+    case Segment::kSerialization: return "serialization";
+    case Segment::kLink: return "link";
+    case Segment::kRmc: return "rmc";
+    case Segment::kMemory: return "memory";
+    case Segment::kCoherence: return "coherence";
+    case Segment::kSwap: return "swap";
+    case Segment::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace ms::sim

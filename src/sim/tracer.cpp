@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 #include "sim/stats.hpp"
 
@@ -26,17 +27,61 @@ std::uint32_t Tracer::track_id(std::string_view name) {
 }
 
 Tracer::SpanId Tracer::begin_span(std::string_view track,
-                                  std::string_view name, Time t) {
-  Span s;
+                                  std::string_view name, Time t,
+                                  TraceContext ctx, Segment seg, bool root) {
+  SpanId id;
+  if (flight_capacity_ != 0 && !free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    spans_[id] = Span{};
+  } else {
+    id = spans_.size();
+    spans_.emplace_back();
+  }
+  Span& s = spans_[id];
   s.begin = t;
   s.end = t;
   s.track = track_id(track);
-  s.seq = static_cast<std::uint32_t>(spans_.size());
+  s.seq = static_cast<std::uint32_t>(id);
+  s.uid = next_uid_++;
+  s.txn = ctx.txn;
+  s.parent = ctx.span;
+  s.segment = seg;
+  s.root = root;
   s.name = std::string(name);
-  spans_.push_back(std::move(s));
   ++open_;
   last_time_ = std::max(last_time_, t);
-  return spans_.size() - 1;
+  return id;
+}
+
+void Tracer::finalize_txn(const Span& root, Time t) {
+  TxnBreakdown b;
+  b.txn = root.txn;
+  b.total = std::max(root.begin, t) - root.begin;
+  auto it = open_txns_.find(root.txn);
+  if (it != open_txns_.end()) {
+    b.seg = it->second;
+    open_txns_.erase(it);
+  }
+  Time accounted = 0;
+  for (Time v : b.seg) accounted += v;
+  // The residual (time under the root not covered by any tagged leaf span)
+  // lands in kOther, so the segments sum to the total exactly. A negative
+  // residual can only arise from overlapping tagged spans, which the
+  // sequential per-transaction instrumentation never produces; clamp
+  // defensively rather than wrap.
+  if (accounted <= b.total) {
+    b.seg[static_cast<std::size_t>(Segment::kOther)] += b.total - accounted;
+  }
+  last_txn_ = b;
+  ++txns_finalized_;
+  txn_total_.add_time(b.total);
+  for (int i = 0; i < kNumSegments; ++i) {
+    if (b.seg[static_cast<std::size_t>(i)] != 0) {
+      txn_seg_[static_cast<std::size_t>(i)].add_time(
+          b.seg[static_cast<std::size_t>(i)]);
+    }
+  }
 }
 
 void Tracer::end_span(SpanId id, Time t) {
@@ -46,18 +91,142 @@ void Tracer::end_span(SpanId id, Time t) {
   s.closed = true;
   --open_;
   last_time_ = std::max(last_time_, t);
+  if (s.txn != 0) {
+    if (s.root) {
+      finalize_txn(s, t);
+    } else if (s.segment != Segment::kNone) {
+      open_txns_[s.txn][static_cast<std::size_t>(s.segment)] +=
+          s.end - s.begin;
+    }
+  }
+  if (flight_capacity_ != 0) {
+    FlightRecord rec{s.begin,
+                     s.end,
+                     s.uid,
+                     s.txn,
+                     s.parent,
+                     flight_intern(tracks_[s.track].name),
+                     flight_intern(s.name),
+                     static_cast<std::uint8_t>(s.segment),
+                     static_cast<std::uint8_t>(s.root ? 1 : 0)};
+    if (flight_ring_.size() < flight_capacity_) {
+      flight_ring_.push_back(rec);
+    } else {
+      flight_ring_[flight_head_] = rec;
+      flight_head_ = (flight_head_ + 1) % flight_capacity_;
+      ++flight_dropped_;
+    }
+    free_slots_.push_back(id);
+  }
 }
 
 void Tracer::instant(std::string_view track, std::string_view name, Time t) {
+  if (flight_capacity_ != 0) return;  // bounded mode keeps spans only
   instants_.push_back(Instant{t, track_id(track), std::string(name)});
   last_time_ = std::max(last_time_, t);
 }
 
 void Tracer::counter(std::string_view track, std::string_view name, Time t,
                      double value) {
+  if (flight_capacity_ != 0) return;  // bounded mode keeps spans only
   counter_samples_.push_back(
       CounterSample{t, track_id(track), value, std::string(name)});
   last_time_ = std::max(last_time_, t);
+}
+
+void Tracer::export_txn_stats(StatRegistry& reg,
+                              const std::string& prefix) const {
+  if (txns_finalized_ == 0) return;
+  reg.counter(prefix + "count").inc(txns_finalized_);
+  reg.sampler(prefix + "total_ps") = txn_total_;
+  for (int i = 0; i < kNumSegments; ++i) {
+    const auto& s = txn_seg_[static_cast<std::size_t>(i)];
+    if (s.count() == 0) continue;
+    reg.sampler(prefix + "seg." + to_string(static_cast<Segment>(i)) +
+                "_ps") = s;
+  }
+}
+
+void Tracer::reset_txn_stats() {
+  txns_finalized_ = 0;
+  txn_total_.reset();
+  for (auto& s : txn_seg_) s.reset();
+}
+
+std::vector<Tracer::SpanView> Tracer::span_views() const {
+  std::vector<SpanView> out;
+  out.reserve(spans_.size());
+  for (const Span& s : spans_) {
+    out.push_back(SpanView{s.begin, s.end, s.uid, s.txn, s.parent, s.segment,
+                           s.root, s.closed, &tracks_[s.track].name,
+                           &s.name});
+  }
+  return out;
+}
+
+void Tracer::enable_flight_recorder(std::size_t capacity) {
+  if (!spans_.empty()) {
+    throw std::logic_error(
+        "Tracer: enable_flight_recorder before recording spans");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("Tracer: flight capacity must be nonzero");
+  }
+  flight_capacity_ = capacity;
+  flight_ring_.reserve(capacity);
+}
+
+std::uint32_t Tracer::flight_intern(const std::string& s) {
+  auto it = flight_name_ids_.find(s);
+  if (it != flight_name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(flight_names_.size());
+  flight_names_.push_back(s);
+  flight_name_ids_.emplace(s, id);
+  return id;
+}
+
+namespace {
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+}  // namespace
+
+void Tracer::export_flight(std::ostream& out) const {
+  out.write("MSFLIGHT", 8);
+  put_u32(out, 1);  // version
+  put_u32(out, 0);  // reserved
+  put_u64(out, flight_ring_.size());
+  put_u64(out, flight_dropped_);
+  put_u32(out, static_cast<std::uint32_t>(flight_names_.size()));
+  for (const std::string& n : flight_names_) {
+    put_u32(out, static_cast<std::uint32_t>(n.size()));
+    out.write(n.data(), static_cast<std::streamsize>(n.size()));
+  }
+  // Oldest first: the ring head is the oldest slot once the ring wrapped.
+  const std::size_t n = flight_ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightRecord& r =
+        flight_ring_[(flight_head_ + i) % (n == 0 ? 1 : n)];
+    put_u64(out, static_cast<std::uint64_t>(r.begin));
+    put_u64(out, static_cast<std::uint64_t>(r.end));
+    put_u64(out, r.uid);
+    put_u64(out, r.txn);
+    put_u64(out, r.parent);
+    put_u32(out, r.track_name);
+    put_u32(out, r.name);
+    put_u32(out, static_cast<std::uint32_t>(r.segment) |
+                     (static_cast<std::uint32_t>(r.root) << 8));
+  }
 }
 
 void Tracer::clear() {
@@ -69,6 +238,18 @@ void Tracer::clear() {
   counter_samples_.clear();
   open_ = 0;
   last_time_ = 0;
+  next_uid_ = 1;
+  next_txn_ = 1;
+  mint_counter_ = 0;
+  open_txns_.clear();
+  last_txn_ = TxnBreakdown{};
+  reset_txn_stats();
+  flight_head_ = 0;
+  flight_dropped_ = 0;
+  flight_ring_.clear();
+  free_slots_.clear();
+  flight_names_.clear();
+  flight_name_ids_.clear();
 }
 
 namespace {
@@ -86,11 +267,27 @@ struct ExportSpan {
   Time end;
   std::uint32_t seq;
   const std::string* name;
+  std::uint64_t uid;
+  std::uint64_t txn;
+  std::uint64_t parent;
+  Segment segment;
+};
+
+// Where a span slice landed in the export, for flow-event binding.
+struct FlowLoc {
+  int pid;
+  int tid;
+  Time begin;
 };
 
 }  // namespace
 
 void Tracer::export_chrome(std::ostream& out) const {
+  if (flight_capacity_ != 0) {
+    throw std::logic_error(
+        "Tracer: export_chrome unavailable in flight-recorder mode "
+        "(span slots recycle; use export_flight)");
+  }
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&]() -> std::ostream& {
@@ -119,8 +316,12 @@ void Tracer::export_chrome(std::ostream& out) const {
   for (const Span& s : spans_) {
     by_track[s.track].push_back(ExportSpan{
         s.begin, s.closed ? s.end : std::max(s.begin, last_time_), s.seq,
-        &s.name});
+        &s.name, s.uid, s.txn, s.parent, s.segment});
   }
+
+  // Transaction spans remember their lane so flow events can bind to the
+  // emitted slices afterwards.
+  std::unordered_map<std::uint64_t, FlowLoc> flow_locs;
 
   int next_tid = 1;
   for (std::size_t t = 0; t < tracks_.size(); ++t) {
@@ -168,7 +369,13 @@ void Tracer::export_chrome(std::ostream& out) const {
       auto emit = [&](char ph, const ExportSpan* s, Time ts) {
         sep() << "{\"ph\":\"" << ph << "\",\"pid\":" << pid
               << ",\"tid\":" << tid << ",\"ts\":" << fmt_ts(ts)
-              << ",\"name\":\"" << *s->name << "\"}";
+              << ",\"name\":\"" << *s->name << "\"";
+        if (ph == 'B' && s->txn != 0) {
+          out << ",\"args\":{\"txn\":" << s->txn << ",\"uid\":" << s->uid
+              << ",\"parent\":" << s->parent << ",\"seg\":\""
+              << to_string(s->segment) << "\"}";
+        }
+        out << "}";
       };
       std::vector<const ExportSpan*> stack;
       for (const ExportSpan* s : lane_spans[lane]) {
@@ -178,12 +385,30 @@ void Tracer::export_chrome(std::ostream& out) const {
         }
         emit('B', s, s->begin);
         stack.push_back(s);
+        if (s->txn != 0) flow_locs.emplace(s->uid, FlowLoc{pid, tid, s->begin});
       }
       while (!stack.empty()) {
         emit('E', stack.back(), stack.back()->end);
         stack.pop_back();
       }
     }
+  }
+
+  // Flow events: one s/f pair per parent->child edge of the causal DAG,
+  // bound to the emitted slices. Iterated in span order for determinism.
+  for (const Span& s : spans_) {
+    if (s.txn == 0 || s.parent == 0) continue;
+    auto child = flow_locs.find(s.uid);
+    auto parent = flow_locs.find(s.parent);
+    if (child == flow_locs.end() || parent == flow_locs.end()) continue;
+    sep() << "{\"ph\":\"s\",\"pid\":" << parent->second.pid
+          << ",\"tid\":" << parent->second.tid
+          << ",\"ts\":" << fmt_ts(s.begin) << ",\"id\":" << s.uid
+          << ",\"cat\":\"txn\",\"name\":\"txn\"}";
+    sep() << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":" << child->second.pid
+          << ",\"tid\":" << child->second.tid
+          << ",\"ts\":" << fmt_ts(s.begin) << ",\"id\":" << s.uid
+          << ",\"cat\":\"txn\",\"name\":\"txn\"}";
   }
 
   for (const Instant& i : instants_) {

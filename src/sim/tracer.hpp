@@ -1,30 +1,47 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace_context.hpp"
 
 namespace ms::sim {
 
-/// Span-based timeline tracer.
+/// Span-based timeline tracer with causal transaction linkage.
 ///
 /// Components record named begin/end spans, instant events and counter
 /// samples against simulated time, grouped on named tracks ("rmc.1",
 /// "link.1-2.vc0", "swap.3"). export_chrome emits the Chrome trace_event
 /// JSON array format, loadable in chrome://tracing and Perfetto.
 ///
-/// Concurrency model: coroutine processes interleave freely, so spans on
-/// one track may overlap partially — which the Chrome B/E duration-event
-/// format forbids within one thread lane. At export time each track's
-/// spans are therefore greedily packed into the minimum number of lanes
-/// such that spans within a lane strictly nest; each lane becomes one tid
-/// with balanced, monotonically timestamped B/E events.
+/// Causal layer (on top of the flat PR-1 spans): a transaction is minted at
+/// the core/workload boundary (core::MemorySpace) and its TraceContext is
+/// threaded through every component the request traverses. Spans recorded
+/// with a context carry {txn, parent uid, segment}; the export adds Chrome
+/// flow events (ph "s"/"f") so any remote read can be followed hop by hop,
+/// and end_span folds each tagged leaf span's duration into the
+/// transaction's per-segment latency decomposition. When the transaction's
+/// root span closes, total − Σsegments is credited to Segment::kOther, so
+/// the decomposition sums to the end-to-end latency *exactly* (integer ps).
+///
+/// Sampling: set_sample_interval(N) mints a context for every Nth
+/// transaction only; unsampled transactions cost one counter increment.
+///
+/// Flight-recorder mode (enable_flight_recorder): closed spans are distilled
+/// into fixed-size binary records in a bounded ring (newest kept, oldest
+/// overwritten), span slots are recycled, and instants/counters are
+/// dropped — memory stays O(capacity) over million-transaction runs.
+/// export_flight writes the ring ("MSFLIGHT" format, see ARCHITECTURE.md);
+/// export_chrome is unavailable in this mode.
 ///
 /// Cost when disabled: the tracer is attached via Engine::set_tracer, and
 /// every instrumentation site guards on `engine.tracer()` being non-null —
@@ -38,11 +55,55 @@ class Tracer {
   /// once per data point so each point gets its own named lane group.
   void begin_process(std::string_view name);
 
-  SpanId begin_span(std::string_view track, std::string_view name, Time t);
+  SpanId begin_span(std::string_view track, std::string_view name, Time t) {
+    return begin_span(track, name, t, TraceContext{}, Segment::kNone, false);
+  }
+  /// Causal variant: the span joins `ctx.txn` as a child of span uid
+  /// `ctx.span`; `seg` tags leaf spans for the latency decomposition
+  /// (Segment::kNone = container). `root` marks the transaction's root span
+  /// (minted by TxnScope); closing it finalizes the decomposition.
+  SpanId begin_span(std::string_view track, std::string_view name, Time t,
+                    TraceContext ctx, Segment seg, bool root = false);
   void end_span(SpanId id, Time t);
   void instant(std::string_view track, std::string_view name, Time t);
   void counter(std::string_view track, std::string_view name, Time t,
                double value);
+
+  /// Context other spans use to attach as children of `id`.
+  TraceContext ctx_of(SpanId id) const {
+    if (id == kNoSpan || id >= spans_.size()) return {};
+    return TraceContext{spans_[id].txn, spans_[id].uid};
+  }
+
+  /// Mints the next transaction id, honoring the sample interval. Returns 0
+  /// ("untraced") for transactions skipped by sampling.
+  std::uint64_t mint_txn() {
+    const std::uint64_t n = mint_counter_++;
+    if (sample_interval_ > 1 && n % sample_interval_ != 0) return 0;
+    return next_txn_++;
+  }
+  /// Trace every Nth transaction (1 = all, the default; 0 behaves like 1).
+  void set_sample_interval(std::uint64_t n) {
+    sample_interval_ = n == 0 ? 1 : n;
+  }
+  std::uint64_t sample_interval() const { return sample_interval_; }
+
+  /// Exact integer-ps decomposition of one finalized transaction.
+  struct TxnBreakdown {
+    std::uint64_t txn = 0;
+    Time total = 0;
+    std::array<Time, kNumSegments> seg{};  ///< indexed by Segment; sums to total
+  };
+  /// The most recently finalized transaction (txn == 0 when none yet).
+  const TxnBreakdown& last_txn() const { return last_txn_; }
+  std::uint64_t txns_finalized() const { return txns_finalized_; }
+  std::uint64_t txns_minted() const { return next_txn_ - 1; }
+
+  /// Aggregated per-transaction stats: "<prefix>count", "<prefix>total_ps"
+  /// and "<prefix>seg.<name>_ps" samplers (segments that never occurred are
+  /// omitted). No-op when no transaction finalized.
+  void export_txn_stats(StatRegistry& reg, const std::string& prefix) const;
+  void reset_txn_stats();
 
   std::size_t span_count() const { return spans_.size(); }
   std::size_t open_span_count() const { return open_; }
@@ -51,7 +112,38 @@ class Tracer {
 
   /// Chrome trace_event JSON ("ts" in microseconds, one event per line).
   /// Deterministic: identical recorded histories export byte-identically.
+  /// Unavailable in flight-recorder mode (throws std::logic_error).
   void export_chrome(std::ostream& out) const;
+
+  // ---- flight recorder ----
+  /// Switches to bounded-memory mode with a ring of `capacity` records.
+  /// Must be called before any span is recorded.
+  void enable_flight_recorder(std::size_t capacity);
+  bool flight_mode() const { return flight_capacity_ != 0; }
+  /// Records overwritten because the ring was full.
+  std::uint64_t flight_dropped() const { return flight_dropped_; }
+  std::size_t flight_record_count() const {
+    return flight_ring_.size();
+  }
+  /// Binary dump of the ring, oldest record first ("MSFLIGHT" format).
+  void export_flight(std::ostream& out) const;
+
+  /// Read-only snapshot of recorded spans, for tests and in-process
+  /// analysis (parent-chain walks). Not available in flight mode (slots
+  /// recycle; use export_flight instead).
+  struct SpanView {
+    Time begin = 0;
+    Time end = 0;
+    std::uint64_t uid = 0;
+    std::uint64_t txn = 0;
+    std::uint64_t parent = 0;
+    Segment segment = Segment::kNone;
+    bool root = false;
+    bool closed = false;
+    const std::string* track = nullptr;
+    const std::string* name = nullptr;
+  };
+  std::vector<SpanView> span_views() const;
 
   void clear();
 
@@ -62,6 +154,11 @@ class Tracer {
     std::uint32_t track = 0;
     std::uint32_t seq = 0;
     bool closed = false;
+    bool root = false;
+    Segment segment = Segment::kNone;
+    std::uint64_t uid = 0;
+    std::uint64_t txn = 0;
+    std::uint64_t parent = 0;
     std::string name;
   };
   struct Instant {
@@ -79,8 +176,21 @@ class Tracer {
     std::string name;
     int pid;
   };
+  struct FlightRecord {
+    Time begin;
+    Time end;
+    std::uint64_t uid;
+    std::uint64_t txn;
+    std::uint64_t parent;
+    std::uint32_t track_name;  ///< id in the flight string table
+    std::uint32_t name;        ///< id in the flight string table
+    std::uint8_t segment;
+    std::uint8_t root;
+  };
 
   std::uint32_t track_id(std::string_view name);
+  std::uint32_t flight_intern(const std::string& s);
+  void finalize_txn(const Span& root, Time t);
 
   std::vector<std::string> process_names_;
   std::vector<Track> tracks_;
@@ -90,17 +200,39 @@ class Tracer {
   std::vector<CounterSample> counter_samples_;
   std::size_t open_ = 0;
   Time last_time_ = 0;
+
+  // Transaction accounting.
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t mint_counter_ = 0;
+  std::uint64_t sample_interval_ = 1;
+  std::unordered_map<std::uint64_t, std::array<Time, kNumSegments>> open_txns_;
+  TxnBreakdown last_txn_;
+  std::uint64_t txns_finalized_ = 0;
+  Sampler txn_total_;
+  std::array<Sampler, kNumSegments> txn_seg_;
+
+  // Flight recorder.
+  std::size_t flight_capacity_ = 0;
+  std::size_t flight_head_ = 0;  ///< next slot to write once the ring is full
+  std::uint64_t flight_dropped_ = 0;
+  std::vector<FlightRecord> flight_ring_;
+  std::vector<SpanId> free_slots_;
+  std::vector<std::string> flight_names_;
+  std::map<std::string, std::uint32_t, std::less<>> flight_name_ids_;
 };
 
 /// RAII span: begins at construction, ends when destroyed (including via
 /// coroutine-frame destruction on engine teardown). Inert when the engine
-/// has no tracer installed.
+/// has no tracer installed. The optional context/segment link the span into
+/// a transaction; ctx() yields the context children should attach under.
 class ScopedSpan {
  public:
-  ScopedSpan(Engine& engine, std::string_view track, std::string_view name)
+  ScopedSpan(Engine& engine, std::string_view track, std::string_view name,
+             TraceContext ctx = {}, Segment seg = Segment::kNone)
       : engine_(&engine), tracer_(engine.tracer()) {
     if (tracer_ != nullptr) {
-      id_ = tracer_->begin_span(track, name, engine.now());
+      id_ = tracer_->begin_span(track, name, engine.now(), ctx, seg);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -109,10 +241,92 @@ class ScopedSpan {
     if (tracer_ != nullptr) tracer_->end_span(id_, engine_->now());
   }
 
+  TraceContext ctx() const {
+    return tracer_ != nullptr ? tracer_->ctx_of(id_) : TraceContext{};
+  }
+
  private:
   Engine* engine_;
   Tracer* tracer_;
   Tracer::SpanId id_ = Tracer::kNoSpan;
+};
+
+/// Leaf span for the latency decomposition: records only when both a tracer
+/// is attached *and* the surrounding transaction is traced, so segment
+/// instrumentation stays free on unsampled transactions.
+class SegmentSpan {
+ public:
+  SegmentSpan(Engine& engine, TraceContext ctx, std::string_view track,
+              std::string_view name, Segment seg)
+      : engine_(&engine) {
+    if (ctx) {
+      tracer_ = engine.tracer();
+      if (tracer_ != nullptr) {
+        id_ = tracer_->begin_span(track, name, engine.now(), ctx, seg);
+      }
+    }
+  }
+  SegmentSpan(const SegmentSpan&) = delete;
+  SegmentSpan& operator=(const SegmentSpan&) = delete;
+  ~SegmentSpan() {
+    if (tracer_ != nullptr) tracer_->end_span(id_, engine_->now());
+  }
+
+ private:
+  Engine* engine_;
+  Tracer* tracer_ = nullptr;
+  Tracer::SpanId id_ = Tracer::kNoSpan;
+};
+
+/// Retroactive wait span: call after a contended acquire with the time the
+/// wait began; records only when a tracer is attached and the wait was
+/// nonzero (the wait is only interesting once it happened).
+inline void record_wait(Engine& engine, std::string_view track,
+                        std::string_view name, Time since,
+                        TraceContext ctx = {},
+                        Segment seg = Segment::kQueue) {
+  auto* tr = engine.tracer();
+  if (tr == nullptr || engine.now() == since) return;
+  tr->end_span(tr->begin_span(track, name, since, ctx, seg), engine.now());
+}
+
+/// Mints one transaction and owns its root span. Constructed at the
+/// core/workload boundary (one per user-level memory operation); ctx()
+/// is what gets threaded down the component stack. finish() ends the
+/// transaction early (before charging costs that are not part of it, e.g.
+/// quantum compute realization); the destructor is a safety net.
+class TxnScope {
+ public:
+  TxnScope(Engine& engine, std::string_view track, std::string_view name)
+      : engine_(&engine), tracer_(engine.tracer()) {
+    if (tracer_ != nullptr) {
+      const std::uint64_t txn = tracer_->mint_txn();
+      if (txn != 0) {
+        id_ = tracer_->begin_span(track, name, engine.now(),
+                                  TraceContext{txn, 0}, Segment::kNone,
+                                  /*root=*/true);
+        ctx_ = tracer_->ctx_of(id_);
+      }
+    }
+  }
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+  ~TxnScope() { finish(); }
+
+  void finish() {
+    if (tracer_ != nullptr && id_ != Tracer::kNoSpan) {
+      tracer_->end_span(id_, engine_->now());
+      id_ = Tracer::kNoSpan;
+    }
+  }
+
+  TraceContext ctx() const { return ctx_; }
+
+ private:
+  Engine* engine_;
+  Tracer* tracer_;
+  Tracer::SpanId id_ = Tracer::kNoSpan;
+  TraceContext ctx_;
 };
 
 }  // namespace ms::sim

@@ -51,24 +51,38 @@ sim::Task<ht::PAddr> SwapManager::slot_of(os::VAddr page) {
   co_return slot;
 }
 
-sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend) {
-  sim::ScopedSpan span(engine_, track_, to_backend ? "swap_out" : "swap_in");
+sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend,
+                                           sim::TraceContext ctx) {
+  sim::ScopedSpan span(engine_, track_, to_backend ? "swap_out" : "swap_in",
+                       ctx);
+  const sim::TraceContext here = span.ctx() ? span.ctx() : ctx;
   const auto bytes = static_cast<std::uint32_t>(params_.page_bytes);
   if (params_.backend == Backend::kDisk) {
+    sim::SegmentSpan disk(engine_, here, track_, "disk", sim::Segment::kSwap);
     co_await disk_->transfer(bytes);
     co_return;
   }
   if (params_.backend == Backend::kCompressed) {
+    sim::SegmentSpan zip(engine_, here, track_,
+                         to_backend ? "compress" : "decompress",
+                         sim::Segment::kSwap);
     co_await engine_.delay(to_backend ? params_.compress_time
                                       : params_.decompress_time);
     co_return;
   }
-  // Commodity NBD-over-GigE-class serialization dominates the transfer.
-  co_await engine_.delay(sim::ns_d(static_cast<double>(bytes) /
-                                   params_.backend_bytes_per_ns));
+  {
+    // Commodity NBD-over-GigE-class serialization dominates the transfer.
+    sim::SegmentSpan wire(engine_, here, track_, "nbd_wire",
+                          sim::Segment::kSerialization);
+    co_await engine_.delay(sim::ns_d(static_cast<double>(bytes) /
+                                     params_.backend_bytes_per_ns));
+  }
   const ht::NodeId self = node_.id();
   const ht::NodeId donor = node::node_of(slot);
-  co_await engine_.delay(params_.nic_overhead);
+  {
+    sim::SegmentSpan nic(engine_, here, track_, "nic", sim::Segment::kSwap);
+    co_await engine_.delay(params_.nic_overhead);
+  }
   ht::Packet out{
       .type = to_backend ? ht::PacketType::kWriteReq : ht::PacketType::kReadReq,
       .src = self,
@@ -76,10 +90,15 @@ sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend) {
       .addr = slot,
       .size = to_backend ? bytes : 0,
   };
+  out.txn = here.txn;
+  out.parent_span = here.span;
   co_await fabric_.traverse(out);
   if (donor_service_) {
-    co_await donor_service_(donor, node::local_part(slot), bytes, to_backend);
+    co_await donor_service_(donor, node::local_part(slot), bytes, to_backend,
+                            here);
   } else {
+    sim::SegmentSpan dram(engine_, here, track_, "donor_dram",
+                          sim::Segment::kMemory);
     co_await engine_.delay(sim::ns(120));  // standalone tests: flat DRAM cost
   }
   ht::Packet back{
@@ -89,8 +108,13 @@ sim::Task<void> SwapManager::page_transfer(ht::PAddr slot, bool to_backend) {
       .addr = slot,
       .size = to_backend ? 0 : bytes,
   };
+  back.txn = here.txn;
+  back.parent_span = here.span;
   co_await fabric_.traverse(back);
-  co_await engine_.delay(params_.nic_overhead);
+  {
+    sim::SegmentSpan nic(engine_, here, track_, "nic", sim::Segment::kSwap);
+    co_await engine_.delay(params_.nic_overhead);
+  }
 }
 
 
@@ -105,14 +129,15 @@ ht::PAddr SwapManager::fresh_frame(std::size_t index) const {
   return (i % sockets) * per_socket + (i / sockets) * params_.page_bytes;
 }
 
-sim::Task<void> SwapManager::fault_in(os::VAddr page) {
+sim::Task<void> SwapManager::fault_in(os::VAddr page, sim::TraceContext ctx) {
   faults_.inc();
   // A page is "major" when its data lives in the backend (it was written
   // out, or the setup phase declared it as pre-existing data). A truly
   // fresh page is a zero-fill minor fault: no transfer, small cost.
   const bool major = backed_.count(page) != 0 || slots_.count(page) != 0;
   sim::ScopedSpan span(engine_, track_,
-                       major ? "major_fault" : "minor_fault");
+                       major ? "major_fault" : "minor_fault", ctx);
+  const sim::TraceContext here = span.ctx() ? span.ctx() : ctx;
   // Fault watchdog (trap through map update); RAII disarm covers the
   // backend-exhausted throw below as well as normal completion.
   sim::ScopedTimer watchdog =
@@ -124,9 +149,12 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
                                               }))
           : sim::ScopedTimer();
   if (!major) {
+    sim::SegmentSpan trap(engine_, here, track_, "zero_fill",
+                          sim::Segment::kSwap);
     co_await engine_.delay(params_.minor_fault);
   } else {
     major_faults_.inc();
+    sim::SegmentSpan trap(engine_, here, track_, "trap", sim::Segment::kSwap);
     co_await engine_.delay(params_.fault_trap);
   }
 
@@ -143,7 +171,7 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
     if (dirty) {
       dirty_writebacks_.inc();
       ht::PAddr slot = co_await slot_of(victim);
-      co_await page_transfer(slot, /*to_backend=*/true);
+      co_await page_transfer(slot, /*to_backend=*/true, here);
     }
   } else {
     frame = fresh_frame(resident_.size());
@@ -154,7 +182,9 @@ sim::Task<void> SwapManager::fault_in(os::VAddr page) {
     if (slot == kNoSlot) {
       throw std::runtime_error("SwapManager: backend exhausted");
     }
-    co_await page_transfer(slot, /*to_backend=*/false);
+    co_await page_transfer(slot, /*to_backend=*/false, here);
+    sim::SegmentSpan map(engine_, here, track_, "map_update",
+                         sim::Segment::kSwap);
     co_await engine_.delay(params_.map_update);
   }
 
@@ -192,17 +222,24 @@ void SwapManager::note_poke(os::VAddr page) {
 
 sim::Task<sim::Time> SwapManager::access(os::VAddr vaddr, std::uint32_t bytes,
                                          bool is_write, int core,
-                                         sim::Time carried) {
+                                         sim::Time carried,
+                                         sim::TraceContext ctx) {
   const os::VAddr page = vaddr & ~(params_.page_bytes - 1);
   auto it = resident_.find(page);
   if (it == resident_.end()) {
-    co_await engine_.delay(carried);
+    {
+      sim::SegmentSpan cr(engine_, ctx, track_, "carried",
+                          sim::Segment::kOther);
+      co_await engine_.delay(carried);
+    }
     carried = 0;
+    const sim::Time asked = engine_.now();
     co_await fault_mutex_.acquire();
+    sim::record_wait(engine_, track_, "fault_lock.wait", asked, ctx);
     sim::SemToken lock(fault_mutex_);
     it = resident_.find(page);  // a peer thread may have faulted it in
     if (it == resident_.end()) {
-      co_await fault_in(page);
+      co_await fault_in(page, ctx);
       it = resident_.find(page);
     }
   }
@@ -212,7 +249,21 @@ sim::Task<sim::Time> SwapManager::access(os::VAddr vaddr, std::uint32_t bytes,
   if (is_write) it->second.dirty = true;
   const ht::PAddr phys =
       it->second.frame + (vaddr & (params_.page_bytes - 1));
-  co_return co_await node_.access(core, phys, bytes, is_write, carried);
+  co_return co_await node_.access(core, phys, bytes, is_write, carried, ctx);
+}
+
+void SwapManager::export_stats(sim::StatRegistry& reg,
+                               const std::string& prefix) const {
+  reg.counter(prefix + "faults").inc(faults());
+  reg.counter(prefix + "major_faults").inc(major_faults());
+  reg.counter(prefix + "evictions").inc(evictions());
+  reg.counter(prefix + "dirty_writebacks").inc(dirty_writebacks());
+  if (fault_timeouts() > 0) {
+    // Watchdog is off by default; emit only when it fired so configs that
+    // never arm it keep byte-identical stats output (same convention as
+    // noc stall_timeouts and rmc request_timeouts).
+    reg.counter(prefix + "fault_timeouts").inc(fault_timeouts());
+  }
 }
 
 }  // namespace ms::swap

@@ -65,9 +65,11 @@ class SwapManager {
 
   /// Timing for one reference by `core`; same accumulated-time contract as
   /// node::Node::access. Returns the new accumulator.
-  /// `slot` is the backend slot of the page (see slot_of).
+  /// `slot` is the backend slot of the page (see slot_of). `ctx` links
+  /// recorded spans into a traced transaction (observability only).
   sim::Task<sim::Time> access(os::VAddr vaddr, std::uint32_t bytes,
-                              bool is_write, int core, sim::Time carried);
+                              bool is_write, int core, sim::Time carried,
+                              sim::TraceContext ctx = {});
 
   /// Backend slot (prefixed physical address) assigned to a virtual page;
   /// allocated lazily on first use. This is also where the functional
@@ -80,7 +82,7 @@ class SwapManager {
   /// donor node's serve_remote); when unset a flat DRAM cost is charged.
   using DonorService = std::function<sim::Task<void>(
       ht::NodeId donor, ht::PAddr donor_local, std::uint32_t bytes,
-      bool is_write)>;
+      bool is_write, sim::TraceContext ctx)>;
   void set_donor_service(DonorService svc) { donor_service_ = std::move(svc); }
 
   /// Declares that `page` holds pre-existing data (workload setup wrote
@@ -100,6 +102,12 @@ class SwapManager {
   std::size_t resident_pages() const { return resident_.size(); }
   const Params& params() const { return params_; }
 
+  /// Snapshots fault counters into `reg` under `prefix`. The fault watchdog
+  /// follows the repo-wide convention for off-by-default watchdogs (see
+  /// Link::stall_timeouts, Rmc::request_timeouts): the gauge is emitted only
+  /// when it fired, so configs that never arm it keep byte-identical output.
+  void export_stats(sim::StatRegistry& reg, const std::string& prefix) const;
+
  private:
   struct Resident {
     ht::PAddr frame;                       ///< local frame (timing address)
@@ -107,9 +115,10 @@ class SwapManager {
     std::list<os::VAddr>::iterator lru_it; ///< position in lru_ (back = hottest)
   };
 
-  sim::Task<void> page_transfer(ht::PAddr slot, bool to_backend);
+  sim::Task<void> page_transfer(ht::PAddr slot, bool to_backend,
+                                sim::TraceContext ctx);
   ht::PAddr fresh_frame(std::size_t index) const;
-  sim::Task<void> fault_in(os::VAddr page);
+  sim::Task<void> fault_in(os::VAddr page, sim::TraceContext ctx);
 
   sim::Engine& engine_;
   node::Node& node_;

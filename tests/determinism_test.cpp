@@ -66,6 +66,7 @@ Capture run_observed_workload(std::uint64_t seed,
   c.end_time = engine.now();
   sim::StatRegistry reg;
   cluster.export_stats(reg, "");
+  tracer.export_txn_stats(reg, "txn.");
   std::ostringstream stats_out, trace_out;
   reg.dump_json(stats_out);
   tracer.export_chrome(trace_out);
@@ -86,6 +87,11 @@ TEST(ObservedDeterminism, RemoteRegionRunsAreByteIdentical) {
   EXPECT_GT(a.end_time, 0u);
   EXPECT_NE(a.stats_json.find("round_trip_ps"), std::string::npos);
   EXPECT_NE(a.trace_json.find("\"ph\":\"B\""), std::string::npos);
+  // Causal layer: flow events and per-txn stats replay byte-identically
+  // too (the EXPECT_EQ above covers them; this pins their presence).
+  EXPECT_NE(a.trace_json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"txn\":"), std::string::npos);
+  EXPECT_NE(a.stats_json.find("txn.count"), std::string::npos);
 }
 
 TEST(ObservedDeterminism, RemoteSwapRunsAreByteIdentical) {

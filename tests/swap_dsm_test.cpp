@@ -238,8 +238,8 @@ class DsmTest : public ::testing::Test {
   DsmTest()
       : fabric_(engine_, noc::Topology::make("mesh2d", 4), {}),
         dsm_(engine_, fabric_,
-             [this](ht::NodeId, ht::PAddr, std::uint32_t,
-                    bool) -> sim::Task<void> {
+             [this](ht::NodeId, ht::PAddr, std::uint32_t, bool,
+                    sim::TraceContext) -> sim::Task<void> {
                ++mem_accesses_;
                return mem_delay();
              },

@@ -1,0 +1,271 @@
+// memscale-analyze: offline critical-path analysis of memscale traces.
+//
+// Reads a causal trace written by any bench (--trace=out.json for the
+// Chrome-trace JSON, --flight=out.bin for the binary flight recorder) and
+// prints, without needing a browser:
+//   - the transaction population (count, mean/percentile end-to-end latency),
+//   - the cross-transaction segment breakdown (queue vs serialization vs
+//     link vs RMC vs memory vs coherence vs swap), which sums exactly to
+//     the measured end-to-end time,
+//   - the per-component leaf table (which span on which track costs what),
+//   - the slowest transactions, each decomposed into segments,
+//   - with --timeseries=file.json, the top contended 4 KiB pages from a
+//     --timeseries-json stream.
+//
+// Usage: memscale_analyze <trace.json|flight.bin>
+//                         [--top=N] [--timeseries=ts.json] [--csv]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/table.hpp"
+#include "sim/time.hpp"
+#include "sim/trace_analysis.hpp"
+
+namespace {
+
+using ms::sim::Segment;
+using ms::sim::Time;
+
+double us(Time t) { return static_cast<double>(t) / 1e6; }
+
+Time percentile(std::vector<Time>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Pulls every "hot_pages":[[page,count],...] array out of a
+// --timeseries-json stream. Counts are cumulative per run, so the maximum
+// seen per page is its final tally.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> hot_pages_from(
+    std::istream& in) {
+  std::map<std::uint64_t, std::uint64_t> pages;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t key = line.find("\"hot_pages\":[");
+    if (key == std::string::npos) continue;
+    const char* p = line.c_str() + key + 13;
+    while (*p == '[') {
+      ++p;
+      char* after = nullptr;
+      const std::uint64_t page = std::strtoull(p, &after, 10);
+      if (after == p || *after != ',') break;
+      p = after + 1;
+      const std::uint64_t count = std::strtoull(p, &after, 10);
+      if (after == p) break;
+      p = after;
+      if (*p == ']') ++p;
+      if (*p == ',') ++p;
+      auto& slot = pages[page];
+      slot = std::max(slot, count);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out(pages.begin(),
+                                                           pages.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string timeseries_path;
+  std::size_t top = 10;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--top=", 0) == 0) {
+      top = static_cast<std::size_t>(std::strtoull(arg.c_str() + 6, nullptr,
+                                                   10));
+    } else if (arg.rfind("--timeseries=", 0) == 0) {
+      timeseries_path = arg.substr(13);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: memscale_analyze <trace.json|flight.bin> "
+                   "[--top=N] [--timeseries=ts.json] [--csv]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      trace_path = arg;
+    } else {
+      std::cerr << "memscale_analyze: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "memscale_analyze: no trace file given (see --help)\n";
+    return 2;
+  }
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "memscale_analyze: cannot open " << trace_path << "\n";
+    return 1;
+  }
+  char magic[8] = {};
+  in.read(magic, 8);
+  in.clear();
+  in.seekg(0);
+
+  ms::sim::TraceAnalysis analysis;
+  try {
+    if (std::string(magic, 8) == "MSFLIGHT") {
+      analysis = ms::sim::TraceAnalysis::load_flight(in);
+    } else {
+      analysis = ms::sim::TraceAnalysis::load_chrome(in);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_analyze: " << e.what() << "\n";
+    return 1;
+  }
+
+  const auto txns = analysis.transactions();
+  std::cout << "trace: " << trace_path << " — " << analysis.spans().size()
+            << " spans, " << txns.size() << " transactions";
+  if (analysis.flight_dropped() > 0) {
+    std::cout << " (" << analysis.flight_dropped()
+              << " flight records dropped)";
+  }
+  std::cout << "\n\n";
+  if (txns.empty()) {
+    std::cout << "no transactions in trace (was tracing enabled and the "
+                 "workload routed through a MemorySpace?)\n";
+    return 0;
+  }
+
+  // Population summary.
+  std::vector<Time> totals;
+  totals.reserve(txns.size());
+  Time grand_total = 0;
+  for (const auto& t : txns) {
+    totals.push_back(t.total);
+    grand_total += t.total;
+  }
+  std::sort(totals.begin(), totals.end());
+  {
+    ms::sim::Table table({"txns", "mean_us", "p50_us", "p95_us", "p99_us",
+                          "max_us"});
+    table.row()
+        .cell(static_cast<std::uint64_t>(txns.size()))
+        .cell(us(grand_total) / static_cast<double>(txns.size()), 3)
+        .cell(us(percentile(totals, 0.50)), 3)
+        .cell(us(percentile(totals, 0.95)), 3)
+        .cell(us(percentile(totals, 0.99)), 3)
+        .cell(us(totals.back()), 3);
+    std::cout << "== end-to-end latency ==\n"
+              << (csv ? table.csv() : table.render()) << "\n";
+  }
+
+  // Segment breakdown — sums exactly to the end-to-end total.
+  {
+    const auto seg = analysis.segment_totals();
+    Time sum = 0;
+    for (const Time v : seg) sum += v;
+    ms::sim::Table table({"segment", "total_us", "share_%"});
+    for (int i = 0; i < ms::sim::kNumSegments; ++i) {
+      if (seg[i] == 0) continue;
+      table.row()
+          .cell(std::string(to_string(static_cast<Segment>(i))))
+          .cell(us(seg[i]), 3)
+          .cell(100.0 * static_cast<double>(seg[i]) /
+                    static_cast<double>(grand_total),
+                2);
+    }
+    table.row().cell(std::string("total")).cell(us(sum), 3).cell(100.0, 2);
+    std::cout << "== segment breakdown ==\n"
+              << (csv ? table.csv() : table.render());
+    if (sum != grand_total) {
+      std::cout << "WARNING: segment sum (" << sum
+                << " ps) != end-to-end total (" << grand_total << " ps)\n";
+    }
+    std::cout << "\n";
+  }
+
+  // Per-component leaf table.
+  {
+    const auto rows = analysis.components();
+    ms::sim::Table table(
+        {"track", "span", "segment", "count", "total_us", "mean_ns"});
+    std::size_t shown = 0;
+    for (const auto& r : rows) {
+      if (shown++ >= top) break;
+      table.row()
+          .cell(r.track)
+          .cell(r.name)
+          .cell(std::string(to_string(r.segment)))
+          .cell(r.count)
+          .cell(us(r.total), 3)
+          .cell(static_cast<double>(r.total) /
+                    (1e3 * static_cast<double>(r.count)),
+                1);
+    }
+    std::cout << "== hottest components (top " << std::min(top, rows.size())
+              << " of " << rows.size() << ") ==\n"
+              << (csv ? table.csv() : table.render()) << "\n";
+  }
+
+  // Slowest transactions, decomposed.
+  {
+    auto slowest = txns;
+    std::sort(slowest.begin(), slowest.end(),
+              [](const auto& a, const auto& b) {
+                if (a.total != b.total) return a.total > b.total;
+                return a.txn < b.txn;
+              });
+    if (slowest.size() > top) slowest.resize(top);
+    ms::sim::Table table({"txn", "op", "total_us", "breakdown"});
+    for (const auto& t : slowest) {
+      std::ostringstream parts;
+      bool first = true;
+      for (int i = 0; i < ms::sim::kNumSegments; ++i) {
+        if (t.seg[i] == 0) continue;
+        if (!first) parts << " ";
+        first = false;
+        parts << to_string(static_cast<Segment>(i)) << "="
+              << static_cast<double>(t.seg[i]) / 1e6 << "us";
+      }
+      table.row()
+          .cell(t.txn)
+          .cell(t.name)
+          .cell(us(t.total), 3)
+          .cell(parts.str());
+    }
+    std::cout << "== slowest transactions ==\n"
+              << (csv ? table.csv() : table.render()) << "\n";
+  }
+
+  if (!timeseries_path.empty()) {
+    std::ifstream ts(timeseries_path);
+    if (!ts) {
+      std::cerr << "memscale_analyze: cannot open " << timeseries_path
+                << "\n";
+      return 1;
+    }
+    auto pages = hot_pages_from(ts);
+    ms::sim::Table table({"page", "accesses"});
+    std::size_t shown = 0;
+    for (const auto& [page, count] : pages) {
+      if (shown++ >= top) break;
+      std::ostringstream hex;
+      hex << "0x" << std::hex << (page << 12);
+      table.row().cell(hex.str()).cell(count);
+    }
+    std::cout << "== hottest pages (top " << std::min(top, pages.size())
+              << " of " << pages.size() << ") ==\n"
+              << (csv ? table.csv() : table.render()) << "\n";
+  }
+  return 0;
+}
