@@ -1,0 +1,834 @@
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/runner.hpp"
+#include "node/address_map.hpp"
+#include "node/core.hpp"
+#include "sim/tracer.hpp"
+#include "workloads/hash_index.hpp"
+#include "workloads/random_access.hpp"
+
+namespace ms::fuzz {
+
+// ---------------------------------------------------------------------------
+// Knobs: one table drives get/set/reset/diff so the generator, the CLI and
+// the minimizer can never disagree about what a knob is called.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+struct Field {
+  const char* name;
+  std::string (*get)(const Knobs&);
+  void (*set)(Knobs&, const std::string&);
+  bool (*differs)(const Knobs&, const Knobs&);
+};
+
+#define MS_INT_FIELD(f)                                                  \
+  Field{#f, [](const Knobs& k) { return std::to_string(k.f); },          \
+        [](Knobs& k, const std::string& v) { k.f = std::stoi(v); },      \
+        [](const Knobs& a, const Knobs& b) { return a.f != b.f; }}
+#define MS_U64_FIELD(f)                                                  \
+  Field{#f, [](const Knobs& k) { return std::to_string(k.f); },          \
+        [](Knobs& k, const std::string& v) { k.f = std::stoull(v); },    \
+        [](const Knobs& a, const Knobs& b) { return a.f != b.f; }}
+#define MS_DBL_FIELD(f)                                                  \
+  Field{#f, [](const Knobs& k) { return fmt_double(k.f); },              \
+        [](Knobs& k, const std::string& v) { k.f = std::stod(v); },      \
+        [](const Knobs& a, const Knobs& b) { return a.f != b.f; }}
+#define MS_STR_FIELD(f)                                                  \
+  Field{#f, [](const Knobs& k) { return k.f; },                          \
+        [](Knobs& k, const std::string& v) { k.f = v; },                 \
+        [](const Knobs& a, const Knobs& b) { return a.f != b.f; }}
+
+// Minimization order: structural knobs first, so the minimizer shrinks the
+// machine back to the 2-node ring baseline before it touches the workload.
+const Field kFields[] = {
+    MS_INT_FIELD(nodes),
+    MS_STR_FIELD(topology),
+    MS_INT_FIELD(sockets),
+    MS_INT_FIELD(cores_per_socket),
+    MS_U64_FIELD(local_mib),
+    MS_U64_FIELD(cache_kib),
+    MS_U64_FIELD(segment_mib),
+    MS_INT_FIELD(rmc_outstanding),
+    MS_INT_FIELD(virtual_channels),
+    MS_DBL_FIELD(link_error_rate),
+    MS_INT_FIELD(mode),
+    MS_INT_FIELD(workload),
+    MS_INT_FIELD(threads),
+    MS_U64_FIELD(accesses),
+    MS_U64_FIELD(buffer_kib),
+    MS_U64_FIELD(resident_kib),
+};
+
+#undef MS_INT_FIELD
+#undef MS_U64_FIELD
+#undef MS_DBL_FIELD
+#undef MS_STR_FIELD
+
+const Field* find_field(const std::string& name) {
+  for (const Field& f : kFields) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Knobs Knobs::generate(sim::Rng& rng) {
+  Knobs k;
+  k.nodes = static_cast<int>(2 + rng.below(5));  // 2..6
+  static const char* kTopos[] = {"ring", "mesh2d", "star", "full", "torus2d"};
+  k.topology = kTopos[rng.below(5)];
+  k.sockets = static_cast<int>(1 + rng.below(2));
+  k.cores_per_socket = static_cast<int>(1 + rng.below(2));
+  k.local_mib = std::uint64_t{32} << rng.below(2);   // 32 or 64 MiB
+  k.cache_kib = std::uint64_t{16} << rng.below(3);   // 16/32/64 KiB
+  k.segment_mib = std::uint64_t{1} << rng.below(3);  // 1/2/4 MiB
+  k.rmc_outstanding = 1 << rng.below(4);             // 1/2/4/8
+  k.virtual_channels = static_cast<int>(1 + rng.below(2));
+  static const double kErr[] = {0.0, 0.0, 1e-3, 1e-2};
+  k.link_error_rate = kErr[rng.below(4)];
+  k.mode = rng.chance(0.3) ? 1 : 0;
+  k.workload = static_cast<int>(rng.below(3));
+  k.threads = static_cast<int>(1 + rng.below(4));
+  k.accesses = 100 + rng.below(901);                  // 100..1000
+  k.buffer_kib = std::uint64_t{16} << rng.below(4);   // 16..128 KiB
+  k.resident_kib = std::uint64_t{32} << rng.below(3); // 32/64/128 KiB
+  return k;
+}
+
+const std::vector<std::string>& Knobs::knob_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Field& f : kFields) v.emplace_back(f.name);
+    return v;
+  }();
+  return names;
+}
+
+std::vector<std::string> Knobs::non_default() const {
+  const Knobs def;
+  std::vector<std::string> out;
+  for (const Field& f : kFields) {
+    if (f.differs(*this, def)) {
+      out.push_back(std::string(f.name) + "=" + f.get(*this));
+    }
+  }
+  return out;
+}
+
+void Knobs::set(const std::string& name, const std::string& value) {
+  const Field* f = find_field(name);
+  if (f == nullptr) {
+    throw std::invalid_argument("unknown fuzz knob: " + name);
+  }
+  f->set(*this, value);
+}
+
+bool Knobs::reset(const std::string& name) {
+  const Field* f = find_field(name);
+  if (f == nullptr) return false;
+  const Knobs def;
+  f->set(*this, f->get(def));
+  return true;
+}
+
+std::string Knobs::repro_args() const {
+  std::string out;
+  for (const std::string& kv : non_default()) {
+    if (!out.empty()) out += ' ';
+    out += kv;
+  }
+  return out;
+}
+
+core::ClusterConfig Knobs::cluster_config() const {
+  core::ClusterConfig c;
+  c.nodes = nodes;
+  c.topology = topology;
+  // Keep the OS share small: fuzz clusters are MiB-scale, not the
+  // prototype's 16 GiB nodes.
+  c.os_reserved_bytes = ht::PAddr{8} << 20;
+  c.node.sockets = sockets;
+  c.node.cores_per_socket = cores_per_socket;
+  c.node.local_bytes = local_mib << 20;
+  c.node.cache.size_bytes = cache_kib << 10;
+  c.node.core_remote_outstanding = rmc_outstanding;
+  c.fabric.virtual_channels = virtual_channels;
+  c.fabric.link.error_rate = link_error_rate;
+  c.region.segment_bytes = segment_mib << 20;
+  return c;
+}
+
+Mutation parse_mutation(const std::string& name) {
+  if (name.empty() || name == "none") return Mutation::kNone;
+  if (name == "skip-downgrade") return Mutation::kSkipDowngrade;
+  if (name == "leak-credit") return Mutation::kLeakCredit;
+  if (name == "phantom-request") return Mutation::kPhantomRequest;
+  if (name == "shrink-swap") return Mutation::kShrinkSwapLimit;
+  throw std::invalid_argument("unknown mutation: " + name);
+}
+
+const char* mutation_name(Mutation m) {
+  switch (m) {
+    case Mutation::kNone: return "none";
+    case Mutation::kSkipDowngrade: return "skip-downgrade";
+    case Mutation::kLeakCredit: return "leak-credit";
+    case Mutation::kPhantomRequest: return "phantom-request";
+    case Mutation::kShrinkSwapLimit: return "shrink-swap";
+  }
+  return "none";
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checkers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string hex(ht::PAddr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+struct GrantRange {
+  ht::NodeId donor;
+  ht::PAddr base;   ///< donor-local (unprefixed)
+  ht::PAddr bytes;
+};
+
+std::vector<GrantRange> live_grants(
+    const std::vector<core::MemorySpace*>& spaces) {
+  std::vector<GrantRange> out;
+  for (core::MemorySpace* sp : spaces) {
+    if (sp->region() == nullptr) continue;
+    for (const auto& g : sp->region()->segment_grants()) {
+      out.push_back({g.donor, node::local_part(g.prefixed_base), g.bytes});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void register_cluster_invariants(sim::InvariantRegistry& reg,
+                                 const EpisodeContext& ctx) {
+  core::Cluster* cl = ctx.cluster;
+  auto spaces = ctx.spaces;
+  auto released = ctx.released;
+  const int nodes = cl->num_nodes();
+
+  // Every node's frame allocator partitions its pool exactly.
+  reg.add("frame.allocator", [cl, nodes](sim::InvariantContext& c) {
+    for (int n = 1; n <= nodes; ++n) {
+      std::string err = cl->allocator(static_cast<ht::NodeId>(n)).validate();
+      if (!err.empty()) c.fail("node " + std::to_string(n) + ": " + err);
+    }
+  });
+
+  // Every live grant is allocated *and pinned* at its donor, and no two
+  // grants overlap (frames are owned by at most one region at a time).
+  // Quiet during teardown: release_all frees grants at the donor one
+  // co_await at a time before clearing its segment list.
+  reg.add("frame.ownership", [cl, spaces, released](sim::InvariantContext& c) {
+    if (released != nullptr && *released) return;
+    std::vector<GrantRange> grants = live_grants(spaces);
+    for (const GrantRange& g : grants) {
+      os::FrameAllocator& alloc = cl->allocator(g.donor);
+      if (!alloc.is_allocated(g.base) || !alloc.is_pinned(g.base) ||
+          !alloc.is_allocated(g.base + g.bytes - 1)) {
+        c.fail("grant " + hex(g.base) + "+" + std::to_string(g.bytes) +
+               " not allocated+pinned at donor " + std::to_string(g.donor));
+      }
+    }
+    std::sort(grants.begin(), grants.end(),
+              [](const GrantRange& a, const GrantRange& b) {
+                return a.donor != b.donor ? a.donor < b.donor
+                                          : a.base < b.base;
+              });
+    for (std::size_t i = 1; i < grants.size(); ++i) {
+      const GrantRange& p = grants[i - 1];
+      const GrantRange& g = grants[i];
+      if (p.donor == g.donor && g.base < p.base + p.bytes) {
+        c.fail("grants overlap on donor " + std::to_string(g.donor) +
+               " at " + hex(g.base) + " (double-granted range)");
+      }
+    }
+  });
+
+  // Present PTEs point into a live grant (prefixed) or into local memory
+  // (unprefixed, below the node's pool). Quiet once teardown started: PTEs
+  // are intentionally stale while grants are being released.
+  reg.add("pagetable.agreement", [cl, spaces, released](
+                                     sim::InvariantContext& c) {
+    const bool closed = released != nullptr && *released;
+    const ht::PAddr local_bytes = cl->config().node.local_bytes;
+    const std::vector<GrantRange> grants = live_grants(spaces);
+    for (core::MemorySpace* sp : spaces) {
+      sp->page_table().for_each([&](os::VAddr va,
+                                    const os::PageTable::Entry& e) {
+        if (!e.present) return;
+        if (node::has_prefix(e.frame)) {
+          if (closed) return;
+          const ht::NodeId donor = node::node_of(e.frame);
+          const ht::PAddr local = node::local_part(e.frame);
+          bool inside = false;
+          for (const GrantRange& g : grants) {
+            if (g.donor == donor && local >= g.base &&
+                local < g.base + g.bytes) {
+              inside = true;
+              break;
+            }
+          }
+          if (!inside) {
+            c.fail("PTE va " + hex(va) + " -> " + hex(e.frame) +
+                   " points outside every live grant");
+          }
+        } else if (e.frame >= local_bytes) {
+          c.fail("PTE va " + hex(va) + " -> local frame " + hex(e.frame) +
+                 " beyond the node's memory");
+        }
+      });
+    }
+  });
+
+  // The paper's thesis made checkable: a donor never caches donated frames
+  // (they belong to the borrower's coherency domain, not the donor's).
+  reg.add("donor.never_caches", [cl, spaces, released](
+                                    sim::InvariantContext& c) {
+    if (released != nullptr && *released) return;
+    for (const GrantRange& g : live_grants(spaces)) {
+      node::Node& dn = cl->node(g.donor);
+      for (int i = 0; i < dn.num_cores(); ++i) {
+        dn.core(i).cache().for_each_resident(
+            [&](ht::PAddr line, bool /*dirty*/) {
+              if (!node::has_prefix(line) && line >= g.base &&
+                  line < g.base + g.bytes) {
+                c.fail("donor " + std::to_string(g.donor) + " core " +
+                       std::to_string(i) + " caches donated line " +
+                       hex(line));
+              }
+            });
+      }
+    }
+  });
+
+  // MSI: a registered modified owner must be the *only* sharer. This is the
+  // checker the skip-downgrade mutation trips.
+  reg.add("msi.directory", [cl, nodes](sim::InvariantContext& c) {
+    for (int n = 1; n <= nodes; ++n) {
+      cl->node(static_cast<ht::NodeId>(n))
+          .directory()
+          .for_each_entry([&](ht::PAddr line, std::uint64_t sharers,
+                              int owner) {
+            if (sharers == 0) {
+              c.fail("node " + std::to_string(n) + " line " + hex(line) +
+                     ": directory entry with no sharers");
+            } else if (owner >= 0 && sharers != (std::uint64_t{1} << owner)) {
+              c.fail("node " + std::to_string(n) + " line " + hex(line) +
+                     ": modified owner core " + std::to_string(owner) +
+                     " coexists with sharer mask " +
+                     std::to_string(sharers));
+            }
+          });
+    }
+  });
+
+  // Every cache-resident line is registered in its node's directory (a fill
+  // in flight is registered before the tag lands, hence the MSHR window).
+  reg.add("msi.cache_agreement", [cl, nodes](sim::InvariantContext& c) {
+    for (int n = 1; n <= nodes; ++n) {
+      node::Node& nd = cl->node(static_cast<ht::NodeId>(n));
+      for (int i = 0; i < nd.num_cores(); ++i) {
+        nd.core(i).cache().for_each_resident(
+            [&](ht::PAddr line, bool /*dirty*/) {
+              if (!nd.directory().sharer(line, i) &&
+                  !nd.fill_pending(i, line)) {
+                c.fail("node " + std::to_string(n) + " core " +
+                       std::to_string(i) + " holds unregistered line " +
+                       hex(line));
+              }
+            });
+      }
+    }
+  });
+
+  // At most one dirty copy per line. Mid-run a write-miss fill may be dirty
+  // before the old owner's invalidation lands, so copies inside the MSHR
+  // window are excluded at epochs; at drain the check is strict.
+  reg.add("msi.single_writer", [cl, nodes](sim::InvariantContext& c) {
+    for (int n = 1; n <= nodes; ++n) {
+      node::Node& nd = cl->node(static_cast<ht::NodeId>(n));
+      std::unordered_map<ht::PAddr, int> dirty_copies;
+      for (int i = 0; i < nd.num_cores(); ++i) {
+        nd.core(i).cache().for_each_resident([&](ht::PAddr line, bool dirty) {
+          if (!dirty) return;
+          if (!c.at_drain() && nd.fill_pending(i, line)) return;
+          ++dirty_copies[line];
+        });
+      }
+      for (const auto& [line, copies] : dirty_copies) {
+        if (copies > 1) {
+          c.fail("node " + std::to_string(n) + " line " + hex(line) + ": " +
+                 std::to_string(copies) + " dirty copies");
+        }
+      }
+    }
+  });
+
+  // Swap books: resident set within capacity, LRU in exact correspondence,
+  // no frame backing two pages.
+  reg.add("swap.resident", [spaces](sim::InvariantContext& c) {
+    for (core::MemorySpace* sp : spaces) {
+      if (sp->swapper() == nullptr) continue;
+      std::string err = sp->swapper()->validate();
+      if (!err.empty()) c.fail(err);
+    }
+  });
+
+  // Flow control: when the simulation drains, every link has all its
+  // credits back, an idle transmitter and nobody queued for credits.
+  reg.add_drain_only("link.credits", [cl](sim::InvariantContext& c) {
+    cl->fabric().for_each_link([&](ht::NodeId from, ht::NodeId to, int vc,
+                                   const ht::Link& l) {
+      const std::string edge = std::to_string(from) + "->" +
+                               std::to_string(to) + " vc" +
+                               std::to_string(vc);
+      if (l.credits_available() != l.credits_configured()) {
+        c.fail("link " + edge + ": " +
+               std::to_string(l.credits_available()) + " of " +
+               std::to_string(l.credits_configured()) +
+               " credits returned at drain");
+      }
+      if (!l.transmitter_idle()) c.fail("link " + edge + ": transmitter busy");
+      if (l.credit_waiters() != 0) {
+        c.fail("link " + edge + ": " + std::to_string(l.credit_waiters()) +
+               " messages still waiting for credits");
+      }
+    });
+  });
+
+  // Conservation: every client request completed exactly one round trip and
+  // no RMC still holds occupancy or waiters at drain.
+  reg.add_drain_only("packet.conservation", [cl, nodes](
+                                                sim::InvariantContext& c) {
+    for (int n = 1; n <= nodes; ++n) {
+      rmc::Rmc& r = cl->rmc(static_cast<ht::NodeId>(n));
+      const std::string who = "rmc " + std::to_string(n);
+      if (r.outstanding() != 0) {
+        c.fail(who + ": " + std::to_string(r.outstanding()) +
+               " requests still outstanding at drain");
+      }
+      if (r.port_waiters() != 0) {
+        c.fail(who + ": " + std::to_string(r.port_waiters()) +
+               " messages queued on the local port at drain");
+      }
+      if (r.client_requests() != r.round_trip().count()) {
+        c.fail(who + ": " + std::to_string(r.client_requests()) +
+               " client requests vs " +
+               std::to_string(r.round_trip().count()) +
+               " completed round trips");
+      }
+    }
+  });
+
+  // The engine drained with coroutines still suspended => deadlock.
+  sim::Engine* eng = ctx.engine;
+  reg.add_drain_only("engine.drain", [eng](sim::InvariantContext& c) {
+    if (eng->live_processes() != 0) {
+      c.fail(std::to_string(eng->live_processes()) +
+             " processes still blocked at drain (deadlock)");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Episode driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void apply_mutation(core::Cluster& cluster, Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+    case Mutation::kShrinkSwapLimit:  // applied mid-run, see run_episode
+      break;
+    case Mutation::kSkipDowngrade:
+      for (int n = 1; n <= cluster.num_nodes(); ++n) {
+        cluster.node(static_cast<ht::NodeId>(n))
+            .directory()
+            .test_skip_downgrade(true);
+      }
+      break;
+    case Mutation::kLeakCredit: {
+      ht::NodeId from = 0, to = 0;
+      bool got = false;
+      cluster.fabric().for_each_link(
+          [&](ht::NodeId f, ht::NodeId t, int vc, const ht::Link&) {
+            if (!got && vc == 0) {
+              from = f;
+              to = t;
+              got = true;
+            }
+          });
+      if (got) cluster.fabric().mutable_link(from, to, 0).test_leak_credit();
+      break;
+    }
+    case Mutation::kPhantomRequest:
+      cluster.rmc(1).test_inject_phantom_request();
+      break;
+  }
+}
+
+sim::Task<void> random_access_thread(
+    std::shared_ptr<workloads::RandomAccess> wl, int core, int thread_id) {
+  co_await wl->thread_fn(core, thread_id);
+}
+
+sim::Task<void> hash_thread(std::shared_ptr<workloads::HashIndex> idx,
+                            core::MemorySpace* space,
+                            std::shared_ptr<std::uint64_t> errors, int core,
+                            std::uint64_t seed, std::uint64_t entries,
+                            std::uint64_t accesses) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(seed);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const std::uint64_t pick = rng.below(entries);
+    t.compute(sim::ns(6));  // key generation + compare
+    auto v = co_await idx->get(t, pick * 2 + 1);
+    if (!v.has_value() || *v != pick) ++*errors;
+  }
+  co_await space->sync(t);
+}
+
+sim::Task<void> shared_rw_thread(core::MemorySpace* space, core::VAddr base,
+                                 std::uint64_t words, int core,
+                                 std::uint64_t seed, std::uint64_t accesses) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(seed);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const std::uint64_t w = rng.below(words);
+    t.compute(sim::ns(4));
+    if (rng.chance(0.5)) {
+      co_await space->write_u64(t, base + w * 8, (seed << 20) ^ i);
+    } else {
+      (void)co_await space->read_u64(t, base + w * 8);
+    }
+  }
+  co_await space->sync(t);
+}
+
+// Periodic invariant sweeps. The period backs off geometrically so long
+// episodes (or a deadlocked one running to the sim-time deadline) execute a
+// bounded number of sweeps instead of tens of thousands.
+sim::Task<void> epoch_loop(sim::Engine& engine, sim::InvariantRegistry& reg,
+                           sim::Time epoch, std::shared_ptr<bool> done,
+                           sim::Time deadline,
+                           std::shared_ptr<bool> timed_out) {
+  sim::Time period = epoch;
+  int sweeps_at_period = 0;
+  while (!*done && engine.now() < deadline) {
+    co_await engine.delay(period);
+    if (*done) break;
+    reg.check_all(engine.now(), /*at_drain=*/false);
+    if (++sweeps_at_period >= 32) {
+      sweeps_at_period = 0;
+      period *= 2;
+    }
+  }
+  if (!*done) *timed_out = true;
+}
+
+}  // namespace
+
+EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
+  EpisodeResult res;
+  sim::InvariantRegistry reg;
+  auto done = std::make_shared<bool>(false);
+  auto released = std::make_shared<bool>(false);
+  auto timed_out = std::make_shared<bool>(false);
+  auto data_errors = std::make_shared<std::uint64_t>(0);
+  try {
+    sim::Engine engine;
+    engine.set_tie_fuzz(opt.seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+    if (opt.tracer != nullptr) engine.set_tracer(opt.tracer);
+    core::Cluster cluster(engine, k.cluster_config());
+    apply_mutation(cluster, opt.mutation);
+
+    core::MemorySpace::Params sp;
+    if (k.mode == 0) {
+      sp.mode = core::MemorySpace::Mode::kRemoteRegion;
+      sp.placement = os::RegionManager::Placement::kRemoteOnly;
+    } else {
+      sp.mode = core::MemorySpace::Mode::kRemoteSwap;
+      sp.swap.resident_limit_bytes = k.resident_kib << 10;
+    }
+    core::MemorySpace space(cluster, 1, sp);
+
+    EpisodeContext ctx{&engine, &cluster, {&space}, released};
+    register_cluster_invariants(reg, ctx);
+
+    // Region closure: after teardown every donor is back to its baseline
+    // free-byte count (the home may hold local chunks the region keeps).
+    std::vector<ht::PAddr> baseline;
+    for (int n = 1; n <= cluster.num_nodes(); ++n) {
+      baseline.push_back(cluster.allocator(static_cast<ht::NodeId>(n))
+                             .free_bytes());
+    }
+    core::Cluster* cl = &cluster;
+    reg.add_drain_only("region.closure", [cl, baseline, released](
+                                             sim::InvariantContext& c) {
+      if (!*released) return;  // episode died before teardown
+      for (int n = 1; n <= cl->num_nodes(); ++n) {
+        const ht::PAddr now_free =
+            cl->allocator(static_cast<ht::NodeId>(n)).free_bytes();
+        const ht::PAddr then_free = baseline[static_cast<std::size_t>(n - 1)];
+        const bool home = n == 1;
+        if (home ? now_free > then_free : now_free != then_free) {
+          c.fail("node " + std::to_string(n) + ": " +
+                 std::to_string(now_free) + " bytes free after release, " +
+                 std::to_string(then_free) + " before the episode");
+        }
+      }
+    });
+
+    const sim::Time deadline = engine.now() + sim::sec(1);
+    if (opt.epoch > 0 && !reg.empty()) {
+      engine.spawn(
+          epoch_loop(engine, reg, opt.epoch, done, deadline, timed_out));
+    }
+
+    core::Runner runner(engine);
+    const int ncores = cluster.node(1).num_cores();
+    const std::uint64_t buffer_bytes =
+        std::max<std::uint64_t>(4096, k.buffer_kib << 10);
+    std::vector<ht::NodeId> servers;
+    if (k.mode == 0) {
+      for (int n = 2; n <= cluster.num_nodes(); ++n) {
+        servers.push_back(static_cast<ht::NodeId>(n));
+      }
+    }
+    if (servers.empty()) servers.push_back(1);
+
+    auto ra = std::make_shared<workloads::RandomAccess>(
+        space,
+        workloads::RandomAccess::Params{
+            .buffer_bytes = buffer_bytes,
+            .accesses_per_thread = k.accesses,
+            .access_bytes = 8,
+            .seed = opt.seed,
+            .verify = true,
+        });
+    auto setup_and_spawn = [&, servers]() -> sim::Task<void> {
+      if (k.workload == 0) {
+        co_await ra->setup(servers);
+        for (int t = 0; t < k.threads; ++t) {
+          runner.spawn(random_access_thread(ra, t % ncores, t));
+        }
+      } else if (k.workload == 1) {
+        const std::uint64_t capacity =
+            std::bit_ceil(std::max<std::uint64_t>(1024, buffer_bytes / 16));
+        const std::uint64_t entries = capacity / 2;
+        auto idx = std::make_shared<workloads::HashIndex>(space, capacity);
+        co_await idx->build(entries,
+                            [](std::uint64_t i) { return i * 2 + 1; });
+        for (int t = 0; t < k.threads; ++t) {
+          runner.spawn(hash_thread(idx, &space, data_errors, t % ncores,
+                                   opt.seed * 31 + static_cast<unsigned>(t),
+                                   entries, k.accesses));
+        }
+      } else {
+        const std::uint64_t words = buffer_bytes / 8;
+        core::VAddr base = co_await space.map_range(buffer_bytes);
+        for (int t = 0; t < k.threads; ++t) {
+          runner.spawn(shared_rw_thread(
+              &space, base, words, t % ncores,
+              opt.seed * 131 + static_cast<unsigned>(t), k.accesses));
+        }
+      }
+      co_await runner.join();
+      if (k.workload == 0) *data_errors += ra->errors();
+      *released = true;
+      if (space.region() != nullptr) co_await space.region()->release_all();
+      *done = true;
+    };
+    engine.spawn(setup_and_spawn());
+
+    if (opt.mutation == Mutation::kShrinkSwapLimit) {
+      core::MemorySpace* spc = &space;
+      engine.schedule(sim::us(60), [spc] {
+        if (spc->swapper() != nullptr) spc->swapper()->test_shrink_limit(1);
+      });
+    }
+
+    engine.run();
+    res.events = engine.events_processed();
+    res.sim_time = engine.now();
+    reg.check_all(engine.now(), /*at_drain=*/true);
+  } catch (const std::exception& e) {
+    res.violations.push_back(
+        sim::InvariantViolation{"episode.exception", e.what(), 0, true});
+  }
+  if (*timed_out) {
+    res.violations.push_back(sim::InvariantViolation{
+        "episode.timeout",
+        "simulated-time budget exceeded (livelock or runaway episode)", 0,
+        false});
+  }
+  if (*data_errors != 0) {
+    res.violations.push_back(sim::InvariantViolation{
+        "workload.data",
+        std::to_string(*data_errors) + " data verification errors", 0, true});
+  }
+  for (const auto& v : reg.violations()) res.violations.push_back(v);
+  res.checks = reg.checks_run();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool still_fails(const Knobs& k, const EpisodeOptions& opt,
+                 const std::string& invariant, int* runs) {
+  ++*runs;
+  const EpisodeResult r = run_episode(k, opt);
+  for (const auto& v : r.violations) {
+    if (v.name == invariant) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MinimizeResult minimize(Knobs k, const EpisodeOptions& opt,
+                        const std::string& invariant) {
+  MinimizeResult m{k, invariant, 0};
+  const Knobs def;
+  // Pass 1: greedy reset toward the default baseline, structural knobs
+  // first. Each reset is kept only if the invariant still fires.
+  for (const std::string& name : Knobs::knob_names()) {
+    Knobs trial = m.knobs;
+    if (!trial.reset(name)) continue;
+    if (trial.repro_args() == m.knobs.repro_args()) continue;  // already default
+    if (still_fails(trial, opt, invariant, &m.runs)) m.knobs = trial;
+  }
+  // Pass 2: shrink the episode — fewer threads, then shorter runs.
+  while (m.knobs.threads > 1) {
+    Knobs trial = m.knobs;
+    trial.threads = m.knobs.threads - 1;
+    if (!still_fails(trial, opt, invariant, &m.runs)) break;
+    m.knobs = trial;
+  }
+  while (m.knobs.accesses > 16) {
+    Knobs trial = m.knobs;
+    trial.accesses = std::max<std::uint64_t>(16, m.knobs.accesses / 2);
+    if (trial.accesses == m.knobs.accesses) break;
+    if (!still_fails(trial, opt, invariant, &m.runs)) break;
+    m.knobs = trial;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
+CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log) {
+  CampaignResult res;
+  std::vector<std::uint64_t> seeds = opt.seeds;
+  if (seeds.empty()) {
+    for (std::uint64_t i = 0; i < opt.episodes; ++i) {
+      seeds.push_back(opt.first_seed + i);
+    }
+  }
+  for (const std::uint64_t seed : seeds) {
+    sim::Rng knob_rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+    const Knobs k = Knobs::generate(knob_rng);
+    const EpisodeOptions eo{seed, opt.epoch, opt.mutation, nullptr};
+    const EpisodeResult r = run_episode(k, eo);
+    ++res.episodes_run;
+    if (opt.verbose && log != nullptr) {
+      *log << "seed " << seed << ": " << r.events << " events, " << r.checks
+           << " sweeps, " << r.violations.size() << " violations\n";
+    }
+    if (r.violations.empty()) continue;
+
+    ++res.failing;
+    res.failing_seeds.push_back(seed);
+    if (log != nullptr) {
+      const std::string args = k.repro_args();
+      *log << "VIOLATION seed=" << seed << " knobs: "
+           << (args.empty() ? "(defaults)" : args) << "\n";
+      for (const auto& v : r.violations) {
+        *log << "  [" << v.name << (v.at_drain ? " @drain" : " @epoch")
+             << " t=" << v.when << "] " << v.detail << "\n";
+      }
+    }
+
+    Knobs repro_knobs = k;
+    if (opt.minimize) {
+      const MinimizeResult m = minimize(k, eo, r.violations.front().name);
+      repro_knobs = m.knobs;
+      if (log != nullptr) {
+        *log << "  minimized in " << m.runs << " runs to "
+             << repro_knobs.non_default().size() << " non-default knobs\n";
+      }
+    }
+    std::string repro = "memscale_fuzz repro=1 seed=" + std::to_string(seed);
+    if (opt.mutation != Mutation::kNone) {
+      repro += std::string(" mutation=") + mutation_name(opt.mutation);
+    }
+    const std::string args = repro_knobs.repro_args();
+    if (!args.empty()) repro += " " + args;
+    res.repro_lines.push_back(repro);
+    if (log != nullptr) *log << "  repro: " << repro << "\n";
+
+    if (!opt.flight_path.empty()) {
+      // Re-run the failing seed with the flight recorder attached (normal
+      // episodes run tracer-free) and dump the ring next to the repro.
+      sim::Tracer tracer;
+      tracer.enable_flight_recorder(8192);
+      EpisodeOptions fo = eo;
+      fo.tracer = &tracer;
+      (void)run_episode(k, fo);
+      std::error_code ec;
+      std::filesystem::create_directories(opt.flight_path, ec);
+      const std::string file = opt.flight_path + "/violation-seed-" +
+                               std::to_string(seed) + ".msflight";
+      std::ofstream out(file, std::ios::binary);
+      if (out) {
+        tracer.export_flight(out);
+        if (log != nullptr) *log << "  flight ring: " << file << "\n";
+      } else if (log != nullptr) {
+        *log << "  flight ring: cannot open " << file << "\n";
+      }
+    }
+  }
+  if (log != nullptr) {
+    *log << res.episodes_run << " episodes, " << res.failing << " failing\n";
+  }
+  return res;
+}
+
+}  // namespace ms::fuzz

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "sim/invariant.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace ms::fuzz {
+
+/// One randomized episode configuration. Every field defaults to the
+/// *smallest* interesting value, so "distance from default" is both the
+/// generator's dial and the minimizer's objective: a minimized repro is a
+/// short list of knob=value overrides on top of this baseline.
+struct Knobs {
+  // Cluster shape.
+  int nodes = 2;
+  std::string topology = "ring";
+  int sockets = 1;
+  int cores_per_socket = 1;
+  std::uint64_t local_mib = 64;     ///< local memory per node
+  std::uint64_t cache_kib = 64;     ///< per-core private cache
+  std::uint64_t segment_mib = 2;    ///< donor reservation granule
+  int rmc_outstanding = 1;          ///< per-core remote outstanding limit
+  int virtual_channels = 1;
+  double link_error_rate = 0.0;     ///< CRC retransmission probability
+  // Process / workload.
+  int mode = 0;       ///< 0 = region (the paper's architecture), 1 = remote swap
+  int workload = 0;   ///< 0 = random reads, 1 = hash index, 2 = shared r/w
+  int threads = 1;
+  std::uint64_t accesses = 200;     ///< per thread
+  std::uint64_t buffer_kib = 64;    ///< workload footprint
+  std::uint64_t resident_kib = 128; ///< swap resident-set limit (mode 1)
+
+  /// Samples a random-but-valid configuration; deterministic per Rng state.
+  static Knobs generate(sim::Rng& rng);
+
+  /// Names of every knob, in minimization order (structural knobs first so
+  /// the minimizer shrinks the machine before the workload).
+  static const std::vector<std::string>& knob_names();
+
+  /// Returns knobs that differ from the default baseline as "name=value".
+  std::vector<std::string> non_default() const;
+
+  /// Sets one knob from "name=value" (CLI overrides, repro lines). Throws
+  /// std::invalid_argument on an unknown name.
+  void set(const std::string& name, const std::string& value);
+
+  /// Resets one knob to its default. Returns false on an unknown name.
+  bool reset(const std::string& name);
+
+  /// "name=value ..." for every non-default knob (repro command lines).
+  std::string repro_args() const;
+
+  /// Materializes the cluster configuration this episode runs on.
+  core::ClusterConfig cluster_config() const;
+};
+
+/// Seeded fault injections: each breaks exactly one invariant so the
+/// checkers (and the minimizer) can be validated end to end.
+enum class Mutation {
+  kNone,
+  kSkipDowngrade,    ///< MSI: skip the modified-owner downgrade on read miss
+  kLeakCredit,       ///< eat one link credit permanently
+  kPhantomRequest,   ///< count a client request that never happened
+  kShrinkSwapLimit,  ///< shrink the swap resident capacity mid-run
+};
+
+Mutation parse_mutation(const std::string& name);
+const char* mutation_name(Mutation m);
+
+struct EpisodeOptions {
+  std::uint64_t seed = 1;          ///< drives tie-fuzz + workload RNG
+  sim::Time epoch = sim::us(20);   ///< invariant-check period; 0 = drain only
+  Mutation mutation = Mutation::kNone;
+  sim::Tracer* tracer = nullptr;   ///< optional (flight-recorder re-runs)
+};
+
+struct EpisodeResult {
+  std::vector<sim::InvariantViolation> violations;
+  std::uint64_t events = 0;   ///< engine events processed
+  sim::Time sim_time = 0;     ///< simulated duration
+  std::uint64_t checks = 0;   ///< invariant sweeps executed
+};
+
+/// Everything the cluster-wide checkers need to see. `released` flips to
+/// true once the episode has torn its regions down; checkers that compare
+/// page tables against live grants go quiet after that point (the PTEs are
+/// intentionally stale during teardown).
+struct EpisodeContext {
+  sim::Engine* engine = nullptr;
+  core::Cluster* cluster = nullptr;
+  std::vector<core::MemorySpace*> spaces;
+  std::shared_ptr<bool> released;
+};
+
+/// Registers the full invariant set against a built cluster:
+///   frame.allocator    — allocator free/alloc maps partition the pool
+///   frame.ownership    — grants pinned at the donor, globally disjoint
+///   pagetable.agreement— PTEs point into live grants / local memory
+///   donor.never_caches — donated ranges never resident in donor caches
+///   msi.directory      — modified owner is the *only* sharer
+///   msi.cache_agreement— resident lines are registered (mod. fill window)
+///   msi.single_writer  — at most one dirty copy of a line (drain: strict)
+///   swap.resident      — resident set <= capacity, LRU books consistent
+///   link.credits       — [drain] all credits returned, transmitters idle
+///   packet.conservation— [drain] every request got exactly one response
+///   engine.drain       — [drain] no process still blocked (deadlock)
+void register_cluster_invariants(sim::InvariantRegistry& reg,
+                                 const EpisodeContext& ctx);
+
+/// Runs one seeded episode: build the cluster from `k`, apply the mutation,
+/// run a random workload mix under tie-fuzz, check invariants at epoch
+/// boundaries and at drain. Exceptions escaping the simulation are reported
+/// as violations ("episode.exception"), never thrown.
+EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt);
+
+struct MinimizeResult {
+  Knobs knobs;            ///< smallest configuration still failing
+  std::string invariant;  ///< the invariant it still fails
+  int runs = 0;           ///< episodes spent minimizing
+};
+
+/// Greedy shrink: reset knobs to their defaults one at a time (keeping a
+/// reset only when `invariant` still fires), then halve the episode length.
+/// `invariant` is the checker name that must keep firing (from the original
+/// failure).
+MinimizeResult minimize(Knobs k, const EpisodeOptions& opt,
+                        const std::string& invariant);
+
+struct CampaignOptions {
+  std::uint64_t episodes = 64;
+  std::uint64_t first_seed = 1;          ///< seeds are first_seed..+episodes-1
+  std::vector<std::uint64_t> seeds;      ///< explicit list (overrides above)
+  sim::Time epoch = sim::us(20);
+  Mutation mutation = Mutation::kNone;
+  bool minimize = true;                  ///< auto-minimize failures
+  std::string flight_path;               ///< dump MSFLIGHT rings here ("" = off)
+  bool verbose = false;
+};
+
+struct CampaignResult {
+  std::uint64_t episodes_run = 0;
+  std::uint64_t failing = 0;
+  std::vector<std::uint64_t> failing_seeds;
+  std::vector<std::string> repro_lines;  ///< one repro command line per failure
+};
+
+/// Runs a campaign of seeded episodes (knobs generated per seed), reporting
+/// violations, minimizing failures and dumping flight-recorder rings.
+/// Progress and findings go to `log` when non-null.
+CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log);
+
+}  // namespace ms::fuzz

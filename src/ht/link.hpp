@@ -60,6 +60,19 @@ class Link {
   sim::Time busy_time() const { return busy_; }
   const sim::Sampler& queue_wait() const { return queue_wait_; }
 
+  /// Credit-conservation observability (invariant checkers): at drain every
+  /// receiver buffer credit must be back in the pool and the transmitter
+  /// idle — anything else means a message leaked or is stuck.
+  int credits_available() const { return credits_.available(); }
+  int credits_configured() const { return params_.credits; }
+  bool transmitter_idle() const { return transmitter_.available() == 1; }
+  std::size_t credit_waiters() const { return credits_.waiters(); }
+
+  /// Fault injection for the fuzzing harness: permanently eat one credit,
+  /// simulating a lost-buffer leak, so the credit-conservation checker can
+  /// prove it fires. Test-only; never called by production code.
+  void test_leak_credit() { (void)credits_.try_acquire(); }
+
  private:
   sim::Engine& engine_;
   std::string name_;

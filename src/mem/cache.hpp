@@ -88,6 +88,23 @@ class Cache {
   std::uint64_t writebacks() const { return writebacks_.value(); }
   double hit_rate() const;
 
+  /// Invokes `fn(line_address, dirty)` for every resident line. Tags store
+  /// the full line address, so no set/tag reconstruction is needed. Used by
+  /// the invariant checkers (donor-never-caches, MSI agreement); read-only
+  /// and never called on production paths.
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const {
+    for (const Way& way : ways_) {
+      if (way.valid) fn(way.tag, way.dirty);
+    }
+  }
+
+  std::size_t resident_lines() const {
+    std::size_t n = 0;
+    for (const Way& way : ways_) n += way.valid ? 1 : 0;
+    return n;
+  }
+
  private:
   struct Way {
     ht::PAddr tag = 0;

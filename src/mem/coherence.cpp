@@ -40,7 +40,7 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_miss(int core,
     e.owner = core;
   } else {
     // A modified owner must supply and clean the line.
-    if (e.owner >= 0 && e.owner != core) {
+    if (e.owner >= 0 && e.owner != core && !test_skip_downgrade_) {
       ++out.probes;
       if (caches_[static_cast<std::size_t>(e.owner)]->clean(line)) {
         out.dirty_transfer = true;

@@ -58,6 +58,27 @@ class CoherenceDirectory {
   bool tracked(ht::PAddr line) const { return lines_.count(line) != 0; }
   int sharer_count(ht::PAddr line) const;
 
+  /// Whether `core`'s sharer bit is set for the line.
+  bool sharer(ht::PAddr line, int core) const {
+    auto it = lines_.find(line);
+    return it != lines_.end() &&
+           ((it->second.sharers >> core) & 1ULL) != 0;
+  }
+
+  /// Invokes `fn(line, sharers_mask, owner)` for every tracked line.
+  /// Read-only walk for the invariant checkers; never on production paths.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [line, e] : lines_) fn(line, e.sharers, e.owner);
+  }
+
+  /// Fault injection for the fuzzing harness: skip the modified-owner
+  /// downgrade on read misses. This deliberately breaks the MSI single-
+  /// writer rule (owner stays registered while a new sharer is added) so
+  /// the checkers can prove they catch it. Test-only; never set by
+  /// production code.
+  void test_skip_downgrade(bool on) { test_skip_downgrade_ = on; }
+
   std::uint64_t probes() const { return probes_.value(); }
   std::uint64_t invalidations() const { return invalidations_.value(); }
   std::uint64_t dirty_transfers() const { return dirty_transfers_.value(); }
@@ -69,6 +90,7 @@ class CoherenceDirectory {
   };
 
   Params params_;
+  bool test_skip_downgrade_ = false;
   std::vector<Cache*> caches_;
   std::unordered_map<ht::PAddr, Entry> lines_;
   sim::Counter probes_;

@@ -99,6 +99,10 @@ const ht::Link& Fabric::link(NodeId from, NodeId to, int vc) const {
   return *links_.at({from, to}).at(static_cast<std::size_t>(vc));
 }
 
+ht::Link& Fabric::mutable_link(NodeId from, NodeId to, int vc) {
+  return *links_.at({from, to}).at(static_cast<std::size_t>(vc));
+}
+
 void Fabric::export_stats(sim::StatRegistry& reg,
                           const std::string& prefix) const {
   reg.counter(prefix + "packets_delivered").inc(delivered_.value());

@@ -59,6 +59,21 @@ class Fabric {
   /// Per-link accounting (for congestion analysis / tests).
   const ht::Link& link(NodeId from, NodeId to, int vc = 0) const;
 
+  /// Mutable link access for fault injection (test-only hooks such as
+  /// ht::Link::test_leak_credit).
+  ht::Link& mutable_link(NodeId from, NodeId to, int vc = 0);
+
+  /// Invokes `fn(from, to, vc, link)` for every (edge, virtual channel).
+  /// Read-only walk for the invariant checkers.
+  template <typename Fn>
+  void for_each_link(Fn&& fn) const {
+    for (const auto& [edge, vcs] : links_) {
+      for (std::size_t vc = 0; vc < vcs.size(); ++vc) {
+        fn(edge.first, edge.second, static_cast<int>(vc), *vcs[vc]);
+      }
+    }
+  }
+
   /// Virtual channel a packet class rides on (0 = requests, last =
   /// responses when more than one channel is configured).
   int vc_of(ht::PacketType type) const;

@@ -150,7 +150,11 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
         co_await engine_.delay(carried + cache.params().hit_latency);
       }
       const sim::Time asked = engine_.now();
-      co_await pending->second->wait();
+      // Re-find after the suspension: the fill may have completed during
+      // the delay, firing the trigger and erasing the entry (the held
+      // iterator would dangle). Entry gone => the data already arrived.
+      auto still = fills_.find(mshr_key(core, line));
+      if (still != fills_.end()) co_await still->second->wait();
       sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
       if (is_write) {
         auto coh = directory_->on_write_hit(core, line);
@@ -183,7 +187,9 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
       co_await engine_.delay(carried + cache.params().hit_latency);
     }
     const sim::Time asked = engine_.now();
-    co_await existing->second->wait();
+    // Same iterator-across-suspension hazard as the hit path above.
+    auto still = fills_.find(key);
+    if (still != fills_.end()) co_await still->second->wait();
     sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
     co_return 0;
   }

@@ -99,6 +99,16 @@ class Node {
   std::uint64_t prefetch_fills() const { return prefetch_fills_.value(); }
   std::uint64_t mshr_merges() const { return mshr_merges_.value(); }
 
+  /// Whether a fill of `line` into `core`'s cache is still outstanding.
+  /// The tag is installed synchronously at access time while the coherence
+  /// directory registers the sharer later (after the miss latency), so the
+  /// invariant checkers tolerate cache-ahead-of-directory windows exactly
+  /// when this is true.
+  bool fill_pending(int core, ht::PAddr line) const {
+    return fills_.count(mshr_key(core, line)) != 0;
+  }
+  std::size_t pending_fills() const { return fills_.size(); }
+
   /// cHT hops between two sockets (square topology: popcount of the XOR).
   int socket_hops(int a, int b) const;
   int socket_of_core(int core) const { return core / params_.cores_per_socket; }

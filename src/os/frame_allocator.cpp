@@ -1,7 +1,10 @@
 #include "os/frame_allocator.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace ms::os {
 
@@ -107,6 +110,62 @@ bool FrameAllocator::is_pinned(ht::PAddr addr) const {
   if (it == allocations_.begin()) return false;
   --it;
   return addr < it->first + it->second.bytes && it->second.pinned;
+}
+
+std::string FrameAllocator::validate() const {
+  std::ostringstream err;
+  // Merge both maps into one sorted interval list and check for overlap,
+  // alignment and byte-total agreement in a single pass.
+  struct Span {
+    ht::PAddr base;
+    ht::PAddr bytes;
+    bool is_free;
+  };
+  std::vector<Span> spans;
+  spans.reserve(free_ranges_.size() + allocations_.size());
+  ht::PAddr free_sum = 0, alloc_sum = 0, pinned_sum = 0;
+  for (const auto& [base, bytes] : free_ranges_) {
+    spans.push_back({base, bytes, true});
+    free_sum += bytes;
+  }
+  for (const auto& [base, a] : allocations_) {
+    spans.push_back({base, a.bytes, false});
+    alloc_sum += a.bytes;
+    if (a.pinned) pinned_sum += a.bytes;
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.base < b.base; });
+  ht::PAddr prev_end = 0;
+  bool first = true;
+  for (const Span& s : spans) {
+    if (s.bytes == 0 || s.base % frame_bytes_ != 0 ||
+        s.bytes % frame_bytes_ != 0) {
+      err << "unaligned or empty " << (s.is_free ? "free" : "alloc")
+          << " span at 0x" << std::hex << s.base;
+      return err.str();
+    }
+    if (!first && s.base < prev_end) {
+      err << "overlapping spans at 0x" << std::hex << s.base;
+      return err.str();
+    }
+    prev_end = s.base + s.bytes;
+    first = false;
+  }
+  if (free_sum != free_) {
+    err << "free list sums to " << free_sum << " but free_ = " << free_;
+    return err.str();
+  }
+  if (free_sum + alloc_sum != total_) {
+    err << "free " << free_sum << " + allocated " << alloc_sum
+        << " != total " << total_;
+    return err.str();
+  }
+  if (pinned_sum != pinned_) {
+    err << "pinned allocations sum to " << pinned_sum << " but pinned_ = "
+        << pinned_;
+    return err.str();
+  }
+  return {};
 }
 
 ht::PAddr FrameAllocator::largest_free_range() const {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 
 #include "ht/packet.hpp"
 #include "sim/stats.hpp"
@@ -52,6 +53,25 @@ class FrameAllocator {
   ht::PAddr pinned_bytes() const { return pinned_; }
   ht::PAddr largest_free_range() const;
   std::uint64_t frame_bytes() const { return frame_bytes_; }
+
+  /// Full consistency audit for the invariant checkers: free list and
+  /// allocation map must partition the pool without overlap, and the byte
+  /// totals (total/free/pinned) must match the maps exactly. Returns an
+  /// empty string when consistent, else a description of the first problem.
+  std::string validate() const;
+
+  /// Invokes `fn(base, bytes, pinned)` for every live allocation.
+  template <typename Fn>
+  void for_each_allocation(Fn&& fn) const {
+    for (const auto& [base, a] : allocations_) fn(base, a.bytes, a.pinned);
+  }
+
+  /// Invokes `fn(base, bytes)` for every free range (hot-plug tests pick
+  /// removable ranges from this walk).
+  template <typename Fn>
+  void for_each_free_range(Fn&& fn) const {
+    for (const auto& [base, bytes] : free_ranges_) fn(base, bytes);
+  }
 
  private:
   ht::PAddr round_up(ht::PAddr bytes) const {

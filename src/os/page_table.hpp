@@ -45,6 +45,13 @@ class PageTable {
   std::uint64_t page_bytes() const { return page_bytes_; }
   std::size_t mapped_pages() const { return entries_.size(); }
 
+  /// Invokes `fn(page_base, entry)` for every entry (present or not).
+  /// Read-only walk for the invariant checkers.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [va, e] : entries_) fn(va, e);
+  }
+
  private:
   std::uint64_t page_bytes_;
   std::unordered_map<VAddr, Entry> entries_;  // keyed by page base

@@ -58,6 +58,15 @@ class RegionManager {
   std::size_t segment_count() const { return segments_.size(); }
   ht::PAddr borrowed_bytes() const;
 
+  /// Snapshot of the live reservation grants backing this region (for the
+  /// frame-ownership and donor-never-caches invariant checkers).
+  std::vector<ReservationService::Grant> segment_grants() const {
+    std::vector<ReservationService::Grant> out;
+    out.reserve(segments_.size());
+    for (const Segment& s : segments_) out.push_back(s.grant);
+    return out;
+  }
+
   const Params& params() const { return params_; }
 
  private:

@@ -109,6 +109,12 @@ class Rmc {
   const sim::Sampler& port_wait() const { return port_wait_; }
   const ht::HncBridge& bridge() const { return bridge_; }
 
+  /// Fault injection for the fuzzing harness: count a client request that
+  /// never existed, breaking the every-request-exactly-one-response books
+  /// (client_requests == completed round trips at drain) so the packet-
+  /// conservation checker can prove it fires. Test-only.
+  void test_inject_phantom_request() { client_requests_.inc(); }
+
  private:
   enum class Dir { kNone, kToFabric, kToLocal };
 

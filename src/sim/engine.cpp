@@ -42,7 +42,9 @@ Engine::EventNode* Engine::prepare(Time when) {
 }
 
 void Engine::commit(EventNode* n) {
-  place(n);
+  // Tie-fuzz decides head-vs-tail only at initial commit; cascades re-place
+  // at the tail, preserving whatever same-timestamp order was decided here.
+  place(n, tie_fuzz_ && (tie_rng_.next() & 1) != 0);
   ++size_;
 }
 
@@ -78,7 +80,7 @@ inline void clear_bit(std::vector<std::uint64_t>& words,
 }
 }  // namespace
 
-void Engine::place(EventNode* n) {
+void Engine::place(EventNode* n, bool front) {
   // The wheel is anchored at cursor_ <= every pending timestamp, so the
   // highest bit in which `when` differs from the cursor picks the level.
   const Time diff = n->when ^ cursor_;
@@ -89,6 +91,16 @@ void Engine::place(EventNode* n) {
   n->slot = static_cast<std::uint16_t>(slot);
   Level& lv = levels_[level];
   Slot& sl = lv.slots[static_cast<std::size_t>(slot)];
+  if (front && sl.head != nullptr) {
+    // Tie-fuzz insertion: jump the slot's queue. Overflow slots mix
+    // timestamps, but the cascade re-places each node by its own `when`,
+    // so only same-timestamp relative order is affected.
+    n->prev = nullptr;
+    n->next = sl.head;
+    sl.head->prev = n;
+    sl.head = n;
+    return;
+  }
   n->prev = sl.tail;
   n->next = nullptr;
   if (sl.tail != nullptr) {

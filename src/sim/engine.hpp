@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -163,6 +164,21 @@ class Engine {
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Schedule-perturbation hook for the fuzzing harness: with tie-fuzz on,
+  /// each newly committed event lands at the head or the tail of its wheel
+  /// slot on a seeded coin flip, randomizing the relative order of
+  /// *same-timestamp* events while leaving cross-timestamp order untouched.
+  /// Cascades keep their tail-append, so an order once decided survives
+  /// wheel promotion. Fully deterministic for a given seed; when off (the
+  /// default) the path is bit-identical to the FIFO engine and the RNG is
+  /// never advanced, so golden-output tests stay byte-identical.
+  void set_tie_fuzz(std::uint64_t seed) {
+    tie_fuzz_ = true;
+    tie_rng_.reseed(seed);
+  }
+  void clear_tie_fuzz() { tie_fuzz_ = false; }
+  bool tie_fuzz_enabled() const { return tie_fuzz_; }
+
   /// Awaitable: suspends the current process for `d` simulated time.
   struct DelayAwaiter {
     Engine* engine;
@@ -275,7 +291,7 @@ class Engine {
 
   EventNode* prepare(Time when);  // validates `when`, takes a pool node
   void commit(EventNode* n);      // places the node and grows size_
-  void place(EventNode* n);
+  void place(EventNode* n, bool front = false);
   void unlink(EventNode* n);
   void recycle(EventNode* n) {
     ++n->gen;
@@ -290,6 +306,8 @@ class Engine {
   bool step(Time limit);  // pops and runs one event; false when none <= limit
 
   Time now_ = 0;
+  bool tie_fuzz_ = false;
+  Rng tie_rng_{0};
   // Wheel cursor: lower bound on the next pending event's timestamp. It can
   // run ahead of now_ only transiently inside pop_next (never observable by
   // user code) and never past a run_until deadline.

@@ -1,0 +1,23 @@
+#include "sim/invariant.hpp"
+
+namespace ms::sim {
+
+void InvariantContext::fail(std::string detail) {
+  if (reg_.violations_.size() >= reg_.max_violations_) return;
+  reg_.violations_.push_back(
+      InvariantViolation{name_, std::move(detail), now_, at_drain_});
+}
+
+std::size_t InvariantRegistry::check_all(Time now, bool at_drain) {
+  if (items_.empty()) return 0;
+  const std::size_t before = violations_.size();
+  for (const Item& item : items_) {
+    if (item.drain_only && !at_drain) continue;
+    ++checks_run_;
+    InvariantContext ctx(*this, item.name, now, at_drain);
+    item.fn(ctx);
+  }
+  return violations_.size() - before;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ms::sim {
+
+/// One recorded invariant failure: which checker fired, what it saw, and
+/// when (simulated time). `at_drain` distinguishes an epoch-boundary check
+/// from the final check after the event queue drained.
+struct InvariantViolation {
+  std::string name;
+  std::string detail;
+  Time when = 0;
+  bool at_drain = false;
+};
+
+/// Context handed to every checker; fail() records a violation without
+/// aborting the run, so one sweep reports every broken invariant at once.
+class InvariantContext {
+ public:
+  void fail(std::string detail);
+  Time now() const { return now_; }
+  bool at_drain() const { return at_drain_; }
+
+ private:
+  friend class InvariantRegistry;
+  InvariantContext(class InvariantRegistry& reg, std::string name, Time now,
+                   bool at_drain)
+      : reg_(reg), name_(std::move(name)), now_(now), at_drain_(at_drain) {}
+  InvariantRegistry& reg_;
+  std::string name_;
+  Time now_;
+  bool at_drain_;
+};
+
+/// Registry of cluster-wide consistency checkers for the fuzzing harness.
+///
+/// Checkers are plain polling functions over component state — nothing is
+/// wired into simulation hot paths, so an empty registry costs the
+/// production code zero branches. Epoch-safe checkers run at configurable
+/// epoch boundaries *and* at drain; drain-only checkers express invariants
+/// that only hold once the event queue is empty (credit conservation,
+/// packet conservation), when no transaction is mid-flight.
+class InvariantRegistry {
+ public:
+  using Checker = std::function<void(InvariantContext&)>;
+
+  /// Registers a checker that runs at every epoch boundary and at drain.
+  void add(std::string name, Checker fn) {
+    items_.push_back({std::move(name), std::move(fn), /*drain_only=*/false});
+  }
+
+  /// Registers a checker that runs only at drain.
+  void add_drain_only(std::string name, Checker fn) {
+    items_.push_back({std::move(name), std::move(fn), /*drain_only=*/true});
+  }
+
+  bool empty() const { return items_.empty(); }
+
+  /// Runs every eligible checker once. Returns the number of *new*
+  /// violations recorded by this sweep. Cheap no-op when empty.
+  std::size_t check_all(Time now, bool at_drain);
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  void clear_violations() { violations_.clear(); }
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Caps recorded violations so a hopelessly broken run stays readable.
+  void set_max_violations(std::size_t n) { max_violations_ = n; }
+
+ private:
+  friend class InvariantContext;
+  struct Item {
+    std::string name;
+    Checker fn;
+    bool drain_only;
+  };
+  std::vector<Item> items_;
+  std::vector<InvariantViolation> violations_;
+  std::size_t max_violations_ = 64;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace ms::sim

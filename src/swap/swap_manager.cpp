@@ -1,11 +1,45 @@
 #include "swap/swap_manager.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "sim/tracer.hpp"
 
 namespace ms::swap {
+
+std::string SwapManager::validate() const {
+  std::ostringstream err;
+  if (resident_.size() > max_resident_) {
+    err << "resident set " << resident_.size() << " pages exceeds capacity "
+        << max_resident_;
+    return err.str();
+  }
+  if (lru_.size() != resident_.size()) {
+    err << "LRU list has " << lru_.size() << " entries for "
+        << resident_.size() << " resident pages";
+    return err.str();
+  }
+  std::unordered_set<ht::PAddr> frames;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto rit = resident_.find(*it);
+    if (rit == resident_.end()) {
+      err << "LRU page 0x" << std::hex << *it << " not resident";
+      return err.str();
+    }
+    if (rit->second.lru_it != it) {
+      err << "resident page 0x" << std::hex << *it
+          << " has a stale LRU iterator";
+      return err.str();
+    }
+    if (!frames.insert(rit->second.frame).second) {
+      err << "frame 0x" << std::hex << rit->second.frame
+          << " backs two resident pages";
+      return err.str();
+    }
+  }
+  return {};
+}
 
 SwapManager::SwapManager(sim::Engine& engine, node::Node& node,
                          noc::Fabric& fabric, os::RegionManager* region,

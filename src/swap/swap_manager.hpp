@@ -100,7 +100,21 @@ class SwapManager {
   std::uint64_t dirty_writebacks() const { return dirty_writebacks_.value(); }
   std::uint64_t fault_timeouts() const { return fault_timeouts_.value(); }
   std::size_t resident_pages() const { return resident_.size(); }
+  std::uint64_t max_resident_pages() const { return max_resident_; }
   const Params& params() const { return params_; }
+
+  /// Consistency audit for the invariant checkers: resident set within the
+  /// configured capacity, LRU list and resident map in exact one-to-one
+  /// correspondence, and no two resident pages sharing a frame. Returns an
+  /// empty string when consistent, else a description of the problem.
+  std::string validate() const;
+
+  /// Fault injection for the fuzzing harness: shrink the resident-set
+  /// capacity below the current population so the resident-set <= capacity
+  /// checker can prove it fires. Test-only.
+  void test_shrink_limit(std::uint64_t pages) {
+    max_resident_ = pages == 0 ? 1 : pages;
+  }
 
   /// Snapshots fault counters into `reg` under `prefix`. The fault watchdog
   /// follows the repo-wide convention for off-by-default watchdogs (see

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "node/address_map.hpp"
+#include "os/reservation.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace ms {
+namespace {
+
+bool has_violation(const fuzz::EpisodeResult& r, const std::string& name) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [&](const sim::InvariantViolation& v) {
+                       return v.name == name;
+                     });
+}
+
+std::string violation_names(const fuzz::EpisodeResult& r) {
+  std::string out;
+  for (const auto& v : r.violations) out += v.name + " [" + v.detail + "] ";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Engine tie-fuzz: seeded perturbation of same-timestamp event order.
+// ---------------------------------------------------------------------------
+
+std::vector<int> same_timestamp_order(std::uint64_t tie_seed, bool fuzz_on) {
+  sim::Engine engine;
+  if (fuzz_on) engine.set_tie_fuzz(tie_seed);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    engine.schedule(sim::ns(10), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  return order;
+}
+
+TEST(TieFuzz, OffPreservesFifoOrder) {
+  const std::vector<int> order = same_timestamp_order(0, /*fuzz_on=*/false);
+  std::vector<int> fifo(16);
+  for (int i = 0; i < 16; ++i) fifo[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, fifo);
+}
+
+TEST(TieFuzz, SameSeedSameOrder) {
+  const auto a = same_timestamp_order(42, true);
+  const auto b = same_timestamp_order(42, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TieFuzz, PerturbsTiesDeterministically) {
+  // Some seed must produce a non-FIFO permutation of the 16 tied events
+  // (16 coin flips; all-tails for every seed would mean the hook is dead).
+  std::vector<int> fifo(16);
+  for (int i = 0; i < 16; ++i) fifo[static_cast<std::size_t>(i)] = i;
+  bool perturbed = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !perturbed; ++seed) {
+    auto order = same_timestamp_order(seed, true);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, fifo);  // a permutation: nothing lost or duplicated
+    perturbed = order != fifo;
+  }
+  EXPECT_TRUE(perturbed);
+}
+
+TEST(TieFuzz, DistinctTimestampsKeepTimeOrder) {
+  sim::Engine engine;
+  engine.set_tie_fuzz(7);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    engine.schedule(sim::ns(static_cast<std::uint64_t>(8 - i)),
+                    [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  const std::vector<int> by_time = {7, 6, 5, 4, 3, 2, 1, 0};
+  EXPECT_EQ(order, by_time);
+}
+
+// ---------------------------------------------------------------------------
+// Knob plumbing
+// ---------------------------------------------------------------------------
+
+TEST(FuzzKnobs, SetResetRoundTrip) {
+  fuzz::Knobs k;
+  EXPECT_TRUE(k.non_default().empty());
+  k.set("nodes", "5");
+  k.set("topology", "star");
+  k.set("link_error_rate", "0.001");
+  EXPECT_EQ(k.nodes, 5);
+  EXPECT_EQ(k.topology, "star");
+  EXPECT_DOUBLE_EQ(k.link_error_rate, 0.001);
+  EXPECT_EQ(k.non_default().size(), 3u);
+
+  // Repro line -> fresh knobs -> identical repro line.
+  fuzz::Knobs k2;
+  for (const std::string& kv : k.non_default()) {
+    const auto eq = kv.find('=');
+    k2.set(kv.substr(0, eq), kv.substr(eq + 1));
+  }
+  EXPECT_EQ(k2.repro_args(), k.repro_args());
+
+  EXPECT_TRUE(k.reset("topology"));
+  EXPECT_EQ(k.topology, "ring");
+  EXPECT_FALSE(k.reset("no_such_knob"));
+  EXPECT_THROW(k.set("no_such_knob", "1"), std::invalid_argument);
+}
+
+TEST(FuzzKnobs, GeneratorIsDeterministicPerSeed) {
+  sim::Rng a(123), b(123), c(124);
+  const fuzz::Knobs ka = fuzz::Knobs::generate(a);
+  const fuzz::Knobs kb = fuzz::Knobs::generate(b);
+  const fuzz::Knobs kc = fuzz::Knobs::generate(c);
+  EXPECT_EQ(ka.repro_args(), kb.repro_args());
+  // Different seeds should (for this pair) pick different configurations.
+  EXPECT_NE(ka.repro_args(), kc.repro_args());
+}
+
+// ---------------------------------------------------------------------------
+// Clean episodes: no mutation => no violations, and deterministic per seed.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzEpisode, CleanEpisodesHaveNoViolations) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+    const fuzz::Knobs k = fuzz::Knobs::generate(rng);
+    fuzz::EpisodeOptions opt;
+    opt.seed = seed;
+    const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+    EXPECT_TRUE(r.violations.empty())
+        << "seed " << seed << ": " << violation_names(r);
+    EXPECT_GT(r.events, 0u);
+    EXPECT_GT(r.checks, 0u);  // epoch sweeps + the drain sweep ran
+  }
+}
+
+TEST(FuzzEpisode, SameSeedIsReproducible) {
+  sim::Rng rng(0xabcdef);
+  const fuzz::Knobs k = fuzz::Knobs::generate(rng);
+  fuzz::EpisodeOptions opt;
+  opt.seed = 9;
+  const fuzz::EpisodeResult a = fuzz::run_episode(k, opt);
+  const fuzz::EpisodeResult b = fuzz::run_episode(k, opt);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults: each seeded mutation must trip exactly the checker that
+// owns the broken invariant.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzInjection, LeakedCreditTripsLinkCredits) {
+  fuzz::Knobs k;  // default 2-node ring, random reads
+  fuzz::EpisodeOptions opt;
+  opt.seed = 5;
+  opt.mutation = fuzz::Mutation::kLeakCredit;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  EXPECT_TRUE(has_violation(r, "link.credits")) << violation_names(r);
+}
+
+TEST(FuzzInjection, PhantomRequestTripsPacketConservation) {
+  fuzz::Knobs k;
+  fuzz::EpisodeOptions opt;
+  opt.seed = 5;
+  opt.mutation = fuzz::Mutation::kPhantomRequest;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  EXPECT_TRUE(has_violation(r, "packet.conservation")) << violation_names(r);
+}
+
+TEST(FuzzInjection, ShrunkSwapLimitTripsResidentBound) {
+  fuzz::Knobs k;
+  k.set("mode", "1");           // remote swap
+  k.set("buffer_kib", "64");    // 16 pages over an 8-page resident limit
+  k.set("resident_kib", "32");
+  k.set("accesses", "400");
+  fuzz::EpisodeOptions opt;
+  opt.seed = 5;
+  opt.epoch = sim::us(10);
+  opt.mutation = fuzz::Mutation::kShrinkSwapLimit;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  EXPECT_TRUE(has_violation(r, "swap.resident")) << violation_names(r);
+}
+
+TEST(FuzzInjection, SkipDowngradeTripsDirectoryAndMinimizes) {
+  // Two cores hammering a small shared read/write buffer: a read miss on a
+  // modified line must downgrade the owner; the mutation skips that, so the
+  // directory ends up with an owner coexisting with other sharers.
+  fuzz::Knobs k;
+  k.set("cores_per_socket", "2");
+  k.set("threads", "2");
+  k.set("workload", "2");
+  k.set("buffer_kib", "16");
+  k.set("accesses", "400");
+  fuzz::EpisodeOptions opt;
+  opt.seed = 7;
+  opt.epoch = sim::us(5);
+  opt.mutation = fuzz::Mutation::kSkipDowngrade;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  ASSERT_TRUE(has_violation(r, "msi.directory")) << violation_names(r);
+
+  // Auto-minimization must keep the failure alive while shrinking the
+  // configuration to a handful of non-default knobs.
+  const fuzz::MinimizeResult m = fuzz::minimize(k, opt, "msi.directory");
+  const fuzz::EpisodeResult again = fuzz::run_episode(m.knobs, opt);
+  EXPECT_TRUE(has_violation(again, "msi.directory"))
+      << violation_names(again);
+  EXPECT_LE(m.knobs.non_default().size(), 4u)
+      << "minimized repro: " << m.knobs.repro_args();
+  EXPECT_GT(m.runs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign plumbing: a seeded mutation campaign reports the offending seed
+// and emits a repro line that replays to the same violation.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzCampaign, ReportsFailingSeedsAndReproLines) {
+  fuzz::CampaignOptions opt;
+  opt.episodes = 2;
+  opt.first_seed = 11;
+  opt.mutation = fuzz::Mutation::kPhantomRequest;
+  opt.minimize = false;  // keep the test fast; minimization covered above
+  const fuzz::CampaignResult res = fuzz::run_campaign(opt, nullptr);
+  EXPECT_EQ(res.episodes_run, 2u);
+  EXPECT_EQ(res.failing, 2u);
+  ASSERT_EQ(res.failing_seeds.size(), 2u);
+  EXPECT_EQ(res.failing_seeds[0], 11u);
+  ASSERT_EQ(res.repro_lines.size(), 2u);
+  EXPECT_NE(res.repro_lines[0].find("seed=11"), std::string::npos);
+  EXPECT_NE(res.repro_lines[0].find("mutation=phantom-request"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: reservation hot-remove/hot-add round trips under
+// randomized interleavings never leak or double-grant a frame range.
+// ---------------------------------------------------------------------------
+
+struct ReservationModel {
+  // Reference model: live grants per donor, checked for overlap.
+  struct Live {
+    ht::NodeId donor;
+    ht::PAddr base;  ///< donor-local
+    ht::PAddr bytes;
+  };
+  std::vector<Live> live;
+  int double_grants = 0;
+  int unpinned_grants = 0;
+
+  void on_grant(core::Cluster& cl, const os::ReservationService::Grant& g) {
+    const ht::PAddr base = node::local_part(g.prefixed_base);
+    for (const Live& l : live) {
+      if (l.donor == g.donor && base < l.base + l.bytes &&
+          l.base < base + g.bytes) {
+        ++double_grants;
+      }
+    }
+    os::FrameAllocator& a = cl.allocator(g.donor);
+    if (!a.is_pinned(base) || !a.is_allocated(base + g.bytes - 1)) {
+      ++unpinned_grants;
+    }
+    live.push_back({g.donor, base, g.bytes});
+  }
+
+  void on_release(const os::ReservationService::Grant& g) {
+    const ht::PAddr base = node::local_part(g.prefixed_base);
+    auto it = std::find_if(live.begin(), live.end(), [&](const Live& l) {
+      return l.donor == g.donor && l.base == base && l.bytes == g.bytes;
+    });
+    ASSERT_NE(it, live.end());
+    live.erase(it);
+  }
+};
+
+sim::Task<void> borrower_actor(sim::Engine& engine, core::Cluster& cluster,
+                               ReservationModel& model, ht::NodeId requester,
+                               std::uint64_t seed, int rounds) {
+  sim::Rng rng(seed);
+  std::vector<os::ReservationService::Grant> held;
+  for (int i = 0; i < rounds; ++i) {
+    co_await engine.delay(sim::ns(100 + rng.below(2000)));
+    if (!held.empty() && rng.chance(0.4)) {
+      const std::size_t pick = rng.below(held.size());
+      const auto g = held[pick];
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      // Drop the grant from the model *before* awaiting the release: the
+      // donor frees the range when it processes the request, so it may
+      // legitimately re-grant it before our ack comes back.
+      model.on_release(g);
+      co_await cluster.reservation().release(requester, g);
+      continue;
+    }
+    const ht::NodeId donor = static_cast<ht::NodeId>(
+        2 + rng.below(static_cast<std::uint64_t>(cluster.num_nodes() - 1)));
+    const ht::PAddr bytes = ht::PAddr{4096} << rng.below(8);  // 4K..512K
+    auto g = co_await cluster.reservation().reserve(requester, donor, bytes);
+    if (g.has_value()) {
+      model.on_grant(cluster, *g);
+      held.push_back(*g);
+    }
+  }
+  for (const auto& g : held) {
+    model.on_release(g);
+    co_await cluster.reservation().release(requester, g);
+  }
+}
+
+sim::Task<void> hotplug_actor(sim::Engine& engine, core::Cluster& cluster,
+                              ht::NodeId victim, std::uint64_t seed,
+                              int rounds) {
+  sim::Rng rng(seed);
+  os::FrameAllocator& alloc = cluster.allocator(victim);
+  for (int i = 0; i < rounds; ++i) {
+    co_await engine.delay(sim::ns(300 + rng.below(3000)));
+    // Pick a free range (no awaits between the pick and the removal, so the
+    // snapshot cannot go stale) and yank it from the pool.
+    std::vector<std::pair<ht::PAddr, ht::PAddr>> free_ranges;
+    alloc.for_each_free_range([&](ht::PAddr base, ht::PAddr bytes) {
+      free_ranges.emplace_back(base, bytes);
+    });
+    if (free_ranges.empty()) continue;
+    const auto [base, span] = free_ranges[rng.below(free_ranges.size())];
+    const ht::PAddr bytes =
+        std::min<ht::PAddr>(span, ht::PAddr{4096} << rng.below(9));
+    if (!cluster.reservation().removable(victim, base, bytes)) continue;
+    // The snapshot is same-event, so the removal must succeed (gtest
+    // ASSERTs cannot run in coroutines — they expand to a plain `return`).
+    const bool removed = alloc.hot_remove(base, bytes);
+    EXPECT_TRUE(removed);
+    if (!removed) continue;
+    // Hold the range out of the pool across other actors' turns, then
+    // return it: a remove/add round trip must be lossless.
+    co_await engine.delay(sim::ns(500 + rng.below(5000)));
+    alloc.hot_add(base, bytes);
+  }
+}
+
+TEST(ReservationProperty, HotPlugRoundTripNeverLeaksOrDoubleGrants) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    sim::Engine engine;
+    engine.set_tie_fuzz(seed);  // perturb actor interleavings per seed
+    core::Cluster cluster(engine, test::small_config(4));
+
+    std::vector<ht::PAddr> total0, free0;
+    for (int n = 1; n <= 4; ++n) {
+      total0.push_back(cluster.allocator(n).total_bytes());
+      free0.push_back(cluster.allocator(n).free_bytes());
+    }
+
+    ReservationModel model;
+    engine.spawn(borrower_actor(engine, cluster, model, 1, seed * 3 + 1, 20));
+    engine.spawn(borrower_actor(engine, cluster, model, 2, seed * 3 + 2, 20));
+    engine.spawn(hotplug_actor(engine, cluster, 3, seed * 3 + 3, 12));
+    engine.spawn(hotplug_actor(engine, cluster, 4, seed * 3 + 4, 12));
+    engine.run();
+    ASSERT_EQ(engine.live_processes(), 0) << "actors deadlocked, seed "
+                                          << seed;
+
+    EXPECT_EQ(model.double_grants, 0) << "seed " << seed;
+    EXPECT_EQ(model.unpinned_grants, 0) << "seed " << seed;
+    EXPECT_TRUE(model.live.empty()) << "seed " << seed;
+    for (int n = 1; n <= 4; ++n) {
+      os::FrameAllocator& a = cluster.allocator(n);
+      EXPECT_EQ(a.validate(), "") << "node " << n << ", seed " << seed;
+      EXPECT_EQ(a.total_bytes(), total0[static_cast<std::size_t>(n - 1)])
+          << "node " << n << " leaked pool bytes, seed " << seed;
+      EXPECT_EQ(a.free_bytes(), free0[static_cast<std::size_t>(n - 1)])
+          << "node " << n << " leaked frames, seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,147 @@
+// memscale-fuzz: randomized model-checking harness for the simulator.
+//
+// Campaign mode (default) runs N seeded episodes, each on a randomly
+// generated cluster configuration and workload mix, with the global
+// invariant checkers armed and the engine's same-timestamp tie-fuzz on.
+// Failures are auto-minimized to a short repro command line:
+//
+//   memscale_fuzz episodes=200 seed=1
+//   memscale_fuzz episodes=64 seed=1 flight=/tmp/fuzz-artifacts
+//   memscale_fuzz mutation=skip-downgrade episodes=1 seed=7
+//
+// Repro mode re-runs one episode from a repro line printed by a campaign
+// (knob overrides on top of the default baseline):
+//
+//   memscale_fuzz repro=1 seed=7 cores_per_socket=2 threads=2 workload=2
+//
+// Exit status: 0 when every episode is violation-free, 1 otherwise.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "memscale_fuzz [key=value ...]   (leading -- on keys is accepted)\n"
+      "\n"
+      "campaign mode (default):\n"
+      "  episodes=N      episodes to run (default 64)\n"
+      "  seed=S          first seed; episode i uses seed S+i (default 1)\n"
+      "  epoch_us=U      invariant sweep period in us; 0 = drain-only "
+      "(default 20)\n"
+      "  minimize=0|1    auto-minimize failing episodes (default 1)\n"
+      "  flight=DIR      dump MSFLIGHT rings for failing seeds into DIR\n"
+      "  mutation=M      none|skip-downgrade|leak-credit|phantom-request|"
+      "shrink-swap\n"
+      "  verbose=0|1     per-episode progress lines (default 0)\n"
+      "\n"
+      "repro mode:\n"
+      "  repro=1 seed=S [knob=value ...]   re-run one episode; knobs are\n"
+      "  overrides on the default baseline (see a campaign's repro lines)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Reserved harness keys; everything else is a Knobs override (repro mode).
+  std::uint64_t episodes = 64, first_seed = 1, epoch_us = 20;
+  bool minimize = true, verbose = false, repro = false;
+  std::string flight, mutation_str;
+  ms::fuzz::Knobs knobs;
+  std::vector<std::string> knob_overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    while (!tok.empty() && tok.front() == '-') tok.erase(tok.begin());
+    if (tok == "help" || tok == "h") {
+      usage();
+      return 0;
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "memscale_fuzz: expected key=value, got '" << argv[i]
+                << "'\n";
+      return 2;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      if (key == "episodes") {
+        episodes = std::stoull(value);
+      } else if (key == "seed") {
+        first_seed = std::stoull(value);
+      } else if (key == "epoch_us") {
+        epoch_us = std::stoull(value);
+      } else if (key == "minimize") {
+        minimize = value != "0";
+      } else if (key == "verbose") {
+        verbose = value != "0";
+      } else if (key == "repro") {
+        repro = value != "0";
+      } else if (key == "flight") {
+        flight = value;
+      } else if (key == "mutation") {
+        mutation_str = value;
+      } else {
+        knobs.set(key, value);  // throws on an unknown name
+        knob_overrides.push_back(key + "=" + value);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "memscale_fuzz: bad argument '" << argv[i]
+                << "': " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  ms::fuzz::Mutation mutation;
+  try {
+    mutation = ms::fuzz::parse_mutation(mutation_str);
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (repro) {
+    ms::fuzz::EpisodeOptions opt;
+    opt.seed = first_seed;
+    opt.epoch = ms::sim::us(epoch_us);
+    opt.mutation = mutation;
+    std::cout << "repro seed=" << first_seed << " knobs: "
+              << (knobs.repro_args().empty() ? "(defaults)"
+                                             : knobs.repro_args())
+              << "\n";
+    const ms::fuzz::EpisodeResult r = ms::fuzz::run_episode(knobs, opt);
+    std::cout << r.events << " events, " << ms::sim::to_us(r.sim_time)
+              << " us simulated, " << r.checks << " invariant sweeps\n";
+    for (const auto& v : r.violations) {
+      std::cout << "[" << v.name << (v.at_drain ? " @drain" : " @epoch")
+                << " t=" << v.when << "] " << v.detail << "\n";
+    }
+    std::cout << (r.violations.empty() ? "OK" : "FAILED") << "\n";
+    return r.violations.empty() ? 0 : 1;
+  }
+
+  if (!knob_overrides.empty()) {
+    std::cerr << "memscale_fuzz: knob overrides (";
+    for (const auto& kv : knob_overrides) std::cerr << kv << " ";
+    std::cerr << ") only apply with repro=1; campaign episodes generate "
+                 "their own knobs per seed\n";
+    return 2;
+  }
+
+  ms::fuzz::CampaignOptions opt;
+  opt.episodes = episodes;
+  opt.first_seed = first_seed;
+  opt.epoch = ms::sim::us(epoch_us);
+  opt.mutation = mutation;
+  opt.minimize = minimize;
+  opt.flight_path = flight;
+  opt.verbose = verbose;
+  const ms::fuzz::CampaignResult res = ms::fuzz::run_campaign(opt, &std::cout);
+  return res.failing == 0 ? 0 : 1;
+}
