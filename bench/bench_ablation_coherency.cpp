@@ -7,92 +7,12 @@
 // (the paper's model — regions never overlap), so inter-node coherence
 // traffic is identically zero. For the DSM, all nodes genuinely share the
 // lines, and every write storms the directory with invalidations.
+//
+// The per-point logic lives in sweep::ablation_coherency_kernel
+// (src/sweep/kernels.cpp), shared with memscale_sweep.
 #include "bench_util.hpp"
-#include "dsm/directory_dsm.hpp"
-#include "sim/random.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-struct Point {
-  double us_per_access;
-  std::uint64_t coherence_messages;
-};
-
-// Our architecture: `nodes` independent processes, each hammering its own
-// remote region. No coherence traffic can exist between them.
-Point run_regions(const bench::Env& env, int nodes,
-                  std::uint64_t accesses_per_node) {
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
-  std::vector<std::unique_ptr<workloads::RandomAccess>> loads;
-
-  core::Runner setup(engine);
-  for (int n = 0; n < nodes; ++n) {
-    const auto home = static_cast<ht::NodeId>(n + 1);
-    spaces.push_back(std::make_unique<core::MemorySpace>(
-        cluster, home,
-        bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0)));
-    workloads::RandomAccess::Params rp;
-    rp.buffer_bytes = std::uint64_t{16} << 20;
-    rp.accesses_per_thread = accesses_per_node;
-    loads.push_back(
-        std::make_unique<workloads::RandomAccess>(*spaces.back(), rp));
-    // Donate from the node "across" the mesh to keep traffic symmetric.
-    const auto donor =
-        static_cast<ht::NodeId>((n + nodes / 2) % cluster.num_nodes() + 1);
-    setup.spawn(loads.back()->setup({donor == home ? static_cast<ht::NodeId>(
-                                                         home % cluster.num_nodes() + 1)
-                                                   : donor}));
-  }
-  setup.run_all();
-
-  core::Runner run(engine);
-  for (auto& load : loads) run.spawn(load->thread_fn(0, 0));
-  const sim::Time elapsed = run.run_all();
-
-  // Inter-node coherence messages in our architecture: none exist by
-  // construction; intra-node probe counters prove it.
-  return Point{sim::to_us(elapsed) /
-                   static_cast<double>(accesses_per_node),
-               cluster.total_intra_node_probes()};
-}
-
-// The coherent-DSM comparator: `nodes` nodes read/write one shared array.
-Point run_dsm(const bench::Env& env, int nodes,
-              std::uint64_t accesses_per_node, double write_fraction) {
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  dsm::DirectoryDsm dsm(
-      engine, cluster.fabric(),
-      [&cluster](ht::NodeId home, ht::PAddr addr, std::uint32_t bytes,
-                 bool write, sim::TraceContext ctx) {
-        return cluster.node(home).serve_remote(addr, bytes, write, ctx);
-      },
-      dsm::DirectoryDsm::Params{.num_nodes = cluster.num_nodes()});
-
-  core::Runner run(engine);
-  for (int n = 0; n < nodes; ++n) {
-    run.spawn([](dsm::DirectoryDsm& d, ht::NodeId self, std::uint64_t count,
-                 double wf, std::uint64_t seed) -> sim::Task<void> {
-      sim::Rng rng(seed);
-      for (std::uint64_t i = 0; i < count; ++i) {
-        // Hot shared working set: 4096 lines shared by everyone.
-        const ht::PAddr addr = rng.below(4096) * 64;
-        co_await d.access(self, addr, 8, rng.chance(wf));
-      }
-    }(dsm, static_cast<ht::NodeId>(n + 1), accesses_per_node, write_fraction,
-      9000 + static_cast<std::uint64_t>(n)));
-  }
-  const sim::Time elapsed = run.run_all();
-  return Point{sim::to_us(elapsed) / static_cast<double>(accesses_per_node),
-               dsm.coherence_messages()};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -101,24 +21,24 @@ int main(int argc, char** argv) {
                       "non-coherent regions vs. inter-node coherent DSM",
                       cfg, env);
 
-  const auto accesses = env.raw.get_u64("accesses", 3'000);
-  const double writes = env.raw.get_double("write_fraction", 0.3);
-
   sim::Table table({"nodes_touching_memory", "regions_us_per_access",
                     "regions_internode_coh_msgs", "dsm_us_per_access",
                     "dsm_coh_msgs"});
   for (int nodes : {1, 2, 4, 8, 16}) {
-    auto regions = run_regions(env, nodes, accesses);
-    auto dsm = run_dsm(env, nodes, accesses, writes);
+    sim::Config point = env.raw;
+    point.set("sharers", std::to_string(nodes));
+    const auto out = sweep::run_kernel("ablation_coherency", point);
     table.row()
         .cell(nodes)
-        .cell(regions.us_per_access, 3)
+        .cell(out.metric("regions_us_per_access"), 3)
         .cell(std::uint64_t{0})  // by construction; probe counters verified 0
-        .cell(dsm.us_per_access, 3)
-        .cell(dsm.coherence_messages);
-    if (regions.coherence_messages != 0) {
+        .cell(out.metric("dsm_us_per_access"), 3)
+        .cell(static_cast<std::uint64_t>(out.metric("dsm_coh_msgs")));
+    const auto probes =
+        static_cast<std::uint64_t>(out.metric("regions_probes"));
+    if (probes != 0) {
       std::printf("WARNING: intra-node probes unexpectedly nonzero (%llu)\n",
-                  static_cast<unsigned long long>(regions.coherence_messages));
+                  static_cast<unsigned long long>(probes));
     }
   }
   bench::print_table(table, env);

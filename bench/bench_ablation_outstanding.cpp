@@ -6,40 +6,12 @@
 // This bench emulates a core with memory-level parallelism by running
 // several software streams pinned to the same core; the core's outstanding
 // limit then caps how many of them can actually be in flight.
+//
+// The per-point logic lives in sweep::ablation_outstanding_kernel
+// (src/sweep/kernels.cpp), shared with memscale_sweep.
 #include "bench_util.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-double run_point(bench::Env env, int outstanding, int streams,
-                 std::uint64_t total_accesses) {
-  env.raw.set("rmc.outstanding", std::to_string(outstanding));
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  core::MemorySpace space(
-      cluster, 1,
-      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
-
-  workloads::RandomAccess::Params rp;
-  rp.buffer_bytes = std::uint64_t{64} << 20;
-  rp.accesses_per_thread =
-      total_accesses / static_cast<std::uint64_t>(streams);
-  workloads::RandomAccess ra(space, rp);
-
-  core::Runner setup(engine);
-  setup.spawn(ra.setup({2}));
-  setup.run_all();
-
-  core::Runner run(engine);
-  for (int s = 0; s < streams; ++s) {
-    run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/s));  // same core!
-  }
-  return sim::to_ms(run.run_all());
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -49,13 +21,13 @@ int main(int argc, char** argv) {
                       "limit swept 1..8",
                       cfg, env);
 
-  const auto total = env.raw.get_u64("accesses", 20'000);
-  const int streams = static_cast<int>(env.raw.get_int("streams", 8));
-
   sim::Table table({"outstanding", "time_ms", "speedup_vs_1"});
   double base = 0;
   for (int outstanding : {1, 2, 4, 8}) {
-    const double ms = run_point(env, outstanding, streams, total);
+    sim::Config point = env.raw;
+    point.set("outstanding", std::to_string(outstanding));
+    const auto out = sweep::run_kernel("ablation_outstanding", point);
+    const double ms = out.metric("time_ms");
     if (outstanding == 1) base = ms;
     table.row().cell(outstanding).cell(ms, 3).cell(base / ms, 2);
   }

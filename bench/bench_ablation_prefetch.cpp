@@ -6,49 +6,12 @@
 // prefetching off, every 64-byte line costs a full remote round trip; with
 // a stream prefetcher of degree N, fills overlap in the RMC pipeline and
 // the demand stream increasingly hits in the cache.
+//
+// The per-point logic lives in sweep::ablation_prefetch_kernel
+// (src/sweep/kernels.cpp), shared with memscale_sweep.
 #include "bench_util.hpp"
-#include "core/remote_allocator.hpp"
 
 using namespace ms;
-
-namespace {
-
-struct Point {
-  double ms;
-  double hit_rate;
-  std::uint64_t prefetch_fills;
-};
-
-Point run_point(bench::Env env, int degree, std::uint64_t bytes) {
-  env.raw.set("rmc.prefetch_degree", std::to_string(degree));
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  core::MemorySpace space(
-      cluster, 1,
-      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
-
-  core::Runner run(engine);
-  sim::Time elapsed = 0;
-  run.spawn([](core::MemorySpace& s, sim::Engine& e, std::uint64_t n,
-               sim::Time* out) -> sim::Task<void> {
-    auto base = co_await s.map_range(n);
-    core::ThreadCtx t;
-    const sim::Time start = e.now();
-    for (std::uint64_t off = 0; off < n; off += 64) {
-      co_await s.read_u64(t, base + off);
-      t.compute(sim::ns(10));  // per-element work of a streaming kernel
-    }
-    co_await s.sync(t);
-    *out = e.now() - start;
-  }(space, engine, bytes, &elapsed));
-  run.run_all();
-
-  return Point{sim::to_ms(elapsed),
-               cluster.node(1).core(0).cache().hit_rate(),
-               cluster.node(1).prefetch_fills()};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -57,20 +20,21 @@ int main(int argc, char** argv) {
                       "sequential remote scan, prefetch degree swept", cfg,
                       env);
 
-  const auto bytes = env.raw.get_u64("bytes", std::uint64_t{4} << 20);
-
   sim::Table table({"prefetch_degree", "scan_ms", "cache_hit_rate",
                     "prefetch_fills", "speedup_vs_off"});
   double base = 0;
   for (int degree : {0, 2, 4, 8}) {
-    auto p = run_point(env, degree, bytes);
-    if (degree == 0) base = p.ms;
+    sim::Config point = env.raw;
+    point.set("degree", std::to_string(degree));
+    const auto out = sweep::run_kernel("ablation_prefetch", point);
+    const double ms = out.metric("scan_ms");
+    if (degree == 0) base = ms;
     table.row()
         .cell(degree)
-        .cell(p.ms, 3)
-        .cell(p.hit_rate, 3)
-        .cell(p.prefetch_fills)
-        .cell(base / p.ms, 2);
+        .cell(ms, 3)
+        .cell(out.metric("cache_hit_rate"), 3)
+        .cell(static_cast<std::uint64_t>(out.metric("prefetch_fills")))
+        .cell(base / ms, 2);
   }
   bench::print_table(table, env);
   std::printf("shape check: higher degree -> higher hit rate and lower scan "

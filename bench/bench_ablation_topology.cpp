@@ -5,77 +5,12 @@
 // Two measurements per topology on 16 nodes: average remote read latency
 // from one client to every possible server (zero load), and aggregate
 // throughput when every node hammers a partner (bisection stress).
-#include <memory>
-
+//
+// The per-point logic lives in sweep::ablation_topology_kernel
+// (src/sweep/kernels.cpp), shared with memscale_sweep.
 #include "bench_util.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-double avg_latency_us(bench::Env env, const std::string& topo,
-                      std::uint64_t accesses) {
-  env.raw.set("topology", topo);
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  core::MemorySpace space(
-      cluster, 1,
-      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
-
-  double total_us = 0;
-  int servers = 0;
-  for (ht::NodeId server = 2;
-       server <= static_cast<ht::NodeId>(cluster.num_nodes()); ++server) {
-    workloads::RandomAccess::Params rp;
-    rp.buffer_bytes = std::uint64_t{8} << 20;
-    rp.accesses_per_thread = accesses;
-    auto ra = std::make_unique<workloads::RandomAccess>(space, rp);
-    core::Runner setup(engine);
-    setup.spawn(ra->setup({server}));
-    setup.run_all();
-    core::Runner run(engine);
-    run.spawn(ra->thread_fn(0, 0));
-    total_us += sim::to_us(run.run_all()) / static_cast<double>(accesses);
-    ++servers;
-  }
-  return total_us / servers;
-}
-
-double stress_ms(bench::Env env, const std::string& topo,
-                 std::uint64_t accesses) {
-  env.raw.set("topology", topo);
-  sim::Engine engine;
-  core::Cluster cluster(engine, env.cluster_config());
-  const int n = cluster.num_nodes();
-
-  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
-  std::vector<std::unique_ptr<workloads::RandomAccess>> loads;
-  core::Runner setup(engine);
-  for (int i = 0; i < n; ++i) {
-    const auto home = static_cast<ht::NodeId>(i + 1);
-    const auto partner = static_cast<ht::NodeId>((i + n / 2) % n + 1);
-    spaces.push_back(std::make_unique<core::MemorySpace>(
-        cluster, home,
-        bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0)));
-    workloads::RandomAccess::Params rp;
-    rp.buffer_bytes = std::uint64_t{8} << 20;
-    rp.accesses_per_thread = accesses;
-    loads.push_back(
-        std::make_unique<workloads::RandomAccess>(*spaces.back(), rp));
-    setup.spawn(loads.back()->setup({partner}));
-  }
-  setup.run_all();
-
-  core::Runner run(engine);
-  for (auto& load : loads) {
-    run.spawn(load->thread_fn(0, 0));
-    run.spawn(load->thread_fn(1, 1));
-  }
-  return sim::to_ms(run.run_all());
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -84,15 +19,15 @@ int main(int argc, char** argv) {
                       "zero-load latency and all-pairs stress on 16 nodes",
                       cfg, env);
 
-  const auto lat_accesses = env.raw.get_u64("lat_accesses", 400);
-  const auto stress_accesses = env.raw.get_u64("stress_accesses", 3'000);
-
   sim::Table table({"topology", "avg_remote_read_us", "all_pairs_stress_ms"});
   for (const std::string topo : {"mesh2d", "torus2d", "ring", "star", "full"}) {
+    sim::Config point = env.raw;
+    point.set("topology", topo);
+    const auto out = sweep::run_kernel("ablation_topology", point);
     table.row()
         .cell(topo)
-        .cell(avg_latency_us(env, topo, lat_accesses), 3)
-        .cell(stress_ms(env, topo, stress_accesses), 2);
+        .cell(out.metric("avg_remote_read_us"), 3)
+        .cell(out.metric("all_pairs_stress_ms"), 2);
   }
   bench::print_table(table, env);
   std::printf("shape check: full < torus < mesh < star/ring in latency; the "

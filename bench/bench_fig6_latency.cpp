@@ -6,59 +6,12 @@
 // remote line fill; the table reports the end-to-end per-read latency and
 // the RMC-measured round trip. Expected shape: latency grows linearly with
 // hop count on top of the fixed RMC/bridge cost.
+//
+// The per-point logic lives in sweep::fig6_kernel (src/sweep/kernels.cpp),
+// shared with memscale_sweep; this binary is the table-printing driver.
 #include "bench_util.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-// Nodes at increasing XY distance from node 1 (corner (0,0)) on a 4x4 mesh:
-// itself, then (1,0),(2,0),(3,0),(3,1),(3,2),(3,3).
-constexpr ht::NodeId kServerAtHops[] = {1, 2, 3, 4, 8, 12, 16};
-
-struct Point {
-  int hops;
-  double per_read_us;
-  double rmc_rtt_us;
-  double hit_rate;
-};
-
-Point run_point(bench::Env& env, int hops, std::uint64_t accesses,
-                std::uint64_t buffer_bytes) {
-  sim::Engine engine;
-  env.attach(engine, "hops=" + std::to_string(hops));
-  core::Cluster cluster(engine, env.cluster_config());
-  auto mp = bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0);
-  // hop 0 places the buffer in node 1's own local memory; remote rows pin
-  // the donor explicitly, so the auto policy only matters for hop 0.
-  mp.placement = os::RegionManager::Placement::kAuto;
-  core::MemorySpace space(cluster, 1, mp);
-
-  workloads::RandomAccess::Params rp;
-  rp.buffer_bytes = buffer_bytes;
-  rp.accesses_per_thread = accesses;
-  workloads::RandomAccess ra(space, rp);
-
-  core::Runner setup(engine);
-  setup.spawn(ra.setup({kServerAtHops[hops]}));
-  setup.run_all();
-
-  core::Runner run(engine);
-  env.start_timeseries(engine, cluster, "hops=" + std::to_string(hops));
-  run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/0));
-  const sim::Time elapsed = run.run_all();
-
-  const auto& rtt = cluster.rmc(1).round_trip();
-  double hit_rate = cluster.node(1).core(0).cache().hit_rate();
-  env.capture("hops=" + std::to_string(hops), cluster);
-  return Point{hops,
-               sim::to_us(elapsed) / static_cast<double>(accesses),
-               rtt.count() ? rtt.mean() / 1e6 : 0.0,
-               hit_rate};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -66,20 +19,22 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 6", "remote read latency vs. distance (hops)",
                       cfg, env);
 
-  const auto accesses = env.raw.get_u64("accesses", 4000);
-  const auto buffer = env.raw.get_u64("buffer", std::uint64_t{64} << 20);
   const int max_hops = static_cast<int>(env.raw.get_int("max_hops", 6));
+  const auto hooks = bench::env_hooks(env);
 
   sim::Table table({"hops", "server", "per_read_us", "rmc_rtt_us",
                     "cache_hit_rate"});
   for (int h = 0; h <= max_hops; ++h) {
-    auto p = run_point(env, h, accesses, buffer);
+    sim::Config point = env.raw;
+    point.set("hops", std::to_string(h));
+    const auto out = sweep::run_kernel("fig6", point, hooks);
+    const auto server = static_cast<int>(out.metric("server_node"));
     table.row()
         .cell(h)
-        .cell(h == 0 ? std::string("local") : std::to_string(kServerAtHops[h]))
-        .cell(p.per_read_us, 3)
-        .cell(p.rmc_rtt_us, 3)
-        .cell(p.hit_rate, 3);
+        .cell(h == 0 ? std::string("local") : std::to_string(server))
+        .cell(out.metric("per_read_us"), 3)
+        .cell(out.metric("rmc_rtt_us"), 3)
+        .cell(out.metric("cache_hit_rate"), 3);
   }
   bench::print_table(table, env);
   env.write_outputs();

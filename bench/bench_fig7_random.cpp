@@ -11,53 +11,12 @@
 //   * moving the four servers 2-3 hops away helps *slightly* under
 //     overload: longer round trips stagger arrivals at the client RMC and
 //     reduce its direction-turnaround thrash.
-#include <vector>
-
+//
+// The per-point logic lives in sweep::fig7_kernel (src/sweep/kernels.cpp),
+// shared with memscale_sweep; this binary is the table-printing driver.
 #include "bench_util.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-constexpr ht::NodeId kClient = 6;  // (1,1) on the 4x4 mesh
-
-struct Scenario {
-  const char* label;
-  int threads;
-  std::vector<ht::NodeId> servers;
-  int hops;
-};
-
-double run_scenario(bench::Env& env, const Scenario& sc,
-                    std::uint64_t total_accesses,
-                    std::uint64_t buffer_bytes) {
-  sim::Engine engine;
-  env.attach(engine, sc.label);
-  core::Cluster cluster(engine, env.cluster_config());
-  core::MemorySpace space(
-      cluster, kClient,
-      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
-
-  workloads::RandomAccess::Params rp;
-  rp.buffer_bytes = buffer_bytes / sc.servers.size();
-  rp.accesses_per_thread =
-      total_accesses / static_cast<std::uint64_t>(sc.threads);
-  workloads::RandomAccess ra(space, rp);
-
-  core::Runner setup(engine);
-  setup.spawn(ra.setup(sc.servers));
-  setup.run_all();
-
-  core::Runner run(engine);
-  env.start_timeseries(engine, cluster, sc.label);
-  for (int t = 0; t < sc.threads; ++t) run.spawn(ra.thread_fn(t, t));
-  const double elapsed_ms = sim::to_ms(run.run_all());
-  env.capture(sc.label, cluster);
-  return elapsed_ms;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -67,31 +26,23 @@ int main(int argc, char** argv) {
       "random benchmark: threads x servers x distance (client = node 6)",
       cfg, env);
 
-  const auto total = env.raw.get_u64("accesses", 40'000);
-  const auto buffer = env.raw.get_u64("buffer", std::uint64_t{256} << 20);
-
-  // Interior node 6 at (1,1): 1-hop {5,7,2,10}, 2-hop {1,3,9,11},
-  // 3-hop {4,12,13,15}.
-  const std::vector<Scenario> scenarios = {
-      {"1 server, 1t", 1, {5}, 1},
-      {"1 server, 2t", 2, {5}, 1},
-      {"1 server, 4t", 4, {5}, 1},
-      {"4 servers, 4t, 1 hop", 4, {5, 7, 2, 10}, 1},
-      {"4 servers, 4t, 2 hops", 4, {1, 3, 9, 11}, 2},
-      {"4 servers, 4t, 3 hops", 4, {4, 12, 13, 15}, 3},
-  };
+  const auto hooks = bench::env_hooks(env);
+  const auto& scenarios = sweep::fig7_scenarios();
 
   sim::Table table({"scenario", "threads", "servers", "hops", "time_ms",
                     "Maccess_per_s"});
-  for (const auto& sc : scenarios) {
-    const double ms = run_scenario(env, sc, total, buffer);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& sc = scenarios[i];
+    sim::Config point = env.raw;
+    point.set("scenario", std::to_string(i));
+    const auto out = sweep::run_kernel("fig7", point, hooks);
     table.row()
         .cell(sc.label)
         .cell(sc.threads)
         .cell(static_cast<std::uint64_t>(sc.servers.size()))
         .cell(sc.hops)
-        .cell(ms, 3)
-        .cell(static_cast<double>(total) / (ms * 1000.0), 3);
+        .cell(out.metric("time_ms"), 3)
+        .cell(out.metric("Maccess_per_s"), 3);
   }
   bench::print_table(table, env);
   env.write_outputs();

@@ -8,133 +8,12 @@
 // Expected shape: the control time stays flat while the server RMC has
 // headroom (up to roughly 3 nodes x 4 threads) and then climbs as the
 // server RMC queue grows.
-#include <memory>
-#include <vector>
-
+//
+// The per-point logic lives in sweep::fig8_kernel (src/sweep/kernels.cpp),
+// shared with memscale_sweep; this binary is the table-printing driver.
 #include "bench_util.hpp"
-#include "workloads/random_access.hpp"
 
 using namespace ms;
-
-namespace {
-
-constexpr ht::NodeId kServer = 6;
-constexpr ht::NodeId kControl = 2;
-// Stressor nodes whose XY routes to node 6 avoid the control link 2->6.
-constexpr ht::NodeId kStressors[] = {5, 7, 10, 14, 9, 11};
-
-sim::Task<void> stress_thread(core::MemorySpace& space, int core,
-                              core::VAddr base, std::uint64_t words,
-                              std::uint64_t seed, const bool* stop) {
-  core::ThreadCtx t{.core = core};
-  sim::Rng rng(seed);
-  while (!*stop) {
-    co_await space.read_u64(t, base + rng.below(words) * 8);
-  }
-  co_await space.sync(t);
-}
-
-struct Point {
-  double control_ms;
-  double server_req_rate;  // requests/us arriving at the server RMC
-};
-
-Point run_point(bench::Env& env, int stress_nodes, int threads_per_node,
-                std::uint64_t control_accesses, std::uint64_t buffer_bytes,
-                std::uint64_t hot_pages_k) {
-  sim::Engine engine;
-  env.attach(engine, "stress_nodes=" + std::to_string(stress_nodes));
-  core::Cluster cluster(engine, env.cluster_config());
-
-  // Control process on node 2.
-  core::MemorySpace control_space(
-      cluster, kControl,
-      bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0));
-  workloads::RandomAccess::Params rp;
-  rp.buffer_bytes = buffer_bytes;
-  rp.accesses_per_thread = control_accesses;
-  workloads::RandomAccess control(control_space, rp);
-
-  // Stressor processes, one space per node, all served by node 6.
-  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
-  std::vector<core::VAddr> bases;
-  core::Runner setup(engine);
-  setup.spawn(control.setup({kServer}));
-  for (int n = 0; n < stress_nodes; ++n) {
-    spaces.push_back(std::make_unique<core::MemorySpace>(
-        cluster, kStressors[n],
-        bench::mode_params(core::MemorySpace::Mode::kRemoteRegion, 0)));
-  }
-  setup.run_all();
-
-  bases.resize(spaces.size());
-  core::Runner map_setup(engine);
-  for (std::size_t n = 0; n < spaces.size(); ++n) {
-    map_setup.spawn([](core::MemorySpace& s, core::VAddr* out,
-                       std::uint64_t bytes) -> sim::Task<void> {
-      *out = co_await s.map_range_on(bytes, kServer);
-    }(*spaces[n], &bases[n], buffer_bytes));
-  }
-  map_setup.run_all();
-
-  // Observe the measured phase only: any earlier Runner::run_all drains the
-  // engine, which would terminate the time-series sampler.
-  env.start_timeseries(engine, cluster,
-                       "stress_nodes=" + std::to_string(stress_nodes));
-  if (hot_pages_k > 0) {
-    cluster.hot_pages().enable();
-    cluster.hot_pages().reset();
-  }
-
-  bool stop = false;
-  for (std::size_t n = 0; n < spaces.size(); ++n) {
-    for (int t = 0; t < threads_per_node; ++t) {
-      engine.spawn(stress_thread(*spaces[n], t, bases[n], buffer_bytes / 8,
-                                 1000 + n * 31 + static_cast<unsigned>(t),
-                                 &stop));
-    }
-  }
-
-  core::Runner run(engine);
-  const sim::Time start_served = engine.now();
-  const std::uint64_t served_before = cluster.rmc(kServer).served_requests();
-  run.spawn(control.thread_fn(0, 0));
-  // Separate watcher (not part of the runner, or join() would wait on
-  // itself): when the control thread finishes, stop the stressors.
-  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
-    co_await r->join();
-    *flag = true;
-  }(&stop, &run));
-  engine.run();
-
-  const sim::Time control_done = run.last_completion();
-  const double elapsed_us = sim::to_us(control_done - start_served);
-  const double rate =
-      elapsed_us > 0
-          ? static_cast<double>(cluster.rmc(kServer).served_requests() -
-                                served_before) /
-                elapsed_us
-          : 0.0;
-  env.capture("stress_nodes=" + std::to_string(stress_nodes), cluster);
-  if (hot_pages_k > 0) {
-    // Which 4 KiB pages drive the server-side contention this point saw —
-    // every stressor hammers node 6, so the top pages are its hot spots.
-    std::printf("hot pages (stress_nodes=%d, top %llu of %zu):",
-                stress_nodes,
-                static_cast<unsigned long long>(hot_pages_k),
-                cluster.hot_pages().distinct_pages());
-    for (const auto& [page, count] :
-         cluster.hot_pages().top(static_cast<std::size_t>(hot_pages_k))) {
-      std::printf(" 0x%llx:%llu",
-                  static_cast<unsigned long long>(page << 12),
-                  static_cast<unsigned long long>(count));
-    }
-    std::printf("\n");
-  }
-  return Point{sim::to_ms(control_done - start_served), rate};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bench::Env env(argc, argv);
@@ -143,31 +22,22 @@ int main(int argc, char** argv) {
                       "server congestion: control-thread time vs. stressors",
                       cfg, env);
 
-  const auto control_accesses = env.raw.get_u64("accesses", 4000);
-  const auto buffer = env.raw.get_u64("buffer", std::uint64_t{64} << 20);
-  // --hot-pages=K prints the K most-accessed server pages per data point
-  // (0 = off, keeps the default output unchanged).
-  const auto hot_k =
-      env.raw.get_u64("--hot-pages", env.raw.get_u64("hot_pages", 0));
-
-  struct Load {
-    int nodes;
-    int threads;
-  };
-  const Load loads[] = {{0, 0}, {1, 4}, {2, 4}, {3, 4},
-                        {4, 4}, {5, 4}, {6, 4}};
+  const int threads_per_node =
+      static_cast<int>(env.raw.get_int("threads_per_node", 4));
+  const auto hooks = bench::env_hooks(env);
 
   sim::Table table({"stress_nodes", "threads_per_node", "total_stress_threads",
                     "control_ms", "server_Mreq_per_s"});
-  for (const auto& load : loads) {
-    auto p = run_point(env, load.nodes, load.threads, control_accesses,
-                       buffer, hot_k);
+  for (int nodes = 0; nodes <= 6; ++nodes) {
+    sim::Config point = env.raw;
+    point.set("stress_nodes", std::to_string(nodes));
+    const auto out = sweep::run_kernel("fig8", point, hooks);
     table.row()
-        .cell(load.nodes)
-        .cell(load.threads)
-        .cell(load.nodes * load.threads)
-        .cell(p.control_ms, 3)
-        .cell(p.server_req_rate, 3);
+        .cell(nodes)
+        .cell(nodes == 0 ? 0 : threads_per_node)
+        .cell(static_cast<int>(out.metric("total_stress_threads")))
+        .cell(out.metric("control_ms"), 3)
+        .cell(out.metric("server_Mreq_per_s"), 3);
   }
   bench::print_table(table, env);
   env.write_outputs();

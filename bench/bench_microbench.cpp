@@ -18,10 +18,12 @@
 #include "mem/backing_store.hpp"
 #include "mem/cache.hpp"
 #include "noc/routing.hpp"
+#include "sim/config.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
+#include "sweep/kernels.hpp"
 
 namespace {
 
@@ -119,62 +121,21 @@ BENCHMARK(BM_Rng);
 // engine_overhead mode: raw scheduler throughput, no memory system at all.
 // Keeps ~kPending events in flight and processes kEvents total, with delays
 // mixed across the wheel's level scales (sub-ns ties up to microseconds).
-
-sim::Time next_delay(sim::Rng& rng) {
-  // Mix of wheel-level scales: mostly sub-ns..ns gaps, some us-scale.
-  const std::uint64_t r = rng.below(100);
-  if (r < 70) return sim::ps(rng.below(4096));
-  if (r < 95) return sim::ns(rng.below(1000));
-  return sim::us(1 + rng.below(16));
-}
-
-struct CallbackLoop {
-  sim::Engine& e;
-  sim::Rng rng{12345};
-  std::uint64_t remaining;
-  void pump() {
-    if (remaining == 0) return;
-    --remaining;
-    e.schedule(next_delay(rng), [this] { pump(); });
-  }
-};
-
-sim::Task<void> coro_loop(sim::Engine& e, sim::Rng& rng,
-                          std::uint64_t* remaining) {
-  while (*remaining > 0) {
-    --*remaining;
-    co_await e.delay(next_delay(rng));
-  }
-}
+// The measurement itself is sweep::engine_overhead_kernel
+// (src/sweep/kernels.cpp), shared with memscale_sweep's floor gate.
 
 int run_engine_overhead(std::uint64_t events, int pending,
                         const std::string& stats_path) {
-  double callback_rate = 0, coro_rate = 0;
-  {
-    sim::Engine e;
-    CallbackLoop loop{e, sim::Rng(12345), events};
-    for (int i = 0; i < pending; ++i) loop.pump();
-    const auto t0 = std::chrono::steady_clock::now();
-    e.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
-    callback_rate = static_cast<double>(e.events_processed()) / secs;
-    std::printf("callback_events_per_sec %.0f (events=%llu)\n", callback_rate,
-                static_cast<unsigned long long>(e.events_processed()));
-  }
-  {
-    sim::Engine e;
-    sim::Rng rng(777);
-    std::uint64_t remaining = events;
-    for (int i = 0; i < pending; ++i) e.spawn(coro_loop(e, rng, &remaining));
-    const auto t0 = std::chrono::steady_clock::now();
-    e.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
-    coro_rate = static_cast<double>(e.events_processed()) / secs;
-    std::printf("coro_events_per_sec %.0f (events=%llu)\n", coro_rate,
-                static_cast<unsigned long long>(e.events_processed()));
-  }
+  sim::Config cfg;
+  cfg.set("events", std::to_string(events));
+  cfg.set("pending", std::to_string(pending));
+  const auto out = sweep::run_kernel("engine_overhead", cfg);
+  const double callback_rate = out.metric("callback_events_per_sec");
+  const double coro_rate = out.metric("coro_events_per_sec");
+  std::printf("callback_events_per_sec %.0f (events=%llu)\n", callback_rate,
+              static_cast<unsigned long long>(out.metric("callback_events")));
+  std::printf("coro_events_per_sec %.0f (events=%llu)\n", coro_rate,
+              static_cast<unsigned long long>(out.metric("coro_events")));
   if (!stats_path.empty()) {
     sim::StatRegistry reg;
     reg.counter("engine_overhead.events").inc(events);

@@ -43,6 +43,7 @@
 #include "sim/table.hpp"
 #include "sim/timeseries.hpp"
 #include "sim/tracer.hpp"
+#include "sweep/kernels.hpp"
 
 namespace ms::bench {
 
@@ -185,6 +186,26 @@ struct Env {
     }
   }
 };
+
+/// Adapts an Env into the sweep kernels' observability hooks, so a bench
+/// binary delegating its per-point logic to sweep::run_kernel attaches the
+/// tracer / time-series sampler / stats capture at exactly the points its
+/// inline run_point used to — the output files stay byte-identical.
+inline sweep::KernelHooks env_hooks(Env& env) {
+  sweep::KernelHooks hooks;
+  hooks.attach = [&env](sim::Engine& engine, const std::string& label) {
+    env.attach(engine, label);
+  };
+  hooks.start_timeseries = [&env](sim::Engine& engine, core::Cluster& cluster,
+                                  const std::string& label) {
+    env.start_timeseries(engine, cluster, label);
+  };
+  hooks.capture = [&env](const std::string& label,
+                         const core::Cluster& cluster) {
+    env.capture(label, cluster);
+  };
+  return hooks;
+}
 
 inline void print_header(const std::string& figure, const std::string& what,
                          const core::ClusterConfig& cfg, const Env& env) {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -13,6 +15,7 @@
 #include "core/runner.hpp"
 #include "node/address_map.hpp"
 #include "node/core.hpp"
+#include "sim/parallel.hpp"
 #include "sim/tracer.hpp"
 #include "workloads/hash_index.hpp"
 #include "workloads/random_access.hpp"
@@ -754,55 +757,67 @@ MinimizeResult minimize(Knobs k, const EpisodeOptions& opt,
 // Campaign
 // ---------------------------------------------------------------------------
 
-CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log) {
-  CampaignResult res;
-  std::vector<std::uint64_t> seeds = opt.seeds;
-  if (seeds.empty()) {
-    for (std::uint64_t i = 0; i < opt.episodes; ++i) {
-      seeds.push_back(opt.first_seed + i);
-    }
-  }
-  for (const std::uint64_t seed : seeds) {
-    sim::Rng knob_rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
-    const Knobs k = Knobs::generate(knob_rng);
-    const EpisodeOptions eo{seed, opt.epoch, opt.mutation, nullptr};
-    const EpisodeResult r = run_episode(k, eo);
-    ++res.episodes_run;
-    if (opt.verbose && log != nullptr) {
-      *log << "seed " << seed << ": " << r.events << " events, " << r.checks
-           << " sweeps, " << r.violations.size() << " violations\n";
-    }
-    if (r.violations.empty()) continue;
+namespace {
 
-    ++res.failing;
-    res.failing_seeds.push_back(seed);
-    if (log != nullptr) {
-      const std::string args = k.repro_args();
-      *log << "VIOLATION seed=" << seed << " knobs: "
-           << (args.empty() ? "(defaults)" : args) << "\n";
-      for (const auto& v : r.violations) {
-        *log << "  [" << v.name << (v.at_drain ? " @drain" : " @epoch")
-             << " t=" << v.when << "] " << v.detail << "\n";
-      }
+/// One seed's complete campaign step: run, report, minimize, flight-dump.
+/// Pure function of (seed, options) + filesystem side effects under unique
+/// per-seed file names, so seeds can run concurrently. Log output goes to
+/// `log_text` for in-order streaming by the caller.
+struct SeedOutcome {
+  EpisodeRecord record;
+  bool failing = false;
+  std::string repro;
+  std::string log_text;
+};
+
+SeedOutcome run_seed(std::uint64_t seed, const CampaignOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SeedOutcome out;
+  out.record.seed = seed;
+  std::ostringstream log;
+
+  sim::Rng knob_rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+  const Knobs k = Knobs::generate(knob_rng);
+  const EpisodeOptions eo{seed, opt.epoch, opt.mutation, nullptr};
+  const EpisodeResult r = run_episode(k, eo);
+  out.record.events = r.events;
+  out.record.sim_time = r.sim_time;
+  out.record.checks = r.checks;
+  for (const auto& v : r.violations) {
+    std::ostringstream line;
+    line << "[" << v.name << (v.at_drain ? " @drain" : " @epoch")
+         << " t=" << v.when << "] " << v.detail;
+    out.record.violations.push_back(line.str());
+  }
+  if (opt.verbose) {
+    log << "seed " << seed << ": " << r.events << " events, " << r.checks
+        << " sweeps, " << r.violations.size() << " violations\n";
+  }
+
+  if (!r.violations.empty()) {
+    out.failing = true;
+    const std::string args = k.repro_args();
+    log << "VIOLATION seed=" << seed << " knobs: "
+        << (args.empty() ? "(defaults)" : args) << "\n";
+    for (const auto& line : out.record.violations) {
+      log << "  " << line << "\n";
     }
 
     Knobs repro_knobs = k;
     if (opt.minimize) {
       const MinimizeResult m = minimize(k, eo, r.violations.front().name);
       repro_knobs = m.knobs;
-      if (log != nullptr) {
-        *log << "  minimized in " << m.runs << " runs to "
-             << repro_knobs.non_default().size() << " non-default knobs\n";
-      }
+      log << "  minimized in " << m.runs << " runs to "
+          << repro_knobs.non_default().size() << " non-default knobs\n";
     }
     std::string repro = "memscale_fuzz repro=1 seed=" + std::to_string(seed);
     if (opt.mutation != Mutation::kNone) {
       repro += std::string(" mutation=") + mutation_name(opt.mutation);
     }
-    const std::string args = repro_knobs.repro_args();
-    if (!args.empty()) repro += " " + args;
-    res.repro_lines.push_back(repro);
-    if (log != nullptr) *log << "  repro: " << repro << "\n";
+    const std::string args2 = repro_knobs.repro_args();
+    if (!args2.empty()) repro += " " + args2;
+    out.repro = repro;
+    log << "  repro: " << repro << "\n";
 
     if (!opt.flight_path.empty()) {
       // Re-run the failing seed with the flight recorder attached (normal
@@ -816,14 +831,66 @@ CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log) {
       std::filesystem::create_directories(opt.flight_path, ec);
       const std::string file = opt.flight_path + "/violation-seed-" +
                                std::to_string(seed) + ".msflight";
-      std::ofstream out(file, std::ios::binary);
-      if (out) {
-        tracer.export_flight(out);
-        if (log != nullptr) *log << "  flight ring: " << file << "\n";
-      } else if (log != nullptr) {
-        *log << "  flight ring: cannot open " << file << "\n";
+      std::ofstream file_out(file, std::ios::binary);
+      if (file_out) {
+        tracer.export_flight(file_out);
+        log << "  flight ring: " << file << "\n";
+      } else {
+        log << "  flight ring: cannot open " << file << "\n";
       }
     }
+  }
+  out.log_text = log.str();
+  out.record.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  return out;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log) {
+  std::vector<std::uint64_t> seeds = opt.seeds;
+  if (seeds.empty()) {
+    for (std::uint64_t i = 0; i < opt.episodes; ++i) {
+      seeds.push_back(opt.first_seed + i);
+    }
+  }
+
+  // Stream each seed's log block in seed order the moment its prefix is
+  // complete, so the campaign log is byte-identical for every jobs value
+  // while long campaigns still show live progress.
+  std::mutex print_mu;
+  std::size_t next_print = 0;
+  std::vector<std::string> pending(seeds.size());
+  std::vector<bool> ready(seeds.size(), false);
+
+  sim::ParallelExecutor pool(opt.jobs);
+  std::vector<SeedOutcome> outcomes =
+      pool.map(seeds.size(), [&](std::size_t i) -> SeedOutcome {
+        SeedOutcome out = run_seed(seeds[i], opt);
+        if (log != nullptr) {
+          std::lock_guard<std::mutex> lk(print_mu);
+          pending[i] = out.log_text;
+          ready[i] = true;
+          while (next_print < seeds.size() && ready[next_print]) {
+            *log << pending[next_print];
+            pending[next_print].clear();
+            ++next_print;
+          }
+        }
+        return out;
+      });
+
+  CampaignResult res;
+  for (SeedOutcome& out : outcomes) {
+    ++res.episodes_run;
+    if (out.failing) {
+      ++res.failing;
+      res.failing_seeds.push_back(out.record.seed);
+      res.repro_lines.push_back(std::move(out.repro));
+    }
+    res.episodes.push_back(std::move(out.record));
   }
   if (log != nullptr) {
     *log << res.episodes_run << " episodes, " << res.failing << " failing\n";

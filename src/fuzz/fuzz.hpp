@@ -143,6 +143,20 @@ struct CampaignOptions {
   bool minimize = true;                  ///< auto-minimize failures
   std::string flight_path;               ///< dump MSFLIGHT rings here ("" = off)
   bool verbose = false;
+  int jobs = 1;                          ///< episode workers (<= 0: all cores)
+};
+
+/// One episode's outcome, recorded per seed in seed order. Everything here
+/// is a pure function of (seed, campaign options) — episodes never share
+/// state — so the records are byte-identical regardless of `jobs`. Only
+/// wall_ms varies run to run; it never enters report JSON.
+struct EpisodeRecord {
+  std::uint64_t seed = 0;
+  std::uint64_t events = 0;
+  sim::Time sim_time = 0;
+  std::uint64_t checks = 0;
+  std::vector<std::string> violations;  ///< "[name @drain t=N] detail" lines
+  double wall_ms = 0;                   ///< includes minimize + flight re-run
 };
 
 struct CampaignResult {
@@ -150,11 +164,15 @@ struct CampaignResult {
   std::uint64_t failing = 0;
   std::vector<std::uint64_t> failing_seeds;
   std::vector<std::string> repro_lines;  ///< one repro command line per failure
+  std::vector<EpisodeRecord> episodes;   ///< per-seed outcomes, in seed order
 };
 
 /// Runs a campaign of seeded episodes (knobs generated per seed), reporting
 /// violations, minimizing failures and dumping flight-recorder rings.
-/// Progress and findings go to `log` when non-null.
+/// Progress and findings go to `log` when non-null. With jobs != 1 the
+/// episodes run across a sim::ParallelExecutor, one isolated Engine per
+/// episode; the campaign log is streamed in seed order as episodes complete,
+/// so results AND log output are byte-identical for every jobs value.
 CampaignResult run_campaign(const CampaignOptions& opt, std::ostream* log);
 
 }  // namespace ms::fuzz

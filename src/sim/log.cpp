@@ -1,11 +1,14 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace ms::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+thread_local LogSink* t_sink = nullptr;
+
 const char* name_of(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::kTrace: return "TRACE";
@@ -34,12 +37,28 @@ std::string format_time(Time t) {
   return buf;
 }
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+std::string Log::format_line(LogLevel lvl, Time now, const std::string& msg) {
+  return std::string("[") + name_of(lvl) + " " + format_time(now) + "] " + msg;
+}
 
 void Log::write(LogLevel lvl, Time now, const std::string& msg) {
-  std::fprintf(stderr, "[%s %s] %s\n", name_of(lvl), format_time(now).c_str(),
-               msg.c_str());
+  const std::string line = format_line(lvl, now, msg);
+  if (t_sink != nullptr) {
+    t_sink->line(lvl, now, line);
+    return;
+  }
+  // One fwrite of the whole line: stdio locks the stream per call, so
+  // concurrent writers from other threads never interleave mid-line.
+  const std::string out = line + "\n";
+  std::fwrite(out.data(), 1, out.size(), stderr);
 }
+
+Log::ScopedSink::ScopedSink(LogSink* sink) : prev_(t_sink) { t_sink = sink; }
+Log::ScopedSink::~ScopedSink() { t_sink = prev_; }
 
 }  // namespace ms::sim

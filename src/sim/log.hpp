@@ -9,15 +9,69 @@ namespace ms::sim {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
 
+/// Destination for formatted log lines. A sink is installed per *thread*
+/// (see Log::ScopedSink), so each concurrently running simulation instance
+/// can own its log output; implementations are only ever called from the
+/// thread they are installed on and need no internal locking.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `formatted` is the complete line (no trailing newline), exactly what
+  /// the default stderr sink would print.
+  virtual void line(LogLevel lvl, Time now, const std::string& formatted) = 0;
+};
+
 /// Minimal leveled logger. Off above kInfo by default; the simulator's hot
 /// paths guard trace logging behind enabled() so disabled logging costs one
 /// branch. Output goes to stderr so bench tables on stdout stay clean.
+///
+/// Instance-safety (ARCHITECTURE.md §10): the level is a process-wide
+/// atomic, and writes go either to the current thread's installed sink or,
+/// by default, to stderr as one buffered write per line — so two Engines
+/// running on different threads never interleave characters or race. A
+/// parallel task that wants its log output attributed (or replayed in task
+/// order) installs a Log::Capture for the duration of the task.
 class Log {
  public:
   static LogLevel level();
   static void set_level(LogLevel lvl);
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
   static void write(LogLevel lvl, Time now, const std::string& msg);
+
+  /// Formats one line exactly as the stderr sink prints it (no newline).
+  static std::string format_line(LogLevel lvl, Time now,
+                                 const std::string& msg);
+
+  /// RAII: routes the current thread's log lines to `sink`, restoring the
+  /// previous routing on destruction. Passing nullptr restores the default
+  /// stderr sink for the scope.
+  class ScopedSink {
+   public:
+    explicit ScopedSink(LogSink* sink);
+    ~ScopedSink();
+    ScopedSink(const ScopedSink&) = delete;
+    ScopedSink& operator=(const ScopedSink&) = delete;
+
+   private:
+    LogSink* prev_;
+  };
+
+  /// Captures the current thread's log lines into a string for the scope's
+  /// lifetime. The sweep runner wraps every parallel task in one of these
+  /// so per-task logs can be emitted in task order instead of interleaved.
+  class Capture : public LogSink {
+   public:
+    Capture() : scoped_(this) {}
+    void line(LogLevel, Time, const std::string& formatted) override {
+      text_ += formatted;
+      text_ += '\n';
+    }
+    const std::string& text() const { return text_; }
+
+   private:
+    std::string text_;
+    ScopedSink scoped_;
+  };
 };
 
 #define MS_LOG(lvl, now, expr)                                   \

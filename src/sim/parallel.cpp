@@ -1,0 +1,51 @@
+#include "sim/parallel.hpp"
+
+namespace ms::sim {
+
+int ParallelExecutor::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelExecutor::ParallelExecutor(int jobs)
+    : jobs_(jobs <= 0 ? default_jobs() : jobs) {
+  threads_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    threads_.emplace_back([this] { worker(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelExecutor::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ParallelExecutor::worker() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain queued work even when stopping: map() holds references into
+      // its stack frame, so every submitted task must run before join.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ms::sim

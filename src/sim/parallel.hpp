@@ -1,0 +1,104 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ms::sim {
+
+/// Bounded worker pool for running many *isolated* simulations concurrently.
+///
+/// The simulator itself stays single-threaded by design (see Engine): one
+/// Engine, its Cluster and everything hanging off them belong to exactly one
+/// task on exactly one thread. The executor parallelizes across full
+/// simulation instances — sweep cells, fuzz episodes — which share no
+/// mutable state (the instance-safety contract in ARCHITECTURE.md §10).
+///
+/// map() collects results in task-index order regardless of completion
+/// order, so a parallel sweep produces byte-identical reports to a serial
+/// one; tests/sweep_test.cpp holds that golden.
+class ParallelExecutor {
+ public:
+  /// jobs <= 0 selects default_jobs(). The pool is created immediately and
+  /// persists across map() calls.
+  explicit ParallelExecutor(int jobs = 0);
+  ~ParallelExecutor();
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Hardware concurrency, at least 1 (hardware_concurrency() may be 0).
+  static int default_jobs();
+
+  /// Called after each task of a map() completes, with (done, total).
+  /// Invocations are serialized; keep it cheap (progress lines).
+  using Progress = std::function<void(std::size_t, std::size_t)>;
+
+  /// Runs fn(0) .. fn(count-1) across the pool and blocks until all have
+  /// finished, returning their results in index order. Tasks are handed to
+  /// workers in index order but complete in any order. If tasks threw, the
+  /// lowest-index exception is rethrown after *every* task has finished
+  /// (no task is abandoned mid-run). Not reentrant: a task must not call
+  /// map() on the executor that is running it.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn, const Progress& progress = nullptr)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> results(count);
+    std::vector<std::exception_ptr> errors(count);
+    Batch batch{count};
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&, i] {
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        batch.complete(progress);
+      });
+    }
+    batch.wait();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  struct Batch {
+    explicit Batch(std::size_t n) : total(n) {}
+    void complete(const Progress& progress) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      if (progress) progress(done, total);
+      if (done == total) cv.notify_all();
+    }
+    void wait() {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return done == total; });
+    }
+    std::size_t total;
+    std::size_t done = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void submit(std::function<void()> task);
+  void worker();
+
+  int jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ms::sim

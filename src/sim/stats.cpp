@@ -69,6 +69,32 @@ double Histogram::quantile(double q) const {
   return static_cast<double>(bucket_lo(kBuckets - 1));
 }
 
+void Histogram::merge(const Histogram& o) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        o.buckets_[static_cast<std::size_t>(b)];
+  }
+  total_ += o.total_;
+}
+
+void Sampler::merge(const Sampler& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  mean_ += delta * (nb / (na + nb));
+  m2_ += o.m2_ + delta * delta * (na * nb / (na + nb));
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  hist_.merge(o.hist_);
+}
+
 double Histogram::max_value() const {
   for (int b = kBuckets - 1; b >= 0; --b) {
     if (buckets_[static_cast<std::size_t>(b)]) {
@@ -185,6 +211,12 @@ void StatRegistry::reset() {
   for (auto& [_, c] : counters_) c.reset();
   for (auto& [_, s] : samplers_) s.reset();
   for (auto& [_, h] : histograms_) h.reset();
+}
+
+void StatRegistry::merge(const StatRegistry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].merge(c);
+  for (const auto& [name, s] : o.samplers_) samplers_[name].merge(s);
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
 }
 
 }  // namespace ms::sim

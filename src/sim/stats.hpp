@@ -17,6 +17,8 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
+  /// Shard combine: counters add. Exact and order-independent.
+  void merge(const Counter& o) { value_ += o.value_; }
   void reset() { value_ = 0; }
 
  private:
@@ -64,6 +66,13 @@ class Histogram {
   void dump_json(std::ostream& out) const;
   void reset();
 
+  /// Shard combine: bucketwise sum. All histograms share one bucket layout,
+  /// so merging K shards in any order yields exactly the histogram a single
+  /// instance fed every sample would hold — merged quantiles carry only the
+  /// usual per-bucket interpolation error (bounded by 2^-kSubBits relative),
+  /// never additional merge error. tests/sweep_test.cpp holds this property.
+  void merge(const Histogram& o);
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t total_ = 0;
@@ -100,6 +109,13 @@ class Sampler {
   double p999() const { return hist_.p999(); }
   const Histogram& histogram() const { return hist_; }
   void reset() { *this = Sampler{}; }
+
+  /// Shard combine (Chan's parallel Welford). count, sum, min, max and the
+  /// histogram (hence all quantiles) merge exactly; mean and variance are
+  /// exact up to floating-point rounding, so merge order perturbs them only
+  /// at the last few ulps (~1e-15 relative per combine — the merge property
+  /// test bounds the total at 1e-9 relative).
+  void merge(const Sampler& o);
 
  private:
   std::uint64_t n_ = 0;
@@ -139,6 +155,13 @@ class StatRegistry {
   /// byte-identical JSON — the determinism tests rely on this.
   void dump_json(std::ostream& out) const;
   void reset();
+
+  /// Union-merge another registry into this one: same-name counters add,
+  /// samplers and histograms shard-combine, names only in `o` are copied.
+  /// The sweep runner uses this to aggregate per-run registries into one
+  /// report; merging K shards in any order equals the single-shot registry
+  /// (up to Sampler's documented mean/variance rounding).
+  void merge(const StatRegistry& o);
 
  private:
   std::map<std::string, Counter> counters_;

@@ -1,0 +1,669 @@
+// Per-point bench kernels: the run_point bodies of the figure/ablation
+// benches, factored out of the binaries so one data point is a callable,
+// isolated unit of work. Each kernel builds its OWN Engine + Cluster from
+// the config it is handed and touches no state outside its stack frame —
+// the instance-safety contract (ARCHITECTURE.md §10) that lets
+// sim::ParallelExecutor run many of them concurrently.
+//
+// The numbers must stay byte-identical to the pre-refactor binaries, so
+// every seed, spawn order and measurement point is preserved exactly.
+
+#include "sweep/kernels.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "core/runner.hpp"
+#include "dsm/directory_dsm.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "workloads/random_access.hpp"
+
+namespace ms::sweep {
+
+double CellOutput::metric(const std::string& name) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == name) return v;
+  }
+  throw std::out_of_range("kernel '" + label + "' has no metric '" + name +
+                          "'");
+}
+
+namespace {
+
+core::MemorySpace::Params region_params() {
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  p.swap.resident_limit_bytes = 0;
+  return p;
+}
+
+void attach(const KernelHooks& h, sim::Engine& e, const std::string& label) {
+  if (h.attach) h.attach(e, label);
+}
+void start_timeseries(const KernelHooks& h, sim::Engine& e, core::Cluster& c,
+                      const std::string& label) {
+  if (h.start_timeseries) h.start_timeseries(e, c, label);
+}
+void capture(const KernelHooks& h, const std::string& label,
+             const core::Cluster& c) {
+  if (h.capture) h.capture(label, c);
+}
+
+// ---------------------------------------------------------------------------
+// fig6: remote read latency vs. distance (one point = one hop count)
+// ---------------------------------------------------------------------------
+
+// Nodes at increasing XY distance from node 1 (corner (0,0)) on a 4x4 mesh:
+// itself, then (1,0),(2,0),(3,0),(3,1),(3,2),(3,3).
+constexpr ht::NodeId kServerAtHops[] = {1, 2, 3, 4, 8, 12, 16};
+
+CellOutput fig6_kernel(const sim::Config& cfg, const KernelHooks& hooks) {
+  const int hops = static_cast<int>(cfg.get_int("hops", 0));
+  if (hops < 0 || hops > 6) {
+    throw std::invalid_argument("fig6: hops must be 0..6");
+  }
+  const std::uint64_t accesses = cfg.get_u64("accesses", 4000);
+  const std::uint64_t buffer = cfg.get_u64("buffer", std::uint64_t{64} << 20);
+  const std::string label = "hops=" + std::to_string(hops);
+
+  sim::Engine engine;
+  attach(hooks, engine, label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+  auto mp = region_params();
+  // hop 0 places the buffer in node 1's own local memory; remote rows pin
+  // the donor explicitly, so the auto policy only matters for hop 0.
+  mp.placement = os::RegionManager::Placement::kAuto;
+  core::MemorySpace space(cluster, 1, mp);
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = buffer;
+  rp.accesses_per_thread = accesses;
+  workloads::RandomAccess ra(space, rp);
+
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({kServerAtHops[hops]}));
+  setup.run_all();
+
+  core::Runner run(engine);
+  start_timeseries(hooks, engine, cluster, label);
+  run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/0));
+  const sim::Time elapsed = run.run_all();
+
+  const auto& rtt = cluster.rmc(1).round_trip();
+  const double hit_rate = cluster.node(1).core(0).cache().hit_rate();
+  capture(hooks, label, cluster);
+
+  CellOutput out{label, {}};
+  out.add("per_read_us", sim::to_us(elapsed) / static_cast<double>(accesses));
+  out.add("rmc_rtt_us", rtt.count() ? rtt.mean() / 1e6 : 0.0);
+  out.add("cache_hit_rate", hit_rate);
+  out.add("server_node", static_cast<double>(kServerAtHops[hops]));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// fig7: the random benchmark (one point = one scenario row)
+// ---------------------------------------------------------------------------
+
+constexpr ht::NodeId kFig7Client = 6;  // (1,1) on the 4x4 mesh
+
+CellOutput fig7_kernel(const sim::Config& cfg, const KernelHooks& hooks) {
+  const auto& scenarios = fig7_scenarios();
+  const auto idx = static_cast<std::size_t>(cfg.get_int("scenario", 0));
+  if (idx >= scenarios.size()) {
+    throw std::invalid_argument("fig7: scenario must be 0.." +
+                                std::to_string(scenarios.size() - 1));
+  }
+  const Fig7Scenario& sc = scenarios[idx];
+  const std::uint64_t total = cfg.get_u64("accesses", 40'000);
+  const std::uint64_t buffer = cfg.get_u64("buffer", std::uint64_t{256} << 20);
+
+  sim::Engine engine;
+  attach(hooks, engine, sc.label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+  core::MemorySpace space(cluster, kFig7Client, region_params());
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = buffer / sc.servers.size();
+  rp.accesses_per_thread = total / static_cast<std::uint64_t>(sc.threads);
+  workloads::RandomAccess ra(space, rp);
+
+  core::Runner setup(engine);
+  setup.spawn(ra.setup(sc.servers));
+  setup.run_all();
+
+  core::Runner run(engine);
+  start_timeseries(hooks, engine, cluster, sc.label);
+  for (int t = 0; t < sc.threads; ++t) run.spawn(ra.thread_fn(t, t));
+  const double elapsed_ms = sim::to_ms(run.run_all());
+  capture(hooks, sc.label, cluster);
+
+  CellOutput out{sc.label, {}};
+  out.add("threads", sc.threads);
+  out.add("servers", static_cast<double>(sc.servers.size()));
+  out.add("hops", sc.hops);
+  out.add("time_ms", elapsed_ms);
+  out.add("Maccess_per_s",
+          static_cast<double>(total) / (elapsed_ms * 1000.0));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// fig8: server-side congestion (one point = one stressor-node count)
+// ---------------------------------------------------------------------------
+
+constexpr ht::NodeId kFig8Server = 6;
+constexpr ht::NodeId kFig8Control = 2;
+// Stressor nodes whose XY routes to node 6 avoid the control link 2->6.
+constexpr ht::NodeId kFig8Stressors[] = {5, 7, 10, 14, 9, 11};
+
+sim::Task<void> fig8_stress_thread(core::MemorySpace& space, int core,
+                                   core::VAddr base, std::uint64_t words,
+                                   std::uint64_t seed, const bool* stop) {
+  core::ThreadCtx t{.core = core};
+  sim::Rng rng(seed);
+  while (!*stop) {
+    co_await space.read_u64(t, base + rng.below(words) * 8);
+  }
+  co_await space.sync(t);
+}
+
+CellOutput fig8_kernel(const sim::Config& cfg, const KernelHooks& hooks) {
+  const int stress_nodes = static_cast<int>(cfg.get_int("stress_nodes", 0));
+  if (stress_nodes < 0 || stress_nodes > 6) {
+    throw std::invalid_argument("fig8: stress_nodes must be 0..6");
+  }
+  const int threads_per_node =
+      stress_nodes == 0 ? 0
+                        : static_cast<int>(cfg.get_int("threads_per_node", 4));
+  const std::uint64_t control_accesses = cfg.get_u64("accesses", 4000);
+  const std::uint64_t buffer = cfg.get_u64("buffer", std::uint64_t{64} << 20);
+  const std::uint64_t hot_pages_k =
+      cfg.get_u64("--hot-pages", cfg.get_u64("hot_pages", 0));
+  const std::string label = "stress_nodes=" + std::to_string(stress_nodes);
+
+  sim::Engine engine;
+  attach(hooks, engine, label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+
+  // Control process on node 2.
+  core::MemorySpace control_space(cluster, kFig8Control, region_params());
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = buffer;
+  rp.accesses_per_thread = control_accesses;
+  workloads::RandomAccess control(control_space, rp);
+
+  // Stressor processes, one space per node, all served by node 6.
+  std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+  std::vector<core::VAddr> bases;
+  core::Runner setup(engine);
+  setup.spawn(control.setup({kFig8Server}));
+  for (int n = 0; n < stress_nodes; ++n) {
+    spaces.push_back(std::make_unique<core::MemorySpace>(
+        cluster, kFig8Stressors[n], region_params()));
+  }
+  setup.run_all();
+
+  bases.resize(spaces.size());
+  core::Runner map_setup(engine);
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    map_setup.spawn([](core::MemorySpace& s, core::VAddr* out,
+                       std::uint64_t bytes) -> sim::Task<void> {
+      *out = co_await s.map_range_on(bytes, kFig8Server);
+    }(*spaces[n], &bases[n], buffer));
+  }
+  map_setup.run_all();
+
+  // Observe the measured phase only: any earlier Runner::run_all drains the
+  // engine, which would terminate the time-series sampler.
+  start_timeseries(hooks, engine, cluster, label);
+  if (hot_pages_k > 0) {
+    cluster.hot_pages().enable();
+    cluster.hot_pages().reset();
+  }
+
+  bool stop = false;
+  for (std::size_t n = 0; n < spaces.size(); ++n) {
+    for (int t = 0; t < threads_per_node; ++t) {
+      engine.spawn(fig8_stress_thread(
+          *spaces[n], t, bases[n], buffer / 8,
+          1000 + n * 31 + static_cast<unsigned>(t), &stop));
+    }
+  }
+
+  core::Runner run(engine);
+  const sim::Time start_served = engine.now();
+  const std::uint64_t served_before =
+      cluster.rmc(kFig8Server).served_requests();
+  run.spawn(control.thread_fn(0, 0));
+  // Separate watcher (not part of the runner, or join() would wait on
+  // itself): when the control thread finishes, stop the stressors.
+  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
+    co_await r->join();
+    *flag = true;
+  }(&stop, &run));
+  engine.run();
+
+  const sim::Time control_done = run.last_completion();
+  const double elapsed_us = sim::to_us(control_done - start_served);
+  const double rate =
+      elapsed_us > 0
+          ? static_cast<double>(cluster.rmc(kFig8Server).served_requests() -
+                                served_before) /
+                elapsed_us
+          : 0.0;
+  capture(hooks, label, cluster);
+  if (hot_pages_k > 0) {
+    // Which 4 KiB pages drive the server-side contention this point saw —
+    // every stressor hammers node 6, so the top pages are its hot spots.
+    std::printf("hot pages (stress_nodes=%d, top %llu of %zu):", stress_nodes,
+                static_cast<unsigned long long>(hot_pages_k),
+                cluster.hot_pages().distinct_pages());
+    for (const auto& [page, count] :
+         cluster.hot_pages().top(static_cast<std::size_t>(hot_pages_k))) {
+      std::printf(" 0x%llx:%llu",
+                  static_cast<unsigned long long>(page << 12),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  CellOutput out{label, {}};
+  out.add("total_stress_threads", stress_nodes * threads_per_node);
+  out.add("control_ms", sim::to_ms(control_done - start_served));
+  out.add("server_Mreq_per_s", rate);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ablation_outstanding: RMC outstanding-request limit
+// ---------------------------------------------------------------------------
+
+CellOutput ablation_outstanding_kernel(const sim::Config& cfg,
+                                       const KernelHooks& hooks) {
+  const int outstanding = static_cast<int>(cfg.get_int("outstanding", 1));
+  const int streams = static_cast<int>(cfg.get_int("streams", 8));
+  const std::uint64_t total = cfg.get_u64("accesses", 20'000);
+  const std::string label = "outstanding=" + std::to_string(outstanding);
+
+  sim::Config point = cfg;
+  point.set("rmc.outstanding", std::to_string(outstanding));
+  sim::Engine engine;
+  attach(hooks, engine, label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(point));
+  core::MemorySpace space(cluster, 1, region_params());
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = std::uint64_t{64} << 20;
+  rp.accesses_per_thread = total / static_cast<std::uint64_t>(streams);
+  workloads::RandomAccess ra(space, rp);
+
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({2}));
+  setup.run_all();
+
+  core::Runner run(engine);
+  for (int s = 0; s < streams; ++s) {
+    run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/s));  // same core!
+  }
+  const double time_ms = sim::to_ms(run.run_all());
+  capture(hooks, label, cluster);
+
+  CellOutput out{label, {}};
+  out.add("time_ms", time_ms);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ablation_coherency: non-coherent regions vs. coherent DSM
+// ---------------------------------------------------------------------------
+
+CellOutput ablation_coherency_kernel(const sim::Config& cfg,
+                                     const KernelHooks& hooks) {
+  // The swept parameter is named `sharers`, NOT `nodes`: the cluster itself
+  // always keeps its configured node count (default 16) and only the number
+  // of processes touching memory grows — `nodes` would be swallowed by
+  // ClusterConfig::from and shrink the machine instead.
+  const int nodes = static_cast<int>(cfg.get_int("sharers", 1));
+  const std::uint64_t accesses = cfg.get_u64("accesses", 3'000);
+  const double write_fraction = cfg.get_double("write_fraction", 0.3);
+  const std::string label = "nodes=" + std::to_string(nodes);
+
+  // Our architecture: `nodes` independent processes, each hammering its own
+  // remote region. No coherence traffic can exist between them.
+  double regions_us = 0;
+  std::uint64_t regions_probes = 0;
+  {
+    sim::Engine engine;
+    attach(hooks, engine, label);
+    core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+    std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+    std::vector<std::unique_ptr<workloads::RandomAccess>> loads;
+
+    core::Runner setup(engine);
+    for (int n = 0; n < nodes; ++n) {
+      const auto home = static_cast<ht::NodeId>(n + 1);
+      spaces.push_back(
+          std::make_unique<core::MemorySpace>(cluster, home, region_params()));
+      workloads::RandomAccess::Params rp;
+      rp.buffer_bytes = std::uint64_t{16} << 20;
+      rp.accesses_per_thread = accesses;
+      loads.push_back(
+          std::make_unique<workloads::RandomAccess>(*spaces.back(), rp));
+      // Donate from the node "across" the mesh to keep traffic symmetric.
+      const auto donor =
+          static_cast<ht::NodeId>((n + nodes / 2) % cluster.num_nodes() + 1);
+      setup.spawn(loads.back()->setup(
+          {donor == home
+               ? static_cast<ht::NodeId>(home % cluster.num_nodes() + 1)
+               : donor}));
+    }
+    setup.run_all();
+
+    core::Runner run(engine);
+    for (auto& load : loads) run.spawn(load->thread_fn(0, 0));
+    const sim::Time elapsed = run.run_all();
+    regions_us = sim::to_us(elapsed) / static_cast<double>(accesses);
+    regions_probes = cluster.total_intra_node_probes();
+    capture(hooks, label, cluster);
+  }
+
+  // The coherent-DSM comparator: `nodes` nodes read/write one shared array.
+  double dsm_us = 0;
+  std::uint64_t dsm_msgs = 0;
+  {
+    sim::Engine engine;
+    attach(hooks, engine, label + ".dsm");
+    core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+    dsm::DirectoryDsm dsm(
+        engine, cluster.fabric(),
+        [&cluster](ht::NodeId home, ht::PAddr addr, std::uint32_t bytes,
+                   bool write, sim::TraceContext ctx) {
+          return cluster.node(home).serve_remote(addr, bytes, write, ctx);
+        },
+        dsm::DirectoryDsm::Params{.num_nodes = cluster.num_nodes()});
+
+    core::Runner run(engine);
+    for (int n = 0; n < nodes; ++n) {
+      run.spawn([](dsm::DirectoryDsm& d, ht::NodeId self, std::uint64_t count,
+                   double wf, std::uint64_t seed) -> sim::Task<void> {
+        sim::Rng rng(seed);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          // Hot shared working set: 4096 lines shared by everyone.
+          const ht::PAddr addr = rng.below(4096) * 64;
+          co_await d.access(self, addr, 8, rng.chance(wf));
+        }
+      }(dsm, static_cast<ht::NodeId>(n + 1), accesses, write_fraction,
+        9000 + static_cast<std::uint64_t>(n)));
+    }
+    const sim::Time elapsed = run.run_all();
+    dsm_us = sim::to_us(elapsed) / static_cast<double>(accesses);
+    dsm_msgs = dsm.coherence_messages();
+    capture(hooks, label + ".dsm", cluster);
+  }
+
+  CellOutput out{label, {}};
+  out.add("regions_us_per_access", regions_us);
+  out.add("regions_probes", static_cast<double>(regions_probes));
+  out.add("dsm_us_per_access", dsm_us);
+  out.add("dsm_coh_msgs", static_cast<double>(dsm_msgs));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ablation_prefetch: RMC stream prefetcher degree
+// ---------------------------------------------------------------------------
+
+CellOutput ablation_prefetch_kernel(const sim::Config& cfg,
+                                    const KernelHooks& hooks) {
+  const int degree = static_cast<int>(cfg.get_int("degree", 0));
+  const std::uint64_t bytes = cfg.get_u64("bytes", std::uint64_t{4} << 20);
+  const std::string label = "degree=" + std::to_string(degree);
+
+  sim::Config point = cfg;
+  point.set("rmc.prefetch_degree", std::to_string(degree));
+  sim::Engine engine;
+  attach(hooks, engine, label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(point));
+  core::MemorySpace space(cluster, 1, region_params());
+
+  core::Runner run(engine);
+  sim::Time elapsed = 0;
+  run.spawn([](core::MemorySpace& s, sim::Engine& e, std::uint64_t n,
+               sim::Time* out) -> sim::Task<void> {
+    auto base = co_await s.map_range(n);
+    core::ThreadCtx t;
+    const sim::Time start = e.now();
+    for (std::uint64_t off = 0; off < n; off += 64) {
+      co_await s.read_u64(t, base + off);
+      t.compute(sim::ns(10));  // per-element work of a streaming kernel
+    }
+    co_await s.sync(t);
+    *out = e.now() - start;
+  }(space, engine, bytes, &elapsed));
+  run.run_all();
+  capture(hooks, label, cluster);
+
+  CellOutput out{label, {}};
+  out.add("scan_ms", sim::to_ms(elapsed));
+  out.add("cache_hit_rate", cluster.node(1).core(0).cache().hit_rate());
+  out.add("prefetch_fills",
+          static_cast<double>(cluster.node(1).prefetch_fills()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ablation_topology: fabric topology (one point = one topology)
+// ---------------------------------------------------------------------------
+
+CellOutput ablation_topology_kernel(const sim::Config& cfg,
+                                    const KernelHooks& hooks) {
+  const std::string topo = cfg.get_str("topology", "mesh2d");
+  const std::uint64_t lat_accesses = cfg.get_u64("lat_accesses", 400);
+  const std::uint64_t stress_accesses = cfg.get_u64("stress_accesses", 3'000);
+  const std::string label = "topology=" + topo;
+
+  sim::Config point = cfg;
+  point.set("topology", topo);
+
+  // Zero-load latency: one client, every possible server in turn.
+  double avg_lat_us = 0;
+  {
+    sim::Engine engine;
+    core::Cluster cluster(engine, core::ClusterConfig::from(point));
+    core::MemorySpace space(cluster, 1, region_params());
+
+    double total_us = 0;
+    int servers = 0;
+    for (ht::NodeId server = 2;
+         server <= static_cast<ht::NodeId>(cluster.num_nodes()); ++server) {
+      workloads::RandomAccess::Params rp;
+      rp.buffer_bytes = std::uint64_t{8} << 20;
+      rp.accesses_per_thread = lat_accesses;
+      auto ra = std::make_unique<workloads::RandomAccess>(space, rp);
+      core::Runner setup(engine);
+      setup.spawn(ra->setup({server}));
+      setup.run_all();
+      core::Runner run(engine);
+      run.spawn(ra->thread_fn(0, 0));
+      total_us += sim::to_us(run.run_all()) / static_cast<double>(lat_accesses);
+      ++servers;
+    }
+    avg_lat_us = total_us / servers;
+  }
+
+  // Bisection stress: every node hammers a partner across the machine.
+  double stress_ms = 0;
+  {
+    sim::Engine engine;
+    attach(hooks, engine, label);
+    core::Cluster cluster(engine, core::ClusterConfig::from(point));
+    const int n = cluster.num_nodes();
+
+    std::vector<std::unique_ptr<core::MemorySpace>> spaces;
+    std::vector<std::unique_ptr<workloads::RandomAccess>> loads;
+    core::Runner setup(engine);
+    for (int i = 0; i < n; ++i) {
+      const auto home = static_cast<ht::NodeId>(i + 1);
+      const auto partner = static_cast<ht::NodeId>((i + n / 2) % n + 1);
+      spaces.push_back(
+          std::make_unique<core::MemorySpace>(cluster, home, region_params()));
+      workloads::RandomAccess::Params rp;
+      rp.buffer_bytes = std::uint64_t{8} << 20;
+      rp.accesses_per_thread = stress_accesses;
+      loads.push_back(
+          std::make_unique<workloads::RandomAccess>(*spaces.back(), rp));
+      setup.spawn(loads.back()->setup({partner}));
+    }
+    setup.run_all();
+
+    core::Runner run(engine);
+    for (auto& load : loads) {
+      run.spawn(load->thread_fn(0, 0));
+      run.spawn(load->thread_fn(1, 1));
+    }
+    stress_ms = sim::to_ms(run.run_all());
+    capture(hooks, label, cluster);
+  }
+
+  CellOutput out{label, {}};
+  out.add("avg_remote_read_us", avg_lat_us);
+  out.add("all_pairs_stress_ms", stress_ms);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// engine_overhead: raw scheduler throughput (wall-clock — nondeterministic)
+// ---------------------------------------------------------------------------
+
+sim::Time overhead_next_delay(sim::Rng& rng) {
+  // Mix of wheel-level scales: mostly sub-ns..ns gaps, some us-scale.
+  const std::uint64_t r = rng.below(100);
+  if (r < 70) return sim::ps(rng.below(4096));
+  if (r < 95) return sim::ns(rng.below(1000));
+  return sim::us(1 + rng.below(16));
+}
+
+struct OverheadCallbackLoop {
+  sim::Engine& e;
+  sim::Rng rng{12345};
+  std::uint64_t remaining;
+  void pump() {
+    if (remaining == 0) return;
+    --remaining;
+    e.schedule(overhead_next_delay(rng), [this] { pump(); });
+  }
+};
+
+sim::Task<void> overhead_coro_loop(sim::Engine& e, sim::Rng& rng,
+                                   std::uint64_t* remaining) {
+  while (*remaining > 0) {
+    --*remaining;
+    co_await e.delay(overhead_next_delay(rng));
+  }
+}
+
+CellOutput engine_overhead_kernel(const sim::Config& cfg,
+                                  const KernelHooks&) {
+  const std::uint64_t events = cfg.get_u64("events", 2'000'000);
+  const int pending = static_cast<int>(cfg.get_int("pending", 1024));
+
+  CellOutput out{"engine_overhead", {}};
+  {
+    sim::Engine e;
+    OverheadCallbackLoop loop{e, sim::Rng(12345), events};
+    for (int i = 0; i < pending; ++i) loop.pump();
+    const auto t0 = std::chrono::steady_clock::now();
+    e.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    out.add("callback_events_per_sec",
+            static_cast<double>(e.events_processed()) / secs);
+    out.add("callback_events", static_cast<double>(e.events_processed()));
+  }
+  {
+    sim::Engine e;
+    sim::Rng rng(777);
+    std::uint64_t remaining = events;
+    for (int i = 0; i < pending; ++i) {
+      e.spawn(overhead_coro_loop(e, rng, &remaining));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    e.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    out.add("coro_events_per_sec",
+            static_cast<double>(e.events_processed()) / secs);
+    out.add("coro_events", static_cast<double>(e.events_processed()));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Fig7Scenario>& fig7_scenarios() {
+  // Interior node 6 at (1,1): 1-hop {5,7,2,10}, 2-hop {1,3,9,11},
+  // 3-hop {4,12,13,15}.
+  static const std::vector<Fig7Scenario> kScenarios = {
+      {"1 server, 1t", 1, {5}, 1},
+      {"1 server, 2t", 2, {5}, 1},
+      {"1 server, 4t", 4, {5}, 1},
+      {"4 servers, 4t, 1 hop", 4, {5, 7, 2, 10}, 1},
+      {"4 servers, 4t, 2 hops", 4, {1, 3, 9, 11}, 2},
+      {"4 servers, 4t, 3 hops", 4, {4, 12, 13, 15}, 3},
+  };
+  return kScenarios;
+}
+
+const std::map<std::string, KernelDef>& kernels() {
+  static const std::map<std::string, KernelDef> kKernels = {
+      {"fig6",
+       {&fig6_kernel, "hops=0..6 accesses=4000 buffer=64M", true}},
+      {"fig7",
+       {&fig7_kernel, "scenario=0..5 accesses=40000 buffer=256M", true}},
+      {"fig8",
+       {&fig8_kernel,
+        "stress_nodes=0..6 threads_per_node=4 accesses=4000 buffer=64M",
+        true}},
+      {"ablation_outstanding",
+       {&ablation_outstanding_kernel,
+        "outstanding=1,2,4,8 streams=8 accesses=20000", true}},
+      {"ablation_coherency",
+       {&ablation_coherency_kernel,
+        "sharers=1,2,4,8,16 accesses=3000 write_fraction=0.3", true}},
+      {"ablation_prefetch",
+       {&ablation_prefetch_kernel, "degree=0,2,4,8 bytes=4M", true}},
+      {"ablation_topology",
+       {&ablation_topology_kernel,
+        "topology=mesh2d,torus2d,ring,star,full lat_accesses=400 "
+        "stress_accesses=3000",
+        true}},
+      {"engine_overhead",
+       {&engine_overhead_kernel, "events=2000000 pending=1024", false}},
+  };
+  return kKernels;
+}
+
+CellOutput run_kernel(const std::string& bench, const sim::Config& cfg,
+                      const KernelHooks& hooks) {
+  const auto& reg = kernels();
+  const auto it = reg.find(bench);
+  if (it == reg.end()) {
+    std::string known;
+    for (const auto& [name, _] : reg) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("unknown bench kernel '" + bench +
+                                "' (known: " + known + ")");
+  }
+  return it->second.fn(cfg, hooks);
+}
+
+}  // namespace ms::sweep

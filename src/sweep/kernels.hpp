@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ht/packet.hpp"
+#include "sim/config.hpp"
+
+namespace ms::sim {
+class Engine;
+}
+namespace ms::core {
+class Cluster;
+}
+
+namespace ms::sweep {
+
+/// Observability callbacks a kernel host may install (all optional). The
+/// figure-bench binaries adapt their bench::Env (tracer attach, time-series
+/// sampler, stats capture); the sweep runner installs a stats capture only.
+/// Kernels invoke them at the same points the original bench code did, so a
+/// bench binary built on a kernel emits byte-identical stats/trace output.
+struct KernelHooks {
+  std::function<void(sim::Engine&, const std::string& label)> attach;
+  std::function<void(sim::Engine&, core::Cluster&, const std::string& label)>
+      start_timeseries;
+  std::function<void(const std::string& label, const core::Cluster&)> capture;
+};
+
+/// One data point: a stable label ("hops=3") plus named metric values in
+/// table order (the sweep report preserves this order).
+struct CellOutput {
+  std::string label;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void add(const std::string& name, double value) {
+    metrics.emplace_back(name, value);
+  }
+  /// Value of a metric; throws std::out_of_range when absent.
+  double metric(const std::string& name) const;
+};
+
+using KernelFn = CellOutput (*)(const sim::Config&, const KernelHooks&);
+
+struct KernelDef {
+  KernelFn fn;
+  /// Grid-able cell parameters with their defaults, for --help output.
+  const char* params;
+  /// False for kernels whose metrics depend on wall-clock time
+  /// (engine_overhead): excluded from byte-identical report comparisons;
+  /// gate them with floors instead of goldens.
+  bool deterministic;
+};
+
+/// Registry of per-point bench kernels. Each kernel runs ONE data point of
+/// one figure/ablation study on a fully isolated Engine+Cluster built from
+/// its own config, and returns that point's metrics — the unit of work
+/// sim::ParallelExecutor fans out. The fig/ablation bench binaries loop
+/// over these same kernels, so `memscale_sweep bench=fig6 grid.hops=...`
+/// reproduces the binaries' numbers exactly.
+const std::map<std::string, KernelDef>& kernels();
+
+/// Looks up and runs one kernel; throws std::invalid_argument on an
+/// unknown bench name (message lists the known ones).
+CellOutput run_kernel(const std::string& bench, const sim::Config& cfg,
+                      const KernelHooks& hooks = {});
+
+/// Figure 7's scenario table (threads x servers x distance), shared between
+/// the fig7 kernel (cell parameter `scenario` indexes it) and the bench
+/// binary's printed table.
+struct Fig7Scenario {
+  const char* label;
+  int threads;
+  std::vector<ht::NodeId> servers;
+  int hops;
+};
+const std::vector<Fig7Scenario>& fig7_scenarios();
+
+}  // namespace ms::sweep

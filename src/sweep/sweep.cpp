@@ -1,0 +1,748 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cluster.hpp"
+#include "fuzz/fuzz.hpp"
+#include "sim/log.hpp"
+#include "sim/parallel.hpp"
+#include "sim/stats.hpp"
+
+namespace ms::sweep {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_values(const std::string& text) {
+  // "a,b,c" or inclusive integer range "a..b".
+  const auto dots = text.find("..");
+  if (dots != std::string::npos && text.find(',') == std::string::npos) {
+    const long long lo = std::stoll(text.substr(0, dots));
+    const long long hi = std::stoll(text.substr(dots + 2));
+    if (hi < lo) {
+      throw std::invalid_argument("grid range must be ascending: " + text);
+    }
+    std::vector<std::string> out;
+    for (long long v = lo; v <= hi; ++v) out.push_back(std::to_string(v));
+    return out;
+  }
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  for (const auto& v : out) {
+    if (v.empty()) throw std::invalid_argument("empty grid value in: " + text);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — only what golden/floor comparison needs. The
+// producer is this file, so the subset (objects, arrays, strings, numbers,
+// bools, null) is sufficient and covered by round-trip tests.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    if (kind != kObj) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonValue parse() {
+    JsonValue v = value();
+    ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(text_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+  JsonValue value() {
+    ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = JsonValue::kObj;
+      ++pos_;
+      ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        ws();
+        std::string key = string_body();
+        ws();
+        expect(':');
+        v.obj.emplace_back(std::move(key), value());
+        ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind = JsonValue::kArr;
+      ++pos_;
+      ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v.arr.push_back(value());
+        ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::kStr;
+      v.str = string_body();
+      return v;
+    }
+    if (consume("true")) {
+      v.kind = JsonValue::kBool;
+      v.b = true;
+      return v;
+    }
+    if (consume("false")) {
+      v.kind = JsonValue::kBool;
+      return v;
+    }
+    if (consume("null")) return v;
+    // number
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("unexpected character");
+    v.kind = JsonValue::kNum;
+    v.num = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------------
+
+SweepSpec SweepSpec::parse_tokens(const std::vector<std::string>& tokens) {
+  SweepSpec spec;
+  for (const std::string& raw : tokens) {
+    std::string tok = raw;
+    while (!tok.empty() && tok.front() == '-') tok.erase(tok.begin());
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("sweep spec: expected key=value, got '" +
+                                  raw + "'");
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "bench") {
+      spec.bench = value;
+    } else if (key == "repeats") {
+      spec.repeats = std::stoi(value);
+      if (spec.repeats < 1) {
+        throw std::invalid_argument("sweep spec: repeats must be >= 1");
+      }
+    } else if (key == "fuzz") {
+      spec.fuzz = value != "0";
+    } else if (key == "episodes") {
+      spec.episodes = std::stoull(value);
+    } else if (key == "seed") {
+      spec.first_seed = std::stoull(value);
+    } else if (key == "epoch_us") {
+      spec.epoch_us = std::stoull(value);
+    } else if (key == "minimize") {
+      spec.minimize = value != "0";
+    } else if (key == "mutation") {
+      spec.mutation = value;
+    } else if (key == "flight") {
+      spec.flight_path = value;
+    } else if (key.rfind("grid.", 0) == 0) {
+      const std::string axis_key = key.substr(5);
+      if (axis_key.empty()) {
+        throw std::invalid_argument("sweep spec: empty grid key in '" + raw +
+                                    "'");
+      }
+      // Re-declaring an axis replaces it (CLI overrides the spec file).
+      auto values = split_values(value);
+      bool replaced = false;
+      for (auto& axis : spec.axes) {
+        if (axis.key == axis_key) {
+          axis.values = values;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) spec.axes.push_back(GridAxis{axis_key, std::move(values)});
+    } else {
+      spec.base.set(key, value);
+    }
+  }
+  if (spec.fuzz && !spec.bench.empty()) {
+    throw std::invalid_argument(
+        "sweep spec: fuzz=1 and bench= are mutually exclusive");
+  }
+  if (!spec.fuzz && spec.bench.empty()) {
+    throw std::invalid_argument(
+        "sweep spec: need bench=<kernel> or fuzz=1 (known kernels: see "
+        "memscale_sweep help)");
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::load(const std::string& path,
+                          const std::vector<std::string>& extra) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read sweep spec " + path);
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) tokens.push_back(word);
+  }
+  tokens.insert(tokens.end(), extra.begin(), extra.end());
+  return parse_tokens(tokens);
+}
+
+std::vector<SweepSpec::Cell> SweepSpec::expand() const {
+  std::vector<Cell> cells;
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (;;) {
+    Cell cell;
+    cell.config = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const auto& axis = axes[a];
+      const auto& value = axis.values[idx[a]];
+      cell.params.emplace_back(axis.key, value);
+      cell.config.set(axis.key, value);
+      if (!cell.key.empty()) cell.key += ' ';
+      cell.key += axis.key + "=" + value;
+    }
+    cells.push_back(std::move(cell));
+    // Odometer increment, last axis fastest.
+    std::size_t a = axes.size();
+    for (;;) {
+      if (a == 0) return cells;
+      --a;
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bench-mode sweep
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TaskOutcome {
+  RunRecord record;
+  sim::StatRegistry stats;
+};
+
+std::string cell_params_json(
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+  }
+  return out + "}";
+}
+
+SweepReport run_bench_sweep(const SweepSpec& spec, const SweepOptions& opt) {
+  const auto cells = spec.expand();
+  struct Task {
+    std::size_t cell;
+    int repeat;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (int r = 0; r < spec.repeats; ++r) tasks.push_back({c, r});
+  }
+
+  sim::ParallelExecutor pool(opt.jobs);
+  sim::ParallelExecutor::Progress progress;
+  if (opt.verbose && opt.log != nullptr) {
+    progress = [&](std::size_t done, std::size_t total) {
+      *opt.log << "[" << done << "/" << total << "] tasks done\n";
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<TaskOutcome> outcomes = pool.map(
+      tasks.size(),
+      [&](std::size_t i) -> TaskOutcome {
+        sim::Log::Capture logs;  // per-task log lines, replayed in order
+        const auto task_t0 = std::chrono::steady_clock::now();
+        TaskOutcome o;
+        KernelHooks hooks;
+        hooks.capture = [&o](const std::string& label,
+                             const core::Cluster& cluster) {
+          cluster.export_stats(o.stats, label + ".");
+        };
+        o.record.out = run_kernel(spec.bench, cells[tasks[i].cell].config,
+                                  hooks);
+        o.record.key = cells[tasks[i].cell].key.empty()
+                           ? o.record.out.label
+                           : cells[tasks[i].cell].key;
+        o.record.label = o.record.out.label;
+        o.record.repeat = tasks[i].repeat;
+        o.record.wall_ms = wall_ms_since(task_t0);
+        o.record.log = logs.text();
+
+        std::ostringstream run_json;
+        run_json << "{\"bench\":\"" << json_escape(spec.bench) << "\",\"key\":\""
+                 << json_escape(o.record.key) << "\",\"label\":\""
+                 << json_escape(o.record.label) << "\",\"repeat\":"
+                 << o.record.repeat << ",\"params\":"
+                 << cell_params_json(cells[tasks[i].cell].params)
+                 << ",\"metrics\":{";
+        bool first = true;
+        for (const auto& [name, value] : o.record.out.metrics) {
+          if (!first) run_json << ",";
+          first = false;
+          run_json << "\"" << json_escape(name)
+                   << "\":" << sim::json_double(value);
+        }
+        run_json << "},\"stats\":";
+        o.stats.dump_json(run_json);
+        run_json << "}";
+        o.record.stats_json = run_json.str();
+        return o;
+      },
+      progress);
+  const double wall_ms = wall_ms_since(t0);
+
+  // Ordered replay of captured per-task logs (stderr, like direct runs).
+  for (const auto& o : outcomes) {
+    if (!o.record.log.empty()) {
+      std::fwrite(o.record.log.data(), 1, o.record.log.size(), stderr);
+    }
+  }
+
+  SweepReport report;
+  report.tasks = tasks.size();
+  report.wall_ms = wall_ms;
+  for (const auto& o : outcomes) report.task_ms_sum += o.record.wall_ms;
+
+  // Merged report: cells in expansion order, per-cell metric medians over
+  // repeats. Deterministic: no wall-clock values, shortest-round-trip
+  // doubles, fixed iteration order.
+  std::ostringstream json;
+  json << "{\"spec\":{\"bench\":\"" << json_escape(spec.bench)
+       << "\",\"repeats\":" << spec.repeats << ",\"cells\":" << cells.size()
+       << "},\"cells\":[";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const TaskOutcome& first_run = outcomes[c * spec.repeats];
+    if (c != 0) json << ",";
+    json << "{\"key\":\"" << json_escape(first_run.record.key)
+         << "\",\"label\":\"" << json_escape(first_run.record.label)
+         << "\",\"params\":" << cell_params_json(cells[c].params)
+         << ",\"runs\":" << spec.repeats << ",\"metrics\":{";
+    bool first_metric = true;
+    for (std::size_t m = 0; m < first_run.record.out.metrics.size(); ++m) {
+      const std::string& name = first_run.record.out.metrics[m].first;
+      std::vector<double> values;
+      for (int r = 0; r < spec.repeats; ++r) {
+        values.push_back(
+            outcomes[c * spec.repeats + static_cast<std::size_t>(r)]
+                .record.out.metric(name));
+      }
+      if (!first_metric) json << ",";
+      first_metric = false;
+      json << "\"" << json_escape(name)
+           << "\":{\"median\":" << sim::json_double(median_of(values))
+           << ",\"min\":"
+           << sim::json_double(*std::min_element(values.begin(), values.end()))
+           << ",\"max\":"
+           << sim::json_double(*std::max_element(values.begin(), values.end()))
+           << "}";
+    }
+    json << "}";
+    if (opt.merge_samplers) {
+      // Shard-combined stats across the cell's repeats: counters add,
+      // samplers merge (exact counts/quantiles, see Sampler::merge).
+      sim::StatRegistry merged;
+      for (int r = 0; r < spec.repeats; ++r) {
+        merged.merge(
+            outcomes[c * spec.repeats + static_cast<std::size_t>(r)].stats);
+      }
+      json << ",\"counters\":{";
+      bool first_counter = true;
+      for (const auto& [name, counter] : merged.counters()) {
+        if (!first_counter) json << ",";
+        first_counter = false;
+        json << "\"" << json_escape(name) << "\":" << counter.value();
+      }
+      json << "},\"samplers\":{";
+      bool first_sampler = true;
+      for (const auto& [name, sampler] : merged.samplers()) {
+        if (!first_sampler) json << ",";
+        first_sampler = false;
+        json << "\"" << json_escape(name) << "\":{\"count\":"
+             << sampler.count() << ",\"mean\":"
+             << sim::json_double(sampler.mean())
+             << ",\"p50\":" << sim::json_double(sampler.p50())
+             << ",\"p99\":" << sim::json_double(sampler.p99()) << "}";
+      }
+      json << "}";
+    }
+    json << "}";
+  }
+  json << "]}";
+  report.json = json.str();
+
+  for (auto& o : outcomes) report.runs.push_back(std::move(o.record));
+
+  if (!opt.out_dir.empty()) {
+    std::filesystem::create_directories(opt.out_dir);
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+      char name[64];
+      std::snprintf(name, sizeof name, "run-%04zu.json", i);
+      const std::string path = opt.out_dir + "/" + name;
+      std::ofstream out(path);
+      if (!out) throw std::runtime_error("cannot write " + path);
+      out << report.runs[i].stats_json << "\n";
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-mode sweep
+// ---------------------------------------------------------------------------
+
+SweepReport run_fuzz_sweep(const SweepSpec& spec, const SweepOptions& opt) {
+  fuzz::CampaignOptions campaign;
+  campaign.episodes = spec.episodes;
+  campaign.first_seed = spec.first_seed;
+  campaign.epoch = sim::us(spec.epoch_us);
+  campaign.mutation = fuzz::parse_mutation(spec.mutation);
+  campaign.minimize = spec.minimize;
+  campaign.flight_path = spec.flight_path;
+  campaign.verbose = opt.verbose;
+  campaign.jobs = opt.jobs;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fuzz::CampaignResult res = fuzz::run_campaign(campaign, opt.log);
+  const double wall_ms = wall_ms_since(t0);
+
+  SweepReport report;
+  report.tasks = res.episodes_run;
+  report.failing = res.failing;
+  report.repro_lines = res.repro_lines;
+  report.wall_ms = wall_ms;
+  for (const auto& ep : res.episodes) report.task_ms_sum += ep.wall_ms;
+
+  std::ostringstream json;
+  json << "{\"spec\":{\"fuzz\":true,\"episodes\":" << spec.episodes
+       << ",\"first_seed\":" << spec.first_seed
+       << ",\"epoch_us\":" << spec.epoch_us << ",\"mutation\":\""
+       << json_escape(fuzz::mutation_name(campaign.mutation))
+       << "\"},\"episodes\":[";
+  for (std::size_t i = 0; i < res.episodes.size(); ++i) {
+    const auto& ep = res.episodes[i];
+    if (i != 0) json << ",";
+    json << "{\"seed\":" << ep.seed << ",\"events\":" << ep.events
+         << ",\"sim_time_ps\":" << ep.sim_time << ",\"checks\":" << ep.checks
+         << ",\"violations\":[";
+    for (std::size_t v = 0; v < ep.violations.size(); ++v) {
+      if (v != 0) json << ",";
+      json << "\"" << json_escape(ep.violations[v]) << "\"";
+    }
+    json << "]}";
+  }
+  json << "],\"summary\":{\"episodes_run\":" << res.episodes_run
+       << ",\"failing\":" << res.failing << ",\"failing_seeds\":[";
+  for (std::size_t i = 0; i < res.failing_seeds.size(); ++i) {
+    if (i != 0) json << ",";
+    json << res.failing_seeds[i];
+  }
+  json << "]},\"repros\":[";
+  for (std::size_t i = 0; i < res.repro_lines.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "\"" << json_escape(res.repro_lines[i]) << "\"";
+  }
+  json << "]}";
+  report.json = json.str();
+  return report;
+}
+
+}  // namespace
+
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& opt) {
+  return spec.fuzz ? run_fuzz_sweep(spec, opt) : run_bench_sweep(spec, opt);
+}
+
+// ---------------------------------------------------------------------------
+// Golden / floor comparison
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const JsonValue* find_cell(const JsonValue& report, const std::string& key) {
+  const JsonValue* cells = report.find("cells");
+  if (cells == nullptr || cells->kind != JsonValue::kArr) return nullptr;
+  for (const auto& cell : cells->arr) {
+    const JsonValue* k = cell.find("key");
+    if (k != nullptr && k->kind == JsonValue::kStr && k->str == key) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+bool median_of_cell(const JsonValue& cell, const std::string& metric,
+                    double& out) {
+  const JsonValue* metrics = cell.find("metrics");
+  if (metrics == nullptr) return false;
+  const JsonValue* m = metrics->find(metric);
+  if (m == nullptr) return false;
+  const JsonValue* median = m->find("median");
+  if (median == nullptr || median->kind != JsonValue::kNum) return false;
+  out = median->num;
+  return true;
+}
+
+}  // namespace
+
+std::vector<CheckFailure> compare_reports(const std::string& report_json,
+                                          const std::string& golden_json,
+                                          double rel_tolerance) {
+  std::vector<CheckFailure> failures;
+  const JsonValue report = JsonParser(report_json).parse();
+  const JsonValue golden = JsonParser(golden_json).parse();
+  const JsonValue* golden_cells = golden.find("cells");
+  if (golden_cells == nullptr || golden_cells->kind != JsonValue::kArr) {
+    failures.push_back({"golden", "golden report has no \"cells\" array"});
+    return failures;
+  }
+  for (const auto& gcell : golden_cells->arr) {
+    const JsonValue* keyv = gcell.find("key");
+    const std::string key =
+        keyv != nullptr && keyv->kind == JsonValue::kStr ? keyv->str : "?";
+    const JsonValue* cell = find_cell(report, key);
+    if (cell == nullptr) {
+      failures.push_back({key, "cell missing from report"});
+      continue;
+    }
+    const JsonValue* gmetrics = gcell.find("metrics");
+    if (gmetrics == nullptr) continue;
+    for (const auto& [metric, gval] : gmetrics->obj) {
+      const JsonValue* gmedian = gval.find("median");
+      if (gmedian == nullptr || gmedian->kind != JsonValue::kNum) continue;
+      double actual = 0;
+      if (!median_of_cell(*cell, metric, actual)) {
+        failures.push_back({key + "." + metric, "metric missing from report"});
+        continue;
+      }
+      const double expected = gmedian->num;
+      const double denom =
+          std::max({std::fabs(expected), std::fabs(actual), 1e-12});
+      if (std::fabs(actual - expected) > rel_tolerance * denom &&
+          actual != expected) {
+        std::ostringstream detail;
+        detail << "expected " << expected << " ± " << rel_tolerance * 100
+               << "%, got " << actual;
+        failures.push_back({key + "." + metric, detail.str()});
+      }
+    }
+  }
+  return failures;
+}
+
+std::vector<CheckFailure> check_floors(const std::string& report_json,
+                                       const std::string& floors_json) {
+  std::vector<CheckFailure> failures;
+  const JsonValue report = JsonParser(report_json).parse();
+  const JsonValue floors_doc = JsonParser(floors_json).parse();
+  const JsonValue* floors = floors_doc.find("floors");
+  if (floors == nullptr || floors->kind != JsonValue::kObj) {
+    failures.push_back({"floors", "floors file has no \"floors\" object"});
+    return failures;
+  }
+  for (const auto& [path, floor] : floors->obj) {
+    // "<cell key>.<metric>" — metric names contain no dots, split at last.
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos || floor.kind != JsonValue::kNum) {
+      failures.push_back({path, "bad floor entry"});
+      continue;
+    }
+    const std::string key = path.substr(0, dot);
+    const std::string metric = path.substr(dot + 1);
+    const JsonValue* cell = find_cell(report, key);
+    if (cell == nullptr) {
+      failures.push_back({path, "cell missing from report"});
+      continue;
+    }
+    double actual = 0;
+    if (!median_of_cell(*cell, metric, actual)) {
+      failures.push_back({path, "metric missing from report"});
+      continue;
+    }
+    if (actual < floor.num) {
+      std::ostringstream detail;
+      detail << "floor " << floor.num << ", got " << actual;
+      failures.push_back({path, detail.str()});
+    }
+  }
+  return failures;
+}
+
+}  // namespace ms::sweep

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sweep/kernels.hpp"
+
+namespace ms::sweep {
+
+/// One grid axis: "grid.hops=0,1,2" or "grid.hops=0..6" (inclusive integer
+/// range). Cells are the cartesian product of all axes, expanded with the
+/// first-declared axis outermost, so expansion order is deterministic.
+struct GridAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Declarative sweep specification: a bench kernel × parameter grid, or a
+/// fuzz campaign of N seeded episodes. Parsed from key=value tokens (spec
+/// file lines and/or CLI arguments; '#' starts a comment; later tokens
+/// override earlier ones, so CLI arguments override the spec file).
+struct SweepSpec {
+  // Bench mode.
+  std::string bench;          ///< kernel name (see sweep::kernels())
+  std::vector<GridAxis> axes; ///< grid.<key>=v1,v2,... tokens, declaration order
+  int repeats = 1;            ///< runs per cell; report shows median/min/max
+  sim::Config base;           ///< every other key: cell + cluster parameters
+
+  // Fuzz mode (fuzz=1): mirrors fuzz::CampaignOptions.
+  bool fuzz = false;
+  std::uint64_t episodes = 64;
+  std::uint64_t first_seed = 1;
+  std::uint64_t epoch_us = 20;
+  bool minimize = true;
+  std::string mutation;       ///< fuzz mutation name ("" = none)
+  std::string flight_path;    ///< dump MSFLIGHT rings for failing seeds
+
+  static SweepSpec parse_tokens(const std::vector<std::string>& tokens);
+  /// Loads a spec file then applies `extra` tokens on top.
+  static SweepSpec load(const std::string& path,
+                        const std::vector<std::string>& extra);
+
+  struct Cell {
+    std::vector<std::pair<std::string, std::string>> params;  ///< grid point
+    sim::Config config;  ///< base + grid overrides, handed to the kernel
+    std::string key;     ///< "k1=v1 k2=v2" in axis order ("" when no grid)
+  };
+  std::vector<Cell> expand() const;
+};
+
+/// One completed task: a (cell × repeat) kernel run. Everything in here is
+/// deterministic except wall_ms, which never enters the report JSON.
+struct RunRecord {
+  std::string key;         ///< cell key (grid params) or kernel label
+  std::string label;       ///< kernel-assigned label ("hops=3")
+  int repeat = 0;
+  CellOutput out;
+  std::string stats_json;  ///< full per-run dump: params, metrics, stats
+  std::string log;         ///< captured sim::Log lines of this task
+  double wall_ms = 0;
+};
+
+struct SweepReport {
+  std::string json;     ///< merged report (deterministic; byte-identical
+                        ///< across --jobs values for the same spec)
+  std::vector<RunRecord> runs;  ///< bench mode: every task, in task order
+  std::uint64_t tasks = 0;
+  std::uint64_t failing = 0;    ///< fuzz mode: failing episodes
+  std::vector<std::string> repro_lines;  ///< fuzz mode
+  double wall_ms = 0;       ///< end-to-end wall clock of the run phase
+  double task_ms_sum = 0;   ///< sum of per-task wall clocks ("serial cost")
+};
+
+struct SweepOptions {
+  int jobs = 1;             ///< worker threads (<= 0: hardware concurrency)
+  std::string out_dir;      ///< write per-run stats JSON files here ("" = off)
+  bool merge_samplers = false;  ///< include per-cell merged sampler stats
+  bool verbose = false;     ///< progress lines to `log`
+  std::ostream* log = nullptr;  ///< campaign/progress output (fuzz mode uses
+                                ///< it exactly like fuzz::run_campaign)
+};
+
+/// Expands the spec into tasks, runs them across a sim::ParallelExecutor
+/// (one isolated Engine+Cluster per task), and aggregates per-run stats
+/// into one merged report with per-cell medians over repeats. Fuzz specs
+/// run the seeded episode campaign in parallel with byte-identical
+/// per-episode results and campaign log regardless of jobs.
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& opt);
+
+/// A golden/floor mismatch. `where` names the cell+metric, `detail` the
+/// values involved.
+struct CheckFailure {
+  std::string where;
+  std::string detail;
+};
+
+/// Compares a report against a committed golden report: every cell and
+/// metric median in the golden must exist in `report_json` and match within
+/// `rel_tolerance` (relative; 0 = exact). Extra cells in the new report are
+/// ignored (grids may grow), missing ones fail.
+std::vector<CheckFailure> compare_reports(const std::string& report_json,
+                                          const std::string& golden_json,
+                                          double rel_tolerance);
+
+/// Checks floor constraints: floors_json is {"floors":{"<cell key>.<metric>"
+/// : minimum, ...}}; each named metric's median must be >= its floor. Used
+/// for wall-clock throughput gates where goldens would be flaky.
+std::vector<CheckFailure> check_floors(const std::string& report_json,
+                                       const std::string& floors_json);
+
+}  // namespace ms::sweep

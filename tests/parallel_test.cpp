@@ -1,0 +1,206 @@
+// sim::ParallelExecutor and the instance-safety contract it depends on:
+// ordered result collection, exception propagation, pool reuse, per-thread
+// log capture, and a TSan-able smoke test that runs a mixed batch of full
+// simulation instances (figure kernels + fuzz episodes) concurrently and
+// checks them against serial runs. Build with -fsanitize=thread to turn the
+// smoke test into a data-race hunt over the whole simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+#include "sim/parallel.hpp"
+#include "sim/random.hpp"
+#include "sweep/kernels.hpp"
+
+namespace ms {
+namespace {
+
+TEST(ParallelExecutor, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(sim::ParallelExecutor::default_jobs(), 1);
+  sim::ParallelExecutor pool(0);
+  EXPECT_EQ(pool.jobs(), sim::ParallelExecutor::default_jobs());
+  sim::ParallelExecutor pool3(3);
+  EXPECT_EQ(pool3.jobs(), 3);
+}
+
+TEST(ParallelExecutor, MapReturnsResultsInIndexOrder) {
+  sim::ParallelExecutor pool(8);
+  // Reverse-staggered sleeps: late indices finish first, so index-ordered
+  // results prove collection order is independent of completion order.
+  auto results = pool.map(64, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((64 - i) * 20));
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelExecutor, MapRunsEveryTaskAndRethrowsLowestIndexError) {
+  sim::ParallelExecutor pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.map(32, [&ran](std::size_t i) -> int {
+      ++ran;
+      if (i == 7 || i == 21) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");  // lowest failing index wins
+  }
+  // No task is abandoned: the batch drains fully before rethrowing.
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelExecutor, PoolIsReusedAcrossMapCalls) {
+  sim::ParallelExecutor pool(4);
+  for (int round = 0; round < 3; ++round) {
+    auto results =
+        pool.map(16, [round](std::size_t i) { return round * 100 + int(i); });
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(results[i], round * 100 + int(i));
+    }
+  }
+}
+
+TEST(ParallelExecutor, ProgressReportsEveryCompletionMonotonically) {
+  sim::ParallelExecutor pool(4);
+  std::vector<std::size_t> seen;
+  pool.map(
+      24, [](std::size_t i) { return i; },
+      [&seen](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 24u);
+        seen.push_back(done);  // progress calls are serialized
+      });
+  ASSERT_EQ(seen.size(), 24u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(ParallelExecutor, ZeroTasksCompletesImmediately) {
+  sim::ParallelExecutor pool(2);
+  EXPECT_TRUE(pool.map(0, [](std::size_t) { return 1; }).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Log instance-safety
+// ---------------------------------------------------------------------------
+
+TEST(LogCapture, PerThreadSinksIsolateConcurrentInstances) {
+  sim::ParallelExecutor pool(8);
+  auto captured = pool.map(16, [](std::size_t i) {
+    sim::Log::Capture capture;
+    // kError is enabled at the default kWarn level.
+    MS_LOG(sim::LogLevel::kError, sim::us(i), "instance " << i << " line A");
+    MS_LOG(sim::LogLevel::kError, sim::us(i), "instance " << i << " line B");
+    return capture.text();
+  });
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::string mine = "instance " + std::to_string(i) + " line A";
+    EXPECT_NE(captured[i].find(mine), std::string::npos) << captured[i];
+    // No cross-talk: another instance's lines never land in this capture.
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (j == i) continue;
+      const std::string theirs = "instance " + std::to_string(j) + " ";
+      EXPECT_EQ(captured[i].find(theirs), std::string::npos);
+    }
+  }
+}
+
+TEST(LogCapture, ScopedSinkRestoresPreviousRouting) {
+  sim::Log::Capture outer;
+  MS_LOG(sim::LogLevel::kError, 0, "outer-1");
+  {
+    sim::Log::Capture inner;
+    MS_LOG(sim::LogLevel::kError, 0, "inner-only");
+    EXPECT_NE(inner.text().find("inner-only"), std::string::npos);
+  }
+  MS_LOG(sim::LogLevel::kError, 0, "outer-2");
+  EXPECT_NE(outer.text().find("outer-1"), std::string::npos);
+  EXPECT_NE(outer.text().find("outer-2"), std::string::npos);
+  EXPECT_EQ(outer.text().find("inner-only"), std::string::npos);
+}
+
+TEST(LogCapture, CaptureMatchesFormattedLine) {
+  sim::Log::Capture capture;
+  sim::Log::write(sim::LogLevel::kError, sim::ns(1234), "hello");
+  EXPECT_EQ(capture.text(), sim::Log::format_line(sim::LogLevel::kError,
+                                                  sim::ns(1234), "hello") +
+                                "\n");
+}
+
+// ---------------------------------------------------------------------------
+// TSan smoke: 16 concurrent mixed simulation instances. Under a normal
+// build this doubles as a parallel-vs-serial determinism check; under
+// -fsanitize=thread it sweeps the whole simulator (engine, cluster,
+// workloads, invariant checkers) for cross-instance data races.
+// ---------------------------------------------------------------------------
+
+fuzz::EpisodeResult smoke_episode(std::uint64_t seed) {
+  sim::Rng knob_rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+  const fuzz::Knobs k = fuzz::Knobs::generate(knob_rng);
+  return fuzz::run_episode(k, fuzz::EpisodeOptions{seed, sim::us(20),
+                                                   fuzz::Mutation::kNone,
+                                                   nullptr});
+}
+
+sweep::CellOutput smoke_kernel(std::size_t i) {
+  sim::Config cfg;
+  cfg.set("hops", std::to_string(i % 4));
+  cfg.set("accesses", "100");
+  return sweep::run_kernel("fig6", cfg);
+}
+
+TEST(TsanSmoke, SixteenMixedEpisodesConcurrentMatchSerial) {
+  // Serial references first (tasks 0..7 = fig6 points, 8..15 = fuzz seeds).
+  std::vector<sweep::CellOutput> serial_cells;
+  for (std::size_t i = 0; i < 8; ++i) serial_cells.push_back(smoke_kernel(i));
+  std::vector<fuzz::EpisodeResult> serial_eps;
+  for (std::uint64_t s = 1; s <= 8; ++s) serial_eps.push_back(smoke_episode(s));
+
+  struct Outcome {
+    sweep::CellOutput cell;
+    fuzz::EpisodeResult ep;
+  };
+  sim::ParallelExecutor pool(8);
+  auto outcomes = pool.map(16, [](std::size_t i) {
+    Outcome o;
+    if (i < 8) {
+      o.cell = smoke_kernel(i);
+    } else {
+      o.ep = smoke_episode(i - 7);  // seeds 1..8
+    }
+    return o;
+  });
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(outcomes[i].cell.metrics.size(),
+              serial_cells[i].metrics.size());
+    for (std::size_t m = 0; m < serial_cells[i].metrics.size(); ++m) {
+      EXPECT_EQ(outcomes[i].cell.metrics[m].first,
+                serial_cells[i].metrics[m].first);
+      // Bit-exact: a concurrent instance must not perturb another at all.
+      EXPECT_EQ(outcomes[i].cell.metrics[m].second,
+                serial_cells[i].metrics[m].second);
+    }
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& par = outcomes[8 + i].ep;
+    const auto& ser = serial_eps[i];
+    EXPECT_EQ(par.events, ser.events);
+    EXPECT_EQ(par.sim_time, ser.sim_time);
+    EXPECT_EQ(par.checks, ser.checks);
+    EXPECT_EQ(par.violations.size(), ser.violations.size());
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,354 @@
+// The sweep runner: spec parsing/expansion, the serial-vs-parallel
+// determinism contract (the same spec run with --jobs=1 and --jobs=8 must
+// produce byte-identical per-run stats JSON, logs, and merged report),
+// stats shard-merge properties (order independence, equivalence to a
+// single-shot aggregate), and the golden/floor regression gates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sweep/kernels.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ms {
+namespace {
+
+sweep::SweepSpec parse(std::initializer_list<std::string> tokens) {
+  return sweep::SweepSpec::parse_tokens(std::vector<std::string>(tokens));
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and grid expansion
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, ParsesCommaListsAndRanges) {
+  auto spec = parse({"bench=fig6", "grid.hops=0..3", "grid.mode=a,b",
+                     "accesses=100", "repeats=2"});
+  EXPECT_EQ(spec.bench, "fig6");
+  EXPECT_EQ(spec.repeats, 2);
+  EXPECT_EQ(spec.base.get_int("accesses", 0), 100);
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[0].key, "hops");
+  EXPECT_EQ(spec.axes[0].values,
+            (std::vector<std::string>{"0", "1", "2", "3"}));
+  EXPECT_EQ(spec.axes[1].values, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SweepSpec, ExpansionIsCartesianFirstAxisOutermost) {
+  auto spec = parse({"bench=fig6", "grid.x=1,2", "grid.y=a,b"});
+  auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].key, "x=1 y=a");
+  EXPECT_EQ(cells[1].key, "x=1 y=b");
+  EXPECT_EQ(cells[2].key, "x=2 y=a");
+  EXPECT_EQ(cells[3].key, "x=2 y=b");
+  // Grid values land in the cell config on top of the base.
+  EXPECT_EQ(cells[3].config.get_str("x", ""), "2");
+  EXPECT_EQ(cells[3].config.get_str("y", ""), "b");
+}
+
+TEST(SweepSpec, RedeclaredAxisReplacesValues) {
+  auto spec = parse({"bench=fig6", "grid.hops=0..6", "grid.hops=1,3"});
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_EQ(spec.axes[0].values, (std::vector<std::string>{"1", "3"}));
+}
+
+TEST(SweepSpec, LaterTokensOverrideEarlierOnes) {
+  auto spec = parse({"bench=fig6", "accesses=100", "accesses=250"});
+  EXPECT_EQ(spec.base.get_int("accesses", 0), 250);
+}
+
+TEST(SweepSpec, RejectsInvalidSpecs) {
+  EXPECT_THROW(parse({"accesses=100"}), std::invalid_argument);  // no mode
+  EXPECT_THROW(parse({"bench=fig6", "fuzz=1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"bench=fig6", "grid.h=5..2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"bench=fig6", "grid.h="}), std::invalid_argument);
+  EXPECT_THROW(parse({"bench=fig6", "noequals"}), std::invalid_argument);
+  EXPECT_THROW(parse({"bench=fig6", "repeats=0"}), std::invalid_argument);
+}
+
+TEST(SweepSpec, FuzzModeMirrorsCampaignOptions) {
+  auto spec = parse({"fuzz=1", "episodes=12", "seed=5", "epoch_us=10",
+                     "minimize=0"});
+  EXPECT_TRUE(spec.fuzz);
+  EXPECT_EQ(spec.episodes, 12u);
+  EXPECT_EQ(spec.first_seed, 5u);
+  EXPECT_EQ(spec.epoch_us, 10u);
+  EXPECT_FALSE(spec.minimize);
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs. parallel: byte-identical outputs — the contract the parallel
+// campaign rests on (ISSUE acceptance criterion).
+// ---------------------------------------------------------------------------
+
+TEST(SweepDeterminism, BenchSweepIsByteIdenticalAcrossJobCounts) {
+  auto spec = parse(
+      {"bench=fig6", "grid.hops=0,1,2", "accesses=100", "repeats=2"});
+
+  sweep::SweepOptions serial;
+  serial.jobs = 1;
+  auto a = sweep::run_sweep(spec, serial);
+
+  sweep::SweepOptions parallel_opt;
+  parallel_opt.jobs = 8;
+  auto b = sweep::run_sweep(spec, parallel_opt);
+
+  EXPECT_EQ(a.tasks, 6u);  // 3 cells x 2 repeats
+  EXPECT_EQ(a.json, b.json);  // merged report, byte for byte
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].key, b.runs[i].key);
+    EXPECT_EQ(a.runs[i].repeat, b.runs[i].repeat);
+    EXPECT_EQ(a.runs[i].stats_json, b.runs[i].stats_json) << "run " << i;
+    EXPECT_EQ(a.runs[i].log, b.runs[i].log) << "run " << i;
+  }
+}
+
+TEST(SweepDeterminism, FuzzSweepIsByteIdenticalAcrossJobCounts) {
+  auto spec = parse({"fuzz=1", "episodes=6", "seed=1", "minimize=0"});
+
+  std::ostringstream log_a;
+  sweep::SweepOptions serial;
+  serial.jobs = 1;
+  serial.log = &log_a;
+  auto a = sweep::run_sweep(spec, serial);
+
+  std::ostringstream log_b;
+  sweep::SweepOptions parallel_opt;
+  parallel_opt.jobs = 4;
+  parallel_opt.log = &log_b;
+  auto b = sweep::run_sweep(spec, parallel_opt);
+
+  EXPECT_EQ(a.tasks, 6u);
+  EXPECT_EQ(a.failing, b.failing);
+  EXPECT_EQ(a.json, b.json);          // per-episode records, byte for byte
+  EXPECT_EQ(log_a.str(), log_b.str());  // campaign log streamed in seed order
+}
+
+TEST(SweepRunner, WritesPerRunStatsFilesInTaskOrder) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "memscale_sweep_test_outdir";
+  fs::remove_all(dir);
+
+  auto spec = parse({"bench=fig6", "grid.hops=0,1", "accesses=50"});
+  sweep::SweepOptions opt;
+  opt.jobs = 2;
+  opt.out_dir = dir.string();
+  auto report = sweep::run_sweep(spec, opt);
+
+  ASSERT_EQ(report.runs.size(), 2u);
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "run-%04zu.json", i);
+    std::ifstream in(dir / name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), report.runs[i].stats_json + "\n");
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Stats shard-merge properties: merging per-run shards in any order must
+// equal the single-shot aggregate a lone instance would have produced.
+// ---------------------------------------------------------------------------
+
+std::string hist_json(const sim::Histogram& h) {
+  std::ostringstream os;
+  h.dump_json(os);
+  return os.str();
+}
+
+std::string registry_json(const sim::StatRegistry& r) {
+  std::ostringstream os;
+  r.dump_json(os);
+  return os.str();
+}
+
+TEST(StatsMerge, HistogramShardsMergeExactlyInAnyOrder) {
+  std::mt19937_64 rng(42);
+  constexpr int kShards = 7;
+  sim::Histogram single;
+  std::vector<sim::Histogram> shards(kShards);
+  for (int i = 0; i < 20000; ++i) {
+    // Mix of exact small values and log-bucketed large ones.
+    std::uint64_t v = rng() % ((i % 3 == 0) ? 17 : 3'000'000);
+    single.add(v);
+    shards[static_cast<std::size_t>(i % kShards)].add(v);
+  }
+
+  std::vector<int> order(kShards);
+  for (int i = 0; i < kShards; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int trial = 0; trial < 4; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    sim::Histogram merged;
+    for (int idx : order) merged.merge(shards[static_cast<std::size_t>(idx)]);
+    // Bucketwise merge is exact, so the whole JSON dump (counts, every
+    // quantile, every bucket) matches the single-shot histogram byte for
+    // byte — no merge error on top of the documented 2^-kSubBits
+    // interpolation error.
+    EXPECT_EQ(hist_json(merged), hist_json(single));
+    EXPECT_EQ(merged.quantile(0.999), single.quantile(0.999));
+  }
+}
+
+TEST(StatsMerge, SamplerShardsMergeWithinDocumentedBounds) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.5, 5000.0);
+  constexpr int kShards = 5;
+  sim::Sampler single;
+  std::vector<sim::Sampler> shards(kShards);
+  for (int i = 0; i < 10000; ++i) {
+    double x = dist(rng);
+    single.add(x);
+    shards[static_cast<std::size_t>(i % kShards)].add(x);
+  }
+
+  std::vector<int> order{3, 0, 4, 2, 1};
+  for (int trial = 0; trial < 3; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    sim::Sampler merged;
+    for (int idx : order) merged.merge(shards[static_cast<std::size_t>(idx)]);
+    // Exact fields.
+    EXPECT_EQ(merged.count(), single.count());
+    EXPECT_EQ(merged.min(), single.min());
+    EXPECT_EQ(merged.max(), single.max());
+    EXPECT_EQ(merged.quantile(0.5), single.quantile(0.5));
+    EXPECT_EQ(merged.quantile(0.99), single.quantile(0.99));
+    // Mean/variance: exact up to floating-point rounding (Chan's parallel
+    // Welford) — documented bound is 1e-9 relative.
+    EXPECT_NEAR(merged.mean(), single.mean(),
+                std::abs(single.mean()) * 1e-9);
+    EXPECT_NEAR(merged.variance(), single.variance(),
+                std::abs(single.variance()) * 1e-9);
+    EXPECT_NEAR(merged.sum(), single.sum(), std::abs(single.sum()) * 1e-12);
+  }
+}
+
+TEST(StatsMerge, EmptyShardsAreIdentity) {
+  sim::Sampler s;
+  s.add(3.0);
+  s.add(9.0);
+  sim::Sampler empty;
+  sim::Sampler merged = s;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.mean(), s.mean());
+  sim::Sampler other;
+  other.merge(s);  // merge into empty
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_EQ(other.min(), 3.0);
+  EXPECT_EQ(other.max(), 9.0);
+}
+
+TEST(StatsMerge, RegistryUnionMergeEqualsSingleShot) {
+  std::mt19937_64 rng(11);
+  // Counters + histograms only: their merges are bitwise-exact, so the
+  // registry dumps compare byte for byte (sampler rounding is covered by
+  // SamplerShardsMergeWithinDocumentedBounds).
+  sim::StatRegistry single;
+  constexpr int kShards = 4;
+  std::vector<sim::StatRegistry> shards(kShards);
+  const char* names[] = {"node0.reads", "node1.reads", "rmc.rtt"};
+  for (int i = 0; i < 5000; ++i) {
+    auto& shard = shards[static_cast<std::size_t>(i % kShards)];
+    const char* name = names[i % 3];
+    std::uint64_t v = rng() % 100000;
+    single.counter(name).inc(v);
+    shard.counter(name).inc(v);
+    single.histogram("lat").add(v);
+    shard.histogram("lat").add(v);
+  }
+  // Name present in only one shard: union copies it through.
+  shards[2].counter("only.shard2").inc(5);
+  single.counter("only.shard2").inc(5);
+
+  sim::StatRegistry merged;
+  for (int idx : {2, 0, 3, 1}) {
+    merged.merge(shards[static_cast<std::size_t>(idx)]);
+  }
+  EXPECT_EQ(registry_json(merged), registry_json(single));
+  EXPECT_EQ(merged.counter_value("only.shard2"), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden comparison and floor gates
+// ---------------------------------------------------------------------------
+
+class SweepGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = parse({"bench=fig6", "grid.hops=0,1", "accesses=50"});
+    sweep::SweepOptions opt;
+    opt.jobs = 2;
+    report_ = sweep::run_sweep(spec, opt);
+    ASSERT_EQ(report_.runs.size(), 2u);
+    // repeats=1, so each cell's median is exactly its single run's metric.
+    per_read_us_ = report_.runs[0].out.metric("per_read_us");
+  }
+
+  sweep::SweepReport report_;
+  double per_read_us_ = 0;
+};
+
+TEST_F(SweepGateTest, ReportMatchesItselfExactly) {
+  EXPECT_TRUE(sweep::compare_reports(report_.json, report_.json, 0.0).empty());
+}
+
+TEST_F(SweepGateTest, GoldenWithinTolerancePasses) {
+  std::string golden = "{\"cells\":[{\"key\":\"hops=0\",\"metrics\":{"
+                       "\"per_read_us\":{\"median\":" +
+                       sim::json_double(per_read_us_ * 1.01) + "}}}]}";
+  EXPECT_TRUE(sweep::compare_reports(report_.json, golden, 0.02).empty());
+  auto failures = sweep::compare_reports(report_.json, golden, 0.001);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].where, "hops=0.per_read_us");
+}
+
+TEST_F(SweepGateTest, MissingCellAndMetricFail) {
+  std::string missing_cell =
+      "{\"cells\":[{\"key\":\"hops=99\",\"metrics\":{"
+      "\"per_read_us\":{\"median\":1}}}]}";
+  EXPECT_EQ(sweep::compare_reports(report_.json, missing_cell, 0.1).size(),
+            1u);
+  std::string missing_metric =
+      "{\"cells\":[{\"key\":\"hops=0\",\"metrics\":{"
+      "\"no_such_metric\":{\"median\":1}}}]}";
+  EXPECT_EQ(sweep::compare_reports(report_.json, missing_metric, 0.1).size(),
+            1u);
+}
+
+TEST_F(SweepGateTest, ExtraCellsInNewReportAreIgnored) {
+  // Golden covers only hops=0; the report also has hops=1 — grids may grow.
+  std::string golden = "{\"cells\":[{\"key\":\"hops=0\",\"metrics\":{"
+                       "\"per_read_us\":{\"median\":" +
+                       sim::json_double(per_read_us_) + "}}}]}";
+  EXPECT_TRUE(sweep::compare_reports(report_.json, golden, 0.0).empty());
+}
+
+TEST_F(SweepGateTest, FloorsGateOnMedians) {
+  std::string pass = "{\"floors\":{\"hops=0.per_read_us\":" +
+                     sim::json_double(per_read_us_ * 0.5) + "}}";
+  EXPECT_TRUE(sweep::check_floors(report_.json, pass).empty());
+
+  std::string fail = "{\"floors\":{\"hops=0.per_read_us\":" +
+                     sim::json_double(per_read_us_ * 2.0) + "}}";
+  auto failures = sweep::check_floors(report_.json, fail);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].where, "hops=0.per_read_us");
+}
+
+}  // namespace
+}  // namespace ms

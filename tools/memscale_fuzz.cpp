@@ -39,6 +39,8 @@ void usage() {
       "  mutation=M      none|skip-downgrade|leak-credit|phantom-request|"
       "shrink-swap\n"
       "  verbose=0|1     per-episode progress lines (default 0)\n"
+      "  jobs=N          episode worker threads; 0 = all cores (default 1).\n"
+      "                  Results and log output are identical for every N\n"
       "\n"
       "repro mode:\n"
       "  repro=1 seed=S [knob=value ...]   re-run one episode; knobs are\n"
@@ -50,6 +52,7 @@ void usage() {
 int main(int argc, char** argv) {
   // Reserved harness keys; everything else is a Knobs override (repro mode).
   std::uint64_t episodes = 64, first_seed = 1, epoch_us = 20;
+  int jobs = 1;
   bool minimize = true, verbose = false, repro = false;
   std::string flight, mutation_str;
   ms::fuzz::Knobs knobs;
@@ -81,6 +84,8 @@ int main(int argc, char** argv) {
         minimize = value != "0";
       } else if (key == "verbose") {
         verbose = value != "0";
+      } else if (key == "jobs") {
+        jobs = std::stoi(value);
       } else if (key == "repro") {
         repro = value != "0";
       } else if (key == "flight") {
@@ -142,6 +147,7 @@ int main(int argc, char** argv) {
   opt.minimize = minimize;
   opt.flight_path = flight;
   opt.verbose = verbose;
+  opt.jobs = jobs;
   const ms::fuzz::CampaignResult res = ms::fuzz::run_campaign(opt, &std::cout);
   return res.failing == 0 ? 0 : 1;
 }

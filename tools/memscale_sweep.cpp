@@ -1,0 +1,224 @@
+// memscale-sweep: parallel campaign runner and perf-regression gate.
+//
+// Expands a declarative sweep spec — a bench kernel × parameter grid, or a
+// fuzz campaign of N seeded episodes — into independent tasks, runs them
+// across a bounded thread pool (one fully isolated Engine+Cluster per
+// task), and aggregates per-run stats into one merged report with per-cell
+// medians. The merged report is byte-identical for every --jobs value, so
+// it can be compared against committed goldens with explicit tolerances:
+//
+//   memscale_sweep spec=sweep/specs/fig6.spec jobs=8 report=/tmp/fig6.json
+//   memscale_sweep spec=sweep/specs/fig6.spec check=sweep/goldens/fig6.json
+//   memscale_sweep bench=fig6 grid.hops=0..6 accesses=400 jobs=0
+//   memscale_sweep fuzz=1 episodes=200 seed=1 jobs=0
+//   memscale_sweep spec=... floors=sweep/goldens/engine_floors.json
+//
+// Exit status: 0 = ran clean (and every check passed), 1 = a golden/floor
+// check failed or a fuzz episode found a violation, 2 = usage error.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sweep/kernels.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "memscale_sweep [key=value ...]   (leading -- on keys is accepted)\n"
+      "\n"
+      "harness keys (everything else goes into the sweep spec):\n"
+      "  spec=FILE       load spec tokens from FILE ('#' comments); CLI\n"
+      "                  tokens are applied on top and override it\n"
+      "  jobs=N          worker threads; 0 = all cores (default 1)\n"
+      "  out=DIR         write per-run stats JSON files into DIR\n"
+      "  report=FILE     write the merged report JSON to FILE ('-' = stdout)\n"
+      "  check=FILE      compare the report against golden FILE\n"
+      "  tolerance=T     relative tolerance for check= (default 0.02)\n"
+      "  floors=FILE     enforce metric floors from FILE\n"
+      "  samplers=0|1    include per-cell merged sampler stats (default 0)\n"
+      "  bench_json=FILE append a wall-clock summary record to FILE\n"
+      "  verbose=0|1     progress lines (default 0)\n"
+      "\n"
+      "spec keys (bench mode):\n"
+      "  bench=NAME      kernel to sweep (see list below)\n"
+      "  grid.K=V1,V2    grid axis (also A..B inclusive integer ranges);\n"
+      "                  cells are the cartesian product of all axes\n"
+      "  repeats=N       runs per cell; report has median/min/max (default 1)\n"
+      "  K=V             any other key: base cell/cluster parameter\n"
+      "\n"
+      "spec keys (fuzz mode): fuzz=1 episodes=N seed=S epoch_us=U\n"
+      "  minimize=0|1 mutation=M flight=DIR   (as memscale_fuzz)\n"
+      "\n"
+      "kernels:\n";
+  for (const auto& [name, def] : ms::sweep::kernels()) {
+    std::cout << "  " << name << (def.deterministic ? "" : "  [wall-clock]")
+              << "\n      params: " << def.params << "\n";
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, out_dir, report_path, check_path, floors_path;
+  std::string bench_json_path;
+  double tolerance = 0.02;
+  ms::sweep::SweepOptions opt;
+  std::vector<std::string> spec_tokens;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    while (!tok.empty() && tok.front() == '-') tok.erase(tok.begin());
+    if (tok == "help" || tok == "h") {
+      usage();
+      return 0;
+    }
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "memscale_sweep: expected key=value, got '" << argv[i]
+                << "'\n";
+      return 2;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      if (key == "spec") {
+        spec_path = value;
+      } else if (key == "jobs") {
+        opt.jobs = std::stoi(value);
+      } else if (key == "out") {
+        out_dir = value;
+      } else if (key == "report") {
+        report_path = value;
+      } else if (key == "check") {
+        check_path = value;
+      } else if (key == "tolerance") {
+        tolerance = std::stod(value);
+      } else if (key == "floors") {
+        floors_path = value;
+      } else if (key == "samplers") {
+        opt.merge_samplers = value != "0";
+      } else if (key == "bench_json") {
+        bench_json_path = value;
+      } else if (key == "verbose") {
+        opt.verbose = value != "0";
+      } else {
+        spec_tokens.push_back(tok);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "memscale_sweep: bad argument '" << argv[i]
+                << "': " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  ms::sweep::SweepSpec spec;
+  try {
+    spec = spec_path.empty()
+               ? ms::sweep::SweepSpec::parse_tokens(spec_tokens)
+               : ms::sweep::SweepSpec::load(spec_path, spec_tokens);
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_sweep: " << e.what() << "\n";
+    return 2;
+  }
+
+  opt.out_dir = out_dir;
+  opt.log = &std::cout;
+
+  ms::sweep::SweepReport report;
+  try {
+    report = ms::sweep::run_sweep(spec, opt);
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_sweep: " << e.what() << "\n";
+    return 2;
+  }
+
+  const int jobs_used = opt.jobs > 0
+                            ? opt.jobs
+                            : ms::sim::ParallelExecutor::default_jobs();
+  std::cout << report.tasks << " tasks, jobs=" << jobs_used << ", wall "
+            << report.wall_ms << " ms (task time " << report.task_ms_sum
+            << " ms, speedup " << (report.wall_ms > 0
+                                       ? report.task_ms_sum / report.wall_ms
+                                       : 0)
+            << "x)\n";
+
+  if (!report_path.empty()) {
+    if (report_path == "-") {
+      std::cout << report.json << "\n";
+    } else {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::cerr << "memscale_sweep: cannot write " << report_path << "\n";
+        return 2;
+      }
+      out << report.json << "\n";
+    }
+  }
+
+  if (!bench_json_path.empty()) {
+    // One summary record per invocation, appended (JSON lines) so CI can
+    // track sweep wall-clock across commits: BENCH_sweep.json idiom.
+    std::ofstream out(bench_json_path, std::ios::app);
+    if (!out) {
+      std::cerr << "memscale_sweep: cannot write " << bench_json_path << "\n";
+      return 2;
+    }
+    out << "{\"tasks\":" << report.tasks << ",\"jobs\":" << jobs_used
+        << ",\"wall_ms\":" << report.wall_ms
+        << ",\"task_ms_sum\":" << report.task_ms_sum << ",\"failing\":"
+        << report.failing << "}\n";
+  }
+
+  bool checks_ok = true;
+  try {
+    if (!check_path.empty()) {
+      const auto failures = ms::sweep::compare_reports(
+          report.json, read_file(check_path), tolerance);
+      for (const auto& f : failures) {
+        std::cerr << "GOLDEN MISMATCH " << f.where << ": " << f.detail << "\n";
+      }
+      if (failures.empty()) {
+        std::cout << "golden check vs " << check_path << ": OK (tolerance "
+                  << tolerance * 100 << "%)\n";
+      } else {
+        checks_ok = false;
+      }
+    }
+    if (!floors_path.empty()) {
+      const auto failures =
+          ms::sweep::check_floors(report.json, read_file(floors_path));
+      for (const auto& f : failures) {
+        std::cerr << "FLOOR VIOLATION " << f.where << ": " << f.detail << "\n";
+      }
+      if (failures.empty()) {
+        std::cout << "floor check vs " << floors_path << ": OK\n";
+      } else {
+        checks_ok = false;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_sweep: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (report.failing != 0) {
+    std::cerr << report.failing << " failing episodes\n";
+    return 1;
+  }
+  return checks_ok ? 0 : 1;
+}
