@@ -1,0 +1,105 @@
+// Drain-before-shutdown: evacuating a donor while its memory is in use.
+//
+// A process on node 1 runs over a buffer borrowed from node 2. Node 2 then
+// needs to go away (maintenance, failing DIMM, scale-in), so the broker
+// drains it: new placement stops, every live page is migrated to other
+// donors over the migration traffic class while the workload keeps reading
+// and writing, the leases are handed back, and the frame range hot-removes
+// cleanly. The workload never observes anything but a few microseconds of
+// blackout per page.
+//
+// Run:   ./drain_shutdown [nodes=16] [accesses=4000]
+#include <cstdio>
+
+#include "broker/broker.hpp"
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "core/runner.hpp"
+#include "sim/config.hpp"
+#include "sim/random.hpp"
+
+using namespace ms;
+
+namespace {
+
+sim::Task<void> workload(core::MemorySpace& space, core::VAddr base,
+                         std::uint64_t words, std::uint64_t accesses,
+                         std::uint64_t* errors) {
+  core::ThreadCtx t;
+  sim::Rng rng(7);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const core::VAddr a = base + rng.below(words) * 8;
+    const std::uint64_t v = co_await space.read_u64(t, a);
+    if (v != a * 3) ++*errors;  // every word holds 3x its address
+    if (rng.chance(0.2)) co_await space.write_u64(t, a, a * 3);
+  }
+  co_await space.sync(t);
+}
+
+void print_donor(core::Cluster& cluster, broker::MemoryBroker& brk,
+                 const char* when) {
+  std::printf("%-28s leases on node 2: %zu (%llu MiB), free there: %llu MiB\n",
+              when, brk.leases().count_on(2),
+              static_cast<unsigned long long>(brk.leases().bytes_on(2) >> 20),
+              static_cast<unsigned long long>(
+                  cluster.directory().free_at(2) >> 20));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto raw = sim::Config::from_args(argc, argv);
+  const std::uint64_t accesses = raw.get_u64("accesses", 4000);
+  sim::Engine engine;
+  auto cfg = core::ClusterConfig::from(raw);
+  core::Cluster cluster(engine, cfg);
+  std::printf("machine: %s\n\n", cfg.summary().c_str());
+
+  // Broker before the space: the space must die first (its accesses hold
+  // pointers into the broker's migration gate).
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace::Params mp;
+  mp.mode = core::MemorySpace::Mode::kRemoteRegion;
+  mp.placement = os::RegionManager::Placement::kRemoteOnly;
+  core::MemorySpace space(cluster, 1, mp);
+  brk.attach(space);
+
+  // A 2 MiB buffer, borrowed entirely from node 2.
+  constexpr std::uint64_t kBytes = 2 << 20;
+  core::VAddr base = 0;
+  core::Runner setup(engine);
+  setup.spawn([](core::MemorySpace& s, core::VAddr* out) -> sim::Task<void> {
+    *out = co_await s.map_range_on(kBytes, 2);
+  }(space, &base));
+  setup.run_all();
+  for (core::VAddr off = 0; off < kBytes; off += 8) {
+    space.poke_pod<std::uint64_t>(base + off, (base + off) * 3);
+  }
+  print_donor(cluster, brk, "after setup:");
+
+  // Run the workload; 20 us in, node 2 gets its eviction notice.
+  std::uint64_t errors = 0;
+  core::Runner run(engine);
+  run.spawn(workload(space, base, kBytes / 8, accesses, &errors));
+  engine.schedule(sim::us(20), [&engine, &brk] {
+    std::printf("t=20us: draining donor 2 (drain-before-shutdown)\n");
+    engine.spawn(brk.drain_donor(2));
+  });
+  const sim::Time elapsed = run.run_all();
+
+  print_donor(cluster, brk, "after drain:");
+  std::printf("\nworkload: %llu accesses, %llu data errors\n",
+              static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(errors));
+  std::printf("migrations: %llu, parked accesses: %llu, mean blackout: "
+              "%.2f us\n",
+              static_cast<unsigned long long>(brk.migration().migrations()),
+              static_cast<unsigned long long>(brk.migration().parked_waits()),
+              brk.migration().blackout().count()
+                  ? brk.migration().blackout().mean() / 1e6
+                  : 0.0);
+  std::printf("donor 2 drained: %s — hot-remove of its frames now succeeds\n",
+              brk.drained(2) ? "yes" : "NO (cluster could not absorb it)");
+  std::printf("simulated time: %s\n", sim::format_time(elapsed).c_str());
+  return errors == 0 && brk.drained(2) ? 0 : 1;
+}

@@ -1,0 +1,327 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ms::broker {
+
+namespace {
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+MemoryBroker::MemoryBroker(core::Cluster& cluster, const Params& p)
+    : cluster_(cluster), params_(p), migration_(cluster, p.migration) {
+  cluster_.add_stats_source(
+      [this](sim::StatRegistry& reg, const std::string& prefix) {
+        export_stats(reg, prefix);
+      });
+}
+
+void MemoryBroker::attach(core::MemorySpace& space) {
+  spaces_.push_back(&space);
+  space.set_migration_gate(&migration_);
+  if (auto* region = space.region()) {
+    region->set_observer(this);
+    // Segments granted before the broker existed become leases now.
+    for (const auto& grant : region->segment_grants()) on_grant(grant);
+  }
+}
+
+void MemoryBroker::on_grant(const os::ReservationService::Grant& grant) {
+  const sim::Time now = cluster_.engine().now();
+  Lease lease;
+  lease.donor = grant.donor;
+  lease.prefixed_base = grant.prefixed_base;
+  lease.bytes = grant.bytes;
+  lease.granted_at = now;
+  lease.expires = params_.lease_term > 0 ? now + params_.lease_term : 0;
+  book_.add(lease);
+  leases_granted_.inc();
+}
+
+void MemoryBroker::on_release(const os::ReservationService::Grant& grant) {
+  if (book_.remove(grant.donor, grant.prefixed_base)) {
+    leases_released_.inc();
+  }
+}
+
+std::vector<os::VAddr> MemoryBroker::pages_on(core::MemorySpace& space,
+                                              ht::NodeId donor) const {
+  std::vector<os::VAddr> pages;
+  space.page_table().for_each(
+      [&](os::VAddr va, const os::PageTable::Entry& e) {
+        if (e.present && node::node_of(e.frame) == donor) pages.push_back(va);
+      });
+  std::sort(pages.begin(), pages.end());  // unordered_map walk -> determinism
+  return pages;
+}
+
+ht::NodeId MemoryBroker::pick_dest(core::MemorySpace& space,
+                                   ht::NodeId avoid) const {
+  const auto& dir = cluster_.directory();
+  const ht::PAddr need = space.region() != nullptr
+                             ? space.region()->params().segment_bytes
+                             : 0;
+  ht::NodeId best = ht::kNoNode;
+  ht::PAddr best_free = 0;
+  for (int i = 1; i <= cluster_.num_nodes(); ++i) {
+    const auto id = static_cast<ht::NodeId>(i);
+    if (id == avoid || id == space.home()) continue;
+    if (!dir.donatable(id) || drained_.count(id) != 0) continue;
+    const ht::PAddr free = dir.free_at(id);
+    if (free < need) continue;  // worst case: a whole fresh segment
+    if (best == ht::kNoNode || free > best_free) {
+      best = id;
+      best_free = free;
+    }
+  }
+  // Fall back to home: alloc_page_on(home) carves an unprefixed local
+  // frame, i.e. the page migrates back into local memory.
+  return best == ht::kNoNode ? space.home() : best;
+}
+
+sim::Task<bool> MemoryBroker::migrate_any(core::MemorySpace& space,
+                                          std::uint64_t rng_state) {
+  std::vector<std::pair<os::VAddr, ht::NodeId>> pages;
+  space.page_table().for_each(
+      [&](os::VAddr va, const os::PageTable::Entry& e) {
+        if (e.present && node::has_prefix(e.frame)) {
+          pages.emplace_back(va, node::node_of(e.frame));
+        }
+      });
+  if (pages.empty()) co_return false;
+  std::sort(pages.begin(), pages.end());
+  const auto [va, owner] = pages[splitmix(rng_state) % pages.size()];
+
+  std::vector<ht::NodeId> dests;
+  for (int i = 1; i <= cluster_.num_nodes(); ++i) {
+    const auto id = static_cast<ht::NodeId>(i);
+    if (id == owner) continue;
+    if (id != space.home() &&
+        (!cluster_.directory().donatable(id) || drained_.count(id) != 0)) {
+      continue;
+    }
+    dests.push_back(id);
+  }
+  if (dests.empty()) co_return false;
+  const ht::NodeId dest = dests[splitmix(rng_state) % dests.size()];
+  co_return co_await migration_.migrate_page(space, va, dest);
+}
+
+sim::Task<bool> MemoryBroker::rebalance_once() {
+  if (params_.pressure_pct <= 0) co_return false;
+  for (int i = 1; i <= cluster_.num_nodes(); ++i) {
+    const auto id = static_cast<ht::NodeId>(i);
+    const auto& alloc = cluster_.allocator(id);
+    if (alloc.free_bytes() * 100 >=
+        static_cast<ht::PAddr>(params_.pressure_pct) * alloc.total_bytes()) {
+      continue;  // not under pressure
+    }
+    for (auto* space : spaces_) {
+      const auto pages = pages_on(*space, id);
+      if (pages.empty()) continue;
+      const ht::NodeId dest = pick_dest(*space, id);
+      if (dest == id) continue;
+      if (co_await migration_.migrate_page(*space, pages.front(), dest)) {
+        co_return true;
+      }
+    }
+  }
+  co_return false;
+}
+
+sim::Task<bool> MemoryBroker::defrag_once(std::size_t max_pages) {
+  for (auto* space : spaces_) {
+    std::map<ht::NodeId, std::vector<os::VAddr>> by_donor;
+    space->page_table().for_each(
+        [&](os::VAddr va, const os::PageTable::Entry& e) {
+          if (e.present && node::has_prefix(e.frame)) {
+            by_donor[node::node_of(e.frame)].push_back(va);
+          }
+        });
+    if (by_donor.size() < 2) continue;  // nothing to consolidate into
+    ht::NodeId src = ht::kNoNode;
+    ht::NodeId dst = ht::kNoNode;
+    std::size_t src_count = max_pages + 1;
+    std::size_t dst_count = 0;
+    for (const auto& [donor, pages] : by_donor) {
+      if (!pages.empty() && pages.size() <= max_pages &&
+          pages.size() < src_count) {
+        src = donor;
+        src_count = pages.size();
+      }
+      if (pages.size() > dst_count) {
+        dst = donor;
+        dst_count = pages.size();
+      }
+    }
+    if (src == ht::kNoNode || dst == ht::kNoNode || src == dst) continue;
+    auto pages = by_donor[src];
+    std::sort(pages.begin(), pages.end());
+    if (co_await migration_.migrate_page(*space, pages.front(), dst)) {
+      co_return true;
+    }
+  }
+  co_return false;
+}
+
+sim::Task<void> MemoryBroker::drain_donor(ht::NodeId donor) {
+  cluster_.directory().set_donatable(donor, false);
+  for (auto* space : spaces_) {
+    if (space->region() != nullptr) space->region()->quarantine_donor(donor);
+  }
+  bool clean = true;
+  for (auto* space : spaces_) {
+    while (clean) {
+      const auto pages = pages_on(*space, donor);
+      if (pages.empty()) break;
+      bool progress = false;
+      for (os::VAddr va : pages) {
+        const ht::NodeId dest = pick_dest(*space, donor);
+        if (co_await migration_.migrate_page(*space, va, dest)) {
+          progress = true;
+        }
+      }
+      // A full pass with zero movement means the cluster cannot absorb the
+      // donor's pages; leave it quarantined rather than spin.
+      if (!progress) clean = false;
+    }
+  }
+  if (!clean) co_return;
+  for (auto* space : spaces_) {
+    if (space->region() != nullptr) {
+      co_await space->region()->release_segments_on(donor);
+    }
+  }
+  drained_.insert(donor);
+  evacuations_.inc();
+}
+
+std::size_t MemoryBroker::renew_leases() {
+  if (params_.lease_term <= 0) return 0;
+  const std::size_t n =
+      book_.renew_expired(cluster_.engine().now(), params_.lease_term);
+  renewals_.inc(n);
+  return n;
+}
+
+void MemoryBroker::register_invariants(sim::InvariantRegistry& reg,
+                                       const bool* released) {
+  const auto quiet = [released] {
+    return released != nullptr && *released;
+  };
+
+  // Frame-ownership conservation: a page in transit is still reachable
+  // through its source frame (remap happens only at the end of the
+  // blackout); once settled, the page table must say the destination —
+  // until a later migration or unmap supersedes it.
+  reg.add("broker.transit", [this, quiet](sim::InvariantContext& ctx) {
+    if (quiet()) return;
+    for (const auto& [key, t] : migration_.transits()) {
+      const auto* e = key.first->page_table().find(key.second);
+      std::ostringstream out;
+      out << "va=0x" << std::hex << key.second;
+      if (e == nullptr || !e->present) {
+        ctx.fail("page vanished mid-transit: " + out.str());
+      } else if (e->frame != t.src) {
+        out << " pte=0x" << e->frame << " expected-src=0x" << t.src;
+        ctx.fail("transit page remapped early: " + out.str());
+      }
+    }
+    for (const auto& [key, dst] : migration_.settled()) {
+      if (migration_.transits().count(key) != 0) continue;
+      const auto* e = key.first->page_table().find(key.second);
+      if (e == nullptr || !e->present) continue;  // unmapped since
+      if (e->frame != dst) {
+        std::ostringstream out;
+        out << "va=0x" << std::hex << key.second << " pte=0x" << e->frame
+            << " expected-dst=0x" << dst;
+        ctx.fail("migrated page lost: " + out.str());
+      }
+    }
+  });
+
+  // Lease accounting: the book mirrors the reservation ground truth of
+  // every attached region exactly, and no donor is leased beyond its pool.
+  reg.add("broker.leases", [this, quiet](sim::InvariantContext& ctx) {
+    if (quiet()) return;
+    std::size_t ground = 0;
+    for (auto* space : spaces_) {
+      if (space->region() == nullptr) continue;
+      for (const auto& g : space->region()->segment_grants()) {
+        ++ground;
+        const Lease* lease = book_.find(g.donor, g.prefixed_base);
+        if (lease == nullptr) {
+          ctx.fail("grant not in lease book: donor=" +
+                   std::to_string(g.donor));
+        } else if (lease->bytes != g.bytes) {
+          ctx.fail("lease size mismatch on donor " + std::to_string(g.donor));
+        }
+      }
+    }
+    if (ground != book_.size()) {
+      ctx.fail("lease book holds " + std::to_string(book_.size()) +
+               " leases for " + std::to_string(ground) + " live grants");
+    }
+    for (int i = 1; i <= cluster_.num_nodes(); ++i) {
+      const auto id = static_cast<ht::NodeId>(i);
+      if (book_.bytes_on(id) > cluster_.allocator(id).total_bytes()) {
+        ctx.fail("donor " + std::to_string(id) + " leased beyond capacity");
+      }
+    }
+  });
+
+  // Evacuation: a drained donor backs nothing — no leases, no live pages.
+  reg.add("broker.evacuated", [this, quiet](sim::InvariantContext& ctx) {
+    if (quiet()) return;
+    for (ht::NodeId donor : drained_) {
+      if (book_.bytes_on(donor) > 0) {
+        ctx.fail("drained donor " + std::to_string(donor) +
+                 " still holds leases");
+      }
+      for (auto* space : spaces_) {
+        const auto pages = pages_on(*space, donor);
+        if (!pages.empty()) {
+          ctx.fail("drained donor " + std::to_string(donor) + " still backs " +
+                   std::to_string(pages.size()) + " live pages");
+        }
+      }
+    }
+  });
+}
+
+void MemoryBroker::export_stats(sim::StatRegistry& reg,
+                                const std::string& prefix) const {
+  // Nonzero-only: a broker that never acted leaves the dump byte-identical
+  // to a run without a broker at all.
+  const std::string p = prefix + "broker.";
+  if (migration_.migrations() > 0) {
+    reg.counter(p + "migrations").inc(migration_.migrations());
+  }
+  if (migration_.parked_waits() > 0) {
+    reg.counter(p + "parked_waits").inc(migration_.parked_waits());
+  }
+  if (migration_.blackout().count() > 0) {
+    reg.sampler(p + "blackout_ps") = migration_.blackout();
+  }
+  if (leases_granted_.value() > 0) {
+    reg.counter(p + "leases_granted").inc(leases_granted_.value());
+  }
+  if (leases_released_.value() > 0) {
+    reg.counter(p + "leases_released").inc(leases_released_.value());
+  }
+  if (renewals_.value() > 0) {
+    reg.counter(p + "lease_renewals").inc(renewals_.value());
+  }
+  if (evacuations_.value() > 0) {
+    reg.counter(p + "evacuations").inc(evacuations_.value());
+  }
+}
+
+}  // namespace ms::broker

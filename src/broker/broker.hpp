@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/lease.hpp"
+#include "broker/migration.hpp"
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "sim/invariant.hpp"
+
+namespace ms::broker {
+
+/// Cluster-wide dynamic memory broker, layered over the reservation
+/// protocol (ARCHITECTURE.md §11).
+///
+/// The base system reserves memory at malloc and holds it until process
+/// teardown; the broker makes that capacity *managed*: every grant becomes
+/// a time-bookkept lease, and three policies move capacity while workloads
+/// run, all built on the same live-page-migration engine:
+///  * rebalance_once()  — pressure relief: migrate a page off the donor
+///    with the least free memory (below `pressure_pct`);
+///  * defrag_once()     — consolidation: empty a donor that backs only a
+///    handful of pages so its segment can be released;
+///  * drain_donor()     — drain-before-shutdown: evacuate every live page
+///    a donor backs, then hand its frames back (the hot-remove enabler).
+///
+/// Everything is method-driven: the broker owns no periodic process, so a
+/// simulation without broker calls runs byte-identically to one without a
+/// broker at all. Callers (benches, the fuzzer) spawn their own tickers.
+///
+/// Lifetime: construct after the Cluster and before the spaces it manages
+/// (the reverse destruction order then tears the spaces down while the
+/// broker — whose MigrationEngine they point at — is still alive).
+class MemoryBroker : public os::RegionObserver {
+ public:
+  struct Params {
+    /// Rebalance threshold: a donor whose free memory falls below this
+    /// percentage of its pool is a migration source. 0 disables.
+    int pressure_pct = 0;
+    /// Lease duration; expired leases are renewed by renew_leases().
+    /// 0 = leases never expire (plain reservation-protocol behaviour).
+    sim::Time lease_term = 0;
+    MigrationEngine::Params migration;
+  };
+
+  MemoryBroker(core::Cluster& cluster, const Params& p);
+
+  /// Puts `space` under broker management: installs the migration gate,
+  /// observes its region for grant/release, and snapshots already-granted
+  /// segments into the lease book.
+  void attach(core::MemorySpace& space);
+
+  // RegionObserver -----------------------------------------------------
+  void on_grant(const os::ReservationService::Grant& grant) override;
+  void on_release(const os::ReservationService::Grant& grant) override;
+
+  /// Migrates one pseudo-randomly chosen remote-backed page of `space` to
+  /// a pseudo-randomly chosen other node (possibly home). Deterministic in
+  /// `rng_state`. Returns false when the space has no eligible page.
+  sim::Task<bool> migrate_any(core::MemorySpace& space,
+                              std::uint64_t rng_state);
+
+  /// Pressure policy: one page off the most-pressured donor. False when
+  /// no donor is below the threshold or no destination can take the page.
+  sim::Task<bool> rebalance_once();
+
+  /// Defrag policy: if some donor backs at most `max_pages` live pages
+  /// (but more than zero), migrate one of them toward the donor that backs
+  /// the most — repeated calls empty the fragmented segment for release.
+  sim::Task<bool> defrag_once(std::size_t max_pages = 8);
+
+  /// Drain-before-shutdown: stop new placement on `donor`, migrate every
+  /// live page it backs to other nodes, release its segments. After this
+  /// completes cleanly, FrameAllocator::hot_remove of the donated range
+  /// succeeds. A donor that cannot be fully drained (cluster out of
+  /// memory) is left quarantined but not marked drained.
+  sim::Task<void> drain_donor(ht::NodeId donor);
+
+  /// Renews expired leases per Params::lease_term (no-op when 0).
+  std::size_t renew_leases();
+
+  /// Broker invariants for the fuzzing harness. `released` (optional)
+  /// silences the checkers after workload teardown, when the attached
+  /// spaces may no longer be alive.
+  void register_invariants(sim::InvariantRegistry& reg,
+                           const bool* released = nullptr);
+
+  /// Nonzero-only stats under "<prefix>broker."; also installable via
+  /// Cluster::add_stats_source.
+  void export_stats(sim::StatRegistry& reg, const std::string& prefix) const;
+
+  MigrationEngine& migration() { return migration_; }
+  const LeaseBook& leases() const { return book_; }
+  bool drained(ht::NodeId donor) const { return drained_.count(donor) != 0; }
+  std::uint64_t evacuations() const { return evacuations_.value(); }
+  void test_lose_page(bool on) { migration_.test_lose_page(on); }
+
+ private:
+  /// Live pages of `space` backed by `donor`, sorted for determinism.
+  std::vector<os::VAddr> pages_on(core::MemorySpace& space,
+                                  ht::NodeId donor) const;
+  /// Destination for an evacuated page: directory choice, else home.
+  ht::NodeId pick_dest(core::MemorySpace& space, ht::NodeId avoid) const;
+
+  core::Cluster& cluster_;
+  Params params_;
+  MigrationEngine migration_;
+  LeaseBook book_;
+  std::vector<core::MemorySpace*> spaces_;
+  std::set<ht::NodeId> drained_;
+  sim::Counter leases_granted_;
+  sim::Counter leases_released_;
+  sim::Counter renewals_;
+  sim::Counter evacuations_;
+};
+
+}  // namespace ms::broker

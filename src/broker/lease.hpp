@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "ht/packet.hpp"
+#include "sim/time.hpp"
+
+namespace ms::broker {
+
+/// One borrowed segment viewed as a *lease*: the reservation-protocol grant
+/// plus the broker's time bookkeeping. The underlying protocol (Sec. III-B)
+/// has no notion of duration — a grant lives until released — so leases are
+/// a broker-level overlay: the ground truth stays the reservation service,
+/// and the book is reconciled against it by an invariant checker.
+///
+/// Lifecycle: Granted -> Renewed* -> (Recalled | Released | Evacuated).
+/// `expires == 0` means the lease never expires (the default, matching the
+/// plain reservation protocol).
+struct Lease {
+  ht::NodeId donor = ht::kNoNode;
+  ht::PAddr prefixed_base = 0;  ///< donor-local base with donor prefix
+  ht::PAddr bytes = 0;
+  sim::Time granted_at = 0;
+  sim::Time expires = 0;  ///< 0 = never
+  int renewals = 0;
+};
+
+/// The broker's ledger of every live lease, keyed by (donor, base) — the
+/// same identity the reservation service uses for a grant.
+class LeaseBook {
+ public:
+  using Key = std::pair<ht::NodeId, ht::PAddr>;
+
+  void add(const Lease& lease) {
+    leases_[Key{lease.donor, lease.prefixed_base}] = lease;
+  }
+
+  /// Removes a lease; false when it was not in the book (double release or
+  /// a grant the broker never saw — both invariant violations upstream).
+  bool remove(ht::NodeId donor, ht::PAddr prefixed_base) {
+    return leases_.erase(Key{donor, prefixed_base}) > 0;
+  }
+
+  const Lease* find(ht::NodeId donor, ht::PAddr prefixed_base) const {
+    auto it = leases_.find(Key{donor, prefixed_base});
+    return it == leases_.end() ? nullptr : &it->second;
+  }
+
+  /// Total leased bytes currently charged against one donor.
+  ht::PAddr bytes_on(ht::NodeId donor) const {
+    ht::PAddr sum = 0;
+    for (const auto& [key, l] : leases_) {
+      if (key.first == donor) sum += l.bytes;
+    }
+    return sum;
+  }
+
+  std::size_t count_on(ht::NodeId donor) const {
+    std::size_t n = 0;
+    for (const auto& [key, l] : leases_) {
+      if (key.first == donor) ++n;
+    }
+    return n;
+  }
+
+  /// Renews every lease past its expiry: pushes `expires` out by `term`
+  /// from `now` and bumps the renewal count. Returns how many were renewed.
+  /// (The alternative policy — recall — is a drain of the donor; see
+  /// MemoryBroker::drain_donor.)
+  std::size_t renew_expired(sim::Time now, sim::Time term) {
+    std::size_t renewed = 0;
+    for (auto& [key, l] : leases_) {
+      if (l.expires != 0 && now >= l.expires) {
+        l.expires = now + term;
+        ++l.renewals;
+        ++renewed;
+      }
+    }
+    return renewed;
+  }
+
+  std::size_t size() const { return leases_.size(); }
+  bool empty() const { return leases_.empty(); }
+
+  /// Deterministic walk (keys ordered by donor, then base).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, l] : leases_) fn(l);
+  }
+
+ private:
+  std::map<Key, Lease> leases_;
+};
+
+}  // namespace ms::broker

@@ -1,0 +1,202 @@
+#include "broker/migration.hpp"
+
+#include <algorithm>
+
+namespace ms::broker {
+
+MigrationEngine::MigrationEngine(core::Cluster& cluster, const Params& p)
+    : cluster_(cluster), engine_(cluster.engine()), params_(p) {}
+
+sim::Task<void> MigrationEngine::enter(core::MemorySpace& space, os::VAddr va,
+                                       std::uint32_t bytes) {
+  const auto& pt = space.page_table();
+  const os::VAddr first = pt.page_base(va);
+  const os::VAddr last = pt.page_base(va + (bytes > 0 ? bytes - 1 : 0));
+  const std::uint64_t page = pt.page_bytes();
+
+  // Park until no page in the range is sealed. After a wake-up the whole
+  // range is re-checked: the migration that fired may be followed by
+  // another one sealing a different page of the range.
+  bool again = true;
+  while (again) {
+    again = false;
+    for (os::VAddr p = first; p <= last; p += page) {
+      auto it = sealed_.find(Key{&space, p});
+      if (it == sealed_.end()) continue;
+      // Hold the shared_ptr across the await: migrate_page erases the map
+      // entry before firing, and the Trigger must outlive its waiters.
+      std::shared_ptr<sim::Trigger> seal = it->second;
+      parked_waits_.inc();
+      co_await seal->wait();
+      again = true;
+      break;
+    }
+  }
+
+  // Clean pass above has no suspension before this point, so no seal can
+  // have appeared since: safe to register as in-flight on every page.
+  for (os::VAddr p = first; p <= last; p += page) {
+    ++inflight_[Key{&space, p}];
+  }
+}
+
+void MigrationEngine::exit(core::MemorySpace& space, os::VAddr va,
+                           std::uint32_t bytes) {
+  const auto& pt = space.page_table();
+  const os::VAddr first = pt.page_base(va);
+  const os::VAddr last = pt.page_base(va + (bytes > 0 ? bytes - 1 : 0));
+  const std::uint64_t page = pt.page_bytes();
+  for (os::VAddr p = first; p <= last; p += page) {
+    const Key key{&space, p};
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) continue;  // gate installed mid-access
+    if (--it->second > 0) continue;
+    inflight_.erase(it);
+    auto dit = drain_.find(key);
+    if (dit != drain_.end()) {
+      std::shared_ptr<sim::Trigger> drain = dit->second;
+      drain_.erase(dit);
+      drain->fire();
+    }
+  }
+}
+
+sim::Task<void> MigrationEngine::copy_chunk_timed(core::MemorySpace& space,
+                                                  ht::PAddr src, ht::PAddr dst,
+                                                  std::uint32_t bytes) {
+  const ht::NodeId home = space.home();
+  const ht::NodeId src_owner =
+      node::has_prefix(src) ? node::node_of(src) : home;
+  const ht::NodeId dst_owner =
+      node::has_prefix(dst) ? node::node_of(dst) : home;
+  auto& fabric = cluster_.fabric();
+
+  // Pull leg: request out, donor memory time, chunk payload back.
+  if (src_owner != home) {
+    ht::Packet req;
+    req.type = ht::PacketType::kMigRead;
+    req.src = home;
+    req.dst = src_owner;
+    req.addr = src;
+    req.size = bytes;
+    co_await fabric.traverse(req);
+    co_await cluster_.node(src_owner).serve_remote(node::local_part(src),
+                                                   bytes, /*is_write=*/false);
+    ht::Packet data;
+    data.type = ht::PacketType::kMigData;
+    data.src = src_owner;
+    data.dst = home;
+    data.addr = src;
+    data.size = bytes;
+    co_await fabric.traverse(data);
+  } else {
+    co_await cluster_.node(home).serve_remote(node::local_part(src), bytes,
+                                              /*is_write=*/false);
+  }
+
+  // Push leg: chunk payload out, donor memory time, ack back.
+  if (dst_owner != home) {
+    ht::Packet data;
+    data.type = ht::PacketType::kMigData;
+    data.src = home;
+    data.dst = dst_owner;
+    data.addr = dst;
+    data.size = bytes;
+    co_await fabric.traverse(data);
+    co_await cluster_.node(dst_owner).serve_remote(node::local_part(dst),
+                                                   bytes, /*is_write=*/true);
+    ht::Packet ack;
+    ack.type = ht::PacketType::kMigAck;
+    ack.src = dst_owner;
+    ack.dst = home;
+    ack.addr = dst;
+    co_await fabric.traverse(ack);
+  } else {
+    co_await cluster_.node(home).serve_remote(node::local_part(dst), bytes,
+                                              /*is_write=*/true);
+  }
+}
+
+sim::Task<bool> MigrationEngine::migrate_page(core::MemorySpace& space,
+                                              os::VAddr page_va,
+                                              ht::NodeId dest) {
+  auto* region = space.region();
+  if (region == nullptr) co_return false;  // swap modes migrate via faults
+  const Key key{&space, page_va};
+  if (migrating_.count(key) != 0) co_return false;
+
+  const os::PageTable::Entry* entry = space.page_table().find(page_va);
+  if (entry == nullptr || !entry->present) co_return false;
+  const ht::PAddr src = entry->frame;
+  const ht::NodeId src_owner =
+      node::has_prefix(src) ? node::node_of(src) : space.home();
+  if (src_owner == dest) co_return false;
+
+  migrating_.insert(key);
+  struct Unguard {
+    std::set<Key>* set;
+    Key key;
+    ~Unguard() { set->erase(key); }
+  } unguard{&migrating_, key};
+
+  auto dst = co_await region->alloc_page_on(dest);
+  if (!dst) co_return false;
+  // Re-validate after the suspension: nothing else remaps region-backed
+  // pages today, but the guard is what makes that a local argument.
+  entry = space.page_table().find(page_va);
+  if (entry == nullptr || !entry->present || entry->frame != src) {
+    region->free_page(*dst);
+    co_return false;
+  }
+
+  const std::uint64_t page_bytes = space.page_table().page_bytes();
+  transit_[key] = Transit{&space, page_va, src, *dst};
+
+  // Phase 1: pre-copy. The page stays fully accessible; racing writes go
+  // to the old frame and are picked up by the functional copy in phase 3.
+  if (params_.timed_copy) {
+    for (std::uint64_t off = 0; off < page_bytes;
+         off += params_.copy_chunk) {
+      const auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          params_.copy_chunk, page_bytes - off));
+      co_await copy_chunk_timed(space, src + off, *dst + off, chunk);
+    }
+  }
+
+  // Phase 2: blackout. Seal the page, then wait for in-flight accesses.
+  auto seal = std::make_shared<sim::Trigger>(engine_);
+  sealed_[key] = seal;
+  const sim::Time blackout_start = engine_.now();
+  while (true) {
+    auto it = inflight_.find(key);
+    if (it == inflight_.end() || it->second == 0) break;
+    auto drain = std::make_shared<sim::Trigger>(engine_);
+    drain_[key] = drain;
+    co_await drain->wait();
+  }
+
+  co_await engine_.delay(params_.remap_cost);
+
+  // Phase 3: the atomic step — functional copy, remap, bookkeeping. No
+  // suspension from here to the unseal, so page table, BackingStore and
+  // the transit ledger flip together as far as any observer can tell.
+  const ht::NodeId dst_owner =
+      node::has_prefix(*dst) ? node::node_of(*dst) : space.home();
+  cluster_.store().copy(src_owner, node::local_part(src), dst_owner,
+                        node::local_part(*dst), page_bytes);
+  if (!lose_page_) {
+    space.remap_page(page_va, *dst);
+  }
+  settled_[key] = *dst;
+  transit_.erase(key);
+  if (!lose_page_) {
+    region->free_page(src);
+  }
+  sealed_.erase(key);
+  seal->fire();
+  blackout_.add_time(engine_.now() - blackout_start);
+  migrations_.inc();
+  co_return true;
+}
+
+}  // namespace ms::broker

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/cluster.hpp"
+#include "core/memory_space.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+
+namespace ms::broker {
+
+/// Live page migration: moves the physical frame backing one virtual page
+/// to another donor (or home) while the workload keeps running.
+///
+/// Protocol, per page:
+///  1. *Pre-copy* — the page's bytes are pulled chunk by chunk over the
+///     kMig* traffic class (a dedicated packet family so the copy stream
+///     can ride its own virtual channel, Fabric::Params::migration_vc).
+///     Accesses proceed untouched during this phase; writes land in the
+///     old frame and are caught by step 3.
+///  2. *Blackout* — the page is sealed: new accesses park on a Trigger and
+///     in-flight accesses drain (the PageAccessGate brackets every timed
+///     access). Because donors never cache donated frames, there is no
+///     invalidation traffic to wait for — draining the access count is the
+///     whole synchronization.
+///  3. *Remap* — one remap_cost delay models the PTE update + TLB
+///     shootdown; then the functional bytes are copied (picking up any
+///     writes that raced with the pre-copy), the page table is retargeted
+///     and the old frame freed — all without suspension, so an invariant
+///     sweep can never observe a half-migrated page. The seal is removed
+///     and parked accesses replay against the new frame.
+class MigrationEngine : public core::PageAccessGate {
+ public:
+  struct Params {
+    /// Model the copy stream on the fabric (kMig* packets + donor-side
+    /// memory time). Off = functional-only migration, for unit tests.
+    bool timed_copy = true;
+    std::uint32_t copy_chunk = 256;        ///< bytes per kMigData packet
+    sim::Time remap_cost = sim::ns(400);   ///< PTE update + TLB shootdown
+  };
+
+  MigrationEngine(core::Cluster& cluster, const Params& p);
+
+  // PageAccessGate -----------------------------------------------------
+  sim::Task<void> enter(core::MemorySpace& space, os::VAddr va,
+                        std::uint32_t bytes) override;
+  void exit(core::MemorySpace& space, os::VAddr va,
+            std::uint32_t bytes) override;
+
+  /// Moves the frame backing `page_va` to a fresh frame allocated on
+  /// `dest` (dest == space.home() migrates the page back to local
+  /// memory). Returns false when nothing was migrated: page unmapped, a
+  /// migration of it already in flight, the page already lives on `dest`,
+  /// or the destination cannot provide a frame.
+  sim::Task<bool> migrate_page(core::MemorySpace& space, os::VAddr page_va,
+                               ht::NodeId dest);
+
+  /// A page mid-migration, for the frame-ownership invariant: the page
+  /// table must still say `src` (remap happens only at the end of the
+  /// blackout), and the page is unreachable through `dst` until then.
+  struct Transit {
+    core::MemorySpace* space = nullptr;
+    os::VAddr page = 0;
+    ht::PAddr src = 0;
+    ht::PAddr dst = 0;
+  };
+  using Key = std::pair<core::MemorySpace*, os::VAddr>;
+
+  const std::map<Key, Transit>& transits() const { return transit_; }
+  /// Where each completed migration left its page (what the page table
+  /// must say, unless a later migration superseded it).
+  const std::map<Key, ht::PAddr>& settled() const { return settled_; }
+
+  std::uint64_t migrations() const { return migrations_.value(); }
+  std::uint64_t parked_waits() const { return parked_waits_.value(); }
+  const sim::Sampler& blackout() const { return blackout_; }
+
+  /// Fault injection for the fuzzer: complete the bookkeeping of a
+  /// migration but skip the page-table remap and the old-frame free — the
+  /// classic lost-page bug the broker.transit invariant must catch.
+  void test_lose_page(bool on) { lose_page_ = on; }
+
+ private:
+  /// One pre-copy chunk: pull from the source owner, push to the
+  /// destination owner, over the kMig* traffic class.
+  sim::Task<void> copy_chunk_timed(core::MemorySpace& space, ht::PAddr src,
+                                   ht::PAddr dst, std::uint32_t bytes);
+
+  core::Cluster& cluster_;
+  sim::Engine& engine_;
+  Params params_;
+
+  // Gate state, all keyed by (space, page base).
+  std::map<Key, int> inflight_;  ///< accesses currently past enter()
+  std::map<Key, std::shared_ptr<sim::Trigger>> sealed_;  ///< blackout parks
+  std::map<Key, std::shared_ptr<sim::Trigger>> drain_;   ///< migrator waits
+  std::set<Key> migrating_;      ///< re-entrancy guard (covers pre-copy)
+  std::map<Key, Transit> transit_;
+  std::map<Key, ht::PAddr> settled_;
+
+  sim::Counter migrations_;
+  sim::Counter parked_waits_;
+  sim::Sampler blackout_;  ///< seal-to-unseal window per migration
+  bool lose_page_ = false;
+};
+
+}  // namespace ms::broker

@@ -34,6 +34,10 @@ ClusterConfig ClusterConfig::from(const sim::Config& cfg) {
       cfg.get_u64("link.propagation_ns", c.fabric.link.propagation / 1000));
   c.fabric.router_delay = sim::ns(
       cfg.get_u64("link.router_ns", c.fabric.router_delay / 1000));
+  c.fabric.virtual_channels = static_cast<int>(
+      cfg.get_int("link.vcs", c.fabric.virtual_channels));
+  c.fabric.migration_vc = static_cast<int>(
+      cfg.get_int("link.migration_vc", c.fabric.migration_vc));
 
   c.region.segment_bytes = cfg.get_u64("region.segment", c.region.segment_bytes);
   c.region.policy =
@@ -199,6 +203,7 @@ void Cluster::export_stats(sim::StatRegistry& reg,
       reg.sampler(rmc_p + "port_wait_ps") = r.port_wait();
     }
   }
+  for (const auto& source : extra_stats_) source(reg, prefix);
 }
 
 sim::TimeSeriesPoint Cluster::sample_timeseries(sim::Time now,

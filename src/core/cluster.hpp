@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -86,6 +87,17 @@ class Cluster {
   void export_stats(sim::StatRegistry& reg,
                     const std::string& prefix = "") const;
 
+  /// Registers an additional stats source invoked at the end of every
+  /// export_stats() call with the same registry and prefix. Optional
+  /// subsystems (e.g. the memory broker) use this to appear in the shared
+  /// dump without the cluster knowing about them; the source must outlive
+  /// the last export call and should follow the nonzero-only convention so
+  /// configurations that never exercise it keep byte-identical output.
+  void add_stats_source(
+      std::function<void(sim::StatRegistry&, const std::string&)> source) {
+    extra_stats_.push_back(std::move(source));
+  }
+
   /// Per-4KiB-page access profile seen by every RMC (serve + loopback
   /// paths). Disabled by default; benches enable it for hot-page reports
   /// and time-series streams.
@@ -110,6 +122,8 @@ class Cluster {
   std::unique_ptr<os::ReservationService> reservation_;
   os::ClusterDirectory directory_;
   std::unique_ptr<swap::DiskModel> disk_;
+  std::vector<std::function<void(sim::StatRegistry&, const std::string&)>>
+      extra_stats_;
   sim::HotPageProfiler hot_pages_;
 };
 

@@ -172,8 +172,6 @@ sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
   if (trace_ != nullptr) {
     trace_->record(cluster_.engine().now(), t.core, va, bytes, is_write);
   }
-  // Functional transfer first (order is unobservable within one thread).
-  if (data != nullptr) functional_rw(va, data, bytes, is_write);
 
   // Transactions are minted here — the core/workload boundary — and the
   // context rides through every layer below (node, RMC, fabric, swap). The
@@ -181,6 +179,30 @@ sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
   // compute time already accounted by the workload, not memory latency.
   sim::TxnScope txn(cluster_.engine(), txn_track_,
                     is_write ? "write" : "read");
+
+  // Migration gate: park behind any blackout covering this range, then
+  // hold the page(s) in-flight so a migration cannot cut in mid-access.
+  // Must precede the functional transfer — otherwise a write could land in
+  // a frame the broker has already copied out of and be lost at remap.
+  struct GateExit {
+    PageAccessGate* gate = nullptr;
+    MemorySpace* space;
+    VAddr va;
+    std::uint32_t bytes;
+    ~GateExit() {
+      if (gate != nullptr) gate->exit(*space, va, bytes);
+    }
+  } gate_exit{nullptr, this, va, bytes};
+  if (gate_ != nullptr) {
+    const sim::Time gate_since = cluster_.engine().now();
+    co_await gate_->enter(*this, va, bytes);
+    gate_exit.gate = gate_;
+    sim::record_wait(cluster_.engine(), txn_track_, "migration.blackout",
+                     gate_since, txn.ctx(), sim::Segment::kMigration);
+  }
+
+  // Functional transfer (order is unobservable within one thread).
+  if (data != nullptr) functional_rw(va, data, bytes, is_write);
 
   constexpr std::uint64_t kLine = 64;
   std::uint32_t done = 0;

@@ -28,6 +28,26 @@ struct ThreadCtx {
   void compute(sim::Time t) { pending += t; }
 };
 
+class MemorySpace;
+
+/// Hook the memory broker's migration engine installs on a space. Every
+/// timed access brackets itself with enter()/exit() so a live page
+/// migration can (a) park accesses that land on a page mid-blackout and
+/// (b) wait for in-flight accesses to drain before remapping. enter() runs
+/// *before* the functional byte transfer — bytes must never land in a
+/// frame the migration has already copied out of.
+class PageAccessGate {
+ public:
+  virtual ~PageAccessGate() = default;
+  /// May suspend (blackout window); on resume the access proceeds against
+  /// the space's updated page table. The range may span pages.
+  virtual sim::Task<void> enter(MemorySpace& space, VAddr va,
+                                std::uint32_t bytes) = 0;
+  /// Synchronous; called when the access (functional transfer plus all
+  /// timed chunks) has finished, including on exception unwind.
+  virtual void exit(MemorySpace& space, VAddr va, std::uint32_t bytes) = 0;
+};
+
 /// A process's view of memory — the library's central abstraction.
 ///
 /// One MemorySpace is one process confined to one node's cores (the
@@ -134,6 +154,20 @@ class MemorySpace {
   /// trace is detached (nullptr). Not owned.
   void set_trace(sim::AccessTrace* trace) { trace_ = trace; }
 
+  /// Installs (or clears, with nullptr) the migration gate. Not owned; the
+  /// gate must outlive every access issued while it is installed.
+  void set_migration_gate(PageAccessGate* gate) { gate_ = gate; }
+  PageAccessGate* migration_gate() const { return gate_; }
+
+  /// Atomically (in simulated time: no suspension) retargets one mapped
+  /// page to a new physical frame and drops the stale TLB entry. The
+  /// migration engine calls this inside the blackout window, after the
+  /// frame contents have been copied.
+  void remap_page(VAddr page_va, ht::PAddr new_frame) {
+    table_.map(page_va, new_frame);
+    tlb_.invalidate(page_va);
+  }
+
  private:
   /// Timing for one chunk that stays within a line and a page.
   sim::Task<sim::Time> timed_chunk(ThreadCtx& t, VAddr va, std::uint32_t bytes,
@@ -164,6 +198,7 @@ class MemorySpace {
   ht::NodeId pseudo_node_ = ht::kNoNode;  ///< functional key for swap modes
   std::string txn_track_;  ///< tracer track for minted transactions
   sim::AccessTrace* trace_ = nullptr;
+  PageAccessGate* gate_ = nullptr;
   sim::Counter reads_;
   sim::Counter writes_;
 };

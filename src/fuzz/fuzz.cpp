@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "broker/broker.hpp"
 #include "core/runner.hpp"
 #include "node/address_map.hpp"
 #include "node/core.hpp"
@@ -78,6 +79,9 @@ const Field kFields[] = {
     MS_U64_FIELD(accesses),
     MS_U64_FIELD(buffer_kib),
     MS_U64_FIELD(resident_kib),
+    MS_U64_FIELD(migrate_period_us),
+    MS_INT_FIELD(pressure_pct),
+    MS_U64_FIELD(evacuate_at_us),
 };
 
 #undef MS_INT_FIELD
@@ -114,6 +118,12 @@ Knobs Knobs::generate(sim::Rng& rng) {
   k.accesses = 100 + rng.below(901);                  // 100..1000
   k.buffer_kib = std::uint64_t{16} << rng.below(4);   // 16..128 KiB
   k.resident_kib = std::uint64_t{32} << rng.below(3); // 32/64/128 KiB
+  // Broker knobs (drawn last so earlier knobs keep their per-seed values).
+  k.migrate_period_us =
+      rng.chance(0.25) ? std::uint64_t{20} << rng.below(3) : 0;  // 20/40/80
+  k.pressure_pct =
+      rng.chance(0.15) ? static_cast<int>(25 * (1 + rng.below(3))) : 0;
+  k.evacuate_at_us = rng.chance(0.2) ? 40 + rng.below(200) : 0;
   return k;
 }
 
@@ -186,6 +196,7 @@ Mutation parse_mutation(const std::string& name) {
   if (name == "leak-credit") return Mutation::kLeakCredit;
   if (name == "phantom-request") return Mutation::kPhantomRequest;
   if (name == "shrink-swap") return Mutation::kShrinkSwapLimit;
+  if (name == "lost-page-on-migrate") return Mutation::kLostPageOnMigrate;
   throw std::invalid_argument("unknown mutation: " + name);
 }
 
@@ -196,6 +207,7 @@ const char* mutation_name(Mutation m) {
     case Mutation::kLeakCredit: return "leak-credit";
     case Mutation::kPhantomRequest: return "phantom-request";
     case Mutation::kShrinkSwapLimit: return "shrink-swap";
+    case Mutation::kLostPageOnMigrate: return "lost-page-on-migrate";
   }
   return "none";
 }
@@ -472,7 +484,8 @@ namespace {
 void apply_mutation(core::Cluster& cluster, Mutation m) {
   switch (m) {
     case Mutation::kNone:
-    case Mutation::kShrinkSwapLimit:  // applied mid-run, see run_episode
+    case Mutation::kShrinkSwapLimit:    // applied mid-run, see run_episode
+    case Mutation::kLostPageOnMigrate:  // applied on the broker, see run_episode
       break;
     case Mutation::kSkipDowngrade:
       for (int n = 1; n <= cluster.num_nodes(); ++n) {
@@ -539,6 +552,25 @@ sim::Task<void> shared_rw_thread(core::MemorySpace* space, core::VAddr base,
   co_await space->sync(t);
 }
 
+// Periodic broker activity: random live migrations (deterministic in the
+// episode seed) and, when a pressure threshold is armed, a rebalance pass
+// first. Ends with the workload like the epoch loop.
+sim::Task<void> broker_ticker(sim::Engine& engine, broker::MemoryBroker* brk,
+                              core::MemorySpace* space, sim::Time period,
+                              bool migrate, std::shared_ptr<bool> done,
+                              sim::Time deadline, std::uint64_t seed) {
+  std::uint64_t rng = seed;
+  while (!*done && engine.now() < deadline) {
+    co_await engine.delay(period);
+    if (*done) break;
+    if (co_await brk->rebalance_once()) continue;
+    if (migrate) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      co_await brk->migrate_any(*space, rng);
+    }
+  }
+}
+
 // Periodic invariant sweeps. The period backs off geometrically so long
 // episodes (or a deadlocked one running to the sim-time deadline) execute a
 // bounded number of sweeps instead of tens of thousands.
@@ -568,6 +600,7 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
   auto done = std::make_shared<bool>(false);
   auto released = std::make_shared<bool>(false);
   auto timed_out = std::make_shared<bool>(false);
+  auto evac_done = std::make_shared<bool>(true);
   auto data_errors = std::make_shared<std::uint64_t>(0);
   try {
     sim::Engine engine;
@@ -575,6 +608,24 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
     if (opt.tracer != nullptr) engine.set_tracer(opt.tracer);
     core::Cluster cluster(engine, k.cluster_config());
     apply_mutation(cluster, opt.mutation);
+
+    // The broker exists only when an episode actually exercises it, so the
+    // bulk of the corpus still runs the pre-broker system byte-identically.
+    // Declared before the space: the space must die first (its gate points
+    // into the broker).
+    const bool want_broker =
+        k.mode == 0 && (k.migrate_period_us > 0 || k.pressure_pct > 0 ||
+                        k.evacuate_at_us > 0 ||
+                        opt.mutation == Mutation::kLostPageOnMigrate);
+    std::unique_ptr<broker::MemoryBroker> brk;
+    if (want_broker) {
+      broker::MemoryBroker::Params bp;
+      bp.pressure_pct = k.pressure_pct;
+      brk = std::make_unique<broker::MemoryBroker>(cluster, bp);
+      if (opt.mutation == Mutation::kLostPageOnMigrate) {
+        brk->test_lose_page(true);
+      }
+    }
 
     core::MemorySpace::Params sp;
     if (k.mode == 0) {
@@ -585,9 +636,11 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
       sp.swap.resident_limit_bytes = k.resident_kib << 10;
     }
     core::MemorySpace space(cluster, 1, sp);
+    if (brk != nullptr) brk->attach(space);
 
     EpisodeContext ctx{&engine, &cluster, {&space}, released};
     register_cluster_invariants(reg, ctx);
+    if (brk != nullptr) brk->register_invariants(reg, released.get());
 
     // Region closure: after teardown every donor is back to its baseline
     // free-byte count (the home may hold local chunks the region keeps).
@@ -617,6 +670,33 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
     if (opt.epoch > 0 && !reg.empty()) {
       engine.spawn(
           epoch_loop(engine, reg, opt.epoch, done, deadline, timed_out));
+    }
+
+    if (brk != nullptr) {
+      const sim::Time period = k.migrate_period_us > 0
+                                   ? sim::us(k.migrate_period_us)
+                                   : sim::us(40);
+      const bool migrate = k.migrate_period_us > 0 ||
+                           opt.mutation == Mutation::kLostPageOnMigrate;
+      engine.spawn(broker_ticker(engine, brk.get(), &space, period, migrate,
+                                 done, deadline, opt.seed));
+      if (k.evacuate_at_us > 0 && cluster.num_nodes() >= 2) {
+        // Hot-remove-under-load: drain donor 2 mid-episode. The workload
+        // keeps running; broker.evacuated then holds for the rest of it.
+        // Teardown waits on evac_done — a drain still migrating pages while
+        // release_all runs would re-grow segments after the region closed.
+        *evac_done = false;
+        broker::MemoryBroker* b = brk.get();
+        sim::Engine* eng = &engine;
+        auto flag = evac_done;
+        engine.schedule(sim::us(k.evacuate_at_us), [b, eng, flag] {
+          eng->spawn([](broker::MemoryBroker* bk,
+                        std::shared_ptr<bool> f) -> sim::Task<void> {
+            co_await bk->drain_donor(2);
+            *f = true;
+          }(b, flag));
+        });
+      }
     }
 
     core::Runner runner(engine);
@@ -669,6 +749,7 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
       }
       co_await runner.join();
       if (k.workload == 0) *data_errors += ra->errors();
+      while (!*evac_done) co_await engine.delay(sim::us(10));
       *released = true;
       if (space.region() != nullptr) co_await space.region()->release_all();
       *done = true;

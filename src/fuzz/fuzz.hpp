@@ -37,6 +37,10 @@ struct Knobs {
   std::uint64_t accesses = 200;     ///< per thread
   std::uint64_t buffer_kib = 64;    ///< workload footprint
   std::uint64_t resident_kib = 128; ///< swap resident-set limit (mode 1)
+  // Memory broker (mode 0 only; all 0 = no broker, the pre-broker system).
+  std::uint64_t migrate_period_us = 0;  ///< random live migration period
+  int pressure_pct = 0;                 ///< rebalance threshold (0 = off)
+  std::uint64_t evacuate_at_us = 0;     ///< drain donor 2 at this sim time
 
   /// Samples a random-but-valid configuration; deterministic per Rng state.
   static Knobs generate(sim::Rng& rng);
@@ -70,6 +74,7 @@ enum class Mutation {
   kLeakCredit,       ///< eat one link credit permanently
   kPhantomRequest,   ///< count a client request that never happened
   kShrinkSwapLimit,  ///< shrink the swap resident capacity mid-run
+  kLostPageOnMigrate,///< migration bookkeeping completes, remap skipped
 };
 
 Mutation parse_mutation(const std::string& name);

@@ -14,6 +14,9 @@ const char* to_string(PacketType t) {
     case PacketType::kCtrlResp: return "CtrlResp";
     case PacketType::kCohProbe: return "CohProbe";
     case PacketType::kCohAck: return "CohAck";
+    case PacketType::kMigRead: return "MigRead";
+    case PacketType::kMigData: return "MigData";
+    case PacketType::kMigAck: return "MigAck";
   }
   return "?";
 }
@@ -30,6 +33,7 @@ std::uint32_t wire_size(const Packet& p) {
   switch (p.type) {
     case PacketType::kWriteReq:
     case PacketType::kReadResp:
+    case PacketType::kMigData:
       return header + p.size;
     case PacketType::kCtrlReq:
     case PacketType::kCtrlResp:
@@ -38,6 +42,8 @@ std::uint32_t wire_size(const Packet& p) {
     case PacketType::kWriteAck:
     case PacketType::kCohProbe:
     case PacketType::kCohAck:
+    case PacketType::kMigRead:
+    case PacketType::kMigAck:
       return header;
   }
   return header;

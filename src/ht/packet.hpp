@@ -22,6 +22,9 @@ using PAddr = std::uint64_t;
 /// semantics; kCtrl* carry the OS reservation protocol (Sec. III-B, Fig. 4)
 /// over the same fabric; kCohProbe/kCohAck exist only for the coherent-DSM
 /// baseline, where inter-node coherence traffic is the measured overhead.
+/// kMig* carry the memory broker's live-page-migration copy stream — a
+/// separate traffic class so migration bandwidth can ride its own virtual
+/// channel and never head-of-line-block demand requests.
 enum class PacketType : std::uint8_t {
   kReadReq,
   kWriteReq,
@@ -31,6 +34,9 @@ enum class PacketType : std::uint8_t {
   kCtrlResp,
   kCohProbe,
   kCohAck,
+  kMigRead,   ///< broker pulls one copy chunk from the source donor
+  kMigData,   ///< chunk payload (source->home and home->destination legs)
+  kMigAck,    ///< destination donor acknowledges a chunk landed
 };
 
 const char* to_string(PacketType t);

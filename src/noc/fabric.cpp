@@ -26,12 +26,21 @@ Fabric::Fabric(sim::Engine& engine, std::unique_ptr<Topology> topo,
 }
 
 int Fabric::vc_of(ht::PacketType type) const {
+  const bool migration = type == ht::PacketType::kMigRead ||
+                         type == ht::PacketType::kMigData ||
+                         type == ht::PacketType::kMigAck;
+  if (migration && params_.migration_vc >= 0 &&
+      params_.migration_vc < params_.virtual_channels) {
+    return params_.migration_vc;
+  }
   if (params_.virtual_channels < 2) return 0;
   switch (type) {
     case ht::PacketType::kReadResp:
     case ht::PacketType::kWriteAck:
     case ht::PacketType::kCtrlResp:
     case ht::PacketType::kCohAck:
+    case ht::PacketType::kMigData:  // both data legs behave like responses
+    case ht::PacketType::kMigAck:
       return params_.virtual_channels - 1;
     default:
       return 0;

@@ -34,6 +34,11 @@ class Fabric {
     /// avoidance in request/response fabrics) and never queue behind each
     /// other. 1 reproduces the prototype's single-buffer behaviour.
     int virtual_channels = 1;
+    /// Dedicated virtual channel for the broker's kMig* migration traffic
+    /// class. -1 (the default) disables the dedicated class — migration
+    /// packets then share the request/response channels — so every
+    /// pre-broker configuration behaves identically.
+    int migration_vc = -1;
   };
 
   Fabric(sim::Engine& engine, std::unique_ptr<Topology> topo, const Params& p);

@@ -12,6 +12,7 @@ std::optional<ht::NodeId> ClusterDirectory::pick_donor(
   int best_hops = 1 << 30;
   for (const auto& [node, alloc] : nodes_) {
     if (node == requester) continue;
+    if (non_donatable_.count(node) != 0) continue;
     if (alloc->largest_free_range() < bytes) continue;
     switch (policy) {
       case Policy::kMostFree:

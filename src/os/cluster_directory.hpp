@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "ht/packet.hpp"
@@ -30,10 +31,24 @@ class ClusterDirectory {
   }
 
   /// Picks a donor able to satisfy a contiguous reservation of `bytes`.
-  /// Never returns the requester itself (that would be loopback mode).
+  /// Never returns the requester itself (that would be loopback mode), nor
+  /// a node marked non-donatable (draining for shutdown).
   std::optional<ht::NodeId> pick_donor(ht::NodeId requester, ht::PAddr bytes,
                                        Policy policy,
                                        const HopsFn& hops) const;
+
+  /// Marks a node as (non-)donatable. The memory broker flips this off at
+  /// the start of a drain so no new reservation lands on a departing node.
+  void set_donatable(ht::NodeId node, bool donatable) {
+    if (donatable) {
+      non_donatable_.erase(node);
+    } else {
+      non_donatable_.insert(node);
+    }
+  }
+  bool donatable(ht::NodeId node) const {
+    return non_donatable_.count(node) == 0;
+  }
 
   ht::PAddr total_free() const;
   ht::PAddr free_at(ht::NodeId node) const;
@@ -43,6 +58,7 @@ class ClusterDirectory {
 
  private:
   std::map<ht::NodeId, const FrameAllocator*> nodes_;
+  std::set<ht::NodeId> non_donatable_;
 };
 
 }  // namespace ms::os

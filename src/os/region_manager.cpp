@@ -1,5 +1,7 @@
 #include "os/region_manager.hpp"
 
+#include <algorithm>
+
 namespace ms::os {
 
 RegionManager::RegionManager(sim::Engine& engine, ht::NodeId self,
@@ -22,6 +24,7 @@ std::optional<ht::PAddr> RegionManager::take_from_segments(
     if (donor_filter != ht::kNoNode && seg.grant.donor != donor_filter) {
       continue;
     }
+    if (quarantined_.count(seg.grant.donor) != 0) continue;
     if (seg.next_offset + params_.page_bytes <= seg.grant.bytes) {
       ht::PAddr page = seg.grant.prefixed_base + seg.next_offset;
       seg.next_offset += params_.page_bytes;
@@ -42,6 +45,7 @@ sim::Task<std::optional<std::size_t>> RegionManager::grow(ht::NodeId donor) {
       co_await reservation_.reserve(self_, donor, params_.segment_bytes);
   if (!grant) co_return std::nullopt;
   segments_.push_back(Segment{*grant, 0});
+  if (observer_ != nullptr) observer_->on_grant(*grant);
   co_return segments_.size() - 1;
 }
 
@@ -120,6 +124,9 @@ std::optional<ht::PAddr> RegionManager::take_local_page() {
 
 void RegionManager::free_page(ht::PAddr page_base) {
   if (node::has_prefix(page_base)) {
+    // Quarantined donors reclaim their frames wholesale when the segment is
+    // released; handing the page back out would resurrect a draining donor.
+    if (quarantined_.count(node::node_of(page_base)) != 0) return;
     free_remote_.push_back(page_base);
   } else {
     free_local_.push_back(page_base);
@@ -127,11 +134,58 @@ void RegionManager::free_page(ht::PAddr page_base) {
 }
 
 sim::Task<void> RegionManager::release_all() {
+  // Same lock as grow()/release_segments_on(): a broker drain releasing a
+  // donor's segments must not interleave with teardown walking the list.
+  co_await grow_mutex_.acquire();
+  sim::SemToken lock(grow_mutex_);
   for (auto& seg : segments_) {
     co_await reservation_.release(self_, seg.grant);
   }
+  // Observer bookkeeping and the erase happen with no suspension in
+  // between, so lease books stay in lockstep with segment_grants().
+  if (observer_ != nullptr) {
+    for (auto& seg : segments_) observer_->on_release(seg.grant);
+  }
   segments_.clear();
   free_remote_.clear();
+}
+
+sim::Task<void> RegionManager::release_segments_on(ht::NodeId donor) {
+  // Serialize against grow() so a concurrent fault cannot slot a fresh
+  // segment from this donor in between release and erase.
+  co_await grow_mutex_.acquire();
+  sim::SemToken lock(grow_mutex_);
+  for (auto& seg : segments_) {
+    if (seg.grant.donor == donor) {
+      co_await reservation_.release(self_, seg.grant);
+    }
+  }
+  // As in release_all(): book updates + erase are suspension-free so an
+  // epoch invariant sweep never sees the two views disagree.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->grant.donor != donor) {
+      ++it;
+      continue;
+    }
+    if (observer_ != nullptr) observer_->on_release(it->grant);
+    it = segments_.erase(it);
+  }
+  free_remote_.erase(
+      std::remove_if(free_remote_.begin(), free_remote_.end(),
+                     [donor](ht::PAddr p) {
+                       return node::node_of(p) == donor;
+                     }),
+      free_remote_.end());
+}
+
+void RegionManager::quarantine_donor(ht::NodeId donor) {
+  quarantined_.insert(donor);
+  free_remote_.erase(
+      std::remove_if(free_remote_.begin(), free_remote_.end(),
+                     [donor](ht::PAddr p) {
+                       return node::node_of(p) == donor;
+                     }),
+      free_remote_.end());
 }
 
 ht::PAddr RegionManager::borrowed_bytes() const {

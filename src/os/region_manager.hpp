@@ -3,6 +3,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "os/cluster_directory.hpp"
@@ -10,6 +11,16 @@
 #include "sim/sync.hpp"
 
 namespace ms::os {
+
+/// Observer for segment-level region changes. The memory broker implements
+/// this to keep its lease book in sync with the reservation ground truth
+/// without polling. Callbacks run synchronously inside the region call.
+class RegionObserver {
+ public:
+  virtual ~RegionObserver() = default;
+  virtual void on_grant(const ReservationService::Grant& grant) = 0;
+  virtual void on_release(const ReservationService::Grant& grant) = 0;
+};
 
 /// One node's *memory region* (Sec. III-A): the single coherency domain its
 /// processes live in, composed of local memory plus any number of segments
@@ -51,6 +62,21 @@ class RegionManager {
   /// Releases every remote segment (process teardown). Pages handed out
   /// from those segments must no longer be used.
   sim::Task<void> release_all();
+
+  /// Releases only the segments borrowed from `donor` (the tail of a donor
+  /// evacuation, once the broker has migrated every live page away).
+  sim::Task<void> release_segments_on(ht::NodeId donor);
+
+  /// Stops handing out pages backed by `donor`: purges its pages from the
+  /// remote free list and makes take_from_segments() skip its segments.
+  /// free_page() of a quarantined page becomes a no-op (the whole segment
+  /// goes back to the donor at release_segments_on()). Growing a fresh
+  /// segment from the donor is prevented separately via
+  /// ClusterDirectory::set_donatable.
+  void quarantine_donor(ht::NodeId donor);
+
+  /// Registers (or clears, with nullptr) the segment-change observer.
+  void set_observer(RegionObserver* observer) { observer_ = observer; }
 
   ht::NodeId self() const { return self_; }
   std::uint64_t local_pages() const { return local_pages_.value(); }
@@ -99,6 +125,8 @@ class RegionManager {
   std::vector<Segment> segments_;
   std::deque<ht::PAddr> free_local_;
   std::deque<ht::PAddr> free_remote_;
+  std::set<ht::NodeId> quarantined_;
+  RegionObserver* observer_ = nullptr;
   sim::Counter local_pages_;
   sim::Counter remote_pages_;
 };

@@ -32,10 +32,11 @@ enum class Segment : std::uint8_t {
   kMemory,         ///< memory controller + DRAM + intra-node transport
   kCoherence,      ///< intra-node directory / inter-node DSM actions
   kSwap,           ///< OS fault handling: trap, map update, de/compression
+  kMigration,      ///< parked behind a live-page-migration blackout window
   kOther,          ///< explicitly unclassified time + derived residual
 };
 
-inline constexpr int kNumSegments = 9;
+inline constexpr int kNumSegments = 10;
 
 inline const char* to_string(Segment s) {
   switch (s) {
@@ -47,6 +48,7 @@ inline const char* to_string(Segment s) {
     case Segment::kMemory: return "memory";
     case Segment::kCoherence: return "coherence";
     case Segment::kSwap: return "swap";
+    case Segment::kMigration: return "migration";
     case Segment::kOther: return "other";
   }
   return "?";

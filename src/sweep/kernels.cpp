@@ -15,6 +15,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "broker/broker.hpp"
 #include "core/cluster.hpp"
 #include "core/memory_space.hpp"
 #include "core/runner.hpp"
@@ -459,6 +460,85 @@ CellOutput ablation_prefetch_kernel(const sim::Config& cfg,
 }
 
 // ---------------------------------------------------------------------------
+// ablation_migration: live page migration overhead (one point = one period)
+// ---------------------------------------------------------------------------
+
+sim::Task<void> migration_driver(sim::Engine& e, broker::MemoryBroker& brk,
+                                 core::MemorySpace& space, sim::Time period,
+                                 const bool* stop) {
+  std::uint64_t rng_state = 0x243f6a8885a308d3ULL;  // fixed: deterministic
+  while (!*stop) {
+    co_await e.delay(period);
+    if (*stop) break;
+    co_await brk.migrate_any(space, ++rng_state);
+  }
+}
+
+CellOutput ablation_migration_kernel(const sim::Config& cfg,
+                                     const KernelHooks& hooks) {
+  const std::uint64_t period_us = cfg.get_u64("period_us", 0);
+  const std::uint64_t accesses = cfg.get_u64("accesses", 6'000);
+  const std::uint64_t buffer = cfg.get_u64("buffer", std::uint64_t{1} << 20);
+  const std::string label = "period_us=" + std::to_string(period_us);
+
+  sim::Engine engine;
+  attach(hooks, engine, label);
+  core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+  // period_us=0 is the true no-broker baseline: no broker is constructed at
+  // all, so its stats dump carries no broker keys (nonzero-only convention).
+  // Broker before the space: teardown destroys the space while the gate it
+  // points at is still alive (ARCHITECTURE.md §11 lifetime rule).
+  std::unique_ptr<broker::MemoryBroker> brk;
+  if (period_us > 0) {
+    brk = std::make_unique<broker::MemoryBroker>(
+        cluster, broker::MemoryBroker::Params{});
+  }
+  core::MemorySpace space(cluster, 1, region_params());
+  if (brk) brk->attach(space);
+
+  workloads::RandomAccess::Params rp;
+  rp.buffer_bytes = buffer;
+  rp.accesses_per_thread = accesses;
+  workloads::RandomAccess ra(space, rp);
+
+  core::Runner setup(engine);
+  setup.spawn(ra.setup({2}));
+  setup.run_all();
+
+  start_timeseries(hooks, engine, cluster, label);
+  bool stop = false;
+  if (brk) {
+    engine.spawn(
+        migration_driver(engine, *brk, space, sim::us(period_us), &stop));
+  }
+
+  core::Runner run(engine);
+  const sim::Time start = engine.now();
+  run.spawn(ra.thread_fn(/*core=*/0, /*thread_id=*/0));
+  // Watcher (not part of the runner, as in fig8): the driver parks on its
+  // period delay, so flip the stop flag when the workload finishes.
+  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
+    co_await r->join();
+    *flag = true;
+  }(&stop, &run));
+  engine.run();
+
+  capture(hooks, label, cluster);
+
+  CellOutput out{label, {}};
+  out.add("run_ms", sim::to_ms(run.last_completion() - start));
+  out.add("migrations",
+          brk ? static_cast<double>(brk->migration().migrations()) : 0.0);
+  out.add("blackout_us_mean",
+          brk && brk->migration().blackout().count()
+              ? brk->migration().blackout().mean() / 1e6
+              : 0.0);
+  out.add("parked_waits",
+          brk ? static_cast<double>(brk->migration().parked_waits()) : 0.0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // ablation_topology: fabric topology (one point = one topology)
 // ---------------------------------------------------------------------------
 
@@ -639,6 +719,9 @@ const std::map<std::string, KernelDef>& kernels() {
         "sharers=1,2,4,8,16 accesses=3000 write_fraction=0.3", true}},
       {"ablation_prefetch",
        {&ablation_prefetch_kernel, "degree=0,2,4,8 bytes=4M", true}},
+      {"ablation_migration",
+       {&ablation_migration_kernel,
+        "period_us=0,400,200,100 accesses=6000 buffer=1M", true}},
       {"ablation_topology",
        {&ablation_topology_kernel,
         "topology=mesh2d,torus2d,ring,star,full lat_accesses=400 "

@@ -1,0 +1,427 @@
+// Memory broker tests: live page migration (functional correctness, the
+// blackout/park/replay window, the no-migration equivalence property),
+// lease bookkeeping against the reservation ground truth, the rebalance /
+// defrag policies, and drain-before-shutdown enabling hot_remove.
+//
+// Every suite name starts with `Broker` so the TSan stage can pick the
+// whole file up with one gtest filter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "core/runner.hpp"
+#include "node/address_map.hpp"
+#include "sim/random.hpp"
+#include "test_util.hpp"
+
+namespace ms {
+namespace {
+
+core::MemorySpace::Params region_params() {
+  core::MemorySpace::Params p;
+  p.mode = core::MemorySpace::Mode::kRemoteRegion;
+  p.placement = os::RegionManager::Placement::kRemoteOnly;
+  return p;
+}
+
+std::uint64_t pattern(os::VAddr va) { return va * 0x9e3779b97f4a7c15ULL + 1; }
+
+os::VAddr map_on(sim::Engine& engine, core::MemorySpace& space,
+                 std::uint64_t bytes, ht::NodeId donor) {
+  os::VAddr base = 0;
+  test::run_in_sim(
+      engine,
+      [](core::MemorySpace& s, std::uint64_t n, ht::NodeId d,
+         os::VAddr* out) -> sim::Task<void> {
+        *out = co_await s.map_range_on(n, d);
+      }(space, bytes, donor, &base));
+  return base;
+}
+
+ht::NodeId frame_node(core::MemorySpace& space, os::VAddr va) {
+  const auto* e = space.page_table().find(va);
+  EXPECT_NE(e, nullptr);
+  EXPECT_TRUE(e != nullptr && e->present);
+  return e != nullptr ? node::node_of(e->frame) : ht::kNoNode;
+}
+
+// ---------------------------------------------------------------------------
+// Migration engine: functional correctness of a single page move.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, MigratePageMovesBytesAndRemaps) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  const os::VAddr base = map_on(engine, space, 64 << 10, 2);
+  for (os::VAddr off = 0; off < (64 << 10); off += 8) {
+    space.poke_pod<std::uint64_t>(base + off, pattern(base + off));
+  }
+  ASSERT_EQ(frame_node(space, base), 2);
+
+  bool moved = false;
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, core::MemorySpace& s,
+                      os::VAddr va, bool* out) -> sim::Task<void> {
+                     *out = co_await b.migration().migrate_page(s, va, 3);
+                   }(brk, space, base, &moved));
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(frame_node(space, base), 3);
+  EXPECT_EQ(brk.migration().migrations(), 1u);
+  EXPECT_EQ(brk.migration().transits().size(), 0u);
+
+  // Every byte survived, including the pages that did not move.
+  for (os::VAddr off = 0; off < (64 << 10); off += 8) {
+    EXPECT_EQ(space.peek_pod<std::uint64_t>(base + off), pattern(base + off))
+        << "offset " << off;
+  }
+
+  // A timed read through the full machinery sees the migrated bytes too.
+  test::run_in_sim(engine,
+                   [](core::MemorySpace& s, os::VAddr va) -> sim::Task<void> {
+                     core::ThreadCtx t;
+                     const std::uint64_t v = co_await s.read_u64(t, va);
+                     EXPECT_EQ(v, pattern(va));
+                     co_await s.sync(t);
+                   }(space, base));
+}
+
+TEST(Broker, MigrateToHomeLandsInLocalMemory) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  const os::VAddr base = map_on(engine, space, 4 << 10, 2);
+  space.poke_pod<std::uint64_t>(base, pattern(base));
+
+  bool moved = false;
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, core::MemorySpace& s,
+                      os::VAddr va, bool* out) -> sim::Task<void> {
+                     *out = co_await b.migration().migrate_page(s, va, 1);
+                   }(brk, space, base, &moved));
+  EXPECT_TRUE(moved);
+  const auto* e = space.page_table().find(base);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(node::has_prefix(e->frame));  // back in node 1's own memory
+  EXPECT_EQ(space.peek_pod<std::uint64_t>(base), pattern(base));
+}
+
+TEST(Broker, MigrateRejectsNoopsAndUnmappedPages) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  const os::VAddr base = map_on(engine, space, 4 << 10, 2);
+  bool moved = true;
+  // Already on the destination.
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, core::MemorySpace& s,
+                      os::VAddr va, bool* out) -> sim::Task<void> {
+                     *out = co_await b.migration().migrate_page(s, va, 2);
+                   }(brk, space, base, &moved));
+  EXPECT_FALSE(moved);
+  // Unmapped address.
+  moved = true;
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, core::MemorySpace& s,
+                      os::VAddr va, bool* out) -> sim::Task<void> {
+                     *out = co_await b.migration().migrate_page(s, va, 3);
+                   }(brk, space, base + (1 << 30), &moved));
+  EXPECT_FALSE(moved);
+  EXPECT_EQ(brk.migration().migrations(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Blackout: accesses racing the remap window park and replay.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, BlackoutParksAndReplaysRacingAccesses) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker::Params bp;
+  bp.migration.remap_cost = sim::us(50);  // stretch the window wide open
+  broker::MemoryBroker brk(cluster, bp);
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  const os::VAddr base = map_on(engine, space, 4 << 10, 2);
+  for (os::VAddr off = 0; off < (4 << 10); off += 8) {
+    space.poke_pod<std::uint64_t>(base + off, pattern(base + off));
+  }
+
+  engine.spawn([](broker::MemoryBroker& b, core::MemorySpace& s,
+                  os::VAddr va) -> sim::Task<void> {
+    co_await b.migration().migrate_page(s, va, 3);
+  }(brk, space, base));
+  // A reader hammering the page for well past the blackout: some reads
+  // must land inside the sealed window and park.
+  engine.spawn([](core::MemorySpace& s, os::VAddr va) -> sim::Task<void> {
+    core::ThreadCtx t;
+    sim::Rng rng(99);
+    for (int i = 0; i < 120; ++i) {
+      const os::VAddr a = va + rng.below(512) * 8;
+      const std::uint64_t v = co_await s.read_u64(t, a);
+      EXPECT_EQ(v, pattern(a));
+    }
+    co_await s.sync(t);
+  }(space, base));
+  engine.run();
+  ASSERT_EQ(engine.live_processes(), 0);
+
+  EXPECT_EQ(brk.migration().migrations(), 1u);
+  EXPECT_GE(brk.migration().parked_waits(), 1u);
+  EXPECT_EQ(brk.migration().blackout().count(), 1u);
+  EXPECT_GE(brk.migration().blackout().mean(),
+            static_cast<double>(sim::us(50)));
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence property: a workload's output is identical with and
+// without concurrent random migrations, under tie-fuzz perturbation.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> run_mixed_workload(bool migrate,
+                                              std::uint64_t tie_seed) {
+  sim::Engine engine;
+  engine.set_tie_fuzz(tie_seed);
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  constexpr std::uint64_t kBytes = 16 << 10;  // 4 pages
+  const os::VAddr base = map_on(engine, space, kBytes, 2);
+  for (os::VAddr off = 0; off < kBytes; off += 8) {
+    space.poke_pod<std::uint64_t>(base + off, off);
+  }
+
+  bool stop = false;
+  if (migrate) {
+    engine.spawn([](sim::Engine& e, broker::MemoryBroker& b,
+                    core::MemorySpace& s, const bool* halt) -> sim::Task<void> {
+      std::uint64_t state = 7;
+      while (!*halt) {
+        co_await e.delay(sim::us(3));
+        if (*halt) break;
+        co_await b.migrate_any(s, ++state);
+      }
+    }(engine, brk, space, &stop));
+  }
+
+  core::Runner run(engine);
+  // Two threads on disjoint words (even/odd), so the final contents are a
+  // pure function of the workload regardless of interleaving — exactly
+  // what migrations and tie-fuzz must not change.
+  for (int t = 0; t < 2; ++t) {
+    run.spawn([](core::MemorySpace& s, os::VAddr b2, int tid,
+                 std::uint64_t words) -> sim::Task<void> {
+      core::ThreadCtx ctx{.core = tid};
+      sim::Rng rng(1000 + static_cast<std::uint64_t>(tid));
+      for (int i = 0; i < 200; ++i) {
+        const std::uint64_t w =
+            (rng.below(words / 2) * 2 + static_cast<std::uint64_t>(tid));
+        const os::VAddr a = b2 + w * 8;
+        const std::uint64_t v = co_await s.read_u64(ctx, a);
+        co_await s.write_u64(ctx, a, v + 0x10001 * (i + 1));
+      }
+      co_await s.sync(ctx);
+    }(space, base, t, kBytes / 8));
+  }
+  engine.spawn([](bool* flag, core::Runner* r) -> sim::Task<void> {
+    co_await r->join();
+    *flag = true;
+  }(&stop, &run));
+  engine.run();
+  EXPECT_EQ(engine.live_processes(), 0);
+  if (migrate) EXPECT_GT(brk.migration().migrations(), 0u);
+
+  std::vector<std::uint64_t> out;
+  out.reserve(kBytes / 8);
+  for (os::VAddr off = 0; off < kBytes; off += 8) {
+    out.push_back(space.peek_pod<std::uint64_t>(base + off));
+  }
+  return out;
+}
+
+TEST(Broker, RandomMigrationsNeverChangeWorkloadOutput) {
+  const auto baseline = run_mixed_workload(/*migrate=*/false, /*tie=*/0);
+  EXPECT_EQ(run_mixed_workload(true, 0), baseline);
+  EXPECT_EQ(run_mixed_workload(true, 42), baseline);
+  EXPECT_EQ(run_mixed_workload(true, 1234567), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Lease book: mirrors reservation ground truth, renewals, release.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, LeaseBookMirrorsGrantsAndRenews) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker::Params bp;
+  bp.lease_term = sim::us(100);
+  broker::MemoryBroker brk(cluster, bp);
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+  EXPECT_TRUE(brk.leases().empty());
+
+  map_on(engine, space, 4 << 10, 2);
+  ASSERT_NE(space.region(), nullptr);
+  const auto grants = space.region()->segment_grants();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(brk.leases().size(), 1u);
+  EXPECT_EQ(brk.leases().bytes_on(2), grants[0].bytes);
+  EXPECT_EQ(brk.leases().count_on(3), 0u);
+
+  // Let the lease expire, then renew it.
+  test::run_in_sim(engine, [](sim::Engine& e) -> sim::Task<void> {
+    co_await e.delay(sim::us(150));
+  }(engine));
+  EXPECT_EQ(brk.renew_leases(), 1u);
+  EXPECT_EQ(brk.renew_leases(), 0u);  // freshly renewed: nothing expired
+
+  // Teardown empties the book through the observer.
+  test::run_in_sim(engine, [](os::RegionManager* r) -> sim::Task<void> {
+    co_await r->release_all();
+  }(space.region()));
+  EXPECT_TRUE(brk.leases().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Policies: rebalance under pressure, defrag toward consolidation.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, RebalanceMovesPageOffPressuredDonor) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker::Params bp;
+  bp.pressure_pct = 100;  // any donor with an allocation is "pressured"
+  broker::MemoryBroker brk(cluster, bp);
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  const os::VAddr base = map_on(engine, space, 4 << 10, 2);
+  ASSERT_EQ(frame_node(space, base), 2);
+
+  bool acted = false;
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, bool* out) -> sim::Task<void> {
+                     *out = co_await b.rebalance_once();
+                   }(brk, &acted));
+  EXPECT_TRUE(acted);
+  EXPECT_NE(frame_node(space, base), 2);
+  EXPECT_EQ(brk.migration().migrations(), 1u);
+}
+
+TEST(Broker, RebalanceIsIdleWithoutPressureConfig) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+  map_on(engine, space, 4 << 10, 2);
+
+  bool acted = true;
+  test::run_in_sim(engine,
+                   [](broker::MemoryBroker& b, bool* out) -> sim::Task<void> {
+                     *out = co_await b.rebalance_once();
+                   }(brk, &acted));
+  EXPECT_FALSE(acted);
+  EXPECT_EQ(brk.migration().migrations(), 0u);
+}
+
+TEST(Broker, DefragEmptiesFragmentedDonor) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  // Donor 2 backs 2 pages (the fragment), donor 3 backs 8 (the sink).
+  const os::VAddr frag = map_on(engine, space, 8 << 10, 2);
+  map_on(engine, space, 32 << 10, 3);
+  ASSERT_EQ(frame_node(space, frag), 2);
+
+  int moves = 0;
+  for (; moves < 8; ++moves) {
+    bool acted = false;
+    test::run_in_sim(engine,
+                     [](broker::MemoryBroker& b, bool* out) -> sim::Task<void> {
+                       *out = co_await b.defrag_once(/*max_pages=*/4);
+                     }(brk, &acted));
+    if (!acted) break;
+  }
+  EXPECT_EQ(moves, 2);  // exactly the fragment's pages moved
+  EXPECT_EQ(frame_node(space, frag), 3);
+  EXPECT_EQ(frame_node(space, frag + (4 << 10)), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Drain-before-shutdown: evacuation under load, then hot_remove.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, DrainDonorUnderLoadEnablesHotRemove) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker brk(cluster, broker::MemoryBroker::Params{});
+  core::MemorySpace space(cluster, 1, region_params());
+  brk.attach(space);
+
+  constexpr std::uint64_t kBytes = 64 << 10;
+  const os::VAddr base = map_on(engine, space, kBytes, 2);
+  for (os::VAddr off = 0; off < kBytes; off += 8) {
+    space.poke_pod<std::uint64_t>(base + off, pattern(base + off));
+  }
+  const auto grants = space.region()->segment_grants();
+  ASSERT_EQ(grants.size(), 1u);
+  ASSERT_EQ(grants[0].donor, 2);
+
+  // Reader keeps hammering the buffer while the drain runs underneath it.
+  engine.spawn([](core::MemorySpace& s, os::VAddr b2,
+                  std::uint64_t words) -> sim::Task<void> {
+    core::ThreadCtx t;
+    sim::Rng rng(4242);
+    for (int i = 0; i < 400; ++i) {
+      const os::VAddr a = b2 + rng.below(words) * 8;
+      const std::uint64_t v = co_await s.read_u64(t, a);
+      EXPECT_EQ(v, pattern(a));
+    }
+    co_await s.sync(t);
+  }(space, base, kBytes / 8));
+  engine.schedule(sim::us(20), [&engine, &brk] {
+    engine.spawn(brk.drain_donor(2));
+  });
+  engine.run();
+  ASSERT_EQ(engine.live_processes(), 0);
+
+  // Zero live grants and zero live pages on the drained donor.
+  EXPECT_TRUE(brk.drained(2));
+  EXPECT_EQ(brk.evacuations(), 1u);
+  EXPECT_EQ(brk.leases().bytes_on(2), 0u);
+  for (const auto& g : space.region()->segment_grants()) {
+    EXPECT_NE(g.donor, 2);
+  }
+  space.page_table().for_each([](os::VAddr, const os::PageTable::Entry& e) {
+    if (e.present) EXPECT_NE(node::node_of(e.frame), 2);
+  });
+  // The donated range is whole again: hot_remove must succeed.
+  EXPECT_TRUE(cluster.allocator(2).hot_remove(
+      node::local_part(grants[0].prefixed_base), grants[0].bytes));
+  // And the workload's data survived the evacuation byte for byte.
+  for (os::VAddr off = 0; off < kBytes; off += 8) {
+    EXPECT_EQ(space.peek_pod<std::uint64_t>(base + off), pattern(base + off))
+        << "offset " << off;
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -218,6 +218,74 @@ TEST(FuzzInjection, SkipDowngradeTripsDirectoryAndMinimizes) {
   EXPECT_GT(m.runs, 0);
 }
 
+TEST(FuzzInjection, LostPageOnMigrateTripsBrokerTransitAndMinimizes) {
+  // The classic live-migration bug: copy done, bookkeeping done, but the
+  // page table never retargeted. The broker.transit invariant must catch
+  // it, and the minimizer must shrink the repro to a handful of knobs.
+  fuzz::Knobs k;
+  k.set("accesses", "50");
+  fuzz::EpisodeOptions opt;
+  opt.seed = 4;
+  opt.mutation = fuzz::Mutation::kLostPageOnMigrate;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  ASSERT_TRUE(has_violation(r, "broker.transit")) << violation_names(r);
+
+  const fuzz::MinimizeResult m = fuzz::minimize(k, opt, "broker.transit");
+  const fuzz::EpisodeResult again = fuzz::run_episode(m.knobs, opt);
+  EXPECT_TRUE(has_violation(again, "broker.transit"))
+      << violation_names(again);
+  EXPECT_LE(m.knobs.non_default().size(), 4u)
+      << "minimized repro: " << m.knobs.repro_args();
+}
+
+// ---------------------------------------------------------------------------
+// Broker episodes: hot-remove-under-load and the broker knob surface.
+// ---------------------------------------------------------------------------
+
+TEST(FuzzEpisode, HotRemoveUnderLoadEpisodeIsViolationFree) {
+  // Evacuate donor 2 mid-episode while migrations and the workload keep
+  // running: the broker.evacuated / broker.leases / region invariants all
+  // stay green and the episode drains cleanly.
+  fuzz::Knobs k;
+  k.set("nodes", "4");
+  k.set("accesses", "400");
+  k.set("migrate_period_us", "20");
+  k.set("evacuate_at_us", "60");
+  fuzz::EpisodeOptions opt;
+  opt.seed = 13;
+  opt.epoch = sim::us(10);
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  EXPECT_TRUE(r.violations.empty()) << violation_names(r);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(FuzzEpisode, PressureRebalanceEpisodeIsViolationFree) {
+  fuzz::Knobs k;
+  k.set("accesses", "400");
+  k.set("pressure_pct", "75");
+  fuzz::EpisodeOptions opt;
+  opt.seed = 21;
+  const fuzz::EpisodeResult r = fuzz::run_episode(k, opt);
+  EXPECT_TRUE(r.violations.empty()) << violation_names(r);
+}
+
+TEST(FuzzKnobs, GeneratorCoversBrokerKnobs) {
+  // The generator must actually explore the broker surface: across the
+  // same seed derivation the campaign uses, some episodes get migrations,
+  // pressure policy, or a mid-episode evacuation.
+  int migrate = 0, pressure = 0, evacuate = 0;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
+    const fuzz::Knobs k = fuzz::Knobs::generate(rng);
+    if (k.migrate_period_us > 0) ++migrate;
+    if (k.pressure_pct > 0) ++pressure;
+    if (k.evacuate_at_us > 0) ++evacuate;
+  }
+  EXPECT_GT(migrate, 0);
+  EXPECT_GT(pressure, 0);
+  EXPECT_GT(evacuate, 0);
+}
+
 // ---------------------------------------------------------------------------
 // Campaign plumbing: a seeded mutation campaign reports the offending seed
 // and emits a repro line that replays to the same violation.

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "broker/broker.hpp"
 #include "core/runner.hpp"
+#include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace_analysis.hpp"
 #include "sim/tracer.hpp"
@@ -99,6 +101,59 @@ TEST(CausalTracing, SegmentDecompositionSumsToEndToEndExactly) {
   EXPECT_GT(totals[static_cast<int>(sim::Segment::kMemory)], 0u);
   EXPECT_GT(totals[static_cast<int>(sim::Segment::kSerialization)], 0u);
   EXPECT_GT(totals[static_cast<int>(sim::Segment::kLink)], 0u);
+}
+
+// Migration blackout stalls surface as their own taxonomy segment, and the
+// exact-sum decomposition still holds when the broker is live-migrating
+// pages underneath the traced workload.
+TEST(CausalTracing, MigrationSegmentIsAttributedAndSumsExactly) {
+  EXPECT_STREQ(sim::to_string(sim::Segment::kMigration), "migration");
+
+  sim::Tracer tracer;
+  tracer.begin_process("mig");
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  core::Cluster cluster(engine, test::small_config());
+  broker::MemoryBroker::Params bp;
+  bp.migration.remap_cost = sim::us(50);  // guarantee reads park in blackout
+  broker::MemoryBroker brk(cluster, bp);
+  core::MemorySpace space(cluster, 1, remote_region_params());
+  brk.attach(space);
+
+  os::VAddr base = 0;
+  engine.spawn([](core::MemorySpace& s, os::VAddr* out) -> sim::Task<void> {
+    *out = co_await s.map_range_on(4 << 10, 2);
+  }(space, &base));
+  engine.run();
+
+  engine.spawn([](broker::MemoryBroker& b, core::MemorySpace& s,
+                  os::VAddr va) -> sim::Task<void> {
+    co_await b.migration().migrate_page(s, va, 3);
+  }(brk, space, base));
+  engine.spawn([](core::MemorySpace& s, os::VAddr va) -> sim::Task<void> {
+    core::ThreadCtx t;
+    sim::Rng rng(99);  // random lines: stay cache-cold so every read gates
+    for (int i = 0; i < 120; ++i) {
+      co_await s.read_u64(t, va + rng.below(512) * 8);
+    }
+    co_await s.sync(t);
+  }(space, base));
+  engine.run();
+  ASSERT_GE(brk.migration().parked_waits(), 1u);
+  ASSERT_GT(tracer.txns_finalized(), 0u);
+
+  std::ostringstream out;
+  tracer.export_chrome(out);
+  std::istringstream in(out.str());
+  const auto analysis = sim::TraceAnalysis::load_chrome(in);
+  for (const auto& t : analysis.transactions()) {
+    EXPECT_EQ(seg_sum(t.seg), t.total) << "txn " << t.txn;
+  }
+  const auto totals = analysis.segment_totals();
+  // The parked reads waited out the blackout; that time lands in the
+  // migration bucket, not in kOther's residual.
+  EXPECT_GE(totals[static_cast<int>(sim::Segment::kMigration)],
+            static_cast<sim::Time>(sim::us(50)));
 }
 
 // One remote read crossing the fabric: its spans must form a single tree
