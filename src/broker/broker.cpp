@@ -299,29 +299,20 @@ void MemoryBroker::register_invariants(sim::InvariantRegistry& reg,
 void MemoryBroker::export_stats(sim::StatRegistry& reg,
                                 const std::string& prefix) const {
   // Nonzero-only: a broker that never acted leaves the dump byte-identical
-  // to a run without a broker at all.
+  // to a run without a broker at all (ARCHITECTURE.md, stats export
+  // convention).
   const std::string p = prefix + "broker.";
-  if (migration_.migrations() > 0) {
-    reg.counter(p + "migrations").inc(migration_.migrations());
-  }
-  if (migration_.parked_waits() > 0) {
-    reg.counter(p + "parked_waits").inc(migration_.parked_waits());
-  }
-  if (migration_.blackout().count() > 0) {
-    reg.sampler(p + "blackout_ps") = migration_.blackout();
-  }
-  if (leases_granted_.value() > 0) {
-    reg.counter(p + "leases_granted").inc(leases_granted_.value());
-  }
-  if (leases_released_.value() > 0) {
-    reg.counter(p + "leases_released").inc(leases_released_.value());
-  }
-  if (renewals_.value() > 0) {
-    reg.counter(p + "lease_renewals").inc(renewals_.value());
-  }
-  if (evacuations_.value() > 0) {
-    reg.counter(p + "evacuations").inc(evacuations_.value());
-  }
+  sim::export_counter_nonzero(reg, p + "migrations",
+                              migration_.migrations());
+  sim::export_counter_nonzero(reg, p + "parked_waits",
+                              migration_.parked_waits());
+  sim::export_sampler_nonzero(reg, p + "blackout_ps", migration_.blackout());
+  sim::export_counter_nonzero(reg, p + "leases_granted",
+                              leases_granted_.value());
+  sim::export_counter_nonzero(reg, p + "leases_released",
+                              leases_released_.value());
+  sim::export_counter_nonzero(reg, p + "lease_renewals", renewals_.value());
+  sim::export_counter_nonzero(reg, p + "evacuations", evacuations_.value());
 }
 
 }  // namespace ms::broker

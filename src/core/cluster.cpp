@@ -42,6 +42,7 @@ ClusterConfig ClusterConfig::from(const sim::Config& cfg) {
   c.region.segment_bytes = cfg.get_u64("region.segment", c.region.segment_bytes);
   c.region.policy =
       os::ClusterDirectory::parse_policy(cfg.get_str("region.policy", "nearest"));
+  c.coh_profile = cfg.get_bool("coh_profile", c.coh_profile);
   return c;
 }
 
@@ -70,12 +71,22 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
                                                           cfg.reservation);
   disk_ = std::make_unique<swap::DiskModel>(engine, cfg.disk);
 
+  sharing_.enable(cfg.coh_profile);
+  const int cores_per_node = cfg.node.sockets * cfg.node.cores_per_socket;
   for (int i = 0; i < cfg.nodes; ++i) {
     const auto id = static_cast<ht::NodeId>(i + 1);
     nodes_.push_back(std::make_unique<node::Node>(engine, id, cfg.node));
     rmcs_.push_back(std::make_unique<rmc::Rmc>(engine, id, *fabric_, cfg.rmc));
     rmcs_.back()->set_hot_pages(&hot_pages_);
     nodes_.back()->attach_rmc(rmcs_.back().get());
+    // Sharing profiler: each node's directory and caches report in the
+    // intra domain with globally unique requester ids (node_index * cores
+    // + core). Cheap when disabled, so wire unconditionally.
+    const int base = i * cores_per_node;
+    nodes_.back()->directory().set_profiler(&sharing_, base);
+    for (int c = 0; c < cores_per_node; ++c) {
+      nodes_.back()->core(c).cache().set_profiler(&sharing_, base + c);
+    }
     allocators_.push_back(std::make_unique<os::FrameAllocator>(
         ht::PAddr{0}, cfg.node.local_bytes));
     // The OS boots with a private share that is never donated (the
@@ -193,16 +204,16 @@ void Cluster::export_stats(sim::StatRegistry& reg,
     reg.counter(rmc_p + "served_requests").inc(r.served_requests());
     reg.counter(rmc_p + "loopbacks").inc(r.loopbacks());
     reg.counter(rmc_p + "turnarounds").inc(r.turnarounds());
-    if (r.request_timeouts() > 0) {
-      // Watchdog is off by default; emit only when it fired so configs that
-      // never arm it keep byte-identical stats output.
-      reg.counter(rmc_p + "request_timeouts").inc(r.request_timeouts());
-    }
+    // Watchdog is off by default; nonzero-only (ARCHITECTURE.md, stats
+    // export convention).
+    sim::export_counter_nonzero(reg, rmc_p + "request_timeouts",
+                                r.request_timeouts());
     if (r.round_trip().count() > 0) {
       reg.sampler(rmc_p + "round_trip_ps") = r.round_trip();
       reg.sampler(rmc_p + "port_wait_ps") = r.port_wait();
     }
   }
+  sharing_.export_stats(reg, prefix + "coh.");
   for (const auto& source : extra_stats_) source(reg, prefix);
 }
 
@@ -234,6 +245,19 @@ sim::TimeSeriesPoint Cluster::sample_timeseries(sim::Time now,
                              static_cast<double>(mc.port_waiters()));
       pt.values.emplace_back(mc_p + "accesses",
                              static_cast<double>(mc.reads() + mc.writes()));
+    }
+  }
+  if (sharing_.enabled()) {
+    // Cumulative coherence-event counts per domain; a point-to-point delta
+    // in the stream shows when the protocol traffic happened.
+    const auto intra = sharing_.events(sim::CohDomain::kIntra);
+    const auto inter = sharing_.events(sim::CohDomain::kInter);
+    if (intra + inter > 0) {
+      pt.values.emplace_back("coh.intra.events", static_cast<double>(intra));
+      pt.values.emplace_back("coh.inter.events", static_cast<double>(inter));
+      pt.values.emplace_back(
+          "coh.false_sharing",
+          static_cast<double>(sharing_.false_sharing_invalidations()));
     }
   }
   std::sort(pt.values.begin(), pt.values.end(),

@@ -15,6 +15,7 @@
 #include "rmc/rmc.hpp"
 #include "sim/config.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharing_profiler.hpp"
 #include "sim/timeseries.hpp"
 #include "swap/disk_model.hpp"
 
@@ -34,6 +35,10 @@ struct ClusterConfig {
   os::ReservationService::Params reservation;
   os::RegionManager::Params region;
   swap::DiskModel::Params disk;
+  /// Enables the sharing/coherence-tax profiler (stats under "coh.").
+  /// Default off: with it off, stats output stays byte-identical to builds
+  /// without the profiler.
+  bool coh_profile = false;
 
   /// Applies "key=value" overrides (nodes=4, topology=ring,
   /// rmc.outstanding=8, node.cache_kb=512, ...); see the implementation
@@ -104,6 +109,14 @@ class Cluster {
   sim::HotPageProfiler& hot_pages() { return hot_pages_; }
   const sim::HotPageProfiler& hot_pages() const { return hot_pages_; }
 
+  /// Protocol-event/sharing profiler fed by every node's coherence
+  /// directory and core cache (intra domain; requester id = global core
+  /// index). Enabled by the `coh_profile=1` config key; kernels wire their
+  /// DSM ablation instances into it for the inter domain. Exported under
+  /// "coh." by export_stats when enabled.
+  sim::SharingProfiler& sharing() { return sharing_; }
+  const sim::SharingProfiler& sharing() const { return sharing_; }
+
   /// One periodic snapshot of the machine: fabric counters, per-RMC
   /// occupancy/queue depth, per-node memory-controller port queues —
   /// components that saw no traffic are skipped — plus the top-`top_k`
@@ -125,6 +138,7 @@ class Cluster {
   std::vector<std::function<void(sim::StatRegistry&, const std::string&)>>
       extra_stats_;
   sim::HotPageProfiler hot_pages_;
+  sim::SharingProfiler sharing_;
 };
 
 }  // namespace ms::core

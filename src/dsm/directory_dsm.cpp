@@ -32,7 +32,7 @@ sim::Task<void> DirectoryDsm::message(ht::NodeId from, ht::NodeId to,
   messages_.inc();
   if (params_.software_overhead != 0) {
     sim::SegmentSpan sw(engine_, ctx, "dsm", "sw_overhead",
-                        sim::Segment::kCoherence);
+                        sim::Segment::kCoherence, sim::CohCause::kSoftware);
     co_await engine_.delay(params_.software_overhead);
   }
   if (from == to) co_return;  // intra-node
@@ -51,11 +51,18 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
   // across co_await (concurrent accesses insert and rehash the map).
   Entry e = lines_[line];
 
+  if (profiler_ != nullptr) {
+    profiler_->record_touch(
+        line, requester,
+        static_cast<std::uint32_t>(addr & (params_.line_bytes - 1)), bytes);
+  }
+
   if (is_hit(e, requester, is_write)) {
     hits_.inc();
     co_return;  // node-local; the caller charges its intra-node time
   }
   misses_.inc();
+  const int sharers_before = std::popcount(e.sharers);
 
   sim::ScopedSpan span(engine_, "dsm", is_write ? "coh_write" : "coh_read",
                        ctx);
@@ -71,7 +78,7 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
                    line, 0, here);
   {
     sim::SegmentSpan dir(engine_, here, "dsm", "directory",
-                         sim::Segment::kCoherence);
+                         sim::Segment::kCoherence, sim::CohCause::kDirectory);
     co_await engine_.delay(params_.directory_latency);
   }
 
@@ -83,6 +90,13 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
       others &= others - 1;
       probes_.inc();
       invalidations_.inc();
+      if (profiler_ != nullptr) {
+        profiler_->record_event(sim::CohDomain::kInter,
+                                sim::CohEvent::kProbe, line, requester);
+        profiler_->record_invalidation(sim::CohDomain::kInter,
+                                       sim::CohEvent::kInvalidate, line,
+                                       requester, peer);
+      }
       co_await message(home, static_cast<ht::NodeId>(peer),
                        ht::PacketType::kCohProbe, line, 0, here);
       co_await message(static_cast<ht::NodeId>(peer), home,
@@ -90,6 +104,11 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
     }
     if (e.owner != 0 && e.owner != requester) {
       // Modified elsewhere: the owner's data is written back at home.
+      if (profiler_ != nullptr) {
+        profiler_->record_event(sim::CohDomain::kInter,
+                                sim::CohEvent::kWritebackForced, line,
+                                requester);
+      }
       co_await mem_(home, node::local_part(line), params_.line_bytes, true,
                     here);
     }
@@ -99,6 +118,12 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
     if (e.owner != 0 && e.owner != requester) {
       // Forward to the modified owner; it supplies data and demotes.
       probes_.inc();
+      if (profiler_ != nullptr) {
+        profiler_->record_event(sim::CohDomain::kInter,
+                                sim::CohEvent::kProbe, line, requester);
+        profiler_->record_event(sim::CohDomain::kInter,
+                                sim::CohEvent::kDowngrade, line, requester);
+      }
       co_await message(home, static_cast<ht::NodeId>(e.owner),
                        ht::PacketType::kCohProbe, line, 0, here);
       co_await message(static_cast<ht::NodeId>(e.owner), home,
@@ -117,6 +142,9 @@ sim::Task<void> DirectoryDsm::access(ht::NodeId requester, ht::PAddr addr,
   // model serializes semantics at the home in reality; the timing already
   // reflects the message exchanges above).
   lines_[line] = e;
+  if (profiler_ != nullptr) {
+    profiler_->record_sharers(line, sharers_before, std::popcount(e.sharers));
+  }
 
   // Data/completion back to the requester.
   co_await message(home, requester,

@@ -7,6 +7,7 @@
 #include "ht/packet.hpp"
 #include "noc/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharing_profiler.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
 #include "sim/trace_context.hpp"
@@ -64,6 +65,11 @@ class DirectoryDsm {
   std::uint64_t invalidations() const { return invalidations_.value(); }
   std::uint64_t coherence_messages() const { return messages_.value(); }
 
+  /// Attaches a sharing profiler; DSM events are recorded in the inter
+  /// domain with node ids as requester ids. No-op while the profiler is
+  /// disabled.
+  void set_profiler(sim::SharingProfiler* p) { profiler_ = p; }
+
  private:
   struct Entry {
     std::uint64_t sharers = 0;  ///< bitmask over node ids (bit = id-1)
@@ -82,6 +88,7 @@ class DirectoryDsm {
   noc::Fabric& fabric_;
   MemService mem_;
   Params params_;
+  sim::SharingProfiler* profiler_ = nullptr;
   std::unordered_map<ht::PAddr, Entry> lines_;
 
   sim::Counter hits_;

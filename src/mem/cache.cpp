@@ -48,6 +48,12 @@ const Cache::Way* Cache::find(ht::PAddr addr) const {
 
 Cache::AccessResult Cache::access(ht::PAddr addr, bool is_write) {
   ++tick_;
+  if (profiler_ != nullptr) {
+    // Accesses are word references; 8 bytes matches the profiler's chunk
+    // granularity, so each access marks exactly one footprint bit.
+    profiler_->record_touch(line_of(addr), requester_,
+                            static_cast<std::uint32_t>(addr & line_mask_), 8);
+  }
   if (Way* way = find(addr)) {
     hits_.inc();
     way->lru = tick_;

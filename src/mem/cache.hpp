@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ht/packet.hpp"
+#include "sim/sharing_profiler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -82,6 +83,15 @@ class Cache {
     track_ = std::move(track);
   }
 
+  /// Attaches the cluster-wide sharing profiler; `requester` is this
+  /// cache's global core id in the intra-domain requester space. Each
+  /// access reports its sub-line footprint (8-byte granularity) so the
+  /// profiler can separate true from false sharing.
+  void set_profiler(sim::SharingProfiler* p, int requester) {
+    profiler_ = p;
+    requester_ = requester;
+  }
+
   const Params& params() const { return params_; }
   std::uint64_t hits() const { return hits_.value(); }
   std::uint64_t misses() const { return misses_.value(); }
@@ -119,6 +129,8 @@ class Cache {
   void trace_event(const char* what) const;
 
   Params params_;
+  sim::SharingProfiler* profiler_ = nullptr;
+  int requester_ = 0;
   sim::Engine* trace_engine_ = nullptr;
   std::string track_;
   ht::PAddr line_mask_;

@@ -24,6 +24,7 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_miss(int core,
   Outcome out;
   Entry& e = lines_[line];
   const std::uint64_t self = 1ULL << core;
+  const int before = std::popcount(e.sharers);
 
   if (is_write) {
     // Invalidate every other sharer; a modified owner supplies the data.
@@ -35,6 +36,20 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_miss(int core,
       auto inv = caches_[static_cast<std::size_t>(peer)]->invalidate(line);
       if (inv.was_dirty) out.dirty_transfer = true;
       ++out.invalidations;
+      if (profiler_ != nullptr) {
+        profiler_->record_event(sim::CohDomain::kIntra,
+                                sim::CohEvent::kProbe, line,
+                                requester_base_ + core);
+        profiler_->record_invalidation(sim::CohDomain::kIntra,
+                                       sim::CohEvent::kInvalidate, line,
+                                       requester_base_ + core,
+                                       requester_base_ + peer);
+        if (inv.was_dirty) {
+          profiler_->record_event(sim::CohDomain::kIntra,
+                                  sim::CohEvent::kWritebackForced, line,
+                                  requester_base_ + core);
+        }
+      }
     }
     e.sharers = self;
     e.owner = core;
@@ -42,14 +57,30 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_miss(int core,
     // A modified owner must supply and clean the line.
     if (e.owner >= 0 && e.owner != core && !test_skip_downgrade_) {
       ++out.probes;
-      if (caches_[static_cast<std::size_t>(e.owner)]->clean(line)) {
-        out.dirty_transfer = true;
+      const bool was_dirty =
+          caches_[static_cast<std::size_t>(e.owner)]->clean(line);
+      if (was_dirty) out.dirty_transfer = true;
+      if (profiler_ != nullptr) {
+        profiler_->record_event(sim::CohDomain::kIntra,
+                                sim::CohEvent::kProbe, line,
+                                requester_base_ + core);
+        profiler_->record_event(sim::CohDomain::kIntra,
+                                sim::CohEvent::kDowngrade, line,
+                                requester_base_ + core);
+        if (was_dirty) {
+          profiler_->record_event(sim::CohDomain::kIntra,
+                                  sim::CohEvent::kWritebackForced, line,
+                                  requester_base_ + core);
+        }
       }
       e.owner = -1;
     }
     e.sharers |= self;
   }
 
+  if (profiler_ != nullptr && out.probes > 0) {
+    profiler_->record_sharers(line, before, std::popcount(e.sharers));
+  }
   probes_.inc(static_cast<std::uint64_t>(out.probes));
   invalidations_.inc(static_cast<std::uint64_t>(out.invalidations));
   if (out.dirty_transfer) dirty_transfers_.inc();
@@ -64,6 +95,7 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_write_hit(int core,
   Entry& e = lines_[line];
   const std::uint64_t self = 1ULL << core;
   e.sharers |= self;  // defensive: a hit implies the core is a sharer
+  const int before = std::popcount(e.sharers);
   std::uint64_t others = e.sharers & ~self;
   while (others) {
     int peer = std::countr_zero(others);
@@ -71,10 +103,21 @@ CoherenceDirectory::Outcome CoherenceDirectory::on_write_hit(int core,
     ++out.probes;
     ++out.invalidations;
     caches_[static_cast<std::size_t>(peer)]->invalidate(line);
+    if (profiler_ != nullptr) {
+      profiler_->record_event(sim::CohDomain::kIntra, sim::CohEvent::kProbe,
+                              line, requester_base_ + core);
+      profiler_->record_invalidation(sim::CohDomain::kIntra,
+                                     sim::CohEvent::kUpgradeMiss, line,
+                                     requester_base_ + core,
+                                     requester_base_ + peer);
+    }
   }
   e.sharers = self;
   e.owner = core;
 
+  if (profiler_ != nullptr && out.probes > 0) {
+    profiler_->record_sharers(line, before, std::popcount(e.sharers));
+  }
   probes_.inc(static_cast<std::uint64_t>(out.probes));
   invalidations_.inc(static_cast<std::uint64_t>(out.invalidations));
   if (out.probes > 0) out.latency += params_.probe_latency;

@@ -6,6 +6,7 @@
 
 #include "ht/packet.hpp"
 #include "mem/cache.hpp"
+#include "sim/sharing_profiler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -83,6 +84,15 @@ class CoherenceDirectory {
   std::uint64_t invalidations() const { return invalidations_.value(); }
   std::uint64_t dirty_transfers() const { return dirty_transfers_.value(); }
 
+  /// Attaches the cluster-wide sharing profiler. `requester_base` maps this
+  /// node's core indices into the profiler's global intra-domain requester
+  /// id space (node_index * cores_per_node). The profiler no-ops while
+  /// disabled, so wiring it unconditionally costs one branch per event.
+  void set_profiler(sim::SharingProfiler* p, int requester_base) {
+    profiler_ = p;
+    requester_base_ = requester_base;
+  }
+
  private:
   struct Entry {
     std::uint64_t sharers = 0;  ///< bitmask over cores
@@ -91,6 +101,8 @@ class CoherenceDirectory {
 
   Params params_;
   bool test_skip_downgrade_ = false;
+  sim::SharingProfiler* profiler_ = nullptr;
+  int requester_base_ = 0;
   std::vector<Cache*> caches_;
   std::unordered_map<ht::PAddr, Entry> lines_;
   sim::Counter probes_;

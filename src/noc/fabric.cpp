@@ -123,11 +123,10 @@ void Fabric::export_stats(sim::StatRegistry& reg,
       reg.counter(p + "packets").inc(link->packets());
       reg.counter(p + "bytes").inc(link->bytes());
       reg.counter(p + "retries").inc(link->retries());
-      if (link->stall_timeouts() > 0) {
-        // Off-by-default watchdog: emit only when it fired so default
-        // configs keep byte-identical stats output.
-        reg.counter(p + "stall_timeouts").inc(link->stall_timeouts());
-      }
+      // Off-by-default watchdog: nonzero-only (ARCHITECTURE.md, stats
+      // export convention).
+      sim::export_counter_nonzero(reg, p + "stall_timeouts",
+                                  link->stall_timeouts());
       reg.counter(p + "busy_ps").inc(static_cast<std::uint64_t>(
           link->busy_time()));
       reg.sampler(p + "queue_wait_ps") = link->queue_wait();

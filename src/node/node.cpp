@@ -160,7 +160,8 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
         auto coh = directory_->on_write_hit(core, line);
         if (coh.latency != 0) {
           sim::SegmentSpan wh(engine_, ctx, track, "write_hit",
-                              sim::Segment::kCoherence);
+                              sim::Segment::kCoherence,
+                              sim::CohCause::kUpgrade);
           co_await engine_.delay(coh.latency);
         }
       }
@@ -204,9 +205,26 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
   }
   auto coh = directory_->on_miss(core, line, is_write);
   if (coh.latency != 0) {
-    sim::SegmentSpan cs(engine_, ctx, track, "coherence",
-                        sim::Segment::kCoherence);
+    const sim::Time t0 = engine_.now();
     co_await engine_.delay(coh.latency);
+    // Decompose the combined charge by protocol cause: the probe round
+    // (peer invalidations on a write, the owner downgrade on a read),
+    // then the forced dirty writeback, if any. The retroactive spans
+    // partition [t0, now) exactly, so the per-transaction cause times sum
+    // to the coherence segment without splitting the delay itself.
+    sim::Time split = t0;
+    if (coh.probes > 0) {
+      split += params_.coherence.probe_latency;
+      sim::record_coh_cause(engine_, track, ctx,
+                            is_write ? sim::CohCause::kInvalidate
+                                     : sim::CohCause::kDowngrade,
+                            t0, split);
+    }
+    if (coh.dirty_transfer) {
+      sim::record_coh_cause(engine_, track, ctx,
+                            sim::CohCause::kWritebackForced, split,
+                            engine_.now());
+    }
   }
 
   if (!coh.dirty_transfer) {

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ms::sim::json {
+
+/// Minimal strict JSON document model. Objects keep their keys in sorted
+/// order (std::map), which matches StatRegistry::dump_json output and makes
+/// every walk over a parsed document deterministic.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::runtime_error when the type differs so a
+  /// malformed document fails loudly instead of reading as zeros.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; throws when absent (strict) — use find() for
+  /// optional members.
+  const Value& at(const std::string& key) const;
+  const Value* find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Strict recursive-descent parse of one complete JSON document. Throws
+/// std::runtime_error (with a byte offset) on any syntax error, on a
+/// truncated document and on trailing non-whitespace — the observability
+/// CLIs rely on this to exit nonzero for cut-off dumps instead of silently
+/// analyzing half a file.
+Value parse(std::string_view text);
+
+}  // namespace ms::sim::json

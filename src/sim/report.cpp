@@ -1,0 +1,572 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+
+namespace ms::sim::report {
+
+namespace {
+
+SamplerStats sampler_from(const json::Value& v) {
+  SamplerStats s;
+  s.count = static_cast<std::uint64_t>(v.at("count").as_number());
+  s.mean = v.at("mean").as_number();
+  s.min = v.at("min").as_number();
+  s.max = v.at("max").as_number();
+  s.stddev = v.at("stddev").as_number();
+  s.p50 = v.at("p50").as_number();
+  s.p90 = v.at("p90").as_number();
+  s.p99 = v.at("p99").as_number();
+  s.p999 = v.at("p999").as_number();
+  return s;
+}
+
+HistogramStats histogram_from(const json::Value& v) {
+  HistogramStats h;
+  h.count = static_cast<std::uint64_t>(v.at("count").as_number());
+  h.p50 = v.at("p50").as_number();
+  h.p90 = v.at("p90").as_number();
+  h.p99 = v.at("p99").as_number();
+  h.p999 = v.at("p999").as_number();
+  for (const json::Value& b : v.at("buckets").as_array()) {
+    const auto& pair = b.as_array();
+    if (pair.size() != 2) throw std::runtime_error("bad histogram bucket");
+    h.buckets.emplace_back(static_cast<std::uint64_t>(pair[0].as_number()),
+                           static_cast<std::uint64_t>(pair[1].as_number()));
+  }
+  return h;
+}
+
+/// Finds `marker` in `key` at a component boundary (start of key or right
+/// after a '.'). On a match, `label` gets everything before the marker
+/// (with its trailing '.' stripped) and `rest` everything after it.
+bool split_at_marker(const std::string& key, const std::string& marker,
+                     std::string* label, std::string* rest) {
+  std::size_t pos = 0;
+  while ((pos = key.find(marker, pos)) != std::string::npos) {
+    if (pos == 0 || key[pos - 1] == '.') {
+      *label = pos == 0 ? std::string() : key.substr(0, pos - 1);
+      *rest = key.substr(pos + marker.size());
+      return true;
+    }
+    ++pos;
+  }
+  return false;
+}
+
+std::string show_label(const std::string& label) {
+  return label.empty() ? "(run)" : label;
+}
+
+std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_count(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+constexpr double kPsPerUs = 1e6;
+
+// ---- intermediate representation shared by the two renderers -------------
+
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> heat;  ///< optional per-row intensity in [0,1]
+};
+
+struct Section {
+  std::string title;
+  std::vector<std::string> notes;
+  std::vector<Table> tables;
+};
+
+const char* const kCauses[] = {"upgrade",          "invalidate", "downgrade",
+                               "writeback_forced", "directory",  "software",
+                               "unattributed"};
+
+Section coherence_tax_section(const StatsDump& d) {
+  Section sec;
+  sec.title = "Coherence tax by run";
+
+  // Labels come from the txn exports: one "<label>.txn.total_ps" each.
+  std::vector<std::string> labels;
+  for (const auto& [key, s] : d.samplers) {
+    std::string label, rest;
+    if (split_at_marker(key, "txn.", &label, &rest) && rest == "total_ps") {
+      labels.push_back(label);
+    }
+  }
+  if (labels.empty()) {
+    sec.notes.push_back(
+        "No per-transaction samplers in this dump (run with tracing "
+        "attached to get the coherence-tax breakdown).");
+    return sec;
+  }
+
+  Table t;
+  t.header = {"run", "txns", "total (us)", "coherence (us)", "tax (%)"};
+  for (const char* c : kCauses) t.header.push_back(c);
+
+  auto sampler_sum = [&d](const std::string& key) {
+    auto it = d.samplers.find(key);
+    return it == d.samplers.end() ? 0.0 : it->second.sum();
+  };
+
+  for (const std::string& label : labels) {
+    const std::string p = label.empty() ? "" : label + ".";
+    const double total = sampler_sum(p + "txn.total_ps");
+    const double coh = sampler_sum(p + "txn.seg.coherence_ps");
+    const auto count_it = d.counters.find(p + "txn.count");
+    const double txns =
+        count_it == d.counters.end() ? 0.0 : count_it->second;
+    std::vector<std::string> row = {
+        show_label(label), fmt_count(txns), fmt(total / kPsPerUs),
+        fmt(coh / kPsPerUs), fmt(total > 0 ? 100.0 * coh / total : 0.0)};
+    for (const char* c : kCauses) {
+      row.push_back(
+          fmt(sampler_sum(p + "txn.seg.coherence." + c + "_ps") / kPsPerUs));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  sec.tables.push_back(std::move(t));
+
+  // Region-vs-DSM pairing: "<X>.dsm" is the coherent-DSM comparator of "<X>".
+  for (const std::string& label : labels) {
+    if (label.size() <= 4 || label.substr(label.size() - 4) != ".dsm") {
+      continue;
+    }
+    const std::string base = label.substr(0, label.size() - 4);
+    if (std::find(labels.begin(), labels.end(), base) == labels.end()) {
+      continue;
+    }
+    const double base_total =
+        d.samplers.at(base + ".txn.total_ps").sum();
+    auto coh_of = [&](const std::string& l) {
+      auto it = d.samplers.find(l + ".txn.seg.coherence_ps");
+      return it == d.samplers.end() ? 0.0 : it->second.sum();
+    };
+    const double dsm_total = d.samplers.at(label + ".txn.total_ps").sum();
+    const double base_tax =
+        base_total > 0 ? 100.0 * coh_of(base) / base_total : 0.0;
+    const double dsm_tax =
+        dsm_total > 0 ? 100.0 * coh_of(label) / dsm_total : 0.0;
+    sec.notes.push_back("Region vs DSM (" + show_label(base) +
+                        "): coherence tax " + fmt(base_tax) +
+                        "% under memory regions vs " + fmt(dsm_tax) +
+                        "% under inter-node DSM.");
+  }
+  return sec;
+}
+
+Section protocol_events_section(const StatsDump& d) {
+  Section sec;
+  sec.title = "Protocol-event accounting";
+
+  // label -> domain -> event -> count, from "<label>.coh.<domain>.<event>".
+  std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+      by_label;
+  std::map<std::string, std::pair<double, double>> sharing;  // false, true
+  for (const auto& [key, v] : d.counters) {
+    std::string label, rest;
+    if (!split_at_marker(key, "coh.", &label, &rest)) continue;
+    if (rest == "false_sharing") {
+      sharing[label].first = v;
+    } else if (rest == "true_sharing") {
+      sharing[label].second = v;
+    } else {
+      const std::size_t dot = rest.find('.');
+      if (dot == std::string::npos) continue;
+      const std::string domain = rest.substr(0, dot);
+      const std::string event = rest.substr(dot + 1);
+      if ((domain == "intra" || domain == "inter") &&
+          event.find('.') == std::string::npos) {
+        by_label[label][domain][event] = v;
+      }
+    }
+  }
+  if (by_label.empty() && sharing.empty()) {
+    sec.notes.push_back(
+        "No profiler counters in this dump (enable with coh_profile=1).");
+    return sec;
+  }
+
+  Table t;
+  t.header = {"run",       "domain",           "events",      "probe",
+              "invalidate", "downgrade",       "writeback_forced",
+              "upgrade_miss"};
+  for (const auto& [label, domains] : by_label) {
+    for (const auto& [domain, events] : domains) {
+      auto get = [&events](const char* e) {
+        auto it = events.find(e);
+        return it == events.end() ? 0.0 : it->second;
+      };
+      t.rows.push_back({show_label(label), domain, fmt_count(get("events")),
+                        fmt_count(get("probe")), fmt_count(get("invalidate")),
+                        fmt_count(get("downgrade")),
+                        fmt_count(get("writeback_forced")),
+                        fmt_count(get("upgrade_miss"))});
+    }
+  }
+  sec.tables.push_back(std::move(t));
+
+  for (const auto& [label, fs] : sharing) {
+    sec.notes.push_back(show_label(label) + ": " + fmt_count(fs.first) +
+                        " false-sharing vs " + fmt_count(fs.second) +
+                        " true-sharing invalidations.");
+  }
+  return sec;
+}
+
+Section link_matrix_section(const StatsDump& d) {
+  Section sec;
+  sec.title = "Fabric link/VC utilization";
+
+  // "<label>.noc.link.<from>-<to>.vc<N>.<field>"
+  struct Cell {
+    double packets = 0, busy_ps = 0;
+  };
+  std::map<std::string, std::map<std::string, std::map<int, Cell>>> by_label;
+  int max_vc = -1;
+  for (const auto& [key, v] : d.counters) {
+    std::string label, rest;
+    if (!split_at_marker(key, "noc.link.", &label, &rest)) continue;
+    const std::size_t vc_pos = rest.find(".vc");
+    if (vc_pos == std::string::npos) continue;
+    const std::string link = rest.substr(0, vc_pos);
+    const std::size_t field_dot = rest.find('.', vc_pos + 3);
+    if (field_dot == std::string::npos) continue;
+    const int vc = std::atoi(rest.substr(vc_pos + 3, field_dot - vc_pos - 3).c_str());
+    const std::string field = rest.substr(field_dot + 1);
+    Cell& cell = by_label[label][link][vc];
+    if (field == "packets") cell.packets = v;
+    if (field == "busy_ps") cell.busy_ps = v;
+    max_vc = std::max(max_vc, vc);
+  }
+  if (by_label.empty()) {
+    sec.notes.push_back("No per-link fabric counters in this dump.");
+    return sec;
+  }
+
+  for (const auto& [label, links] : by_label) {
+    Table t;
+    t.header = {"link (" + show_label(label) + ")"};
+    for (int vc = 0; vc <= max_vc; ++vc) {
+      t.header.push_back("vc" + std::to_string(vc) + " pkts (busy us)");
+    }
+    for (const auto& [link, vcs] : links) {
+      std::vector<std::string> row = {link};
+      for (int vc = 0; vc <= max_vc; ++vc) {
+        auto it = vcs.find(vc);
+        if (it == vcs.end()) {
+          row.push_back("-");
+        } else {
+          row.push_back(fmt_count(it->second.packets) + " (" +
+                        fmt(it->second.busy_ps / kPsPerUs) + ")");
+        }
+      }
+      t.rows.push_back(std::move(row));
+    }
+    sec.tables.push_back(std::move(t));
+  }
+  return sec;
+}
+
+Section hot_pages_section(const StatsDump& d, std::size_t top_k) {
+  Section sec;
+  sec.title = "Coherence-hot pages";
+
+  // "<label>.coh.page.<page>.events" / ".false_sharing"
+  struct Page {
+    double events = 0, false_sharing = 0;
+  };
+  std::map<std::string, std::map<std::uint64_t, Page>> by_label;
+  for (const auto& [key, v] : d.counters) {
+    std::string label, rest;
+    if (!split_at_marker(key, "coh.page.", &label, &rest)) continue;
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string::npos) continue;
+    const std::uint64_t page = std::strtoull(rest.c_str(), nullptr, 10);
+    const std::string field = rest.substr(dot + 1);
+    if (field == "events") by_label[label][page].events = v;
+    if (field == "false_sharing") by_label[label][page].false_sharing = v;
+  }
+  if (by_label.empty()) {
+    sec.notes.push_back(
+        "No hot-page counters in this dump (enable with coh_profile=1).");
+    return sec;
+  }
+
+  for (const auto& [label, pages] : by_label) {
+    std::vector<std::pair<std::uint64_t, Page>> sorted(pages.begin(),
+                                                       pages.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      if (a.second.events != b.second.events) {
+        return a.second.events > b.second.events;
+      }
+      return a.first < b.first;
+    });
+    if (sorted.size() > top_k) sorted.resize(top_k);
+    const double peak = sorted.empty() ? 0.0 : sorted.front().second.events;
+
+    Table t;
+    t.header = {"page (" + show_label(label) + ")", "events", "false sharing",
+                "heat"};
+    for (const auto& [page, p] : sorted) {
+      const double heat = peak > 0 ? p.events / peak : 0.0;
+      const int bars = static_cast<int>(heat * 20.0 + 0.5);
+      t.rows.push_back({"0x" +
+                            [](std::uint64_t v) {
+                              char buf[32];
+                              std::snprintf(buf, sizeof buf, "%llx",
+                                            static_cast<unsigned long long>(v));
+                              return std::string(buf);
+                            }(page),
+                        fmt_count(p.events), fmt_count(p.false_sharing),
+                        std::string(static_cast<std::size_t>(bars), '#')});
+      t.heat.push_back(heat);
+    }
+    sec.tables.push_back(std::move(t));
+  }
+  return sec;
+}
+
+std::vector<Section> build_sections(const StatsDump& d,
+                                    const ReportOptions& opts) {
+  return {coherence_tax_section(d), protocol_events_section(d),
+          link_matrix_section(d), hot_pages_section(d, opts.top_pages)};
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsDump StatsDump::parse(const std::string& text) {
+  const json::Value top = json::parse(text);
+  // Accept both the bare StatRegistry::dump_json shape and the sweep
+  // per-run wrapper ({"bench":...,"stats":{"counters":...}}).
+  const json::Value* inner = top.find("stats");
+  const json::Value& doc =
+      inner != nullptr && inner->find("counters") != nullptr ? *inner : top;
+  StatsDump d;
+  for (const auto& [key, v] : doc.at("counters").as_object()) {
+    d.counters[key] = v.as_number();
+  }
+  for (const auto& [key, v] : doc.at("samplers").as_object()) {
+    d.samplers[key] = sampler_from(v);
+  }
+  for (const auto& [key, v] : doc.at("histograms").as_object()) {
+    d.histograms[key] = histogram_from(v);
+  }
+  return d;
+}
+
+StatsDump StatsDump::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) throw std::runtime_error("cannot read " + path);
+  try {
+    return parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::string render_markdown(const StatsDump& dump, const ReportOptions& opts) {
+  std::ostringstream out;
+  out << "# " << opts.title << "\n";
+  for (const Section& sec : build_sections(dump, opts)) {
+    out << "\n## " << sec.title << "\n";
+    for (const Table& t : sec.tables) {
+      out << "\n|";
+      for (const std::string& h : t.header) out << " " << h << " |";
+      out << "\n|";
+      for (std::size_t i = 0; i < t.header.size(); ++i) out << " --- |";
+      out << "\n";
+      for (const auto& row : t.rows) {
+        out << "|";
+        for (const std::string& cell : row) out << " " << cell << " |";
+        out << "\n";
+      }
+    }
+    for (const std::string& note : sec.notes) out << "\n" << note << "\n";
+  }
+  return out.str();
+}
+
+std::string render_html(const StatsDump& dump, const ReportOptions& opts) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+      << html_escape(opts.title) << "</title>\n<style>\n"
+      << "body{font-family:sans-serif;margin:2em;max-width:72em}\n"
+      << "table{border-collapse:collapse;margin:1em 0}\n"
+      << "th,td{border:1px solid #ccc;padding:0.3em 0.6em;"
+      << "text-align:right;font-variant-numeric:tabular-nums}\n"
+      << "th{background:#f0f0f0}\ntd:first-child,th:first-child"
+      << "{text-align:left}\n</style></head><body>\n<h1>"
+      << html_escape(opts.title) << "</h1>\n";
+  for (const Section& sec : build_sections(dump, opts)) {
+    out << "<h2>" << html_escape(sec.title) << "</h2>\n";
+    for (const Table& t : sec.tables) {
+      out << "<table><tr>";
+      for (const std::string& h : t.header) {
+        out << "<th>" << html_escape(h) << "</th>";
+      }
+      out << "</tr>\n";
+      for (std::size_t r = 0; r < t.rows.size(); ++r) {
+        out << "<tr";
+        if (r < t.heat.size()) {
+          // Heatmap: deeper red for hotter pages.
+          const int alpha = static_cast<int>(t.heat[r] * 80.0 + 0.5);
+          out << " style=\"background:rgba(220,60,40,0." << (alpha < 10 ? "0" : "")
+              << alpha << ")\"";
+        }
+        out << ">";
+        for (const std::string& cell : t.rows[r]) {
+          out << "<td>" << html_escape(cell) << "</td>";
+        }
+        out << "</tr>\n";
+      }
+      out << "</table>\n";
+    }
+    for (const std::string& note : sec.notes) {
+      out << "<p>" << html_escape(note) << "</p>\n";
+    }
+  }
+  out << "</body></html>\n";
+  return out.str();
+}
+
+namespace {
+
+bool is_coherence_key(const std::string& key) {
+  std::string label, rest;
+  return key.find("seg.coherence") != std::string::npos ||
+         key.find("coherence_probes") != std::string::npos ||
+         key.find("dsm") != std::string::npos ||
+         split_at_marker(key, "coh.", &label, &rest);
+}
+
+bool within_tolerance(double a, double b, const DiffOptions& opts) {
+  const double delta = std::fabs(b - a);
+  if (delta <= opts.abs_tol) return true;
+  return delta <= opts.rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+void diff_values(const std::string& key, const double* a, const double* b,
+                 const DiffOptions& opts, DiffResult* out) {
+  ++out->keys_compared;
+  if (a != nullptr && b != nullptr && *a == *b) return;
+  DiffEntry e;
+  e.key = key;
+  e.a = a != nullptr ? *a : 0;
+  e.b = b != nullptr ? *b : 0;
+  e.missing = a == nullptr || b == nullptr;
+  e.within = !e.missing && within_tolerance(*a, *b, opts);
+  e.coherence = is_coherence_key(key);
+  if (!e.within) {
+    ++out->out_of_tolerance;
+    if (e.coherence) ++out->coherence_out_of_tolerance;
+  }
+  out->entries.push_back(std::move(e));
+}
+
+/// Walks the union of two sorted maps, passing aligned value pointers.
+template <typename M, typename Fn>
+void walk_union(const M& a, const M& b, Fn&& fn) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      fn(ia->first, &ia->second, nullptr);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      fn(ib->first, nullptr, &ib->second);
+      ++ib;
+    } else {
+      fn(ia->first, &ia->second, &ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+}  // namespace
+
+DiffResult diff(const StatsDump& a, const StatsDump& b,
+                const DiffOptions& opts) {
+  DiffResult out;
+  walk_union(a.counters, b.counters,
+             [&](const std::string& key, const double* va, const double* vb) {
+               diff_values(key, va, vb, opts, &out);
+             });
+  walk_union(a.samplers, b.samplers,
+             [&](const std::string& key, const SamplerStats* sa,
+                 const SamplerStats* sb) {
+               const double ca = sa ? static_cast<double>(sa->count) : 0;
+               const double cb = sb ? static_cast<double>(sb->count) : 0;
+               diff_values(key + "#count", sa ? &ca : nullptr,
+                           sb ? &cb : nullptr, opts, &out);
+               const double ma = sa ? sa->mean : 0;
+               const double mb = sb ? sb->mean : 0;
+               diff_values(key + "#mean", sa ? &ma : nullptr,
+                           sb ? &mb : nullptr, opts, &out);
+             });
+  walk_union(a.histograms, b.histograms,
+             [&](const std::string& key, const HistogramStats* ha,
+                 const HistogramStats* hb) {
+               const double ca = ha ? static_cast<double>(ha->count) : 0;
+               const double cb = hb ? static_cast<double>(hb->count) : 0;
+               diff_values(key + "#count", ha ? &ca : nullptr,
+                           hb ? &cb : nullptr, opts, &out);
+             });
+  return out;
+}
+
+std::string render_diff_markdown(const DiffResult& d, const DiffOptions& opts,
+                                 const std::string& label_a,
+                                 const std::string& label_b) {
+  std::ostringstream out;
+  out << "# stats diff: " << label_a << " vs " << label_b << "\n\n"
+      << d.keys_compared << " keys compared, " << d.entries.size()
+      << " differ, " << d.out_of_tolerance << " out of tolerance ("
+      << d.coherence_out_of_tolerance << " coherence-tax metrics; rel_tol="
+      << opts.rel_tol << ", abs_tol=" << opts.abs_tol << ").\n";
+  if (d.entries.empty()) return out.str();
+  out << "\n| key | " << label_a << " | " << label_b
+      << " | delta | status |\n| --- | --- | --- | --- | --- |\n";
+  for (const DiffEntry& e : d.entries) {
+    out << "| " << e.key << (e.coherence ? " (coh)" : "") << " | "
+        << json_double(e.a) << " | " << json_double(e.b) << " | "
+        << json_double(e.b - e.a) << " | "
+        << (e.missing ? "MISSING" : e.within ? "within" : "OUT") << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace ms::sim::report

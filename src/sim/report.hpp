@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ms::sim::report {
+
+/// One sampler's summary as serialized by StatRegistry::dump_json.
+struct SamplerStats {
+  std::uint64_t count = 0;
+  double mean = 0, min = 0, max = 0, stddev = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  double sum() const { return mean * static_cast<double>(count); }
+};
+
+/// One histogram's summary (quantiles plus sparse buckets).
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  // lo, n
+};
+
+/// Parsed --stats-json dump. Strict: a truncated or structurally malformed
+/// dump throws std::runtime_error instead of yielding a partial view.
+struct StatsDump {
+  std::map<std::string, double> counters;
+  std::map<std::string, SamplerStats> samplers;
+  std::map<std::string, HistogramStats> histograms;
+
+  static StatsDump parse(const std::string& text);
+  static StatsDump load(const std::string& path);  ///< throws on I/O error too
+};
+
+struct ReportOptions {
+  std::string title = "memscale report";
+  std::size_t top_pages = 16;  ///< rows in the hot-page table/heatmap
+};
+
+/// Self-contained Markdown report: per-label coherence-tax table (labels
+/// whose twin `<label>.dsm` exists are paired as region-vs-DSM rows),
+/// cause-level coherence breakdown, protocol-event accounting, per-link/VC
+/// utilization matrix and coherence-hot page list.
+std::string render_markdown(const StatsDump& dump,
+                            const ReportOptions& opts = {});
+
+/// Same content as a single-file HTML page (inline CSS, hot-page heatmap
+/// colored by event count).
+std::string render_html(const StatsDump& dump, const ReportOptions& opts = {});
+
+struct DiffOptions {
+  double rel_tol = 0.0;  ///< |b-a| <= rel_tol * max(|a|,|b|) passes
+  double abs_tol = 0.0;  ///< ... or |b-a| <= abs_tol
+};
+
+struct DiffEntry {
+  std::string key;
+  double a = 0, b = 0;     ///< counter values or sampler means
+  bool missing = false;    ///< key present on only one side
+  bool within = false;
+  bool coherence = false;  ///< a coherence-tax metric (gates CI harder)
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  ///< only keys that differ
+  std::uint64_t keys_compared = 0;
+  std::uint64_t out_of_tolerance = 0;
+  std::uint64_t coherence_out_of_tolerance = 0;
+  bool ok() const { return out_of_tolerance == 0; }
+};
+
+/// Compares counters by value and samplers by count and mean. Keys present
+/// on only one side are out-of-tolerance. Metrics that measure the
+/// coherence tax (txn coherence segments and their causes, coherence_probes,
+/// "coh." profiler keys, dsm counters) are additionally flagged so the CI
+/// gate can fail on them specifically.
+DiffResult diff(const StatsDump& a, const StatsDump& b,
+                const DiffOptions& opts = {});
+
+/// Markdown rendering of a diff (the differing keys, both values, status).
+std::string render_diff_markdown(const DiffResult& d, const DiffOptions& opts,
+                                 const std::string& label_a,
+                                 const std::string& label_b);
+
+}  // namespace ms::sim::report

@@ -1,0 +1,155 @@
+#include "sim/sharing_profiler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ms::sim {
+
+namespace {
+
+std::uint64_t touch_mask(std::uint32_t offset, std::uint32_t bytes) {
+  // One bit per 8-byte chunk of a 64-byte line; wider lines saturate into
+  // the 64 tracked chunks (512 bytes), which is plenty for footprints.
+  const std::uint32_t first = offset / 8;
+  const std::uint32_t last = bytes == 0 ? first : (offset + bytes - 1) / 8;
+  std::uint64_t mask = 0;
+  for (std::uint32_t c = first; c <= last && c < 64; ++c) {
+    mask |= std::uint64_t{1} << c;
+  }
+  return mask;
+}
+
+std::uint64_t find_mask(
+    const std::vector<std::pair<int, std::uint64_t>>& touches, int who) {
+  for (const auto& [id, mask] : touches) {
+    if (id == who) return mask;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void SharingProfiler::record_event(CohDomain domain, CohEvent event,
+                                   std::uint64_t line, int requester) {
+  if (!enabled_) return;
+  ++counts_[static_cast<int>(domain)][static_cast<int>(event)];
+  ++domain_events_[static_cast<int>(domain)];
+  ++page_events_[line >> 12];
+  ++requester_events_[static_cast<int>(domain)][requester];
+}
+
+void SharingProfiler::record_invalidation(CohDomain domain, CohEvent event,
+                                          std::uint64_t line, int requester,
+                                          int victim) {
+  if (!enabled_) return;
+  record_event(domain, event, line, requester);
+  auto it = touch_.find(line);
+  if (it != touch_.end()) {
+    const std::uint64_t mine = find_mask(it->second, requester);
+    const std::uint64_t theirs = find_mask(it->second, victim);
+    if (mine != 0 && theirs != 0) {
+      if ((mine & theirs) == 0) {
+        ++false_sharing_;
+        ++false_sharing_pages_[line >> 12];
+      } else {
+        ++true_sharing_;
+      }
+    }
+    // The victim's copy is gone; its footprint restarts on the next touch.
+    auto& touches = it->second;
+    touches.erase(std::remove_if(touches.begin(), touches.end(),
+                                 [victim](const auto& t) {
+                                   return t.first == victim;
+                                 }),
+                  touches.end());
+    if (touches.empty()) touch_.erase(it);
+  }
+}
+
+void SharingProfiler::record_sharers(std::uint64_t line, int before,
+                                     int after) {
+  if (!enabled_) return;
+  (void)line;
+  sharers_.add(static_cast<std::uint64_t>(before < 0 ? 0 : before));
+  churn_.add(static_cast<std::uint64_t>(std::abs(before - after)));
+}
+
+void SharingProfiler::record_touch(std::uint64_t line, int requester,
+                                   std::uint32_t offset, std::uint32_t bytes) {
+  if (!enabled_) return;
+  auto& touches = touch_[line];
+  const std::uint64_t mask = touch_mask(offset, bytes);
+  for (auto& [id, m] : touches) {
+    if (id == requester) {
+      m |= mask;
+      return;
+    }
+  }
+  touches.emplace_back(requester, mask);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+SharingProfiler::top_pages(std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> all(
+      page_events_.begin(), page_events_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void SharingProfiler::export_stats(StatRegistry& reg,
+                                   const std::string& prefix,
+                                   std::size_t top_k) const {
+  if (!enabled_) return;
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : domain_events_) total += v;
+  if (total == 0) return;
+
+  for (int d = 0; d < kNumCohDomains; ++d) {
+    const std::string dp =
+        prefix + to_string(static_cast<CohDomain>(d)) + ".";
+    export_counter_nonzero(reg, dp + "events", domain_events_[d]);
+    for (int e = 0; e < kNumCohEvents; ++e) {
+      export_counter_nonzero(reg, dp + to_string(static_cast<CohEvent>(e)),
+                             counts_[d][e]);
+    }
+    // Per-requester attribution (sorted by the registry's key order).
+    for (const auto& [req, n] : requester_events_[d]) {
+      export_counter_nonzero(
+          reg, dp + "req." + std::to_string(req) + ".events", n);
+    }
+  }
+  export_counter_nonzero(reg, prefix + "false_sharing", false_sharing_);
+  export_counter_nonzero(reg, prefix + "true_sharing", true_sharing_);
+  if (sharers_.count() > 0) {
+    reg.histogram(prefix + "sharers_before") = sharers_;
+    reg.histogram(prefix + "sharer_churn") = churn_;
+  }
+  for (const auto& [page, n] : top_pages(top_k)) {
+    reg.counter(prefix + "page." + std::to_string(page) + ".events").inc(n);
+  }
+  for (const auto& [page, n] : false_sharing_pages_) {
+    export_counter_nonzero(
+        reg, prefix + "page." + std::to_string(page) + ".false_sharing", n);
+  }
+}
+
+void SharingProfiler::reset() {
+  for (auto& d : counts_) {
+    for (auto& e : d) e = 0;
+  }
+  for (auto& d : domain_events_) d = 0;
+  false_sharing_ = 0;
+  true_sharing_ = 0;
+  page_events_.clear();
+  false_sharing_pages_.clear();
+  for (auto& m : requester_events_) m.clear();
+  touch_.clear();
+  sharers_.reset();
+  churn_.reset();
+}
+
+}  // namespace ms::sim

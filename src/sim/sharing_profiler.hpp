@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace ms::sim {
+
+/// Protocol event classes the coherence layers report. Each event is
+/// attributed to the page it hit and the requester that triggered it.
+enum class CohEvent : std::uint8_t {
+  kProbe = 0,        ///< any coherence probe sent to a peer cache/node
+  kInvalidate,       ///< a peer's copy invalidated by a write miss
+  kDowngrade,        ///< a modified owner demoted by a read miss
+  kWritebackForced,  ///< dirty data forced out by a peer's request
+  kUpgradeMiss,      ///< write hit on a shared line (ownership upgrade)
+};
+inline constexpr int kNumCohEvents = 5;
+
+inline const char* to_string(CohEvent e) {
+  switch (e) {
+    case CohEvent::kProbe: return "probe";
+    case CohEvent::kInvalidate: return "invalidate";
+    case CohEvent::kDowngrade: return "downgrade";
+    case CohEvent::kWritebackForced: return "writeback_forced";
+    case CohEvent::kUpgradeMiss: return "upgrade_miss";
+  }
+  return "?";
+}
+
+/// Which coherency domain an event belongs to. The paper's claim is about
+/// the split: region mode keeps every event intra-node (one motherboard's
+/// MSI directory) no matter how much memory the node borrows, whereas the
+/// DSM baseline generates inter-node events that cross the fabric.
+enum class CohDomain : std::uint8_t { kIntra = 0, kInter };
+inline constexpr int kNumCohDomains = 2;
+
+inline const char* to_string(CohDomain d) {
+  return d == CohDomain::kIntra ? "intra" : "inter";
+}
+
+/// Sharing/coherence-tax profiler: counts and classifies every protocol
+/// event the coherence layers report (mem::CoherenceDirectory per node,
+/// dsm::DirectoryDsm for the inter-node baseline), with per-page and
+/// per-requester attribution, sharer-set churn histograms and a cache-line
+/// false-sharing detector.
+///
+/// Disabled by default — every record call is one branch when off, and
+/// export_stats emits nothing, so default configs keep byte-identical
+/// stats output. Enable with the `coh_profile=1` cluster config key.
+///
+/// False sharing is detected at line granularity from 8-byte sub-line
+/// touch footprints: each requester's touched chunks of a line are
+/// tracked (64-bit mask, one bit per 8-byte chunk), and an invalidation
+/// whose requester and victim footprints are disjoint is counted as false
+/// sharing — the two parties never touched the same bytes, so the
+/// coherence action was pure line-granularity collateral.
+class SharingProfiler {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// One protocol event on `line` triggered by `requester`. Requester ids
+  /// are caller-defined (the cluster uses node_index * cores + core for
+  /// intra events and node ids for inter events; the domains keep the two
+  /// id spaces apart).
+  void record_event(CohDomain domain, CohEvent event, std::uint64_t line,
+                    int requester);
+
+  /// An invalidation (or upgrade) of `victim`'s copy of `line` by
+  /// `requester`: records the event and classifies it as true or false
+  /// sharing from the two parties' touch footprints, then clears the
+  /// victim's footprint (its copy is gone).
+  void record_invalidation(CohDomain domain, CohEvent event,
+                           std::uint64_t line, int requester, int victim);
+
+  /// Sharer-set size transition on `line` (before/after one directory
+  /// action): feeds the sharer-count and churn histograms.
+  void record_sharers(std::uint64_t line, int before, int after);
+
+  /// One access touching `bytes` bytes at `offset` within `line` by
+  /// `requester` — the footprint the false-sharing detector compares.
+  void record_touch(std::uint64_t line, int requester, std::uint32_t offset,
+                    std::uint32_t bytes);
+
+  std::uint64_t events(CohDomain d) const {
+    return domain_events_[static_cast<int>(d)];
+  }
+  std::uint64_t events(CohDomain d, CohEvent e) const {
+    return counts_[static_cast<int>(d)][static_cast<int>(e)];
+  }
+  std::uint64_t false_sharing_invalidations() const { return false_sharing_; }
+  std::uint64_t true_sharing_invalidations() const { return true_sharing_; }
+  std::size_t distinct_lines() const { return touch_.size(); }
+
+  /// Top-K coherence-hot 4 KiB pages (page, event count), hottest first;
+  /// ties broken by ascending page so the output is deterministic (same
+  /// rule as HotPageProfiler::top).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top_pages(
+      std::size_t k) const;
+
+  /// Nonzero-only export under `prefix` ("coh." from the cluster):
+  /// per-domain/per-event counters, false/true-sharing counts, sharer and
+  /// churn histograms, per-requester event counts and the top-K hot pages.
+  /// Emits nothing when disabled or when no event was recorded.
+  void export_stats(StatRegistry& reg, const std::string& prefix,
+                    std::size_t top_k = 16) const;
+
+  void reset();
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t counts_[kNumCohDomains][kNumCohEvents] = {};
+  std::uint64_t domain_events_[kNumCohDomains] = {};
+  std::uint64_t false_sharing_ = 0;
+  std::uint64_t true_sharing_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> page_events_;
+  std::unordered_map<std::uint64_t, std::uint64_t> false_sharing_pages_;
+  // Per domain: requester ids live in different id spaces (intra = global
+  // core index, inter = node id), so they must not share one map.
+  std::unordered_map<int, std::uint64_t> requester_events_[kNumCohDomains];
+  // line -> per-requester 8-byte-chunk touch masks (small vectors: a line
+  // rarely has more than a handful of concurrent sharers).
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<int, std::uint64_t>>>
+      touch_;
+  Histogram sharers_;  ///< sharer count before each recorded transition
+  Histogram churn_;    ///< |sharer delta| per transition
+};
+
+}  // namespace ms::sim

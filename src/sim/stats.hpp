@@ -169,4 +169,19 @@ class StatRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// The nonzero-only export convention (ARCHITECTURE.md §7): optional or
+/// off-by-default instruments emit a key only when they actually recorded
+/// something, so configurations that never exercise them keep
+/// byte-identical stats output. Every component's export_stats goes
+/// through these helpers instead of hand-rolled `if (x > 0)` copies.
+inline void export_counter_nonzero(StatRegistry& reg, const std::string& name,
+                                   std::uint64_t value) {
+  if (value > 0) reg.counter(name).inc(value);
+}
+
+inline void export_sampler_nonzero(StatRegistry& reg, const std::string& name,
+                                   const Sampler& s) {
+  if (s.count() > 0) reg.sampler(name) = s;
+}
+
 }  // namespace ms::sim

@@ -50,6 +50,15 @@ Segment segment_from(const std::string& s) {
   throw std::runtime_error("trace analysis: unknown segment \"" + s + "\"");
 }
 
+CohCause cause_from(const std::string& s) {
+  for (int i = 0; i < kNumCohCauses; ++i) {
+    const auto cause = static_cast<CohCause>(i);
+    if (s == to_string(cause)) return cause;
+  }
+  throw std::runtime_error("trace analysis: unknown coherence cause \"" + s +
+                           "\"");
+}
+
 // "router.3 #2" -> "router.3": strips the overflow-lane suffix the Chrome
 // exporter appends so all lanes of one component aggregate together.
 std::string strip_lane(std::string label) {
@@ -104,8 +113,24 @@ TraceAnalysis TraceAnalysis::load_chrome(std::istream& in) {
   // Per-lane stack of open spans: B pushes, E pops its innermost.
   std::unordered_map<std::uint64_t, std::vector<AnalyzedSpan>> open;
 
+  // Structural validation: the exporter always writes the
+  // {"...","traceEvents":[ header first and a final "]}" line. A stream
+  // missing either is not a complete trace (wrong file, or a run that was
+  // killed mid-write) and must fail loudly, not yield a partial report.
+  bool saw_header = false;
+  bool saw_trailer = false;
+
   std::string line;
   while (std::getline(in, line)) {
+    if (!saw_header) {
+      if (line.find("\"traceEvents\"") == std::string::npos) {
+        throw std::runtime_error(
+            "trace analysis: not a chrome trace (missing traceEvents "
+            "header)");
+      }
+      saw_header = true;
+    }
+    if (line == "]}") saw_trailer = true;
     std::string ph;
     if (!field_str(line, "ph", ph)) continue;
     if (ph == "M") {
@@ -155,6 +180,8 @@ TraceAnalysis TraceAnalysis::load_chrome(std::istream& in) {
       field_u64(line, "parent", s.parent);
       std::string seg;
       if (field_str(line, "seg", seg)) s.segment = segment_from(seg);
+      std::string cause;
+      if (field_str(line, "cause", cause)) s.cause = cause_from(cause);
       open[key].push_back(std::move(s));
     } else {
       auto& stack = open[key];
@@ -171,6 +198,10 @@ TraceAnalysis TraceAnalysis::load_chrome(std::istream& in) {
     if (!stack.empty()) {
       throw std::runtime_error("trace analysis: unclosed span in trace");
     }
+  }
+  if (!saw_header || !saw_trailer) {
+    throw std::runtime_error(
+        "trace analysis: truncated chrome trace (missing closing \"]}\")");
   }
   return out;
 }
@@ -213,7 +244,13 @@ TraceAnalysis TraceAnalysis::load_flight(std::istream& in) {
     }
     s.track = table[track_id];
     s.name = table[name_id];
-    s.segment = static_cast<Segment>(flags & 0xff);
+    const std::uint32_t seg = flags & 0xff;
+    const std::uint32_t cause = (flags >> 16) & 0xff;
+    if (seg >= kNumSegments || cause >= kNumCohCauses) {
+      throw std::runtime_error("trace analysis: corrupt flight record flags");
+    }
+    s.segment = static_cast<Segment>(seg);
+    s.cause = static_cast<CohCause>(cause);
     out.spans_.push_back(std::move(s));
   }
   return out;
@@ -238,6 +275,9 @@ std::vector<TxnSummary> TraceAnalysis::transactions() const {
     auto it = txns.find(s.txn);
     if (it == txns.end()) continue;  // root fell out of the flight ring
     it->second.seg[static_cast<int>(s.segment)] += s.end - s.begin;
+    if (s.segment == Segment::kCoherence) {
+      it->second.coh[static_cast<int>(s.cause)] += s.end - s.begin;
+    }
     ++it->second.spans;
   }
   std::vector<TxnSummary> out;
@@ -285,6 +325,15 @@ std::array<Time, kNumSegments> TraceAnalysis::segment_totals() const {
   std::array<Time, kNumSegments> totals{};
   for (const TxnSummary& t : transactions()) {
     for (int i = 0; i < kNumSegments; ++i) totals[i] += t.seg[i];
+  }
+  return totals;
+}
+
+std::array<Time, kNumCohCauses> TraceAnalysis::coherence_cause_totals()
+    const {
+  std::array<Time, kNumCohCauses> totals{};
+  for (const TxnSummary& t : transactions()) {
+    for (int i = 0; i < kNumCohCauses; ++i) totals[i] += t.coh[i];
   }
   return totals;
 }

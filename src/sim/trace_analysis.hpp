@@ -27,6 +27,7 @@ struct AnalyzedSpan {
   std::uint64_t txn = 0;     ///< 0 = span not part of a traced transaction
   std::uint64_t parent = 0;  ///< parent span uid (0 = root / untraced)
   Segment segment = Segment::kNone;
+  CohCause cause = CohCause::kUnattributed;  ///< kCoherence spans only
   std::string track;  ///< component lane, " #N" overflow suffix stripped
   std::string name;
 };
@@ -40,6 +41,8 @@ struct TxnSummary {
   Time end = 0;
   Time total = 0;  ///< == end - begin of the root span
   std::array<Time, kNumSegments> seg{};  ///< sums exactly to `total`
+  /// Per-cause decomposition of seg[kCoherence]; sums exactly to it.
+  std::array<Time, kNumCohCauses> coh{};
   int spans = 0;  ///< tagged leaf spans attributed to this transaction
 };
 
@@ -73,6 +76,10 @@ class TraceAnalysis {
 
   /// Cross-transaction segment totals, indexed by Segment.
   std::array<Time, kNumSegments> segment_totals() const;
+
+  /// Cross-transaction coherence-cause totals, indexed by CohCause; their
+  /// sum equals segment_totals()[kCoherence] exactly.
+  std::array<Time, kNumCohCauses> coherence_cause_totals() const;
 
  private:
   std::vector<AnalyzedSpan> spans_;

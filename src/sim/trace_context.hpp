@@ -38,6 +38,36 @@ enum class Segment : std::uint8_t {
 
 inline constexpr int kNumSegments = 10;
 
+/// Cause classes for Segment::kCoherence leaf spans. Every coherence span
+/// carries exactly one cause, so the per-cause times of a transaction sum
+/// exactly (integer ps) to its kCoherence segment — the coherence tax can
+/// be attributed without breaking the segment-sum invariant. kUnattributed
+/// is the default for coherence spans recorded without a cause.
+enum class CohCause : std::uint8_t {
+  kUnattributed = 0,   ///< coherence time with no specific protocol cause
+  kUpgrade,            ///< write hit on a shared line: upgrade invalidations
+  kInvalidate,         ///< write miss: invalidating the other sharers
+  kDowngrade,          ///< read miss: demoting a modified owner
+  kWritebackForced,    ///< dirty data forced out by a peer's request
+  kDirectory,          ///< inter-node DSM home-directory lookup/update
+  kSoftware,           ///< software DSM layer overhead per protocol action
+};
+
+inline constexpr int kNumCohCauses = 7;
+
+inline const char* to_string(CohCause c) {
+  switch (c) {
+    case CohCause::kUnattributed: return "unattributed";
+    case CohCause::kUpgrade: return "upgrade";
+    case CohCause::kInvalidate: return "invalidate";
+    case CohCause::kDowngrade: return "downgrade";
+    case CohCause::kWritebackForced: return "writeback_forced";
+    case CohCause::kDirectory: return "directory";
+    case CohCause::kSoftware: return "software";
+  }
+  return "?";
+}
+
 inline const char* to_string(Segment s) {
   switch (s) {
     case Segment::kNone: return "none";

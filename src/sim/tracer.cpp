@@ -28,7 +28,8 @@ std::uint32_t Tracer::track_id(std::string_view name) {
 
 Tracer::SpanId Tracer::begin_span(std::string_view track,
                                   std::string_view name, Time t,
-                                  TraceContext ctx, Segment seg, bool root) {
+                                  TraceContext ctx, Segment seg, bool root,
+                                  CohCause cause) {
   SpanId id;
   if (flight_capacity_ != 0 && !free_slots_.empty()) {
     id = free_slots_.back();
@@ -47,6 +48,9 @@ Tracer::SpanId Tracer::begin_span(std::string_view track,
   s.txn = ctx.txn;
   s.parent = ctx.span;
   s.segment = seg;
+  // Causes only make sense on coherence leaves; normalize so the exports
+  // never carry a stray cause on other segments.
+  s.cause = seg == Segment::kCoherence ? cause : CohCause::kUnattributed;
   s.root = root;
   s.name = std::string(name);
   ++open_;
@@ -60,7 +64,8 @@ void Tracer::finalize_txn(const Span& root, Time t) {
   b.total = std::max(root.begin, t) - root.begin;
   auto it = open_txns_.find(root.txn);
   if (it != open_txns_.end()) {
-    b.seg = it->second;
+    b.seg = it->second.seg;
+    b.coh = it->second.coh;
     open_txns_.erase(it);
   }
   Time accounted = 0;
@@ -82,6 +87,12 @@ void Tracer::finalize_txn(const Span& root, Time t) {
           b.seg[static_cast<std::size_t>(i)]);
     }
   }
+  for (int i = 0; i < kNumCohCauses; ++i) {
+    if (b.coh[static_cast<std::size_t>(i)] != 0) {
+      txn_coh_[static_cast<std::size_t>(i)].add_time(
+          b.coh[static_cast<std::size_t>(i)]);
+    }
+  }
 }
 
 void Tracer::end_span(SpanId id, Time t) {
@@ -95,8 +106,11 @@ void Tracer::end_span(SpanId id, Time t) {
     if (s.root) {
       finalize_txn(s, t);
     } else if (s.segment != Segment::kNone) {
-      open_txns_[s.txn][static_cast<std::size_t>(s.segment)] +=
-          s.end - s.begin;
+      OpenTxn& open_txn = open_txns_[s.txn];
+      open_txn.seg[static_cast<std::size_t>(s.segment)] += s.end - s.begin;
+      if (s.segment == Segment::kCoherence) {
+        open_txn.coh[static_cast<std::size_t>(s.cause)] += s.end - s.begin;
+      }
     }
   }
   if (flight_capacity_ != 0) {
@@ -108,7 +122,8 @@ void Tracer::end_span(SpanId id, Time t) {
                      flight_intern(tracks_[s.track].name),
                      flight_intern(s.name),
                      static_cast<std::uint8_t>(s.segment),
-                     static_cast<std::uint8_t>(s.root ? 1 : 0)};
+                     static_cast<std::uint8_t>(s.root ? 1 : 0),
+                     static_cast<std::uint8_t>(s.cause)};
     if (flight_ring_.size() < flight_capacity_) {
       flight_ring_.push_back(rec);
     } else {
@@ -145,12 +160,19 @@ void Tracer::export_txn_stats(StatRegistry& reg,
     reg.sampler(prefix + "seg." + to_string(static_cast<Segment>(i)) +
                 "_ps") = s;
   }
+  for (int i = 0; i < kNumCohCauses; ++i) {
+    export_sampler_nonzero(reg,
+                           prefix + "seg.coherence." +
+                               to_string(static_cast<CohCause>(i)) + "_ps",
+                           txn_coh_[static_cast<std::size_t>(i)]);
+  }
 }
 
 void Tracer::reset_txn_stats() {
   txns_finalized_ = 0;
   txn_total_.reset();
   for (auto& s : txn_seg_) s.reset();
+  for (auto& s : txn_coh_) s.reset();
 }
 
 std::vector<Tracer::SpanView> Tracer::span_views() const {
@@ -158,7 +180,7 @@ std::vector<Tracer::SpanView> Tracer::span_views() const {
   out.reserve(spans_.size());
   for (const Span& s : spans_) {
     out.push_back(SpanView{s.begin, s.end, s.uid, s.txn, s.parent, s.segment,
-                           s.root, s.closed, &tracks_[s.track].name,
+                           s.cause, s.root, s.closed, &tracks_[s.track].name,
                            &s.name});
   }
   return out;
@@ -224,8 +246,12 @@ void Tracer::export_flight(std::ostream& out) const {
     put_u64(out, r.parent);
     put_u32(out, r.track_name);
     put_u32(out, r.name);
+    // Format stays version 1: bits 16-23 were always written as zero
+    // before causes existed, so old readers mask them off harmlessly and
+    // new readers decode old dumps as kUnattributed.
     put_u32(out, static_cast<std::uint32_t>(r.segment) |
-                     (static_cast<std::uint32_t>(r.root) << 8));
+                     (static_cast<std::uint32_t>(r.root) << 8) |
+                     (static_cast<std::uint32_t>(r.cause) << 16));
   }
 }
 
@@ -271,6 +297,7 @@ struct ExportSpan {
   std::uint64_t txn;
   std::uint64_t parent;
   Segment segment;
+  CohCause cause;
 };
 
 // Where a span slice landed in the export, for flow-event binding.
@@ -316,7 +343,7 @@ void Tracer::export_chrome(std::ostream& out) const {
   for (const Span& s : spans_) {
     by_track[s.track].push_back(ExportSpan{
         s.begin, s.closed ? s.end : std::max(s.begin, last_time_), s.seq,
-        &s.name, s.uid, s.txn, s.parent, s.segment});
+        &s.name, s.uid, s.txn, s.parent, s.segment, s.cause});
   }
 
   // Transaction spans remember their lane so flow events can bind to the
@@ -373,7 +400,11 @@ void Tracer::export_chrome(std::ostream& out) const {
         if (ph == 'B' && s->txn != 0) {
           out << ",\"args\":{\"txn\":" << s->txn << ",\"uid\":" << s->uid
               << ",\"parent\":" << s->parent << ",\"seg\":\""
-              << to_string(s->segment) << "\"}";
+              << to_string(s->segment) << "\"";
+          if (s->segment == Segment::kCoherence) {
+            out << ",\"cause\":\"" << to_string(s->cause) << "\"";
+          }
+          out << "}";
         }
         out << "}";
       };

@@ -61,9 +61,13 @@ class Tracer {
   /// Causal variant: the span joins `ctx.txn` as a child of span uid
   /// `ctx.span`; `seg` tags leaf spans for the latency decomposition
   /// (Segment::kNone = container). `root` marks the transaction's root span
-  /// (minted by TxnScope); closing it finalizes the decomposition.
+  /// (minted by TxnScope); closing it finalizes the decomposition. `cause`
+  /// sub-classifies kCoherence leaf spans (ignored for other segments), so
+  /// the coherence segment decomposes by protocol cause with the same
+  /// exact-sum guarantee.
   SpanId begin_span(std::string_view track, std::string_view name, Time t,
-                    TraceContext ctx, Segment seg, bool root = false);
+                    TraceContext ctx, Segment seg, bool root = false,
+                    CohCause cause = CohCause::kUnattributed);
   void end_span(SpanId id, Time t);
   void instant(std::string_view track, std::string_view name, Time t);
   void counter(std::string_view track, std::string_view name, Time t,
@@ -93,15 +97,19 @@ class Tracer {
     std::uint64_t txn = 0;
     Time total = 0;
     std::array<Time, kNumSegments> seg{};  ///< indexed by Segment; sums to total
+    /// Indexed by CohCause; sums exactly to seg[kCoherence] (every
+    /// coherence leaf span carries exactly one cause).
+    std::array<Time, kNumCohCauses> coh{};
   };
   /// The most recently finalized transaction (txn == 0 when none yet).
   const TxnBreakdown& last_txn() const { return last_txn_; }
   std::uint64_t txns_finalized() const { return txns_finalized_; }
   std::uint64_t txns_minted() const { return next_txn_ - 1; }
 
-  /// Aggregated per-transaction stats: "<prefix>count", "<prefix>total_ps"
-  /// and "<prefix>seg.<name>_ps" samplers (segments that never occurred are
-  /// omitted). No-op when no transaction finalized.
+  /// Aggregated per-transaction stats: "<prefix>count", "<prefix>total_ps",
+  /// "<prefix>seg.<name>_ps" samplers (segments that never occurred are
+  /// omitted) and "<prefix>seg.coherence.<cause>_ps" cause sub-segments of
+  /// the coherence segment. No-op when no transaction finalized.
   void export_txn_stats(StatRegistry& reg, const std::string& prefix) const;
   void reset_txn_stats();
 
@@ -138,6 +146,7 @@ class Tracer {
     std::uint64_t txn = 0;
     std::uint64_t parent = 0;
     Segment segment = Segment::kNone;
+    CohCause cause = CohCause::kUnattributed;
     bool root = false;
     bool closed = false;
     const std::string* track = nullptr;
@@ -156,6 +165,7 @@ class Tracer {
     bool closed = false;
     bool root = false;
     Segment segment = Segment::kNone;
+    CohCause cause = CohCause::kUnattributed;
     std::uint64_t uid = 0;
     std::uint64_t txn = 0;
     std::uint64_t parent = 0;
@@ -186,6 +196,7 @@ class Tracer {
     std::uint32_t name;        ///< id in the flight string table
     std::uint8_t segment;
     std::uint8_t root;
+    std::uint8_t cause;  ///< CohCause; bits 16-23 of the flags word
   };
 
   std::uint32_t track_id(std::string_view name);
@@ -206,11 +217,16 @@ class Tracer {
   std::uint64_t next_txn_ = 1;
   std::uint64_t mint_counter_ = 0;
   std::uint64_t sample_interval_ = 1;
-  std::unordered_map<std::uint64_t, std::array<Time, kNumSegments>> open_txns_;
+  struct OpenTxn {
+    std::array<Time, kNumSegments> seg{};
+    std::array<Time, kNumCohCauses> coh{};
+  };
+  std::unordered_map<std::uint64_t, OpenTxn> open_txns_;
   TxnBreakdown last_txn_;
   std::uint64_t txns_finalized_ = 0;
   Sampler txn_total_;
   std::array<Sampler, kNumSegments> txn_seg_;
+  std::array<Sampler, kNumCohCauses> txn_coh_;
 
   // Flight recorder.
   std::size_t flight_capacity_ = 0;
@@ -257,12 +273,14 @@ class ScopedSpan {
 class SegmentSpan {
  public:
   SegmentSpan(Engine& engine, TraceContext ctx, std::string_view track,
-              std::string_view name, Segment seg)
+              std::string_view name, Segment seg,
+              CohCause cause = CohCause::kUnattributed)
       : engine_(&engine) {
     if (ctx) {
       tracer_ = engine.tracer();
       if (tracer_ != nullptr) {
-        id_ = tracer_->begin_span(track, name, engine.now(), ctx, seg);
+        id_ = tracer_->begin_span(track, name, engine.now(), ctx, seg,
+                                  /*root=*/false, cause);
       }
     }
   }
@@ -288,6 +306,23 @@ inline void record_wait(Engine& engine, std::string_view track,
   auto* tr = engine.tracer();
   if (tr == nullptr || engine.now() == since) return;
   tr->end_span(tr->begin_span(track, name, since, ctx, seg), engine.now());
+}
+
+/// Retroactive cause-tagged coherence sub-span over [begin, end): used by
+/// instrumentation sites that pay one combined coherence delay but know,
+/// after the fact, how it decomposes by protocol cause. Recording with
+/// computed timestamps instead of splitting the delay keeps event
+/// scheduling (and therefore every timing golden) untouched. Records only
+/// when the transaction is traced and the interval is nonempty.
+inline void record_coh_cause(Engine& engine, std::string_view track,
+                             TraceContext ctx, CohCause cause, Time begin,
+                             Time end) {
+  if (!ctx || begin >= end) return;
+  auto* tr = engine.tracer();
+  if (tr == nullptr) return;
+  tr->end_span(tr->begin_span(track, to_string(cause), begin, ctx,
+                              Segment::kCoherence, /*root=*/false, cause),
+               end);
 }
 
 /// Mints one transaction and owns its root span. Constructed at the

@@ -292,12 +292,11 @@ void SwapManager::export_stats(sim::StatRegistry& reg,
   reg.counter(prefix + "major_faults").inc(major_faults());
   reg.counter(prefix + "evictions").inc(evictions());
   reg.counter(prefix + "dirty_writebacks").inc(dirty_writebacks());
-  if (fault_timeouts() > 0) {
-    // Watchdog is off by default; emit only when it fired so configs that
-    // never arm it keep byte-identical stats output (same convention as
-    // noc stall_timeouts and rmc request_timeouts).
-    reg.counter(prefix + "fault_timeouts").inc(fault_timeouts());
-  }
+  // Watchdog is off by default; nonzero-only so configs that never arm it
+  // keep byte-identical stats output (ARCHITECTURE.md, stats export
+  // convention).
+  sim::export_counter_nonzero(reg, prefix + "fault_timeouts",
+                              fault_timeouts());
 }
 
 }  // namespace ms::swap

@@ -389,6 +389,9 @@ CellOutput ablation_coherency_kernel(const sim::Config& cfg,
           return cluster.node(home).serve_remote(addr, bytes, write, ctx);
         },
         dsm::DirectoryDsm::Params{.num_nodes = cluster.num_nodes()});
+    // Inter-node events land in the same profiler as the cluster's
+    // intra-node ones, so a coh_profile run shows the tax split by domain.
+    dsm.set_profiler(&cluster.sharing());
 
     core::Runner run(engine);
     for (int n = 0; n < nodes; ++n) {

@@ -1,0 +1,458 @@
+// Observability tests: the strict JSON parser, the memscale_report library
+// (stats-dump parsing, Markdown/HTML rendering, tolerance diffing), the
+// sharing/coherence profiler with its false-sharing detector, the per-cause
+// coherence sub-segments round-tripping through both trace analyzers, and
+// hot-page top-K tie-break determinism across runs and job counts.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/memory_space.hpp"
+#include "core/runner.hpp"
+#include "dsm/directory_dsm.hpp"
+#include "sim/json.hpp"
+#include "sim/report.hpp"
+#include "sim/sharing_profiler.hpp"
+#include "sim/timeseries.hpp"
+#include "sim/trace_analysis.hpp"
+#include "sim/tracer.hpp"
+#include "sweep/sweep.hpp"
+#include "test_util.hpp"
+
+namespace ms {
+namespace {
+
+using core::Cluster;
+using core::MemorySpace;
+using core::ThreadCtx;
+using core::VAddr;
+
+// ---------------------------------------------------------------------------
+// Strict JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsContainersAndEscapes) {
+  const auto v = sim::json::parse(
+      R"({"a":1.5,"b":[1,2,3],"c":{"x":"he\"llo","y":true,"z":null},"d":-2e3})");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.5);
+  ASSERT_EQ(v.at("b").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("b").as_array()[2].as_number(), 3.0);
+  EXPECT_EQ(v.at("c").at("x").as_string(), "he\"llo");
+  EXPECT_TRUE(v.at("c").at("y").as_bool());
+  EXPECT_TRUE(v.at("c").at("z").is_null());
+  EXPECT_DOUBLE_EQ(v.at("d").as_number(), -2000.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(Json, ThrowsOnTruncatedAndMalformedInput) {
+  EXPECT_THROW(sim::json::parse("{\"a\":1"), std::runtime_error);
+  EXPECT_THROW(sim::json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(sim::json::parse("[1,2,"), std::runtime_error);
+  EXPECT_THROW(sim::json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(sim::json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(sim::json::parse(""), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// StatsDump: parse what StatRegistry::dump_json writes
+// ---------------------------------------------------------------------------
+
+TEST(StatsDump, RoundTripsRegistryDump) {
+  sim::StatRegistry reg;
+  reg.counter("runs").inc(7);
+  auto& s = reg.sampler("lat_ps");
+  s.add(100);
+  s.add(300);
+  reg.histogram("depth").add(4);
+  std::ostringstream out;
+  reg.dump_json(out);
+
+  const auto dump = sim::report::StatsDump::parse(out.str());
+  EXPECT_DOUBLE_EQ(dump.counters.at("runs"), 7.0);
+  EXPECT_EQ(dump.samplers.at("lat_ps").count, 2u);
+  EXPECT_DOUBLE_EQ(dump.samplers.at("lat_ps").mean, 200.0);
+  EXPECT_EQ(dump.histograms.at("depth").count, 1u);
+
+  // A truncated dump (half the bytes) must throw, not parse partially.
+  const std::string text = out.str();
+  EXPECT_THROW(sim::report::StatsDump::parse(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// SharingProfiler
+// ---------------------------------------------------------------------------
+
+TEST(SharingProfiler, DisabledRecordsNothingAndExportsNothing) {
+  sim::SharingProfiler p;
+  p.record_event(sim::CohDomain::kIntra, sim::CohEvent::kProbe, 0x1000, 0);
+  p.record_touch(0x1000, 0, 0, 8);
+  p.record_invalidation(sim::CohDomain::kIntra, sim::CohEvent::kInvalidate,
+                        0x1000, 0, 1);
+  EXPECT_EQ(p.events(sim::CohDomain::kIntra), 0u);
+  EXPECT_EQ(p.distinct_lines(), 0u);
+
+  sim::StatRegistry reg;
+  std::ostringstream a, b;
+  reg.dump_json(a);
+  p.export_stats(reg, "coh.");
+  reg.dump_json(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical with the profiler off
+}
+
+TEST(SharingProfiler, ClassifiesFalseVsTrueSharingByTouchFootprint) {
+  sim::SharingProfiler p;
+  p.enable();
+  // Core 0 touches bytes [0,8), core 1 touches bytes [8,16) of one line:
+  // disjoint footprints, so an invalidation between them is false sharing.
+  p.record_touch(0x40, /*requester=*/0, /*offset=*/0, /*bytes=*/8);
+  p.record_touch(0x40, /*requester=*/1, /*offset=*/8, /*bytes=*/8);
+  p.record_invalidation(sim::CohDomain::kIntra, sim::CohEvent::kInvalidate,
+                        0x40, /*requester=*/0, /*victim=*/1);
+  EXPECT_EQ(p.false_sharing_invalidations(), 1u);
+  EXPECT_EQ(p.true_sharing_invalidations(), 0u);
+
+  // Overlapping footprints on another line: true sharing.
+  p.record_touch(0x80, 0, 0, 8);
+  p.record_touch(0x80, 1, 0, 16);
+  p.record_invalidation(sim::CohDomain::kIntra, sim::CohEvent::kInvalidate,
+                        0x80, 0, 1);
+  EXPECT_EQ(p.false_sharing_invalidations(), 1u);
+  EXPECT_EQ(p.true_sharing_invalidations(), 1u);
+
+  // The victim's footprint was cleared: a repeat invalidation of the same
+  // victim has nothing to compare against and classifies as neither.
+  p.record_invalidation(sim::CohDomain::kIntra, sim::CohEvent::kInvalidate,
+                        0x80, 0, 1);
+  EXPECT_EQ(p.false_sharing_invalidations(), 1u);
+  EXPECT_EQ(p.true_sharing_invalidations(), 1u);
+}
+
+TEST(SharingProfiler, TopPagesBreaksTiesByAscendingPage) {
+  sim::SharingProfiler p;
+  p.enable();
+  // Equal event counts on pages 9, 3 and 5 (recorded in that order).
+  for (std::uint64_t page : {9, 3, 5}) {
+    p.record_event(sim::CohDomain::kIntra, sim::CohEvent::kProbe, page << 12,
+                   0);
+  }
+  const auto top = p.top_pages(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 3u);
+  EXPECT_EQ(top[1].first, 5u);
+  EXPECT_EQ(top[2].first, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster wiring: region mode keeps every event intra-node; the DSM
+// baseline produces inter-node events (the paper's split, per-domain).
+// ---------------------------------------------------------------------------
+
+sim::Task<void> shared_line_writers(MemorySpace& space) {
+  ThreadCtx t0{.core = 0};
+  ThreadCtx t1{.core = 1};
+  const VAddr base = co_await space.map_range(1 << 16);
+  for (int round = 0; round < 32; ++round) {
+    for (int w = 0; w < 8; ++w) {
+      const VAddr va = base + static_cast<VAddr>(w) * 8;
+      co_await space.write_u64(t0, va, 1);
+      co_await space.write_u64(t1, va + 8, 2);  // same lines, distinct words
+    }
+  }
+  co_await space.sync(t0);
+  co_await space.sync(t1);
+}
+
+TEST(CoherenceAttribution, RegionModeReportsZeroInterNodeTax) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.coh_profile = true;
+  Cluster cluster(engine, cfg);
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+
+  const auto& prof = cluster.sharing();
+  EXPECT_GT(prof.events(sim::CohDomain::kIntra), 0u);
+  EXPECT_EQ(prof.events(sim::CohDomain::kInter), 0u);
+  EXPECT_GT(prof.false_sharing_invalidations() +
+                prof.true_sharing_invalidations(),
+            0u);
+
+  sim::StatRegistry reg;
+  cluster.export_stats(reg);
+  EXPECT_GT(reg.counter_value("coh.intra.events"), 0u);
+  EXPECT_EQ(reg.counter_value("coh.inter.events"), 0u);
+}
+
+TEST(CoherenceAttribution, DsmBaselineReportsInterNodeTax) {
+  sim::Engine engine;
+  auto cfg = test::small_config();
+  cfg.coh_profile = true;
+  Cluster cluster(engine, cfg);
+  dsm::DirectoryDsm dsm(
+      engine, cluster.fabric(),
+      [&cluster](ht::NodeId home, ht::PAddr addr, std::uint32_t bytes,
+                 bool write, sim::TraceContext ctx) {
+        return cluster.node(home).serve_remote(addr, bytes, write, ctx);
+      },
+      dsm::DirectoryDsm::Params{.num_nodes = cluster.num_nodes()});
+  dsm.set_profiler(&cluster.sharing());
+
+  core::Runner run(engine);
+  for (int n = 0; n < 2; ++n) {
+    run.spawn([](dsm::DirectoryDsm& d, ht::NodeId self) -> sim::Task<void> {
+      for (int i = 0; i < 64; ++i) {
+        co_await d.access(self, static_cast<ht::PAddr>(i % 8) * 64, 8, true);
+      }
+    }(dsm, static_cast<ht::NodeId>(n + 1)));
+  }
+  run.run_all();
+
+  EXPECT_GT(cluster.sharing().events(sim::CohDomain::kInter), 0u);
+  EXPECT_GT(cluster.sharing().events(sim::CohDomain::kInter,
+                                     sim::CohEvent::kInvalidate),
+            0u);
+
+  sim::StatRegistry reg;
+  cluster.export_stats(reg);
+  EXPECT_GT(reg.counter_value("coh.inter.events"), 0u);
+  EXPECT_GT(reg.counter_value("coh.inter.invalidate"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cause-tagged coherence sub-segments: per transaction, the per-cause
+// decomposition sums exactly to the coherence segment — through both the
+// Chrome-trace and the flight-recorder round trip.
+// ---------------------------------------------------------------------------
+
+void check_cause_sums(const sim::TraceAnalysis& analysis) {
+  const auto txns = analysis.transactions();
+  ASSERT_FALSE(txns.empty());
+  sim::Time coh_total = 0;
+  for (const auto& t : txns) {
+    sim::Time cause_sum = 0;
+    for (const sim::Time v : t.coh) cause_sum += v;
+    EXPECT_EQ(cause_sum, t.seg[static_cast<int>(sim::Segment::kCoherence)])
+        << "txn " << t.txn;
+    coh_total += cause_sum;
+  }
+  EXPECT_GT(coh_total, 0u) << "workload produced no coherence tax";
+
+  const auto causes = analysis.coherence_cause_totals();
+  sim::Time across = 0;
+  for (const sim::Time v : causes) across += v;
+  EXPECT_EQ(across, coh_total);
+  EXPECT_EQ(causes[static_cast<int>(sim::CohCause::kUnattributed)], 0u)
+      << "an instrumentation site left a coherence span untagged";
+}
+
+TEST(CoherenceAttribution, CauseSubSegmentsSumExactlyThroughChromeTrace) {
+  sim::Tracer tracer;
+  tracer.begin_process("coh");
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  Cluster cluster(engine, test::small_config());
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+  ASSERT_GT(tracer.txns_finalized(), 0u);
+
+  std::ostringstream out;
+  tracer.export_chrome(out);
+  std::istringstream in(out.str());
+  const auto analysis = sim::TraceAnalysis::load_chrome(in);
+  check_cause_sums(analysis);
+}
+
+TEST(CoherenceAttribution, CauseSubSegmentsSumExactlyThroughFlightRecorder) {
+  sim::Tracer tracer;
+  tracer.begin_process("coh");
+  tracer.enable_flight_recorder(1 << 16);
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  Cluster cluster(engine, test::small_config());
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+
+  std::ostringstream out;
+  tracer.export_flight(out);
+  std::istringstream in(out.str());
+  const auto analysis = sim::TraceAnalysis::load_flight(in);
+  check_cause_sums(analysis);
+}
+
+TEST(CoherenceAttribution, CauseSamplersExportUnderCoherenceSegment) {
+  sim::Tracer tracer;
+  tracer.begin_process("coh");
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  Cluster cluster(engine, test::small_config());
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+
+  sim::StatRegistry reg;
+  tracer.export_txn_stats(reg, "txn.");
+  std::ostringstream js;
+  reg.dump_json(js);
+  const auto dump = sim::report::StatsDump::parse(js.str());
+  ASSERT_TRUE(dump.samplers.count("txn.seg.coherence_ps"));
+  // At least one cause sampler, and the cause sums reproduce the segment.
+  double cause_sum = 0;
+  for (const auto& [key, s] : dump.samplers) {
+    if (key.rfind("txn.seg.coherence.", 0) == 0) cause_sum += s.sum();
+  }
+  EXPECT_DOUBLE_EQ(cause_sum, dump.samplers.at("txn.seg.coherence_ps").sum());
+}
+
+// ---------------------------------------------------------------------------
+// Truncated traces fail loudly (satellite: nonzero analyzer exits ride on
+// these throws).
+// ---------------------------------------------------------------------------
+
+TEST(TraceStrictness, TruncatedChromeTraceThrows) {
+  sim::Tracer tracer;
+  tracer.begin_process("t");
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  Cluster cluster(engine, test::small_config());
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+
+  std::ostringstream out;
+  tracer.export_chrome(out);
+  const std::string full = out.str();
+  // Drop the trailer: the loader must notice the missing "]}".
+  std::istringstream cut(full.substr(0, full.size() - 3));
+  EXPECT_THROW(sim::TraceAnalysis::load_chrome(cut), std::runtime_error);
+
+  std::istringstream not_a_trace("hello world\n");
+  EXPECT_THROW(sim::TraceAnalysis::load_chrome(not_a_trace),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-page top-K determinism (satellite): insertion order must not leak
+// into the ranking, and a parallel sweep must reproduce the serial bytes.
+// ---------------------------------------------------------------------------
+
+TEST(HotPages, TopKIsInsertionOrderIndependentWithTies) {
+  sim::HotPageProfiler a, b;
+  a.enable();
+  b.enable();
+  // Same multiset of records, opposite insertion orders, with ties.
+  const std::vector<std::uint64_t> pages = {7, 1, 9, 1, 7, 3, 9, 3};
+  for (auto it = pages.begin(); it != pages.end(); ++it) a.record(*it);
+  for (auto it = pages.rbegin(); it != pages.rend(); ++it) b.record(*it);
+  const auto ta = a.top(4);
+  const auto tb = b.top(4);
+  EXPECT_EQ(ta, tb);
+  // All counts equal (2): ties resolve by ascending page number.
+  ASSERT_EQ(ta.size(), 4u);
+  EXPECT_EQ(ta[0].first, 1u);
+  EXPECT_EQ(ta[1].first, 3u);
+  EXPECT_EQ(ta[2].first, 7u);
+  EXPECT_EQ(ta[3].first, 9u);
+}
+
+TEST(HotPages, Fig8SweepIsByteIdenticalAcrossJobCounts) {
+  // fig8 runs the hot-page profiler in-kernel; identical stats bytes across
+  // jobs= values prove the profiler's ranking carries no scheduler state.
+  const auto spec = sweep::SweepSpec::parse_tokens(
+      {"bench=fig8", "grid.stress_nodes=0,1", "accesses=120", "hot_pages=4"});
+  sweep::SweepOptions serial;
+  serial.jobs = 1;
+  const auto a = sweep::run_sweep(spec, serial);
+  sweep::SweepOptions parallel_opt;
+  parallel_opt.jobs = 2;
+  const auto b = sweep::run_sweep(spec, parallel_opt);
+  EXPECT_EQ(a.json, b.json);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].stats_json, b.runs[i].stats_json) << "run " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering and diffing
+// ---------------------------------------------------------------------------
+
+sim::report::StatsDump traced_profiled_dump() {
+  sim::Tracer tracer;
+  tracer.begin_process("rpt");
+  sim::Engine engine;
+  engine.set_tracer(&tracer);
+  auto cfg = test::small_config();
+  cfg.coh_profile = true;
+  Cluster cluster(engine, cfg);
+  MemorySpace space(cluster, 1, {});
+  test::run_in_sim(engine, shared_line_writers(space));
+
+  sim::StatRegistry reg;
+  cluster.export_stats(reg, "run.");
+  tracer.export_txn_stats(reg, "run.txn.");
+  std::ostringstream js;
+  reg.dump_json(js);
+  return sim::report::StatsDump::parse(js.str());
+}
+
+TEST(Report, MarkdownAndHtmlContainTheCoherenceSections) {
+  const auto dump = traced_profiled_dump();
+  const std::string md = sim::report::render_markdown(dump, {});
+  EXPECT_NE(md.find("## Coherence tax by run"), std::string::npos);
+  EXPECT_NE(md.find("## Protocol-event accounting"), std::string::npos);
+  EXPECT_NE(md.find("## Coherence-hot pages"), std::string::npos);
+  EXPECT_NE(md.find("| run |"), std::string::npos);
+  EXPECT_NE(md.find("intra"), std::string::npos);
+
+  const std::string html = sim::report::render_html(dump, {});
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Coherence tax by run"), std::string::npos);
+  EXPECT_NE(html.find("<table>"), std::string::npos);
+}
+
+TEST(Report, DiffIsCleanOnIdenticalDumpsAndFlagsChanges) {
+  const auto dump = traced_profiled_dump();
+  const auto clean = sim::report::diff(dump, dump, {});
+  EXPECT_TRUE(clean.ok());
+  EXPECT_TRUE(clean.entries.empty());
+  EXPECT_GT(clean.keys_compared, 0u);
+
+  auto modified = dump;
+  // Perturb a coherence metric and drop another key entirely.
+  ASSERT_TRUE(modified.counters.count("run.coh.intra.events"));
+  modified.counters["run.coh.intra.events"] += 5;
+  modified.counters.erase(std::prev(modified.counters.end())->first);
+  const auto d = sim::report::diff(dump, modified, {});
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.out_of_tolerance, 2u);
+  EXPECT_GE(d.coherence_out_of_tolerance, 1u);
+  bool saw_coh = false, saw_missing = false;
+  for (const auto& e : d.entries) {
+    if (e.key == "run.coh.intra.events") {
+      EXPECT_TRUE(e.coherence);
+      saw_coh = true;
+    }
+    if (e.missing) saw_missing = true;
+  }
+  EXPECT_TRUE(saw_coh);
+  EXPECT_TRUE(saw_missing);
+
+  // A generous relative tolerance absorbs the numeric change but can never
+  // absorb the missing key.
+  sim::report::DiffOptions loose;
+  loose.rel_tol = 1.0;
+  const auto within = sim::report::diff(dump, modified, loose);
+  EXPECT_EQ(within.out_of_tolerance, 1u);
+
+  const std::string rendered =
+      sim::report::render_diff_markdown(d, {}, "a", "b");
+  EXPECT_NE(rendered.find("coh.intra.events"), std::string::npos);
+  EXPECT_NE(rendered.find("OUT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

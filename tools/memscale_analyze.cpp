@@ -22,9 +22,11 @@
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/json.hpp"
 #include "sim/table.hpp"
 #include "sim/time.hpp"
 #include "sim/trace_analysis.hpp"
@@ -45,28 +47,26 @@ Time percentile(std::vector<Time>& sorted, double p) {
 
 // Pulls every "hot_pages":[[page,count],...] array out of a
 // --timeseries-json stream. Counts are cumulative per run, so the maximum
-// seen per page is its final tally.
+// seen per page is its final tally. Strict: a truncated or malformed
+// stream throws instead of yielding a partial table.
 std::vector<std::pair<std::uint64_t, std::uint64_t>> hot_pages_from(
     std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const ms::sim::json::Value doc = ms::sim::json::parse(buf.str());
   std::map<std::uint64_t, std::uint64_t> pages;
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t key = line.find("\"hot_pages\":[");
-    if (key == std::string::npos) continue;
-    const char* p = line.c_str() + key + 13;
-    while (*p == '[') {
-      ++p;
-      char* after = nullptr;
-      const std::uint64_t page = std::strtoull(p, &after, 10);
-      if (after == p || *after != ',') break;
-      p = after + 1;
-      const std::uint64_t count = std::strtoull(p, &after, 10);
-      if (after == p) break;
-      p = after;
-      if (*p == ']') ++p;
-      if (*p == ',') ++p;
-      auto& slot = pages[page];
-      slot = std::max(slot, count);
+  for (const auto& run : doc.at("runs").as_array()) {
+    for (const auto& pt : run.at("points").as_array()) {
+      for (const auto& entry : pt.at("hot_pages").as_array()) {
+        const auto& pair = entry.as_array();
+        if (pair.size() != 2) {
+          throw std::runtime_error("malformed hot_pages entry");
+        }
+        const auto page = static_cast<std::uint64_t>(pair[0].as_number());
+        const auto count = static_cast<std::uint64_t>(pair[1].as_number());
+        auto& slot = pages[page];
+        slot = std::max(slot, count);
+      }
     }
   }
   std::vector<std::pair<std::uint64_t, std::uint64_t>> out(pages.begin(),
@@ -192,6 +192,31 @@ int main(int argc, char** argv) {
                 << " ps) != end-to-end total (" << grand_total << " ps)\n";
     }
     std::cout << "\n";
+
+    // Cause decomposition of the coherence segment — sums exactly to it.
+    const Time coh_total = seg[static_cast<int>(Segment::kCoherence)];
+    const auto coh = analysis.coherence_cause_totals();
+    Time coh_sum = 0;
+    for (const Time v : coh) coh_sum += v;
+    if (coh_sum != 0 || coh_total != 0) {
+      ms::sim::Table cause_table({"cause", "total_us", "share_%"});
+      for (int i = 0; i < ms::sim::kNumCohCauses; ++i) {
+        if (coh[i] == 0) continue;
+        cause_table.row()
+            .cell(std::string(to_string(static_cast<ms::sim::CohCause>(i))))
+            .cell(us(coh[i]), 3)
+            .cell(100.0 * static_cast<double>(coh[i]) /
+                      static_cast<double>(coh_total),
+                  2);
+      }
+      std::cout << "== coherence causes ==\n"
+                << (csv ? cause_table.csv() : cause_table.render());
+      if (coh_sum != coh_total) {
+        std::cout << "WARNING: coherence cause sum (" << coh_sum
+                  << " ps) != coherence segment (" << coh_total << " ps)\n";
+      }
+      std::cout << "\n";
+    }
   }
 
   // Per-component leaf table.
@@ -254,7 +279,14 @@ int main(int argc, char** argv) {
                 << "\n";
       return 1;
     }
-    auto pages = hot_pages_from(ts);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages;
+    try {
+      pages = hot_pages_from(ts);
+    } catch (const std::exception& e) {
+      std::cerr << "memscale_analyze: " << timeseries_path << ": "
+                << e.what() << "\n";
+      return 1;
+    }
     ms::sim::Table table({"page", "accesses"});
     std::size_t shown = 0;
     for (const auto& [page, count] : pages) {

@@ -1,0 +1,110 @@
+// memscale_report: renders a --stats-json dump into a self-contained
+// Markdown or HTML coherence-tax report, or diffs two dumps with tolerance
+// bounds (the CI golden gate).
+//
+//   memscale_report --stats run.json [--html out.html] [--md out.md]
+//   memscale_report --diff a.json b.json [--rel-tol 0.02] [--abs-tol 0]
+//
+// Exit codes: 0 ok; 1 diff out of tolerance; 2 usage, I/O or parse error
+// (including truncated/malformed JSON — the parser is strict).
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: memscale_report --stats <stats.json> [--html <file>] "
+         "[--md <file>] [--title <s>] [--top-pages <n>]\n"
+         "       memscale_report --diff <a.json> <b.json> [--rel-tol <f>] "
+         "[--abs-tol <f>] [--md <file>]\n";
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out.good()) {
+    std::cerr << "memscale_report: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stats_path, diff_a, diff_b, html_path, md_path;
+  ms::sim::report::ReportOptions report_opts;
+  ms::sim::report::DiffOptions diff_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stats") {
+      stats_path = next();
+    } else if (arg == "--diff") {
+      diff_a = next();
+      diff_b = next();
+    } else if (arg == "--html") {
+      html_path = next();
+    } else if (arg == "--md") {
+      md_path = next();
+    } else if (arg == "--title") {
+      report_opts.title = next();
+    } else if (arg == "--top-pages") {
+      report_opts.top_pages = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rel-tol") {
+      diff_opts.rel_tol = std::strtod(next(), nullptr);
+    } else if (arg == "--abs-tol") {
+      diff_opts.abs_tol = std::strtod(next(), nullptr);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!diff_a.empty()) {
+      const auto a = ms::sim::report::StatsDump::load(diff_a);
+      const auto b = ms::sim::report::StatsDump::load(diff_b);
+      const auto result = ms::sim::report::diff(a, b, diff_opts);
+      const std::string rendered = ms::sim::report::render_diff_markdown(
+          result, diff_opts, diff_a, diff_b);
+      std::cout << rendered;
+      if (!md_path.empty() && !write_file(md_path, rendered)) return 2;
+      return result.ok() ? 0 : 1;
+    }
+    if (stats_path.empty()) {
+      usage();
+      return 2;
+    }
+    const auto dump = ms::sim::report::StatsDump::load(stats_path);
+    const std::string md = ms::sim::report::render_markdown(dump, report_opts);
+    if (!md_path.empty()) {
+      if (!write_file(md_path, md)) return 2;
+    }
+    if (!html_path.empty()) {
+      if (!write_file(html_path,
+                      ms::sim::report::render_html(dump, report_opts))) {
+        return 2;
+      }
+    }
+    if (md_path.empty() && html_path.empty()) std::cout << md;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "memscale_report: " << e.what() << "\n";
+    return 2;
+  }
+}
