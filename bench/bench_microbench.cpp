@@ -156,18 +156,61 @@ int run_engine_overhead(std::uint64_t events, int pending,
   return 0;
 }
 
+// memop_path mode: simulated accesses per host-second through the whole
+// per-access path (MemorySpace -> TLB/page table -> node -> cache), one
+// cache-hit-heavy loop per backing mode (local / remote region / remote
+// swap). The measurement is sweep::memop_path_kernel, shared with
+// memscale_sweep's floor gate; results feed BENCH_memops.json.
+
+int run_memop_path(std::uint64_t accesses, std::uint64_t buffer,
+                   const std::string& stats_path) {
+  sim::Config cfg;
+  cfg.set("accesses", std::to_string(accesses));
+  cfg.set("buffer", std::to_string(buffer));
+  const auto out = sweep::run_kernel("memop_path", cfg);
+  sim::StatRegistry reg;
+  reg.counter("memop_path.accesses").inc(accesses);
+  for (const auto& [name, value] : out.metrics) {
+    if (name == "accesses") continue;
+    const bool is_rate = name.find("_rate") != std::string::npos;
+    std::printf(is_rate ? "%s %.4f\n" : "%s %.0f\n", name.c_str(), value);
+    // Hit rates are fractions; scale to ppm so they survive the integral
+    // counter registry. Everything else (rates/sec and raw counts) fits.
+    reg.counter("memop_path." + name)
+        .inc(static_cast<std::uint64_t>(is_rate ? value * 1e6 : value));
+  }
+  if (!stats_path.empty()) {
+    std::ofstream os(stats_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", stats_path.c_str());
+      return 1;
+    }
+    reg.dump_json(os);
+    std::printf("stats json: %s\n", stats_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool engine_overhead = false;
+  bool memop_path = false;
   std::uint64_t events = 2'000'000;
+  std::uint64_t accesses = 1'000'000;
+  std::uint64_t buffer = std::uint64_t{64} << 10;
   int pending = 1024;
   std::string stats_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "engine_overhead=1") engine_overhead = true;
+    else if (arg == "memop_path=1") memop_path = true;
     else if (arg.rfind("events=", 0) == 0)
       events = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    else if (arg.rfind("accesses=", 0) == 0)
+      accesses = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    else if (arg.rfind("buffer=", 0) == 0)
+      buffer = std::strtoull(arg.c_str() + 7, nullptr, 10);
     else if (arg.rfind("pending=", 0) == 0)
       pending = std::atoi(arg.c_str() + 8);
     else if (arg.rfind("--stats-json=", 0) == 0)
@@ -176,6 +219,7 @@ int main(int argc, char** argv) {
       stats_path = arg.substr(std::strlen("stats_json="));
   }
   if (engine_overhead) return run_engine_overhead(events, pending, stats_path);
+  if (memop_path) return run_memop_path(accesses, buffer, stats_path);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

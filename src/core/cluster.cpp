@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/frame_pool.hpp"
+
 namespace ms::core {
 
 ClusterConfig ClusterConfig::from(const sim::Config& cfg) {
@@ -43,6 +45,7 @@ ClusterConfig ClusterConfig::from(const sim::Config& cfg) {
   c.region.policy =
       os::ClusterDirectory::parse_policy(cfg.get_str("region.policy", "nearest"));
   c.coh_profile = cfg.get_bool("coh_profile", c.coh_profile);
+  c.hotpath_stats = cfg.get_bool("hotpath_stats", c.hotpath_stats);
   return c;
 }
 
@@ -60,7 +63,10 @@ std::string ClusterConfig::summary() const {
 }
 
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& cfg)
-    : engine_(engine), cfg_(cfg) {
+    : engine_(engine),
+      cfg_(cfg),
+      frames_pooled_base_(sim::FramePool::frames_pooled()),
+      frames_heap_base_(sim::FramePool::frames_heap()) {
   if (cfg.nodes < 1 || cfg.nodes > node::kMaxNodeId) {
     throw std::invalid_argument("Cluster: node count out of range");
   }
@@ -192,6 +198,14 @@ void Cluster::export_stats(sim::StatRegistry& reg,
     reg.counter(node_p + "mc_writes").inc(mc_writes);
     reg.counter(node_p + "local_accesses").inc(n.local_accesses());
     reg.counter(node_p + "remote_accesses").inc(n.remote_accesses());
+    if (cfg_.hotpath_stats) {
+      // Hot-path telemetry is opt-in (and nonzero-only) so default stats
+      // dumps stay byte-identical to pre-fast-path goldens.
+      sim::export_counter_nonzero(reg, node_p + "fastpath_hits",
+                                  n.fastpath_hits());
+      sim::export_counter_nonzero(reg, node_p + "slowpath_accesses",
+                                  n.slowpath_accesses());
+    }
     reg.counter(node_p + "coherence_probes").inc(n.directory().probes());
     for (int s = 0; s < cfg_.node.sockets; ++s) {
       const auto& mc = nodes_[i]->mc(s);
@@ -214,6 +228,17 @@ void Cluster::export_stats(sim::StatRegistry& reg,
     }
   }
   sharing_.export_stats(reg, prefix + "coh.");
+  if (cfg_.hotpath_stats) {
+    // Frame-pool counters are thread-local; the delta since construction
+    // is this cluster's own engine activity (one engine per host thread —
+    // the ParallelExecutor instance-safety contract).
+    sim::export_counter_nonzero(
+        reg, prefix + "engine.frames_pooled",
+        sim::FramePool::frames_pooled() - frames_pooled_base_);
+    sim::export_counter_nonzero(
+        reg, prefix + "engine.frames_heap",
+        sim::FramePool::frames_heap() - frames_heap_base_);
+  }
   for (const auto& source : extra_stats_) source(reg, prefix);
 }
 

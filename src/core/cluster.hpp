@@ -40,6 +40,13 @@ struct ClusterConfig {
   /// without the profiler.
   bool coh_profile = false;
 
+  /// Exports the memory-op hot-path telemetry (node.N.fastpath_hits /
+  /// slowpath_accesses, engine.frames_pooled / frames_heap, and each
+  /// space's tlb.flat_probes), nonzero-only. Default off so committed
+  /// stats goldens stay byte-identical; the counters themselves are always
+  /// maintained. Key: `hotpath_stats=1`.
+  bool hotpath_stats = false;
+
   /// Applies "key=value" overrides (nodes=4, topology=ring,
   /// rmc.outstanding=8, node.cache_kb=512, ...); see the implementation
   /// for the full key list.
@@ -72,6 +79,16 @@ class Cluster {
 
   /// Hop distance function, suitable for donor policies.
   os::ClusterDirectory::HopsFn hops_fn();
+
+  /// Allocates a pseudo BackingStore node id for swap-mode functional
+  /// data: swap slots are timing entities, so each swap-backed space files
+  /// its real bytes under a key no fabric node uses. Counts down from
+  /// node::kMaxNodeId, distinct per space within this cluster. Deliberately
+  /// per-instance state (never a global static) so concurrent simulations
+  /// stay independent — the §10 instance-safety contract.
+  ht::NodeId next_pseudo_node() {
+    return static_cast<ht::NodeId>(node::kMaxNodeId - ++pseudo_nodes_);
+  }
 
   /// Builds a region manager for a process homed on `home`.
   std::unique_ptr<os::RegionManager> make_region(ht::NodeId home);
@@ -139,6 +156,9 @@ class Cluster {
       extra_stats_;
   sim::HotPageProfiler hot_pages_;
   sim::SharingProfiler sharing_;
+  std::uint64_t frames_pooled_base_ = 0;  ///< FramePool counts at ctor time
+  std::uint64_t frames_heap_base_ = 0;
+  std::uint16_t pseudo_nodes_ = 0;  ///< pseudo node ids handed out so far
 };
 
 }  // namespace ms::core

@@ -7,17 +7,6 @@
 
 namespace ms::core {
 
-namespace {
-// Pseudo BackingStore keys for swap-mode functional data: swap slots are
-// timing entities, so the real bytes are filed under a per-space key that
-// no fabric node uses. Distinct per space to keep processes separate.
-ht::NodeId next_pseudo_node() {
-  static std::uint16_t counter = 0;
-  ++counter;
-  return static_cast<ht::NodeId>(node::kMaxNodeId - counter);
-}
-}  // namespace
-
 MemorySpace::MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p)
     : cluster_(cluster),
       home_(home),
@@ -57,7 +46,22 @@ MemorySpace::MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p)
           return cluster_.node(donor).serve_remote(local, bytes, is_write,
                                                    ctx);
         });
-    pseudo_node_ = next_pseudo_node();
+    pseudo_node_ = cluster.next_pseudo_node();
+  }
+
+  if (cluster.config().hotpath_stats) {
+    // Opt-in hot-path telemetry: this space appears in the shared stats
+    // dump. Sources are never unregistered, so under hotpath_stats=1 a
+    // space must outlive the cluster's last export_stats call (the same
+    // lifetime contract add_stats_source states).
+    cluster.add_stats_source(
+        [this](sim::StatRegistry& reg, const std::string& prefix) {
+          sim::export_counter_nonzero(reg, prefix + "tlb.flat_probes",
+                                      tlb_.flat_probes());
+          sim::export_counter_nonzero(reg, prefix + "tlb.hits", tlb_.hits());
+          sim::export_counter_nonzero(reg, prefix + "tlb.misses",
+                                      tlb_.misses());
+        });
   }
 }
 
@@ -143,29 +147,6 @@ void MemorySpace::functional_rw(VAddr va, void* data, std::uint32_t bytes,
   }
 }
 
-sim::Task<sim::Time> MemorySpace::timed_chunk(ThreadCtx& t, VAddr va,
-                                              std::uint32_t bytes,
-                                              bool is_write, sim::Time carried,
-                                              sim::TraceContext ctx) {
-  if (swap_) {
-    co_return co_await swap_->access(va, bytes, is_write, t.core, carried,
-                                     ctx);
-  }
-  // TLB, then the hardware path.
-  const VAddr page_va = table_.page_base(va);
-  std::optional<ht::PAddr> frame = tlb_.lookup(page_va);
-  if (!frame) {
-    carried += tlb_.params().walk_latency;
-    auto pa = table_.translate(page_va);
-    if (!pa) throw std::out_of_range("MemorySpace: access to unmapped page");
-    tlb_.insert(page_va, *pa);
-    frame = *pa;
-  }
-  const ht::PAddr pa = *frame + (va - page_va);
-  co_return co_await home_node().access(t.core, pa, bytes, is_write, carried,
-                                        ctx);
-}
-
 sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
                                     std::uint32_t bytes, bool is_write) {
   (is_write ? writes_ : reads_).inc();
@@ -214,8 +195,45 @@ sim::Task<void> MemorySpace::access(ThreadCtx& t, VAddr va, void* data,
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>({bytes - done, to_line, to_page}));
     ++t.accesses;
-    t.pending =
-        co_await timed_chunk(t, cur, chunk, is_write, t.pending, txn.ctx());
+    if (swap_) {
+      t.pending = co_await swap_->access(cur, chunk, is_write, t.core,
+                                         t.pending, txn.ctx());
+      done += chunk;
+      continue;
+    }
+    // Synchronous translation: last-translation hint, then flat TLB, then
+    // the page-table walk. The hint is revalidated by content before use;
+    // touch() replays exactly the counter/LRU side effects of a TLB hit.
+    sim::Time carried = t.pending;
+    const VAddr page_va = table_.page_base(cur);
+    os::Tlb::Slot* slot;
+    if (t.lt_space == this && t.lt_slot != nullptr && t.lt_slot->valid &&
+        t.lt_slot->va == page_va) {
+      slot = t.lt_slot;
+      tlb_.touch(*slot);
+    } else {
+      slot = tlb_.lookup_slot(page_va);
+      if (slot == nullptr) {
+        carried += tlb_.params().walk_latency;
+        auto pa = table_.translate(page_va);
+        if (!pa) {
+          throw std::out_of_range("MemorySpace: access to unmapped page");
+        }
+        slot = tlb_.insert(page_va, *pa);
+      }
+      t.lt_space = this;
+      t.lt_slot = slot;
+    }
+    const ht::PAddr pa = slot->frame + (cur - page_va);
+    sim::Time charge = 0;
+    if (params_.fastpath &&
+        home_node().try_access_fast(t.core, pa, is_write, carried, &charge)) {
+      // Private-cache hit: timing resolved without suspending.
+      t.pending = charge;
+    } else {
+      t.pending = co_await home_node().access(t.core, pa, chunk, is_write,
+                                              carried, txn.ctx());
+    }
     done += chunk;
   }
   txn.finish();

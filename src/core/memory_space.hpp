@@ -25,6 +25,15 @@ struct ThreadCtx {
   sim::Time quantum = sim::us(1);
   std::uint64_t accesses = 0;
 
+  /// Last-translation hint: the TLB slot that resolved this thread's
+  /// previous access, keyed by the owning space. Purely an acceleration —
+  /// it is revalidated by content (same space, slot valid, same page)
+  /// before every use, so TLB evictions, flushes and migration remaps can
+  /// only make it useless, never wrong. A ThreadCtx must not outlive the
+  /// last MemorySpace it accessed.
+  const void* lt_space = nullptr;
+  os::Tlb::Slot* lt_slot = nullptr;
+
   void compute(sim::Time t) { pending += t; }
 };
 
@@ -78,6 +87,10 @@ class MemorySpace {
     swap::SwapManager::Params swap;  ///< used by the swap modes
     VAddr va_base = VAddr{1} << 20;
     sim::Time map_page_cost = sim::ns(250);  ///< OS work per eagerly mapped page
+    /// Take the synchronous cache-hit fast path (Node::try_access_fast)
+    /// when possible. Timing-equivalent to the coroutine path by contract;
+    /// the knob exists so the equivalence suite can diff the two.
+    bool fastpath = true;
   };
 
   MemorySpace(Cluster& cluster, ht::NodeId home, const Params& p);
@@ -169,12 +182,10 @@ class MemorySpace {
   }
 
  private:
-  /// Timing for one chunk that stays within a line and a page.
-  sim::Task<sim::Time> timed_chunk(ThreadCtx& t, VAddr va, std::uint32_t bytes,
-                                   bool is_write, sim::Time carried,
-                                   sim::TraceContext ctx);
-
-  /// Full access: functional bytes + timing, chunked.
+  /// Full access: functional bytes + timing, chunked. Translation (last-
+  /// translation hint, flat TLB, page-table walk) runs synchronously
+  /// inline; each chunk then either resolves through the node's
+  /// non-suspending fast path (cache hit) or awaits the coroutine path.
   sim::Task<void> access(ThreadCtx& t, VAddr va, void* data,
                          std::uint32_t bytes, bool is_write);
 

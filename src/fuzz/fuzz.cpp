@@ -82,6 +82,7 @@ const Field kFields[] = {
     MS_U64_FIELD(migrate_period_us),
     MS_INT_FIELD(pressure_pct),
     MS_U64_FIELD(evacuate_at_us),
+    MS_INT_FIELD(fastpath),
 };
 
 #undef MS_INT_FIELD
@@ -124,6 +125,9 @@ Knobs Knobs::generate(sim::Rng& rng) {
   k.pressure_pct =
       rng.chance(0.15) ? static_cast<int>(25 * (1 + rng.below(3))) : 0;
   k.evacuate_at_us = rng.chance(0.2) ? 40 + rng.below(200) : 0;
+  // The fast path is timing-equivalent by contract; fuzzing it off on a
+  // fraction of episodes cross-checks that contract over random configs.
+  k.fastpath = rng.chance(0.25) ? 0 : 1;
   return k;
 }
 
@@ -628,6 +632,7 @@ EpisodeResult run_episode(const Knobs& k, const EpisodeOptions& opt) {
     }
 
     core::MemorySpace::Params sp;
+    sp.fastpath = k.fastpath != 0;
     if (k.mode == 0) {
       sp.mode = core::MemorySpace::Mode::kRemoteRegion;
       sp.placement = os::RegionManager::Placement::kRemoteOnly;

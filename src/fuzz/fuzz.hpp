@@ -41,6 +41,8 @@ struct Knobs {
   std::uint64_t migrate_period_us = 0;  ///< random live migration period
   int pressure_pct = 0;                 ///< rebalance threshold (0 = off)
   std::uint64_t evacuate_at_us = 0;     ///< drain donor 2 at this sim time
+  // Hot path.
+  int fastpath = 1;  ///< 0 = force every access down the coroutine path
 
   /// Samples a random-but-valid configuration; deterministic per Rng state.
   static Knobs generate(sim::Rng& rng);

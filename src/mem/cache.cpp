@@ -46,6 +46,20 @@ const Cache::Way* Cache::find(ht::PAddr addr) const {
   return const_cast<Cache*>(this)->find(addr);
 }
 
+bool Cache::access_hit(ht::PAddr addr, bool is_write) {
+  Way* way = find(addr);
+  if (way == nullptr) return false;  // miss: zero side effects
+  ++tick_;
+  if (profiler_ != nullptr) {
+    profiler_->record_touch(line_of(addr), requester_,
+                            static_cast<std::uint32_t>(addr & line_mask_), 8);
+  }
+  hits_.inc();
+  way->lru = tick_;
+  if (is_write) way->dirty = true;
+  return true;
+}
+
 Cache::AccessResult Cache::access(ht::PAddr addr, bool is_write) {
   ++tick_;
   if (profiler_ != nullptr) {
@@ -127,9 +141,9 @@ bool Cache::clean(ht::PAddr addr) {
   return false;
 }
 
-void Cache::flush_all(const std::function<void(ht::PAddr)>& writeback) {
+void Cache::flush_all(sim::FunctionRef<void(ht::PAddr)> writeback) {
   for (auto& way : ways_) {
-    if (way.valid && way.dirty && writeback) writeback(way.tag);
+    if (way.valid && way.dirty) writeback(way.tag);
     way.valid = false;
     way.dirty = false;
   }

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "ht/packet.hpp"
+#include "sim/function_ref.hpp"
 #include "sim/sharing_profiler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -48,6 +48,15 @@ class Cache {
   /// returning the victim writeback, if any.
   AccessResult access(ht::PAddr addr, bool is_write);
 
+  /// Hit-only probe for the synchronous fast path: on a hit it applies
+  /// exactly the side effects access() would (tick, profiler touch, hit
+  /// counter, LRU stamp, dirty bit) and returns true; on a miss it applies
+  /// NO side effects at all — the caller falls back to access(), which
+  /// then counts/installs the miss once. Keeping the two paths' observable
+  /// state identical is what lets the fast path leave every golden
+  /// byte-identical.
+  bool access_hit(ht::PAddr addr, bool is_write);
+
   /// Tag probe without state change.
   bool contains(ht::PAddr addr) const;
 
@@ -71,7 +80,9 @@ class Cache {
   /// Flushes every dirty line, invoking `writeback(line_addr)` for each,
   /// then invalidates the whole cache. This is the paper's explicit flush
   /// between a write phase and a parallel read-only phase (Sec. IV-B).
-  void flush_all(const std::function<void(ht::PAddr)>& writeback);
+  /// The callback is a non-owning FunctionRef: no std::function allocation
+  /// at the call site, and the callable only needs to outlive this call.
+  void flush_all(sim::FunctionRef<void(ht::PAddr)> writeback);
 
   ht::PAddr line_of(ht::PAddr addr) const { return addr & ~line_mask_; }
 

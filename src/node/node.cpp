@@ -12,6 +12,7 @@ Node::Node(sim::Engine& engine, ht::NodeId id, const Params& p)
     : engine_(engine),
       id_(id),
       params_(p),
+      track_("node." + std::to_string(id)),
       addr_map_(p.sockets, p.local_bytes),
       prefetcher_(p.prefetch, p.sockets * p.cores_per_socket) {
   const int n_cores = p.sockets * p.cores_per_socket;
@@ -49,10 +50,9 @@ int Node::socket_hops(int a, int b) const {
 
 sim::Task<void> Node::serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
                                    bool is_write, sim::TraceContext ctx) {
-  const std::string track = "node." + std::to_string(id_);
   {
     // Donor-side intra-node transport counts as memory service time.
-    sim::SegmentSpan xbar(engine_, ctx, track, "crossbar",
+    sim::SegmentSpan xbar(engine_, ctx, track_, "crossbar",
                           sim::Segment::kMemory);
     co_await engine_.delay(params_.crossbar_latency);
   }
@@ -61,7 +61,7 @@ sim::Task<void> Node::serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
   const int target = addr_map_.socket_of_local(local_addr);
   const int hops = socket_hops(0, target);
   if (hops > 0) {
-    sim::SegmentSpan numa(engine_, ctx, track, "socket_hops",
+    sim::SegmentSpan numa(engine_, ctx, track_, "socket_hops",
                           sim::Segment::kMemory);
     co_await engine_.delay(params_.socket_hop_latency *
                            static_cast<sim::Time>(hops));
@@ -72,35 +72,34 @@ sim::Task<void> Node::serve_remote(ht::PAddr local_addr, std::uint32_t bytes,
 sim::Task<void> Node::fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
                             bool is_write, sim::TraceContext ctx) {
   Core& c = *cores_[static_cast<std::size_t>(core)];
-  const std::string track = "node." + std::to_string(id_);
   {
-    sim::SegmentSpan xbar(engine_, ctx, track, "crossbar",
+    sim::SegmentSpan xbar(engine_, ctx, track_, "crossbar",
                           sim::Segment::kOther);
     co_await engine_.delay(params_.crossbar_latency);
   }
   if (has_prefix(paddr)) {
     remote_accesses_.inc();
     if (params_.remote_sw_overhead != 0) {
-      sim::SegmentSpan sw(engine_, ctx, track, "sw_overhead",
+      sim::SegmentSpan sw(engine_, ctx, track_, "sw_overhead",
                           sim::Segment::kOther);
       co_await engine_.delay(params_.remote_sw_overhead);
     }
     const sim::Time asked = engine_.now();
     co_await c.remote_slots().acquire();
-    sim::record_wait(engine_, track, "remote_slot.wait", asked, ctx);
+    sim::record_wait(engine_, track_, "remote_slot.wait", asked, ctx);
     sim::SemToken slot(c.remote_slots());
     co_await rmc_->client_access(paddr, bytes, is_write, ctx);
   } else {
     local_accesses_.inc();
     const sim::Time asked = engine_.now();
     co_await c.local_slots().acquire();
-    sim::record_wait(engine_, track, "local_slot.wait", asked, ctx);
+    sim::record_wait(engine_, track_, "local_slot.wait", asked, ctx);
     sim::SemToken slot(c.local_slots());
     const int target = addr_map_.socket_of_local(paddr);
     const int hops = socket_hops(socket_of_core(core), target);
     if (hops > 0) {
       // NUMA: the request and its response each cross `hops` cHT links.
-      sim::SegmentSpan numa(engine_, ctx, track, "socket_hops",
+      sim::SegmentSpan numa(engine_, ctx, track_, "socket_hops",
                             sim::Segment::kMemory);
       co_await engine_.delay(2 * params_.socket_hop_latency *
                              static_cast<sim::Time>(hops));
@@ -109,18 +108,45 @@ sim::Task<void> Node::fetch(int core, ht::PAddr paddr, std::uint32_t bytes,
   }
 }
 
+bool Node::try_access_fast(int core, ht::PAddr paddr, bool is_write,
+                           sim::Time carried, sim::Time* charge) {
+  if (has_prefix(paddr) && !params_.cache_remote) return false;
+  Core& c = *cores_[static_cast<std::size_t>(core)];
+  auto& cache = c.cache();
+  const ht::PAddr line = cache.line_of(paddr);
+  // Check the MSHR *before* probing the cache: a tag hit on a line whose
+  // fill is still in flight must take the coroutine path (it waits on the
+  // fill trigger), and access() will then apply the hit side effects
+  // exactly once.
+  if (!fills_.empty() && fills_.count(mshr_key(core, line)) != 0) {
+    return false;
+  }
+  // access_hit applies the full hit side effects on success and none at all
+  // on failure, so the access() fallback never double-counts.
+  if (!cache.access_hit(paddr, is_write)) return false;
+  fastpath_hits_.inc();
+  sim::Time t = carried + cache.params().hit_latency;
+  if (is_write) {
+    // Same synchronous MSI upgrade charge the coroutine hit path folds
+    // into its returned accumulator.
+    t += directory_->on_write_hit(core, line).latency;
+  }
+  *charge = t;
+  return true;
+}
+
 sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
                                   std::uint32_t bytes, bool is_write,
                                   sim::Time carried, sim::TraceContext ctx) {
+  slowpath_accesses_.inc();
   Core& c = *cores_[static_cast<std::size_t>(core)];
-  const std::string track = "node." + std::to_string(id_);
   const bool via_rmc = has_prefix(paddr);
   const bool cacheable = !via_rmc || params_.cache_remote;
 
   if (!cacheable) {
     // Uncached I/O-style access: the full reference goes to the RMC.
     {
-      sim::SegmentSpan cr(engine_, ctx, track, "carried",
+      sim::SegmentSpan cr(engine_, ctx, track_, "carried",
                           sim::Segment::kOther);
       co_await engine_.delay(carried);
     }
@@ -145,7 +171,7 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     if (pending != fills_.end()) {
       mshr_merges_.inc();
       {
-        sim::SegmentSpan cr(engine_, ctx, track, "carried",
+        sim::SegmentSpan cr(engine_, ctx, track_, "carried",
                             sim::Segment::kOther);
         co_await engine_.delay(carried + cache.params().hit_latency);
       }
@@ -155,11 +181,11 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
       // iterator would dangle). Entry gone => the data already arrived.
       auto still = fills_.find(mshr_key(core, line));
       if (still != fills_.end()) co_await still->second->wait();
-      sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
+      sim::record_wait(engine_, track_, "mshr.wait", asked, ctx);
       if (is_write) {
         auto coh = directory_->on_write_hit(core, line);
         if (coh.latency != 0) {
-          sim::SegmentSpan wh(engine_, ctx, track, "write_hit",
+          sim::SegmentSpan wh(engine_, ctx, track_, "write_hit",
                               sim::Segment::kCoherence,
                               sim::CohCause::kUpgrade);
           co_await engine_.delay(coh.latency);
@@ -183,7 +209,7 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     // An earlier prefetch or miss is already filling this line: merge.
     mshr_merges_.inc();
     {
-      sim::SegmentSpan cr(engine_, ctx, track, "carried",
+      sim::SegmentSpan cr(engine_, ctx, track_, "carried",
                           sim::Segment::kOther);
       co_await engine_.delay(carried + cache.params().hit_latency);
     }
@@ -191,7 +217,7 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     // Same iterator-across-suspension hazard as the hit path above.
     auto still = fills_.find(key);
     if (still != fills_.end()) co_await still->second->wait();
-    sim::record_wait(engine_, track, "mshr.wait", asked, ctx);
+    sim::record_wait(engine_, track_, "mshr.wait", asked, ctx);
     co_return 0;
   }
   auto trigger = std::make_unique<sim::Trigger>(engine_);
@@ -200,7 +226,7 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
 
   // Realize the accumulated compute time, then walk the miss path.
   {
-    sim::SegmentSpan cr(engine_, ctx, track, "carried", sim::Segment::kOther);
+    sim::SegmentSpan cr(engine_, ctx, track_, "carried", sim::Segment::kOther);
     co_await engine_.delay(carried + cache.params().hit_latency);
   }
   auto coh = directory_->on_miss(core, line, is_write);
@@ -215,13 +241,13 @@ sim::Task<sim::Time> Node::access(int core, ht::PAddr paddr,
     sim::Time split = t0;
     if (coh.probes > 0) {
       split += params_.coherence.probe_latency;
-      sim::record_coh_cause(engine_, track, ctx,
+      sim::record_coh_cause(engine_, track_, ctx,
                             is_write ? sim::CohCause::kInvalidate
                                      : sim::CohCause::kDowngrade,
                             t0, split);
     }
     if (coh.dirty_transfer) {
-      sim::record_coh_cause(engine_, track, ctx,
+      sim::record_coh_cause(engine_, track_, ctx,
                             sim::CohCause::kWritebackForced, split,
                             engine_.now());
     }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,18 @@ class Node {
                               bool is_write, sim::Time carried,
                               sim::TraceContext ctx = {});
 
+  /// Synchronous fast path for the common case: a private-cache hit with no
+  /// outstanding fill on the line. Returns true and writes the updated
+  /// accumulator (`carried` + hit latency + any synchronous MSI upgrade
+  /// cost) into `*charge` — exactly the value the coroutine path would
+  /// co_return — without creating a coroutine frame or touching the event
+  /// queue. Returns false (with NO simulator state changed) whenever any
+  /// slow-path condition holds: the range is uncacheable, the line has a
+  /// fill in flight (MSHR merge must wait), or the cache misses. Callers
+  /// fall back to access() in that case.
+  bool try_access_fast(int core, ht::PAddr paddr, bool is_write,
+                       sim::Time carried, sim::Time* charge);
+
   /// Donor-side service: an access arriving from a peer RMC for this node's
   /// local memory. Bypasses every local cache (the borrowed range is pinned
   /// and never cached here — the paper's no-inter-node-coherence argument).
@@ -98,6 +111,8 @@ class Node {
   std::uint64_t remote_accesses() const { return remote_accesses_.value(); }
   std::uint64_t prefetch_fills() const { return prefetch_fills_.value(); }
   std::uint64_t mshr_merges() const { return mshr_merges_.value(); }
+  std::uint64_t fastpath_hits() const { return fastpath_hits_.value(); }
+  std::uint64_t slowpath_accesses() const { return slowpath_accesses_.value(); }
 
   /// Whether a fill of `line` into `core`'s cache is still outstanding.
   /// The tag is installed synchronously at access time while the coherence
@@ -127,6 +142,7 @@ class Node {
   sim::Engine& engine_;
   ht::NodeId id_;
   Params params_;
+  std::string track_;  ///< "node.<id>", precomputed off the access path
   AddressMap addr_map_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<std::unique_ptr<mem::MemoryController>> mcs_;
@@ -147,6 +163,8 @@ class Node {
   sim::Counter remote_accesses_;
   sim::Counter prefetch_fills_;
   sim::Counter mshr_merges_;
+  sim::Counter fastpath_hits_;
+  sim::Counter slowpath_accesses_;
 };
 
 }  // namespace ms::node

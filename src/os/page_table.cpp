@@ -5,38 +5,115 @@
 
 namespace ms::os {
 
+namespace {
+constexpr std::size_t kInitialCapacity = 64;
+}  // namespace
+
 PageTable::PageTable(std::uint64_t page_bytes) : page_bytes_(page_bytes) {
   if (!std::has_single_bit(page_bytes)) {
     throw std::invalid_argument("PageTable: page size must be a power of two");
   }
+  page_shift_ = static_cast<unsigned>(std::countr_zero(page_bytes));
+  index_.resize(kInitialCapacity);
+  mask_ = kInitialCapacity - 1;
+  hash_shift_ =
+      64 - static_cast<unsigned>(std::countr_zero(kInitialCapacity));
+}
+
+const PageTable::IndexSlot* PageTable::probe(VAddr page) const {
+  std::size_t idx = slot_of(page);
+  for (;;) {
+    const IndexSlot& s = index_[idx];
+    if (!s.used) return nullptr;
+    if (s.va == page) return &s;
+    idx = (idx + 1) & mask_;
+  }
+}
+
+void PageTable::place(IndexSlot slot) {
+  std::size_t idx = slot_of(slot.va);
+  while (index_[idx].used) idx = (idx + 1) & mask_;
+  index_[idx] = slot;
+}
+
+void PageTable::grow() {
+  std::vector<IndexSlot> old = std::move(index_);
+  const std::size_t cap = old.size() * 2;
+  index_.assign(cap, IndexSlot{});
+  mask_ = cap - 1;
+  hash_shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+  for (const IndexSlot& s : old) {
+    if (s.used) place(s);
+  }
+}
+
+PageTable::Entry& PageTable::ensure(VAddr vaddr) {
+  const VAddr page = page_base(vaddr);
+  if (const IndexSlot* s = probe(page)) {
+    return entries_[s->entry];
+  }
+  // Keep the load factor under 1/2 so probe chains stay short.
+  if ((live_ + 1) * 2 > index_.size()) grow();
+  std::uint32_t pos;
+  if (!free_.empty()) {
+    pos = free_.back();
+    free_.pop_back();
+    entries_[pos] = Entry{};
+  } else {
+    pos = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  place(IndexSlot{page, pos, true});
+  ++live_;
+  return entries_[pos];
 }
 
 void PageTable::map(VAddr vaddr, ht::PAddr frame_base) {
-  Entry& e = entries_[page_base(vaddr)];
+  Entry& e = ensure(vaddr);
   e.frame = frame_base;
   e.present = true;
 }
 
-void PageTable::unmap(VAddr vaddr) { entries_.erase(page_base(vaddr)); }
+void PageTable::unmap(VAddr vaddr) {
+  const VAddr page = page_base(vaddr);
+  const IndexSlot* found = probe(page);
+  if (found == nullptr) return;
+  const std::size_t idx =
+      static_cast<std::size_t>(found - index_.data());
+  free_.push_back(index_[idx].entry);
+  index_[idx].used = false;
+  --live_;
+  // Backward-shift deletion keeps every survivor reachable by linear probe.
+  std::size_t hole = idx;
+  std::size_t next = (idx + 1) & mask_;
+  while (index_[next].used) {
+    const std::size_t home = slot_of(index_[next].va);
+    const bool in_path = ((next - home) & mask_) >= ((next - hole) & mask_);
+    if (in_path) {
+      index_[hole] = index_[next];
+      index_[next].used = false;
+      hole = next;
+    }
+    next = (next + 1) & mask_;
+  }
+}
 
 std::optional<ht::PAddr> PageTable::translate(VAddr vaddr) const {
-  auto it = entries_.find(page_base(vaddr));
-  if (it == entries_.end() || !it->second.present) return std::nullopt;
-  return it->second.frame + (vaddr & (page_bytes_ - 1));
+  const IndexSlot* s = probe(page_base(vaddr));
+  if (s == nullptr) return std::nullopt;
+  const Entry& e = entries_[s->entry];
+  if (!e.present) return std::nullopt;
+  return e.frame + (vaddr & (page_bytes_ - 1));
 }
 
 PageTable::Entry* PageTable::find(VAddr vaddr) {
-  auto it = entries_.find(page_base(vaddr));
-  return it == entries_.end() ? nullptr : &it->second;
+  const IndexSlot* s = probe(page_base(vaddr));
+  return s == nullptr ? nullptr : &entries_[s->entry];
 }
 
 const PageTable::Entry* PageTable::find(VAddr vaddr) const {
-  auto it = entries_.find(page_base(vaddr));
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-PageTable::Entry& PageTable::ensure(VAddr vaddr) {
-  return entries_[page_base(vaddr)];
+  const IndexSlot* s = probe(page_base(vaddr));
+  return s == nullptr ? nullptr : &entries_[s->entry];
 }
 
 }  // namespace ms::os

@@ -1,8 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "ht/packet.hpp"
 
@@ -19,6 +20,14 @@ using VAddr = std::uint64_t;
 /// requesting OS writes that prefixed address straight into the page table,
 /// and every later load/store is routed by hardware with no software on the
 /// access path.
+///
+/// Translation sits on the per-access hot path (every TLB miss walks it),
+/// so the index is a growable open-addressing table (linear probing,
+/// backward-shift deletion) over contiguous slots instead of an
+/// unordered_map. Entries themselves live in a deque so Entry pointers
+/// handed out by find()/ensure() stay stable across map/unmap/rehash —
+/// the same stability guarantee the map-backed version gave the swap
+/// manager and migration engine.
 class PageTable {
  public:
   explicit PageTable(std::uint64_t page_bytes = 4096);
@@ -43,18 +52,43 @@ class PageTable {
 
   VAddr page_base(VAddr vaddr) const { return vaddr & ~(page_bytes_ - 1); }
   std::uint64_t page_bytes() const { return page_bytes_; }
-  std::size_t mapped_pages() const { return entries_.size(); }
+  std::size_t mapped_pages() const { return live_; }
 
   /// Invokes `fn(page_base, entry)` for every entry (present or not).
-  /// Read-only walk for the invariant checkers.
+  /// Read-only walk for the invariant checkers. Iteration order is a
+  /// deterministic function of the map/unmap history but NOT sorted;
+  /// callers that need an order sort the collected keys (they all do).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [va, e] : entries_) fn(va, e);
+    for (const IndexSlot& s : index_) {
+      if (s.used) fn(s.va, entries_[s.entry]);
+    }
   }
 
  private:
+  struct IndexSlot {
+    VAddr va = 0;
+    std::uint32_t entry = 0;  ///< index into entries_
+    bool used = false;
+  };
+
+  std::size_t slot_of(VAddr va) const {
+    return static_cast<std::size_t>(
+               ((va >> page_shift_) * 0x9e3779b97f4a7c15ULL) >> hash_shift_) &
+           mask_;
+  }
+  const IndexSlot* probe(VAddr page) const;
+  void grow();
+  void place(IndexSlot slot);
+
   std::uint64_t page_bytes_;
-  std::unordered_map<VAddr, Entry> entries_;  // keyed by page base
+  unsigned page_shift_;
+  unsigned hash_shift_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t live_ = 0;
+  std::vector<IndexSlot> index_;
+  std::deque<Entry> entries_;          ///< stable storage, never shrinks
+  std::vector<std::uint32_t> free_;    ///< recycled entries_ positions
 };
 
 }  // namespace ms::os

@@ -1,34 +1,114 @@
 #include "os/tlb.hpp"
 
+#include <bit>
+#include <stdexcept>
+
 namespace ms::os {
 
+Tlb::Tlb(const Params& p) : params_(p) {
+  if (p.entries < 1) {
+    throw std::invalid_argument("Tlb: entries must be positive");
+  }
+  // Capacity >= 2x entries keeps the load factor <= 0.5 even when full, so
+  // linear-probe chains stay short and backward-shift deletes stay cheap.
+  const std::size_t cap =
+      std::bit_ceil(static_cast<std::size_t>(p.entries) * 2);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+}
+
+Tlb::Slot* Tlb::probe(VAddr page_base) {
+  std::size_t idx = slot_of(page_base);
+  for (;;) {
+    flat_probes_.inc();
+    Slot& s = slots_[idx];
+    if (!s.valid) return nullptr;
+    if (s.va == page_base) return &s;
+    idx = (idx + 1) & mask_;
+  }
+}
+
 std::optional<ht::PAddr> Tlb::lookup(VAddr page_base) {
+  Slot* s = lookup_slot(page_base);
+  if (s == nullptr) return std::nullopt;
+  return s->frame;
+}
+
+Tlb::Slot* Tlb::lookup_slot(VAddr page_base) {
   ++tick_;
-  auto it = slots_.find(page_base);
-  if (it == slots_.end()) {
+  Slot* s = probe(page_base);
+  if (s == nullptr) {
     misses_.inc();
-    return std::nullopt;
+    return nullptr;
   }
   hits_.inc();
-  it->second.lru = tick_;
-  return it->second.frame;
+  s->lru = tick_;
+  return s;
 }
 
-void Tlb::insert(VAddr page_base, ht::PAddr frame) {
+Tlb::Slot* Tlb::insert(VAddr page_base, ht::PAddr frame) {
   ++tick_;
-  if (slots_.count(page_base) == 0 &&
-      slots_.size() >= static_cast<std::size_t>(params_.entries)) {
-    auto victim = slots_.begin();
-    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
-      if (it->second.lru < victim->second.lru) victim = it;
-    }
-    slots_.erase(victim);
+  Slot* existing = probe(page_base);
+  if (existing != nullptr) {
+    existing->frame = frame;
+    existing->lru = tick_;
+    return existing;
   }
-  slots_[page_base] = {frame, tick_};
+  if (live_ >= static_cast<std::size_t>(params_.entries)) {
+    // Evict the (unique) minimum-LRU slot — same victim the map-backed
+    // implementation picked, because tick stamps never repeat.
+    std::size_t victim = slots_.size();
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].valid && slots_[i].lru < best) {
+        best = slots_[i].lru;
+        victim = i;
+      }
+    }
+    erase_at(victim);
+  }
+  std::size_t idx = slot_of(page_base);
+  for (;;) {
+    flat_probes_.inc();
+    if (!slots_[idx].valid) break;
+    idx = (idx + 1) & mask_;
+  }
+  slots_[idx] = Slot{page_base, frame, tick_, true};
+  ++live_;
+  return &slots_[idx];
 }
 
-void Tlb::invalidate(VAddr page_base) { slots_.erase(page_base); }
+void Tlb::erase_at(std::size_t idx) {
+  // Backward-shift deletion: close the probe chain so later lookups never
+  // stop early at a hole.
+  slots_[idx].valid = false;
+  --live_;
+  std::size_t hole = idx;
+  std::size_t next = (idx + 1) & mask_;
+  while (slots_[next].valid) {
+    const std::size_t home = slot_of(slots_[next].va);
+    // Shift `next` into the hole iff the hole lies within its probe path.
+    const bool in_path = ((next - home) & mask_) >= ((next - hole) & mask_);
+    if (in_path) {
+      slots_[hole] = slots_[next];
+      slots_[next].valid = false;
+      hole = next;
+    }
+    next = (next + 1) & mask_;
+  }
+}
 
-void Tlb::flush() { slots_.clear(); }
+void Tlb::invalidate(VAddr page_base) {
+  Slot* s = probe(page_base);
+  if (s != nullptr) {
+    erase_at(static_cast<std::size_t>(s - slots_.data()));
+  }
+}
+
+void Tlb::flush() {
+  for (Slot& s : slots_) s.valid = false;
+  live_ = 0;
+}
 
 }  // namespace ms::os

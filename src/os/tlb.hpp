@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
+#include <vector>
 
 #include "ht/packet.hpp"
 #include "os/page_table.hpp"
@@ -16,6 +17,13 @@ namespace ms::os {
 /// miss charges the page-walk latency. The walk reads the page table from
 /// *local* memory even when the translated frame is remote — the page
 /// tables themselves always live on the node running the process.
+///
+/// Storage is a fixed-capacity open-addressing table (linear probing,
+/// backward-shift deletion) instead of an unordered_map: lookup on the
+/// per-access hot path is one hash plus a short scan of contiguous slots.
+/// Replacement semantics are identical to the original map version — LRU
+/// stamps come from a strictly increasing tick, so every slot's stamp is
+/// unique and the eviction victim is deterministic.
 class Tlb {
  public:
   struct Params {
@@ -23,31 +31,68 @@ class Tlb {
     sim::Time walk_latency = sim::ns(80);  ///< ~two dependent DRAM reads
   };
 
-  explicit Tlb(const Params& p) : params_(p) {}
+  /// One live translation. Exposed so MemorySpace can keep a last-
+  /// translation hint (a Slot*) and revalidate it by content: slots never
+  /// move except through insert/invalidate/flush, and a stale hint fails
+  /// the `valid && va == page` check rather than mis-translating.
+  struct Slot {
+    VAddr va = 0;
+    ht::PAddr frame = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  explicit Tlb(const Params& p);
 
   /// Looks up a translation; counts a hit or a miss.
   std::optional<ht::PAddr> lookup(VAddr page_base);
 
+  /// Same lookup (identical counters and LRU side effects) but returns the
+  /// slot itself, for callers that keep a last-translation hint.
+  Slot* lookup_slot(VAddr page_base);
+
+  /// Re-touches a slot previously returned by lookup_slot/insert: applies
+  /// exactly the side effects of a lookup hit (tick, hit counter, LRU
+  /// stamp). The caller must have validated `slot->valid && slot->va`.
+  void touch(Slot& slot) {
+    ++tick_;
+    hits_.inc();
+    slot.lru = tick_;
+  }
+
   /// Installs a translation after a walk/fault, evicting LRU if full.
-  void insert(VAddr page_base, ht::PAddr frame);
+  /// Returns the slot holding the new translation.
+  Slot* insert(VAddr page_base, ht::PAddr frame);
 
   void invalidate(VAddr page_base);
   void flush();
 
   std::uint64_t hits() const { return hits_.value(); }
   std::uint64_t misses() const { return misses_.value(); }
+  /// Probe steps taken by open-addressing lookups/inserts (hot-path
+  /// telemetry; exported only under the opt-in hotpath stats flag).
+  std::uint64_t flat_probes() const { return flat_probes_.value(); }
   const Params& params() const { return params_; }
 
  private:
-  struct Slot {
-    ht::PAddr frame;
-    std::uint64_t lru;
-  };
+  std::size_t slot_of(VAddr va) const {
+    // Fibonacci hash of the page number; pages are 4 KiB-aligned.
+    return static_cast<std::size_t>(((va >> 12) * 0x9e3779b97f4a7c15ULL) >>
+                                    shift_) &
+           mask_;
+  }
+  Slot* probe(VAddr page_base);
+  void erase_at(std::size_t idx);
+
   Params params_;
   std::uint64_t tick_ = 0;
-  std::unordered_map<VAddr, Slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 0;
+  std::vector<Slot> slots_;
   sim::Counter hits_;
   sim::Counter misses_;
+  sim::Counter flat_probes_;
 };
 
 }  // namespace ms::os

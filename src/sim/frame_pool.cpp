@@ -1,0 +1,96 @@
+#include "sim/frame_pool.hpp"
+
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MS_FRAME_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MS_FRAME_POOL_ASAN 1
+#endif
+#endif
+
+#ifdef MS_FRAME_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#define MS_POISON(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define MS_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define MS_POISON(p, n) ((void)0)
+#define MS_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace ms::sim {
+
+namespace {
+
+constexpr std::size_t kClasses = FramePool::kMaxPooled / FramePool::kAlign;
+
+struct Pool {
+  std::vector<void*> slabs;
+  std::size_t slab_used = FramePool::kSlabBytes;  // forces the first carve
+  // Recycled frames per size class. The chain lives here, not threaded
+  // through the frames, so freelisted payloads can stay ASan-poisoned.
+  std::vector<void*> free[kClasses];
+  std::uint64_t pooled = 0;
+  std::uint64_t heap = 0;
+
+  ~Pool() {
+    for (void* s : slabs) {
+      MS_UNPOISON(s, FramePool::kSlabBytes);
+      ::operator delete(s);
+    }
+  }
+};
+
+Pool& pool() {
+  static thread_local Pool p;
+  return p;
+}
+
+}  // namespace
+
+void* FramePool::allocate(std::size_t bytes) {
+  Pool& p = pool();
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled) {
+    ++p.heap;
+    return ::operator new(bytes);
+  }
+  const std::size_t cls = (bytes + kAlign - 1) / kAlign;  // 1-based
+  const std::size_t size = cls * kAlign;
+  auto& fl = p.free[cls - 1];
+  ++p.pooled;
+  if (!fl.empty()) {
+    void* q = fl.back();
+    fl.pop_back();
+    MS_UNPOISON(q, size);
+    return q;
+  }
+  if (p.slab_used + size > kSlabBytes) {
+    p.slabs.push_back(::operator new(kSlabBytes));
+    p.slab_used = 0;
+  }
+  void* q = static_cast<char*>(p.slabs.back()) + p.slab_used;
+  p.slab_used += size;
+  return q;
+}
+
+void FramePool::deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  if (bytes > kMaxPooled) {
+    ::operator delete(ptr, bytes);
+    return;
+  }
+  Pool& p = pool();
+  const std::size_t cls = (bytes + kAlign - 1) / kAlign;
+  const std::size_t size = cls * kAlign;
+  MS_POISON(ptr, size);
+  p.free[cls - 1].push_back(ptr);
+}
+
+std::uint64_t FramePool::frames_pooled() { return pool().pooled; }
+std::uint64_t FramePool::frames_heap() { return pool().heap; }
+
+}  // namespace ms::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ms::sim {
+
+/// Thread-local slab recycler for coroutine frames.
+///
+/// Every simulated activity is a Task<T> coroutine, so the engine's hot
+/// loop is dominated by frame allocate/free pairs of a handful of distinct
+/// sizes. The pool rounds requests up to 64-byte size classes and keeps a
+/// per-class freelist of recycled frames carved out of 64 KiB slab blocks;
+/// steady state serves every frame with a pop/push and never touches the
+/// system allocator. Oversize requests (beyond kMaxPooled) fall through to
+/// ::operator new and are counted separately.
+///
+/// The pool is thread_local, which is exactly the instance-safety contract
+/// of ParallelExecutor (ARCHITECTURE.md: one engine instance per host
+/// thread, no cross-thread simulator state): a frame is always freed on
+/// the thread that allocated it because a coroutine runs and finishes on
+/// its engine's thread. Slabs live until thread exit; memory is recycled,
+/// not returned.
+///
+/// Under AddressSanitizer the freelist payloads are poisoned between uses
+/// so stale-frame reads are still caught; the freelists themselves store
+/// the chain in a side vector rather than threading pointers through the
+/// (poisoned) payload.
+class FramePool {
+ public:
+  static constexpr std::size_t kAlign = 64;          ///< class granularity
+  static constexpr std::size_t kMaxPooled = 2048;    ///< beyond: plain heap
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  static void* allocate(std::size_t bytes);
+  static void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Frames served from a freelist or fresh slab carve (lifetime total,
+  /// summed over all host threads that ran an engine).
+  static std::uint64_t frames_pooled();
+  /// Frames that bypassed the pool to the system heap (oversize).
+  static std::uint64_t frames_heap();
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace ms::sim {
+
+/// Non-owning reference to a callable — the hot-path replacement for
+/// `const std::function<...>&` parameters. Constructing a std::function
+/// from a capturing lambda heap-allocates at every call site; FunctionRef
+/// is two words (object pointer + trampoline) and never allocates. The
+/// referenced callable must outlive the call, which every user here
+/// guarantees trivially: the lambda lives in the caller's frame for the
+/// duration of the synchronous callee.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace ms::sim

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace ms::sim {
 
@@ -21,6 +24,19 @@ class [[nodiscard]] Task;
 namespace detail {
 
 struct PromiseBase {
+  // Frames come from the thread-local slab pool: the engine allocates and
+  // frees the same handful of frame sizes millions of times, so steady
+  // state is a freelist pop/push instead of a malloc/free pair. Declaring
+  // only the sized delete is deliberate — the coroutine machinery passes
+  // the frame size back, which is what lets the pool find the size class
+  // without a per-frame header.
+  static void* operator new(std::size_t bytes) {
+    return FramePool::allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FramePool::deallocate(p, bytes);
+  }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr error;
 

@@ -21,6 +21,7 @@
 #include "core/runner.hpp"
 #include "dsm/directory_dsm.hpp"
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/random.hpp"
 #include "workloads/random_access.hpp"
 
@@ -688,6 +689,115 @@ CellOutput engine_overhead_kernel(const sim::Config& cfg,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// memop_path: simulated-access throughput of the full memory-op path
+// (wall-clock — nondeterministic). One cell runs the same cache-hit-heavy
+// loop through each backing mode: kLocal, kRemoteRegion and kRemoteSwap.
+// ---------------------------------------------------------------------------
+
+sim::Task<void> memop_loop(core::MemorySpace& space, core::ThreadCtx* t,
+                           os::VAddr base, std::uint64_t buffer_bytes,
+                           std::uint64_t accesses) {
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const os::VAddr va = base + (i * 8) % buffer_bytes;
+    if ((i & 3) == 3) {
+      co_await space.write_u64(*t, va, i);
+    } else {
+      co_await space.read_u64(*t, va);
+    }
+  }
+  co_await space.sync(*t);
+}
+
+struct MemopModeResult {
+  double accesses_per_sec = 0;
+  double cache_hit_rate = 0;
+  double fastpath_hits = 0;
+  double slowpath_accesses = 0;
+  double tlb_flat_probes = 0;
+  double frames_pooled = 0;
+  double frames_heap = 0;
+};
+
+MemopModeResult memop_run_mode(const sim::Config& cfg,
+                               core::MemorySpace::Mode mode,
+                               std::uint64_t accesses,
+                               std::uint64_t buffer_bytes) {
+  sim::Engine engine;
+  core::Cluster cluster(engine, core::ClusterConfig::from(cfg));
+  const std::uint64_t pooled0 = sim::FramePool::frames_pooled();
+  const std::uint64_t heap0 = sim::FramePool::frames_heap();
+
+  core::MemorySpace::Params sp;
+  sp.mode = mode;
+  if (mode == core::MemorySpace::Mode::kRemoteRegion) {
+    sp.placement = os::RegionManager::Placement::kRemoteOnly;
+  }
+  if (mode == core::MemorySpace::Mode::kRemoteSwap) {
+    sp.swap.resident_limit_bytes = buffer_bytes * 2;
+  }
+  core::MemorySpace space(cluster, 1, sp);
+
+  core::Runner setup(engine);
+  os::VAddr base = 0;
+  setup.spawn([](core::MemorySpace& s, std::uint64_t bytes,
+                 os::VAddr* out) -> sim::Task<void> {
+    *out = co_await s.map_range(bytes);
+  }(space, buffer_bytes, &base));
+  setup.run_all();
+  // Touch every page functionally so swap mode starts warm (resident).
+  for (os::VAddr va = base; va < base + buffer_bytes; va += 4096) {
+    space.poke_pod<std::uint64_t>(va, va);
+  }
+
+  core::ThreadCtx t;
+  core::Runner run(engine);
+  run.spawn(memop_loop(space, &t, base, buffer_bytes, accesses));
+  const auto t0 = std::chrono::steady_clock::now();
+  run.run_all();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  MemopModeResult r;
+  r.accesses_per_sec = static_cast<double>(accesses) / secs;
+  r.cache_hit_rate = cluster.node(1).core(0).cache().hit_rate();
+  r.fastpath_hits = static_cast<double>(cluster.node(1).fastpath_hits());
+  r.slowpath_accesses =
+      static_cast<double>(cluster.node(1).slowpath_accesses());
+  r.tlb_flat_probes = static_cast<double>(space.tlb().flat_probes());
+  r.frames_pooled =
+      static_cast<double>(sim::FramePool::frames_pooled() - pooled0);
+  r.frames_heap = static_cast<double>(sim::FramePool::frames_heap() - heap0);
+  return r;
+}
+
+CellOutput memop_path_kernel(const sim::Config& cfg, const KernelHooks&) {
+  const std::uint64_t accesses = cfg.get_u64("accesses", 1'000'000);
+  const std::uint64_t buffer = cfg.get_u64("buffer", std::uint64_t{64} << 10);
+
+  CellOutput out{"memop_path", {}};
+  const struct {
+    const char* name;
+    core::MemorySpace::Mode mode;
+  } kModes[] = {
+      {"local", core::MemorySpace::Mode::kLocal},
+      {"region", core::MemorySpace::Mode::kRemoteRegion},
+      {"swap", core::MemorySpace::Mode::kRemoteSwap},
+  };
+  for (const auto& m : kModes) {
+    const MemopModeResult r = memop_run_mode(cfg, m.mode, accesses, buffer);
+    out.add(std::string(m.name) + "_accesses_per_sec", r.accesses_per_sec);
+    out.add(std::string(m.name) + "_cache_hit_rate", r.cache_hit_rate);
+    out.add(std::string(m.name) + "_fastpath_hits", r.fastpath_hits);
+    out.add(std::string(m.name) + "_slowpath_accesses", r.slowpath_accesses);
+    out.add(std::string(m.name) + "_tlb_flat_probes", r.tlb_flat_probes);
+    out.add(std::string(m.name) + "_frames_pooled", r.frames_pooled);
+    out.add(std::string(m.name) + "_frames_heap", r.frames_heap);
+  }
+  out.add("accesses", static_cast<double>(accesses));
+  return out;
+}
+
 }  // namespace
 
 const std::vector<Fig7Scenario>& fig7_scenarios() {
@@ -732,6 +842,8 @@ const std::map<std::string, KernelDef>& kernels() {
         true}},
       {"engine_overhead",
        {&engine_overhead_kernel, "events=2000000 pending=1024", false}},
+      {"memop_path",
+       {&memop_path_kernel, "accesses=1000000 buffer=64K", false}},
   };
   return kKernels;
 }

@@ -87,7 +87,7 @@ sim::Task<void> BTree::store_node(core::ThreadCtx& t, core::VAddr addr,
 
 sim::Task<void> BTree::bulk_build(
     std::uint64_t n,
-    const std::function<std::uint64_t(std::uint64_t)>& key_at) {
+    sim::FunctionRef<std::uint64_t(std::uint64_t)> key_at) {
   if (root_ != 0) throw std::logic_error("BTree: already built");
   size_ = n;
   if (n == 0) {

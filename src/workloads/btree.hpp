@@ -1,10 +1,10 @@
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/memory_space.hpp"
+#include "sim/function_ref.hpp"
 #include "core/remote_allocator.hpp"
 
 namespace ms::workloads {
@@ -36,7 +36,7 @@ class BTree {
   /// leaf level, which fills left to right. Construction is functional
   /// (untimed) — the paper times only the searches.
   sim::Task<void> bulk_build(std::uint64_t n,
-                             const std::function<std::uint64_t(std::uint64_t)>& key_at);
+                             sim::FunctionRef<std::uint64_t(std::uint64_t)> key_at);
 
   struct SearchStats {
     int nodes_visited = 0;

@@ -14,7 +14,7 @@ HashIndex::HashIndex(core::MemorySpace& space, std::uint64_t capacity_slots)
 
 sim::Task<void> HashIndex::build(
     std::uint64_t n,
-    const std::function<std::uint64_t(std::uint64_t)>& key_at) {
+    sim::FunctionRef<std::uint64_t(std::uint64_t)> key_at) {
   if (!mapped_) {
     base_ = co_await space_.map_range(footprint_bytes());
     mapped_ = true;

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/memory_space.hpp"
+#include "sim/function_ref.hpp"
 
 namespace ms::workloads {
 
@@ -28,7 +29,7 @@ class HashIndex {
 
   /// Functional bulk population (untimed), like BTree::bulk_build.
   sim::Task<void> build(std::uint64_t n,
-                        const std::function<std::uint64_t(std::uint64_t)>& key_at);
+                        sim::FunctionRef<std::uint64_t(std::uint64_t)> key_at);
 
   /// Timed operations.
   sim::Task<void> insert(core::ThreadCtx& t, std::uint64_t key,

@@ -10,10 +10,14 @@
 //   - the per-component leaf table (which span on which track costs what),
 //   - the slowest transactions, each decomposed into segments,
 //   - with --timeseries=file.json, the top contended 4 KiB pages from a
-//     --timeseries-json stream.
+//     --timeseries-json stream,
+//   - with --stats=stats.json, the memory-op hot-path counter view (fast-
+//     vs slow-path accesses, TLB flat probes, pooled vs heap coroutine
+//     frames) from a --stats-json dump taken with hotpath_stats=1.
 //
 // Usage: memscale_analyze <trace.json|flight.bin>
-//                         [--top=N] [--timeseries=ts.json] [--csv]
+//                         [--top=N] [--timeseries=ts.json]
+//                         [--stats=stats.json] [--csv]
 
 #include <algorithm>
 #include <cstdint>
@@ -80,9 +84,58 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> hot_pages_from(
 
 }  // namespace
 
+// Prints the hot-path counter table from a StatRegistry dump: every
+// counter whose name marks it as memory-op hot-path telemetry, plus the
+// derived fast-path share. Keys absent from the dump (run without
+// hotpath_stats=1, or simply idle) are skipped — same nonzero-only
+// convention the exporter follows.
+void print_hotpath_stats(const ms::sim::json::Value& doc, bool csv) {
+  static const char* kSuffixes[] = {
+      "fastpath_hits", "slowpath_accesses", "tlb.flat_probes",
+      "tlb.hits",      "tlb.misses",        "engine.frames_pooled",
+      "engine.frames_heap"};
+  const auto& counters = doc.at("counters").as_object();
+  ms::sim::Table table({"counter", "value"});
+  double fast = 0, slow = 0;
+  std::size_t rows = 0;
+  for (const auto& [name, value] : counters) {
+    bool match = false;
+    for (const char* suffix : kSuffixes) {
+      const std::string sfx(suffix);
+      if (name.size() >= sfx.size() &&
+          name.compare(name.size() - sfx.size(), sfx.size(), sfx) == 0) {
+        match = true;
+        break;
+      }
+    }
+    if (!match) continue;
+    const double v = value.as_number();
+    if (name.find("fastpath_hits") != std::string::npos) fast += v;
+    if (name.find("slowpath_accesses") != std::string::npos) slow += v;
+    table.row().cell(name).cell(static_cast<std::uint64_t>(v));
+    ++rows;
+  }
+  std::cout << "== memory-op hot path ==\n";
+  if (rows == 0) {
+    std::cout << "(no hot-path counters in dump; run with hotpath_stats=1)"
+              << "\n\n";
+    return;
+  }
+  std::cout << (csv ? table.csv() : table.render());
+  if (fast + slow > 0) {
+    std::ostringstream share;
+    share << "fast-path share: "
+          << 100.0 * fast / (fast + slow) << "% of "
+          << static_cast<std::uint64_t>(fast + slow) << " accesses";
+    std::cout << share.str() << "\n";
+  }
+  std::cout << "\n";
+}
+
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string timeseries_path;
+  std::string stats_path;
   std::size_t top = 10;
   bool csv = false;
   for (int i = 1; i < argc; ++i) {
@@ -92,11 +145,14 @@ int main(int argc, char** argv) {
                                                    10));
     } else if (arg.rfind("--timeseries=", 0) == 0) {
       timeseries_path = arg.substr(13);
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      stats_path = arg.substr(8);
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: memscale_analyze <trace.json|flight.bin> "
-                   "[--top=N] [--timeseries=ts.json] [--csv]\n";
+                   "[--top=N] [--timeseries=ts.json] [--stats=stats.json] "
+                   "[--csv]\n";
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       trace_path = arg;
@@ -104,6 +160,24 @@ int main(int argc, char** argv) {
       std::cerr << "memscale_analyze: unknown option " << arg << "\n";
       return 2;
     }
+  }
+  if (trace_path.empty() && !stats_path.empty()) {
+    // Stats-only mode: no trace to analyze, just the hot-path counters.
+    std::ifstream st(stats_path);
+    if (!st) {
+      std::cerr << "memscale_analyze: cannot open " << stats_path << "\n";
+      return 1;
+    }
+    try {
+      std::ostringstream buf;
+      buf << st.rdbuf();
+      print_hotpath_stats(ms::sim::json::parse(buf.str()), csv);
+    } catch (const std::exception& e) {
+      std::cerr << "memscale_analyze: " << stats_path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+    return 0;
   }
   if (trace_path.empty()) {
     std::cerr << "memscale_analyze: no trace file given (see --help)\n";
@@ -240,6 +314,26 @@ int main(int argc, char** argv) {
     std::cout << "== hottest components (top " << std::min(top, rows.size())
               << " of " << rows.size() << ") ==\n"
               << (csv ? table.csv() : table.render()) << "\n";
+  }
+
+  // Hot-path counter view, adjacent to the component table: the counters
+  // say how much work never became spans at all (fast-path hits resolve
+  // with no engine events, so they are invisible to the trace above).
+  if (!stats_path.empty()) {
+    std::ifstream st(stats_path);
+    if (!st) {
+      std::cerr << "memscale_analyze: cannot open " << stats_path << "\n";
+      return 1;
+    }
+    try {
+      std::ostringstream buf;
+      buf << st.rdbuf();
+      print_hotpath_stats(ms::sim::json::parse(buf.str()), csv);
+    } catch (const std::exception& e) {
+      std::cerr << "memscale_analyze: " << stats_path << ": " << e.what()
+                << "\n";
+      return 1;
+    }
   }
 
   // Slowest transactions, decomposed.
